@@ -1,0 +1,240 @@
+package dnslb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dnslb"
+	"dnslb/internal/core"
+	"dnslb/internal/dnswire"
+	"dnslb/internal/experiments"
+	"dnslb/internal/sim"
+	"dnslb/internal/simcore"
+)
+
+// benchOptions are the per-iteration experiment settings used by the
+// figure benchmarks: one simulated hour, one replication. Regenerating
+// the paper's full 5-hour/3-replication data is `dnslb-bench -exp all`.
+func benchOptions() experiments.Options {
+	o := experiments.QuickOptions()
+	o.CurvePoints = 11
+	return o
+}
+
+func benchFigure(b *testing.B, runner experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Seed = uint64(i) + 1
+		fig, err := runner(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("figure produced no series")
+		}
+	}
+}
+
+// BenchmarkTable2Vectors regenerates the paper's Table 2 capacity
+// vectors (the construction is cheap; this benchmark pins its cost and
+// doubles as its regeneration target).
+func BenchmarkTable2Vectors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 4 {
+			b.Fatal("table 2 must have four heterogeneity levels")
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1: the cumulative frequency of
+// the maximum utilization for the deterministic algorithms at 20%
+// heterogeneity.
+func BenchmarkFigure1(b *testing.B) { benchFigure(b, experiments.Figure1) }
+
+// BenchmarkFigure2 regenerates Figure 2: the probabilistic algorithms
+// at 35% heterogeneity.
+func BenchmarkFigure2(b *testing.B) { benchFigure(b, experiments.Figure2) }
+
+// BenchmarkFigure3 regenerates Figure 3: sensitivity to system
+// heterogeneity (20-65%), including the DAL baseline.
+func BenchmarkFigure3(b *testing.B) { benchFigure(b, experiments.Figure3) }
+
+// BenchmarkFigure4 regenerates Figure 4: sensitivity to the minimum
+// TTL imposed by non-cooperative name servers at 20% heterogeneity.
+func BenchmarkFigure4(b *testing.B) { benchFigure(b, experiments.Figure4) }
+
+// BenchmarkFigure5 regenerates Figure 5: minimum-TTL sensitivity at
+// 50% heterogeneity.
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, experiments.Figure5) }
+
+// BenchmarkFigure6 regenerates Figure 6: sensitivity to hidden-load
+// estimation error at 20% heterogeneity.
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, experiments.Figure6) }
+
+// BenchmarkFigure7 regenerates Figure 7: estimation-error sensitivity
+// at 50% heterogeneity.
+func BenchmarkFigure7(b *testing.B) { benchFigure(b, experiments.Figure7) }
+
+// Extension experiments (beyond the paper; see DESIGN.md).
+
+// BenchmarkExtDomains regenerates the connected-domain sweep K=10–100.
+func BenchmarkExtDomains(b *testing.B) { benchFigure(b, experiments.ExtDomains) }
+
+// BenchmarkExtServers regenerates the cluster-size sweep N=5–17.
+func BenchmarkExtServers(b *testing.B) { benchFigure(b, experiments.ExtServers) }
+
+// BenchmarkExtLoad regenerates the offered-load (think time) sweep.
+func BenchmarkExtLoad(b *testing.B) { benchFigure(b, experiments.ExtLoad) }
+
+// BenchmarkExtClasses regenerates the TTL/i class-count ablation.
+func BenchmarkExtClasses(b *testing.B) { benchFigure(b, experiments.ExtClasses) }
+
+// BenchmarkExtAlarm regenerates the alarm-threshold ablation.
+func BenchmarkExtAlarm(b *testing.B) { benchFigure(b, experiments.ExtAlarm) }
+
+// BenchmarkExtWindow regenerates the metric-window ablation.
+func BenchmarkExtWindow(b *testing.B) { benchFigure(b, experiments.ExtWindow) }
+
+// BenchmarkExtEstimator regenerates the oracle-vs-estimator study.
+func BenchmarkExtEstimator(b *testing.B) { benchFigure(b, experiments.ExtEstimator) }
+
+// BenchmarkExtBaselines regenerates the DAL/MRL baseline comparison.
+func BenchmarkExtBaselines(b *testing.B) { benchFigure(b, experiments.ExtBaselines) }
+
+// BenchmarkSimulation5h measures one full paper-scale run (5 simulated
+// hours, ~620k events) of the best-performing policy.
+func BenchmarkSimulation5h(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig("DRR2-TTL/S_K")
+		cfg.Seed = uint64(i) + 1
+		res, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.EventsFired), "events/run")
+		}
+	}
+}
+
+// BenchmarkSchedulerDecision measures a single DNS scheduling decision
+// for each policy family — the per-address-request cost a real
+// deployment pays.
+func BenchmarkSchedulerDecision(b *testing.B) {
+	for _, name := range []string{"RR", "RR2", "PRR2-TTL/K", "DRR2-TTL/S_K", "DAL"} {
+		b.Run(name, func(b *testing.B) {
+			cluster, err := core.ScaledCluster(7, 35, 500)
+			if err != nil {
+				b.Fatal(err)
+			}
+			state, err := core.NewState(cluster, 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := state.SetWeights(simcore.ZipfWeights(20, 1)); err != nil {
+				b.Fatal(err)
+			}
+			now := 0.0
+			policy, err := core.NewPolicy(core.PolicyConfig{
+				Name:  name,
+				State: state,
+				Rand:  simcore.NewStream(1, "bench"),
+				Now:   func() float64 { now += 0.01; return now },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := policy.Schedule(i % 20); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDNSWirePack measures encoding a typical authoritative
+// response.
+func BenchmarkDNSWirePack(b *testing.B) {
+	m := responseMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDNSWireUnpack measures decoding the same response.
+func BenchmarkDNSWireUnpack(b *testing.B) {
+	wire, err := responseMessage().Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dnswire.Unpack(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func responseMessage() *dnswire.Message {
+	return &dnswire.Message{
+		Header: dnswire.Header{ID: 1, Response: true, Authoritative: true},
+		Questions: []dnswire.Question{
+			{Name: "www.site.example.", Type: dnswire.TypeA, Class: dnswire.ClassIN},
+		},
+		Answers: []dnswire.ResourceRecord{{
+			Name: "www.site.example.", Type: dnswire.TypeA, Class: dnswire.ClassIN,
+			TTL: 240, Data: mustA("10.0.0.1"),
+		}},
+	}
+}
+
+func mustA(s string) dnswire.A {
+	var a dnswire.A
+	if err := a.Addr.UnmarshalText([]byte(s)); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// BenchmarkEngineEvents measures the raw discrete-event engine
+// throughput: schedule-and-fire of chained events.
+func BenchmarkEngineEvents(b *testing.B) {
+	s := simcore.New(1)
+	var tick func()
+	fired := 0
+	tick = func() {
+		fired++
+		s.Schedule(1, tick)
+	}
+	s.Schedule(0, tick)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+	if fired == 0 {
+		b.Fatal("no events fired")
+	}
+}
+
+// Example of using the public API; also keeps the facade's quickstart
+// in the doc comment honest.
+func Example() {
+	cfg := dnslb.DefaultSimConfig("DRR2-TTL/S_K")
+	cfg.Duration = 900
+	res, err := dnslb.RunSim(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.ProbMaxUnder(0.98) > 0.5)
+	// Output: true
+}

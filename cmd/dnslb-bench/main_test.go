@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Parameters of the system model",
+		"Connected domains K",
+		"Constant TTL",
+		"240 s",
+		"Alarm threshold theta",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "table2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"heterogeneity levels", "20%", "65%", "0.3500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFigureQuick(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "fig3", "-quick", "-duration", "600", "-reps", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig3", "DRR2-TTL/S_K", "DAL", "RR", "completed in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSVAndOutDir(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "table2", "-csv", "-out", dir}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Server,20%,35%,50%,65%") {
+		t.Errorf("csv header missing:\n%s", buf.String())
+	}
+	for _, name := range []string{"table2.txt", "table2.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestRunExtensionExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "ext-window", "-quick", "-duration", "600"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Metric-window ablation") {
+		t.Errorf("extension output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunPlot(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "table2", "-plot"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x: Server") || !strings.Contains(out, "* 20%") {
+		t.Errorf("plot output missing chart:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig99"}, &buf); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunVerify(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-exp", "verify", "-quick", "-duration", "1800"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "12/12 claims hold") {
+		t.Errorf("verify output:\n%s", out)
+	}
+}

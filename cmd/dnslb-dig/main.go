@@ -1,0 +1,115 @@
+// Command dnslb-dig is a small dig-like client for inspecting the
+// adaptive-TTL DNS server: it resolves a name against one upstream and
+// prints every answer with its TTL — repeatedly, to watch the load
+// balancer cycle servers and adapt TTLs.
+//
+// Examples:
+//
+//	dnslb-dig -server 127.0.0.1:5353 www.site.example
+//	dnslb-dig -server 127.0.0.1:5353 -type TXT www.site.example
+//	dnslb-dig -server 127.0.0.1:5353 -n 10 www.site.example
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dnslb"
+	"dnslb/internal/dnswire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dnslb-dig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dnslb-dig", flag.ContinueOnError)
+	var (
+		server  = fs.String("server", "127.0.0.1:5353", "upstream DNS server address")
+		qtype   = fs.String("type", "A", "query type (A, TXT, ANY, ...)")
+		n       = fs.Int("n", 1, "number of queries to send")
+		gap     = fs.Duration("gap", 0, "pause between queries")
+		timeout = fs.Duration("timeout", 3*time.Second, "per-query timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dnslb-dig [flags] <name>")
+	}
+	name := fs.Arg(0)
+	typ, err := parseType(*qtype)
+	if err != nil {
+		return err
+	}
+
+	r := &dnslb.Resolver{Server: *server, Timeout: *timeout}
+	ctx := context.Background()
+	for i := 0; i < *n; i++ {
+		if i > 0 && *gap > 0 {
+			time.Sleep(*gap)
+		}
+		resp, err := r.Exchange(ctx, name, typ)
+		if err != nil {
+			fmt.Fprintf(out, ";; %v\n", err)
+			continue
+		}
+		for _, rr := range resp.Answers {
+			fmt.Fprintf(out, "%-30s %6d  IN %-6s %s\n", rr.Name, rr.TTL, rr.Type, rdataString(rr.Data))
+		}
+		if len(resp.Answers) == 0 {
+			fmt.Fprintf(out, ";; %s: no answers\n", resp.Header.RCode)
+		}
+	}
+	return nil
+}
+
+func parseType(s string) (dnswire.Type, error) {
+	switch strings.ToUpper(s) {
+	case "A":
+		return dnswire.TypeA, nil
+	case "AAAA":
+		return dnswire.TypeAAAA, nil
+	case "NS":
+		return dnswire.TypeNS, nil
+	case "CNAME":
+		return dnswire.TypeCNAME, nil
+	case "SOA":
+		return dnswire.TypeSOA, nil
+	case "TXT":
+		return dnswire.TypeTXT, nil
+	case "ANY":
+		return dnswire.TypeANY, nil
+	default:
+		return 0, fmt.Errorf("unsupported query type %q", s)
+	}
+}
+
+func rdataString(d dnswire.RData) string {
+	switch v := d.(type) {
+	case dnswire.A:
+		return v.Addr.String()
+	case dnswire.AAAA:
+		return v.Addr.String()
+	case dnswire.CNAME:
+		return v.Target
+	case dnswire.NS:
+		return v.Host
+	case dnswire.PTR:
+		return v.Target
+	case dnswire.TXT:
+		return `"` + strings.Join(v.Strings, `" "`) + `"`
+	case dnswire.SOA:
+		return fmt.Sprintf("%s %s %d %d %d %d %d", v.MName, v.RName, v.Serial, v.Refresh, v.Retry, v.Expire, v.Minimum)
+	default:
+		return fmt.Sprintf("%v", d)
+	}
+}

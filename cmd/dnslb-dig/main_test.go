@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"dnslb"
+	"dnslb/internal/dnswire"
+)
+
+// startTestServer runs a small authoritative server to dig against.
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	cluster, err := dnslb.ScaledCluster(3, 35, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := dnslb.NewState(cluster, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := dnslb.NewPolicy(dnslb.PolicyConfig{Name: "RR", State: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dnslb.NewDNSServer(dnslb.DNSServerConfig{
+		Zone: "www.dig.test",
+		ServerAddrs: []netip.Addr{
+			netip.MustParseAddr("10.3.0.1"),
+			netip.MustParseAddr("10.3.0.2"),
+			netip.MustParseAddr("10.3.0.3"),
+		},
+		Policy: policy,
+		Addr:   "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv.Addr().String()
+}
+
+func TestDigA(t *testing.T) {
+	addr := startTestServer(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-server", addr, "-n", "3", "www.dig.test"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"www.dig.test.", "IN A", "10.3.0.1", "10.3.0.2", "10.3.0.3", "240"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dig output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDigTXT(t *testing.T) {
+	addr := startTestServer(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-server", addr, "-type", "TXT", "www.dig.test"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "policy=RR") {
+		t.Errorf("TXT output = %q", buf.String())
+	}
+}
+
+func TestDigNXDomain(t *testing.T) {
+	addr := startTestServer(t)
+	var buf bytes.Buffer
+	if err := run([]string{"-server", addr, "other.test"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "NXDOMAIN") {
+		t.Errorf("output = %q, want NXDOMAIN note", buf.String())
+	}
+}
+
+func TestDigTimeoutReported(t *testing.T) {
+	// Nothing listens here; errors are printed, not fatal.
+	var buf bytes.Buffer
+	err := run([]string{"-server", "127.0.0.1:1", "-timeout", "50ms", "www.dig.test"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ";;") {
+		t.Errorf("output = %q, want error comment", buf.String())
+	}
+}
+
+func TestDigUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("missing name should error")
+	}
+	if err := run([]string{"-type", "BOGUS", "x.test"}, &buf); err == nil {
+		t.Error("bad type should error")
+	}
+	if err := run([]string{"-badflag", "x.test"}, &buf); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func TestParseType(t *testing.T) {
+	tests := []struct {
+		in   string
+		want dnswire.Type
+	}{
+		{"a", dnswire.TypeA}, {"AAAA", dnswire.TypeAAAA}, {"ns", dnswire.TypeNS},
+		{"cname", dnswire.TypeCNAME}, {"SOA", dnswire.TypeSOA},
+		{"txt", dnswire.TypeTXT}, {"any", dnswire.TypeANY},
+	}
+	for _, tt := range tests {
+		got, err := parseType(tt.in)
+		if err != nil || got != tt.want {
+			t.Errorf("parseType(%q) = %v, %v", tt.in, got, err)
+		}
+	}
+}
+
+func TestRDataString(t *testing.T) {
+	tests := []struct {
+		data dnswire.RData
+		want string
+	}{
+		{dnswire.A{Addr: netip.MustParseAddr("1.2.3.4")}, "1.2.3.4"},
+		{dnswire.AAAA{Addr: netip.MustParseAddr("2001:db8::1")}, "2001:db8::1"},
+		{dnswire.CNAME{Target: "x.test."}, "x.test."},
+		{dnswire.NS{Host: "ns.test."}, "ns.test."},
+		{dnswire.PTR{Target: "p.test."}, "p.test."},
+		{dnswire.TXT{Strings: []string{"a", "b"}}, `"a" "b"`},
+	}
+	for _, tt := range tests {
+		if got := rdataString(tt.data); got != tt.want {
+			t.Errorf("rdataString(%T) = %q, want %q", tt.data, got, tt.want)
+		}
+	}
+	soa := dnswire.SOA{MName: "m.", RName: "r.", Serial: 1, Refresh: 2, Retry: 3, Expire: 4, Minimum: 5}
+	if got := rdataString(soa); !strings.Contains(got, "m. r. 1 2 3 4 5") {
+		t.Errorf("SOA string = %q", got)
+	}
+	raw := dnswire.Raw{Type: dnswire.Type(99), Data: []byte{1}}
+	if got := rdataString(raw); got == "" {
+		t.Error("raw string empty")
+	}
+}

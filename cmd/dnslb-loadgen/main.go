@@ -1,0 +1,177 @@
+// Command dnslb-loadgen drives real HTTP traffic through the DNS load
+// balancer: simulated client domains resolve the zone via their own
+// caching name servers (tagging queries with EDNS Client Subnet so the
+// DNS can classify them), then fetch from whichever backend the
+// answer names — the live counterpart of the simulator's workload.
+//
+// Use together with dnslb-server and HTTP backends (see
+// examples/selfbalancing or internal/backend):
+//
+//	dnslb-loadgen -dns 127.0.0.1:5353 -zone www.site.example \
+//	    -port 8080 -domains 4 -clients 40 -duration 10s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/netip"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dnslb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dnslb-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// domainLoad aggregates one domain's counters.
+type domainLoad struct {
+	ns       *dnslb.CachingNS
+	requests int
+	errors   int
+	perIP    map[netip.Addr]int
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dnslb-loadgen", flag.ContinueOnError)
+	var (
+		dnsAddr  = fs.String("dns", "127.0.0.1:5353", "DNS server address")
+		zone     = fs.String("zone", "www.site.example", "zone to resolve")
+		port     = fs.Uint("port", 8080, "backend HTTP port (A records carry no port)")
+		domains  = fs.Int("domains", 4, "client domains (each gets its own caching NS + ECS prefix)")
+		clients  = fs.Int("clients", 20, "total concurrent clients, split over domains by Zipf")
+		duration = fs.Duration("duration", 5*time.Second, "how long to generate load")
+		think    = fs.Duration("think", 100*time.Millisecond, "mean think time between requests")
+		hits     = fs.Int("hits", 10, "hits parameter attached to each request")
+		minTTL   = fs.Duration("minttl", 0, "caching NS minimum TTL (non-cooperative mode)")
+		dry      = fs.Bool("n", false, "resolve only; skip the HTTP fetches")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *domains < 1 || *clients < *domains {
+		return fmt.Errorf("need at least one client per domain (%d clients, %d domains)", *clients, *domains)
+	}
+	if *port == 0 || *port > 65535 {
+		return fmt.Errorf("bad port %d", *port)
+	}
+
+	// One caching NS per domain; ECS prefix 10.<domain>.0.0/16
+	// identifies the domain to the DNS.
+	loads := make([]*domainLoad, *domains)
+	for d := range loads {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(d), 0, 0}), 16)
+		resolver := &dnslb.Resolver{
+			Server:       *dnsAddr,
+			Timeout:      2 * time.Second,
+			ClientSubnet: prefix,
+		}
+		loads[d] = &domainLoad{
+			ns:    dnslb.NewCachingNS(resolver, *minTTL),
+			perIP: make(map[netip.Addr]int),
+		}
+	}
+
+	// Zipf split of clients over domains, at least one each.
+	wl := dnslb.DefaultWorkload()
+	wl.Domains = *domains
+	wl.Clients = *clients
+	counts := wl.Partition()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	var (
+		mu sync.Mutex
+		wg sync.WaitGroup
+	)
+	httpClient := &http.Client{Timeout: 5 * time.Second}
+	for d, n := range counts {
+		for c := 0; c < n; c++ {
+			wg.Add(1)
+			go func(domain int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+				for ctx.Err() == nil {
+					answers, _, err := loads[domain].ns.LookupA(ctx, *zone)
+					if err != nil {
+						mu.Lock()
+						loads[domain].errors++
+						mu.Unlock()
+						return
+					}
+					ip := answers[0].Addr
+					fetchErr := error(nil)
+					if !*dry {
+						fetchErr = fetch(ctx, httpClient, ip, uint16(*port), *hits, domain)
+					}
+					mu.Lock()
+					if fetchErr != nil {
+						loads[domain].errors++
+					} else {
+						loads[domain].requests++
+						loads[domain].perIP[ip]++
+					}
+					mu.Unlock()
+					delay := time.Duration(rng.ExpFloat64() * float64(*think))
+					select {
+					case <-ctx.Done():
+						return
+					case <-time.After(delay):
+					}
+				}
+			}(d)
+		}
+	}
+	wg.Wait()
+
+	// Report.
+	total := 0
+	perIP := make(map[netip.Addr]int)
+	fmt.Fprintln(out, "domain  clients  requests  errors  cache-hit%")
+	for d, l := range loads {
+		st := l.ns.Stats()
+		hitPct := 0.0
+		if st.Hits+st.Misses > 0 {
+			hitPct = 100 * float64(st.Hits) / float64(st.Hits+st.Misses)
+		}
+		fmt.Fprintf(out, "%6d  %7d  %8d  %6d  %9.1f\n", d, counts[d], l.requests, l.errors, hitPct)
+		total += l.requests
+		for ip, n := range l.perIP {
+			perIP[ip] += n
+		}
+	}
+	fmt.Fprintf(out, "\ntotal requests: %d over %v\n", total, *duration)
+	ips := make([]netip.Addr, 0, len(perIP))
+	for ip := range perIP {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(a, b int) bool { return ips[a].Less(ips[b]) })
+	for _, ip := range ips {
+		fmt.Fprintf(out, "  %v: %d requests\n", ip, perIP[ip])
+	}
+	return nil
+}
+
+func fetch(ctx context.Context, client *http.Client, ip netip.Addr, port uint16, hits, domain int) error {
+	url := fmt.Sprintf("http://%s/?hits=%d&domain=%d", netip.AddrPortFrom(ip, port), hits, domain)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.Body.Close()
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"net/netip"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dnslb"
+)
+
+// startStack brings up a DNS server over two local HTTP backends that
+// share one port on distinct loopback addresses, returning the DNS
+// address and the common backend port.
+func startStack(t *testing.T) (dnsAddr string, port uint16) {
+	t.Helper()
+	ips := []netip.Addr{
+		netip.MustParseAddr("127.4.0.1"),
+		netip.MustParseAddr("127.4.0.2"),
+	}
+	// First backend picks the port; the second reuses it on its own IP.
+	var backends []*dnslb.Backend
+	for i, ip := range ips {
+		addr := ip.String() + ":0"
+		if port != 0 {
+			addr = netip.AddrPortFrom(ip, port).String()
+		}
+		b, err := dnslb.NewBackend(dnslb.BackendConfig{
+			Capacity: 10000,
+			Domains:  4,
+			Simulate: true,
+			Addr:     addr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = b.Close() })
+		if i == 0 {
+			ap, err := netip.ParseAddrPort(b.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			port = ap.Port()
+		}
+		backends = append(backends, b)
+	}
+	cluster, err := dnslb.NewCluster([]float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := dnslb.NewState(cluster, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := dnslb.NewPolicy(dnslb.PolicyConfig{Name: "RR", State: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dnslb.NewDNSServer(dnslb.DNSServerConfig{
+		Zone:        "www.lg.test",
+		ServerAddrs: ips,
+		Policy:      policy,
+		Addr:        "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv.Addr().String(), port
+}
+
+func TestLoadgenEndToEnd(t *testing.T) {
+	dnsAddr, port := startStack(t)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-dns", dnsAddr,
+		"-zone", "www.lg.test",
+		"-port", itoa(port),
+		"-domains", "3",
+		"-clients", "6",
+		"-duration", "1s",
+		"-think", "20ms",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"domain  clients", "total requests:", "127.4.0."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "total requests: 0") {
+		t.Errorf("no requests made:\n%s", out)
+	}
+}
+
+func TestLoadgenDryRun(t *testing.T) {
+	dnsAddr, port := startStack(t)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-dns", dnsAddr,
+		"-zone", "www.lg.test",
+		"-port", itoa(port),
+		"-domains", "2",
+		"-clients", "2",
+		"-duration", "300ms",
+		"-think", "20ms",
+		"-n",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "total requests: 0") {
+		t.Errorf("dry run should still count resolutions:\n%s", buf.String())
+	}
+}
+
+func TestLoadgenValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-domains", "5", "-clients", "2"}, &buf); err == nil {
+		t.Error("fewer clients than domains should error")
+	}
+	if err := run([]string{"-port", "0"}, &buf); err == nil {
+		t.Error("port 0 should error")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("bad flag should error")
+	}
+}
+
+func itoa(v uint16) string { return strconv.Itoa(int(v)) }

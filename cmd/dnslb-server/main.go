@@ -1,0 +1,175 @@
+// Command dnslb-server runs the adaptive-TTL DNS load balancer as a
+// real authoritative name server: A queries for the configured zone
+// are answered with a Web server picked by the scheduling policy and a
+// TTL adapted to the querying domain and the server's capacity.
+//
+// Web servers feed load back over the plain-text report socket:
+//
+//	printf 'ALARM 0 1\n' | nc <host> <report-port>
+//	printf 'HITS 3 1200\nROLL 60\n' | nc <host> <report-port>
+//
+// Example:
+//
+//	dnslb-server -zone www.site.example -addr 127.0.0.1:5353 \
+//	  -servers 10.0.0.1,10.0.0.2,10.0.0.3 -capacities 100,80,50 \
+//	  -policy DRR2-TTL/S_K -domains 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dnslb"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	stop := make(chan struct{})
+	go func() {
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], stop, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dnslb-server:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until stop closes. When non-nil, started is called with
+// the bound DNS and report addresses once both listeners are up.
+func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr string)) error {
+	fs := flag.NewFlagSet("dnslb-server", flag.ContinueOnError)
+	var (
+		zone       = fs.String("zone", "www.site.example", "zone name answered authoritatively")
+		addr       = fs.String("addr", "127.0.0.1:5353", "DNS listen address (UDP and TCP)")
+		reportAddr = fs.String("report", "", "load-report listen address (empty = port after DNS port)")
+		policy     = fs.String("policy", "DRR2-TTL/S_K", "scheduling policy")
+		servers    = fs.String("servers", "", "comma-separated Web server IPv4 addresses (required)")
+		capacities = fs.String("capacities", "", "comma-separated capacities in hits/s (default: equal)")
+		domains    = fs.Int("domains", 20, "connected domains for source classification")
+		qps        = fs.Float64("qps", 0, "per-source query rate limit (0 = unlimited)")
+		burst      = fs.Float64("burst", 10, "per-source burst allowance when -qps is set")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *servers == "" {
+		return fmt.Errorf("-servers is required")
+	}
+	addrs, caps, err := parseServers(*servers, *capacities)
+	if err != nil {
+		return err
+	}
+
+	cluster, err := dnslb.NewCluster(caps)
+	if err != nil {
+		return err
+	}
+	state, err := dnslb.NewState(cluster, *domains)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
+	start := time.Now()
+	pol, err := dnslb.NewPolicy(dnslb.PolicyConfig{
+		Name:  *policy,
+		State: state,
+		Rand:  rng,
+		Now:   func() float64 { return time.Since(start).Seconds() },
+	})
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "dnslb-server: ", log.LstdFlags)
+	cfg := dnslb.DNSServerConfig{
+		Zone:        *zone,
+		ServerAddrs: addrs,
+		Policy:      pol,
+		Addr:        *addr,
+		Logger:      logger,
+	}
+	if *qps > 0 {
+		cfg.RateLimit = dnslb.NewRateLimiter(*qps, *burst)
+	}
+	srv, err := dnslb.NewDNSServer(cfg)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Close()
+	logger.Printf("serving %s on %s with %s over %d servers", *zone, srv.Addr(), *policy, len(addrs))
+
+	rAddr := *reportAddr
+	if rAddr == "" {
+		rAddr = nextPort(srv.Addr().String())
+	}
+	reporter, err := dnslb.NewReportListener(srv, rAddr)
+	if err != nil {
+		return err
+	}
+	defer reporter.Close()
+	logger.Printf("load reports on %s (ALARM/HITS/ROLL)", reporter.Addr())
+
+	if started != nil {
+		started(srv.Addr().String(), reporter.Addr().String())
+	}
+	<-stop
+	logger.Printf("shutting down: %+v", srv.Stats())
+	return nil
+}
+
+// parseServers parses the address and capacity lists. Capacities
+// default to 100 hits/s each and must be sorted non-increasing (the
+// paper numbers servers by decreasing capacity).
+func parseServers(servers, capacities string) ([]netip.Addr, []float64, error) {
+	parts := strings.Split(servers, ",")
+	addrs := make([]netip.Addr, 0, len(parts))
+	for _, p := range parts {
+		a, err := netip.ParseAddr(strings.TrimSpace(p))
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad server address %q: %w", p, err)
+		}
+		addrs = append(addrs, a)
+	}
+	caps := make([]float64, len(addrs))
+	if capacities == "" {
+		for i := range caps {
+			caps[i] = 100
+		}
+		return addrs, caps, nil
+	}
+	cparts := strings.Split(capacities, ",")
+	if len(cparts) != len(addrs) {
+		return nil, nil, fmt.Errorf("%d capacities for %d servers", len(cparts), len(addrs))
+	}
+	for i, p := range cparts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad capacity %q: %w", p, err)
+		}
+		caps[i] = v
+	}
+	return addrs, caps, nil
+}
+
+// nextPort returns host:port+1 of the given address.
+func nextPort(addr string) string {
+	ap, err := netip.ParseAddrPort(addr)
+	if err != nil {
+		return "127.0.0.1:0"
+	}
+	return netip.AddrPortFrom(ap.Addr(), ap.Port()+1).String()
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"dnslb"
+)
+
+func TestParseServers(t *testing.T) {
+	addrs, caps, err := parseServers("10.0.0.1, 10.0.0.2,10.0.0.3", "100,80,50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 || addrs[1].String() != "10.0.0.2" {
+		t.Errorf("addrs = %v", addrs)
+	}
+	if caps[0] != 100 || caps[2] != 50 {
+		t.Errorf("caps = %v", caps)
+	}
+}
+
+func TestParseServersDefaults(t *testing.T) {
+	_, caps, err := parseServers("10.0.0.1,10.0.0.2", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range caps {
+		if c != 100 {
+			t.Errorf("default capacity = %v, want 100", c)
+		}
+	}
+}
+
+func TestParseServersErrors(t *testing.T) {
+	if _, _, err := parseServers("not-an-ip", ""); err == nil {
+		t.Error("bad address should error")
+	}
+	if _, _, err := parseServers("10.0.0.1,10.0.0.2", "100"); err == nil {
+		t.Error("capacity count mismatch should error")
+	}
+	if _, _, err := parseServers("10.0.0.1", "abc"); err == nil {
+		t.Error("bad capacity should error")
+	}
+}
+
+func TestNextPort(t *testing.T) {
+	if got := nextPort("127.0.0.1:5353"); got != "127.0.0.1:5354" {
+		t.Errorf("nextPort = %q", got)
+	}
+	if got := nextPort("garbage"); got != "127.0.0.1:0" {
+		t.Errorf("fallback = %q", got)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	stop := make(chan struct{})
+	addrs := make(chan [2]string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-zone", "www.e2e.test",
+			"-addr", "127.0.0.1:0",
+			"-servers", "10.9.0.1,10.9.0.2",
+			"-capacities", "100,50",
+			"-policy", "DRR2-TTL/S_K",
+			"-domains", "4",
+		}, stop, func(dns, report string) { addrs <- [2]string{dns, report} })
+	}()
+
+	var bound [2]string
+	select {
+	case bound = <-addrs:
+	case err := <-errc:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not start")
+	}
+
+	r := &dnslb.Resolver{Server: bound[0], Timeout: 2 * time.Second}
+	answers, err := r.LookupA(context.Background(), "www.e2e.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 1 {
+		t.Fatalf("answers = %+v", answers)
+	}
+	// The report socket accepts an alarm.
+	conn, err := net.Dial("tcp", bound[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(conn, "ALARM 0 1")
+	buf := make([]byte, 8)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+	if string(buf[:2]) != "OK" {
+		t.Errorf("report response = %q", buf)
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	if err := run([]string{}, stop, nil); err == nil {
+		t.Error("missing -servers should error")
+	}
+	if err := run([]string{"-servers", "10.0.0.1", "-policy", "nope"}, stop, nil); err == nil {
+		t.Error("unknown policy should error")
+	}
+	// Capacities not sorted decreasing.
+	if err := run([]string{"-servers", "10.0.0.1,10.0.0.2", "-capacities", "50,100"}, stop, nil); err == nil {
+		t.Error("unsorted capacities should error")
+	}
+}

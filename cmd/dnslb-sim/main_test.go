@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"RR", "DRR2-TTL/S_K", "PRR2-TTL/K", "DAL", "MRL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunShortSimulation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-policy", "DRR2-TTL/S_K",
+		"-duration", "900", "-warmup", "300",
+		"-het", "35",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"policy", "DRR2-TTL/S_K",
+		"P(MaxUtil < 0.90)",
+		"address requests",
+		"mean server util",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithCurve(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-policy", "RR", "-duration", "600", "-curve"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "CumulativeFrequency") {
+		t.Error("curve output missing")
+	}
+}
+
+func TestRunReplicationsFlag(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-policy", "RR", "-duration", "600", "-reps", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "±") {
+		t.Error("replicated run should print confidence half-widths")
+	}
+}
+
+func TestRunUniformIdeal(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-policy", "Ideal", "-uniform", "-duration", "600"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEstimatorAndPerturbation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-policy", "PRR2-TTL/K", "-duration", "600",
+		"-estimator", "-error", "20", "-minttl", "60",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "clamped TTLs") {
+		t.Error("min TTL run should report clamped TTLs")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-policy", "bogus", "-duration", "600"}, &buf); err == nil {
+		t.Error("unknown policy should error")
+	}
+	if err := run([]string{"-duration", "-5"}, &buf); err == nil {
+		t.Error("negative duration should error")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunCompareMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-policies", "RR,DRR2-TTL/S_K,Ideal",
+		"-duration", "900", "-warmup", "300",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"policy", "RR", "DRR2-TTL/S_K", "Ideal", "identical arrivals"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCompareModeBadPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-policies", "RR,bogus", "-duration", "600"}, &buf); err == nil {
+		t.Error("bad policy in comparison should error")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-policy", "RR", "-duration", "600", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if got["policy"] != "RR" {
+		t.Errorf("policy = %v", got["policy"])
+	}
+	for _, key := range []string{"probMaxUnder98", "addressRequests", "meanServerUtil", "meanResponseSeconds"} {
+		if _, ok := got[key]; !ok {
+			t.Errorf("JSON missing %q", key)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package dnslb is a reproduction of "Dynamic Load Balancing in
+// Geographically Distributed Heterogeneous Web Servers" (Colajanni,
+// Cardellini, Yu — ICDCS 1998): the adaptive-TTL family of DNS
+// scheduling algorithms, the discrete-event simulation study that
+// evaluates them, and a working RFC 1035 DNS server that runs the same
+// policies on a real network.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Scheduling algorithms (RR, RR2, PRR, PRR2, the DAL/MRL baselines,
+//     and the adaptive TTL meta-algorithm TTL/i and TTL/S_i for any
+//     class count) — build one with NewPolicy.
+//   - The simulator — configure with DefaultSimConfig, run with RunSim.
+//   - The paper's experiments (Figures 1–7, Table 2) and the extension
+//     sweeps — run via the Experiments registry; VerifyReproduction
+//     checks every claim executably.
+//   - Workload traces — GenerateTrace, ReadTrace, WriteTrace; replay
+//     via SimConfig.Trace.
+//   - The real network path — NewDNSServer, NewCachingNS, NewBackend,
+//     NewReportListener, NewRateLimiter.
+//
+// Quick start:
+//
+//	cfg := dnslb.DefaultSimConfig("DRR2-TTL/S_K")
+//	res, err := dnslb.RunSim(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.ProbMaxUnder(0.9))
+package dnslb
+
+import (
+	"dnslb/internal/backend"
+	"dnslb/internal/core"
+	"dnslb/internal/dnsclient"
+	"dnslb/internal/dnsserver"
+	"dnslb/internal/experiments"
+	"dnslb/internal/sim"
+	"dnslb/internal/stats"
+	"dnslb/internal/trace"
+	"dnslb/internal/workload"
+)
+
+// Scheduling algorithm types (see internal/core for full docs).
+type (
+	// Cluster describes the heterogeneous server set.
+	Cluster = core.Cluster
+	// State is the scheduler's view: weights, classes, alarms.
+	State = core.State
+	// Policy is a complete DNS scheduling policy.
+	Policy = core.Policy
+	// PolicyConfig selects and parameterizes a policy by name.
+	PolicyConfig = core.PolicyConfig
+	// Decision is a scheduling answer: server index and TTL.
+	Decision = core.Decision
+	// TTLVariant identifies a member of the adaptive TTL family.
+	TTLVariant = core.TTLVariant
+	// Estimator estimates hidden load weights from server reports.
+	Estimator = core.Estimator
+	// DomainClass is the two-tier domain classification.
+	DomainClass = core.DomainClass
+)
+
+// Domain classes.
+const (
+	ClassNormal = core.ClassNormal
+	ClassHot    = core.ClassHot
+)
+
+// DefaultConstantTTL is the paper's 240-second baseline TTL.
+const DefaultConstantTTL = core.DefaultConstantTTL
+
+// Scheduling constructors and helpers.
+var (
+	// NewPolicy builds a policy from its catalog name (e.g.
+	// "DRR2-TTL/S_K"); see PolicyNames.
+	NewPolicy = core.NewPolicy
+	// PolicyNames lists every scheduling policy in the catalog.
+	PolicyNames = core.PolicyNames
+	// NewCluster builds a cluster from absolute capacities.
+	NewCluster = core.NewCluster
+	// ScaledCluster builds a Table 2-style cluster at a heterogeneity
+	// level with a fixed total capacity.
+	ScaledCluster = core.ScaledCluster
+	// HeterogeneityVector returns relative capacities per Table 2.
+	HeterogeneityVector = core.HeterogeneityVector
+	// NewState creates scheduler state for a cluster and domain count.
+	NewState = core.NewState
+	// NewEstimator creates a hidden-load estimator.
+	NewEstimator = core.NewEstimator
+)
+
+// Simulation types.
+type (
+	// SimConfig configures one simulation run.
+	SimConfig = sim.Config
+	// SimResult carries a run's metrics.
+	SimResult = sim.Result
+	// Workload describes the client population.
+	Workload = workload.Config
+	// Interval is a confidence interval.
+	Interval = stats.Interval
+	// TraceRecord is one page request of a recorded workload trace.
+	TraceRecord = trace.Record
+	// TraceSummary aggregates a trace for inspection.
+	TraceSummary = trace.Summary
+)
+
+// Simulation entry points.
+var (
+	// DefaultSimConfig returns the paper's Table 1 defaults for a
+	// policy name.
+	DefaultSimConfig = sim.DefaultConfig
+	// RunSim executes one simulation run.
+	RunSim = sim.Run
+	// RunSimReplications executes independent replications.
+	RunSimReplications = sim.RunReplications
+	// ProbMaxUnderCI aggregates replications into a confidence
+	// interval on Prob(MaxUtilization < x).
+	ProbMaxUnderCI = sim.ProbMaxUnderCI
+	// DefaultWorkload returns the paper's workload parameters.
+	DefaultWorkload = workload.Default
+	// GenerateTrace synthesizes a workload trace that replays exactly
+	// like a live simulation with the same seed.
+	GenerateTrace = trace.Generate
+	// WriteTrace and ReadTrace encode/decode trace files.
+	WriteTrace = trace.Write
+	// ReadTrace decodes a trace file written by WriteTrace.
+	ReadTrace = trace.Read
+	// SummarizeTrace aggregates a trace.
+	SummarizeTrace = trace.Summarize
+)
+
+// Experiment types.
+type (
+	// ExperimentOptions controls duration, replications and seeds.
+	ExperimentOptions = experiments.Options
+	// FigureData is the reproduced data behind one paper figure.
+	FigureData = experiments.Figure
+	// FigureSeries is one labelled curve of a figure.
+	FigureSeries = experiments.Series
+)
+
+// Experiment entry points.
+var (
+	// Experiments maps experiment IDs (fig1..fig7, table2) to runners.
+	Experiments = experiments.Registry
+	// ExperimentIDs lists the registered experiment IDs.
+	ExperimentIDs = experiments.IDs
+	// DefaultExperimentOptions reproduces the paper's 5-hour setup.
+	DefaultExperimentOptions = experiments.DefaultOptions
+	// QuickExperimentOptions trades precision for speed.
+	QuickExperimentOptions = experiments.QuickOptions
+	// VerifyReproduction checks every qualitative claim of the paper
+	// against fresh simulations and reports PASS/FAIL per claim.
+	VerifyReproduction = experiments.Verify
+	// ReproductionClaims lists the validator's claims.
+	ReproductionClaims = experiments.Claims
+)
+
+// Real-network types.
+type (
+	// DNSServerConfig configures the authoritative DNS server.
+	DNSServerConfig = dnsserver.Config
+	// DNSServer is the adaptive-TTL authoritative server.
+	DNSServer = dnsserver.Server
+	// ReportListener accepts load reports from Web servers.
+	ReportListener = dnsserver.ReportListener
+	// RateLimiter bounds per-source query rates at the DNS server.
+	RateLimiter = dnsserver.RateLimiter
+	// Resolver is a stub resolver against one upstream.
+	Resolver = dnsclient.Resolver
+	// CachingNS is a TTL-honouring caching name server.
+	CachingNS = dnsclient.CachingNS
+	// AnswerA is a resolved address with its TTL.
+	AnswerA = dnsclient.AnswerA
+	// Backend is a capacity-limited HTTP Web server whose agent
+	// reports utilization and per-domain hits to the DNS.
+	Backend = backend.Server
+	// BackendConfig configures a Backend.
+	BackendConfig = backend.Config
+)
+
+// Real-network entry points.
+var (
+	// NewDNSServer creates the authoritative server (call Start).
+	NewDNSServer = dnsserver.New
+	// NewReportListener starts the load-report listener for a server.
+	NewReportListener = dnsserver.NewReportListener
+	// NewCachingNS creates a caching NS over a resolver.
+	NewCachingNS = dnsclient.NewCachingNS
+	// PrefixHashMapper maps resolver addresses to domains by prefix.
+	PrefixHashMapper = dnsserver.PrefixHashMapper
+	// StaticMapper maps exact resolver addresses to domains.
+	StaticMapper = dnsserver.StaticMapper
+	// NewBackend creates a capacity-limited reporting Web server.
+	NewBackend = backend.New
+	// NewRateLimiter creates a per-source query rate limiter.
+	NewRateLimiter = dnsserver.NewRateLimiter
+)

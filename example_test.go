@@ -1,0 +1,107 @@
+package dnslb_test
+
+import (
+	"fmt"
+
+	"dnslb"
+)
+
+// ExampleNewPolicy schedules a few address requests by hand: the
+// adaptive TTL/S_K policy hands hot domains short TTLs and fast
+// servers long ones.
+func ExampleNewPolicy() {
+	// Three servers, fastest first; capacities in hits/second.
+	cluster, err := dnslb.NewCluster([]float64{100, 80, 50})
+	if err != nil {
+		panic(err)
+	}
+	state, err := dnslb.NewState(cluster, 4)
+	if err != nil {
+		panic(err)
+	}
+	// Hidden load weights: domain 0 sends half the traffic.
+	if err := state.SetWeights([]float64{8, 4, 2, 2}); err != nil {
+		panic(err)
+	}
+	policy, err := dnslb.NewPolicy(dnslb.PolicyConfig{
+		Name:  "DRR2-TTL/S_K",
+		State: state,
+	})
+	if err != nil {
+		panic(err)
+	}
+	for domain := 0; domain < 4; domain++ {
+		d, err := policy.Schedule(domain)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("domain %d -> server %d, TTL %.0fs\n", domain, d.Server, d.TTL)
+	}
+	// Output:
+	// domain 0 -> server 0, TTL 170s
+	// domain 1 -> server 0, TTL 340s
+	// domain 2 -> server 1, TTL 544s
+	// domain 3 -> server 2, TTL 340s
+}
+
+// ExampleRunSim reproduces the paper's headline comparison on one
+// simulated hour.
+func ExampleRunSim() {
+	rr := dnslb.DefaultSimConfig("RR")
+	rr.Duration = 3600
+	adaptive := dnslb.DefaultSimConfig("DRR2-TTL/S_K")
+	adaptive.Duration = 3600
+
+	a, err := dnslb.RunSim(rr)
+	if err != nil {
+		panic(err)
+	}
+	b, err := dnslb.RunSim(adaptive)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("adaptive avoids >90% utilization more often:",
+		b.ProbMaxUnder(0.9) > a.ProbMaxUnder(0.9)+0.5)
+	// Output:
+	// adaptive avoids >90% utilization more often: true
+}
+
+// ExampleGenerateTrace records a workload and replays it against two
+// policies: identical arrivals make the comparison perfectly paired.
+func ExampleGenerateTrace() {
+	wl := dnslb.DefaultWorkload()
+	records, err := dnslb.GenerateTrace(wl, 1800, 7)
+	if err != nil {
+		panic(err)
+	}
+	run := func(policy string) *dnslb.SimResult {
+		cfg := dnslb.DefaultSimConfig(policy)
+		cfg.Trace = records
+		cfg.Duration = 1200
+		cfg.Warmup = 600
+		res, err := dnslb.RunSim(cfg)
+		if err != nil {
+			panic(err)
+		}
+		return res
+	}
+	rr := run("RR")
+	adaptive := run("DRR2-TTL/S_K")
+	fmt.Println("same traffic served:", rr.TotalHits == adaptive.TotalHits)
+	fmt.Println("adaptive balances better:", adaptive.ProbMaxUnder(0.9) > rr.ProbMaxUnder(0.9))
+	// Output:
+	// same traffic served: true
+	// adaptive balances better: true
+}
+
+// ExampleHeterogeneityVector prints the paper's Table 2 row for 50%
+// heterogeneity.
+func ExampleHeterogeneityVector() {
+	v, err := dnslb.HeterogeneityVector(7, 50)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(v)
+	// Output:
+	// [1 1 0.8 0.8 0.5 0.5 0.5]
+}

@@ -1,0 +1,43 @@
+// Quickstart: simulate the paper's default heterogeneous Web site
+// under the conventional RR scheduler and under the best adaptive-TTL
+// policy, and compare how often some server is driven near overload.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dnslb"
+)
+
+func main() {
+	// One simulated hour on the paper's default system: 7 servers at
+	// 20% heterogeneity, 500 clients in 20 Zipf-distributed domains.
+	policies := []string{"RR", "PRR2-TTL/2", "DRR2-TTL/S_K"}
+
+	fmt.Println("policy         P(maxU<0.9)  P(maxU<0.98)  mean TTL  DNS-controlled")
+	for _, name := range policies {
+		cfg := dnslb.DefaultSimConfig(name)
+		cfg.Duration = 3600
+		res, err := dnslb.RunSim(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %10.3f  %11.3f  %7.0fs  %13.2f%%\n",
+			name,
+			res.ProbMaxUnder(0.9),
+			res.ProbMaxUnder(0.98),
+			res.Sched.MeanTTL,
+			100*res.ControlledFraction())
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table: under RR at least one server runs above 90%")
+	fmt.Println("utilization most of the time; the adaptive TTL/S_K policy keeps")
+	fmt.Println("every server below 90% almost always — while the DNS directly")
+	fmt.Println("controls well under 1% of the requests.")
+}

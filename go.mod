@@ -1,0 +1,3 @@
+module dnslb
+
+go 1.22

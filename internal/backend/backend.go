@@ -1,0 +1,371 @@
+// Package backend provides a capacity-limited HTTP Web server with a
+// self-reporting load agent: the real-network counterpart of the
+// simulator's webserver model. Requests consume service time from a
+// single work queue sized by the server's capacity in hits/second;
+// the agent measures busy-time utilization per interval and pushes
+// ALARM / HITS / ROLL lines to the DNS load-report socket, closing the
+// paper's asynchronous feedback loop over real sockets.
+package backend
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config configures a backend server.
+type Config struct {
+	// Capacity is the service capacity in hits per second.
+	Capacity float64
+	// Addr is the HTTP listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// ReportAddr is the DNS server's load-report socket. Empty
+	// disables reporting (the agent still measures locally).
+	ReportAddr string
+	// ServerIndex is this server's index in the DNS scheduler's
+	// cluster, used in ALARM lines.
+	ServerIndex int
+	// Domains is the number of connected domains for per-domain hit
+	// accounting (HITS lines).
+	Domains int
+	// UtilizationInterval is the measurement/report period
+	// (default 8 s, the paper's utilization interval).
+	UtilizationInterval time.Duration
+	// AlarmThreshold is the utilization θ that raises an alarm
+	// (default 0.9).
+	AlarmThreshold float64
+	// Simulate makes request handling return immediately instead of
+	// sleeping for the queued service time. Utilization accounting is
+	// identical; only the client-visible latency differs. Useful for
+	// fast demos and tests.
+	Simulate bool
+	// Logger receives agent errors; nil discards.
+	Logger *log.Logger
+}
+
+// Server is one capacity-limited Web server.
+//
+// Each request carries its weight in hits via the X-Hits header or the
+// ?hits= query parameter (default 1) and its source domain via the
+// X-Domain header or ?domain= (default 0). A request of h hits
+// occupies the server for h/Capacity seconds of queue time.
+type Server struct {
+	cfg Config
+
+	mu         sync.Mutex
+	busyUntil  time.Time
+	creditTo   time.Time
+	credited   time.Duration // cumulative busy time
+	winStart   time.Time
+	winCredit  time.Duration
+	domainHits []float64
+	totalHits  uint64
+	alarmed    bool
+
+	httpSrv  *http.Server
+	listener net.Listener
+	stop     chan struct{}
+	done     chan struct{}
+	logger   *log.Logger
+
+	reportMu sync.Mutex
+	reportC  net.Conn
+}
+
+// New creates a backend server; call Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("backend: capacity %v must be positive", cfg.Capacity)
+	}
+	if cfg.Domains <= 0 {
+		return nil, errors.New("backend: Domains must be positive")
+	}
+	if cfg.UtilizationInterval <= 0 {
+		cfg.UtilizationInterval = 8 * time.Second
+	}
+	if cfg.AlarmThreshold == 0 {
+		cfg.AlarmThreshold = 0.9
+	}
+	if cfg.AlarmThreshold < 0 || cfg.AlarmThreshold > 1 {
+		return nil, fmt.Errorf("backend: alarm threshold %v out of [0,1]", cfg.AlarmThreshold)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(nullWriter{}, "", 0)
+	}
+	return &Server{
+		cfg:        cfg,
+		domainHits: make([]float64, cfg.Domains),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		logger:     logger,
+	}, nil
+}
+
+type nullWriter struct{}
+
+func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// Start binds the HTTP listener and launches the reporting agent.
+func (s *Server) Start() error {
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("backend: listen: %w", err)
+	}
+	s.listener = ln
+	now := time.Now()
+	s.mu.Lock()
+	s.busyUntil, s.creditTo, s.winStart = now, now, now
+	s.mu.Unlock()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handle)
+	s.httpSrv = &http.Server{Handler: mux}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	go s.agentLoop()
+	return nil
+}
+
+// Addr returns the bound address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.listener.Addr() }
+
+// Close stops the server and the agent. Closing a server that was
+// never started is a no-op.
+func (s *Server) Close() error {
+	select {
+	case <-s.stop:
+		return nil
+	default:
+	}
+	close(s.stop)
+	if s.httpSrv == nil {
+		return nil
+	}
+	err := s.httpSrv.Close()
+	<-s.done
+	s.reportMu.Lock()
+	if s.reportC != nil {
+		_ = s.reportC.Close()
+		s.reportC = nil
+	}
+	s.reportMu.Unlock()
+	return err
+}
+
+// handle serves one request, charging its service time to the queue.
+func (s *Server) handle(w http.ResponseWriter, r *http.Request) {
+	hits := intParam(r, "X-Hits", "hits", 1)
+	if hits < 1 {
+		hits = 1
+	}
+	domain := intParam(r, "X-Domain", "domain", 0)
+	service := time.Duration(float64(hits) / s.cfg.Capacity * float64(time.Second))
+
+	now := time.Now()
+	s.mu.Lock()
+	s.advanceLocked(now)
+	if s.busyUntil.Before(now) {
+		s.busyUntil = now
+	}
+	s.busyUntil = s.busyUntil.Add(service)
+	finish := s.busyUntil
+	s.totalHits += uint64(hits)
+	if domain >= 0 && domain < len(s.domainHits) {
+		s.domainHits[domain] += float64(hits)
+	}
+	s.mu.Unlock()
+
+	if !s.cfg.Simulate {
+		// The response leaves when the queued work completes, so
+		// clients observe real queueing latency.
+		if wait := time.Until(finish); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-s.stop:
+			}
+		}
+	}
+	w.Header().Set("X-Capacity", strconv.FormatFloat(s.cfg.Capacity, 'f', -1, 64))
+	fmt.Fprintf(w, "served %d hit(s) for domain %d\n", hits, domain)
+}
+
+func intParam(r *http.Request, header, query string, def int) int {
+	if v := r.Header.Get(header); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	if v := r.URL.Query().Get(query); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// advanceLocked credits busy time up to now; callers hold mu.
+func (s *Server) advanceLocked(now time.Time) {
+	if !now.After(s.creditTo) {
+		return
+	}
+	busyEnd := s.busyUntil
+	if busyEnd.After(now) {
+		busyEnd = now
+	}
+	if busyEnd.After(s.creditTo) {
+		s.credited += busyEnd.Sub(s.creditTo)
+	}
+	s.creditTo = now
+}
+
+// Utilization returns the busy fraction since the last agent window
+// closed (a live reading, not a closed window).
+func (s *Server) Utilization() float64 {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	window := now.Sub(s.winStart)
+	if window <= 0 {
+		return 0
+	}
+	u := float64(s.credited-s.winCredit) / float64(window)
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// TotalHits returns the hits served since Start.
+func (s *Server) TotalHits() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalHits
+}
+
+// Alarmed reports whether the last closed window exceeded θ.
+func (s *Server) Alarmed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alarmed
+}
+
+// closeWindow closes one utilization window and returns the busy
+// fraction, per-domain hits, and whether the alarm state flipped.
+func (s *Server) closeWindow(now time.Time) (util float64, hits []float64, flipped bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(now)
+	window := now.Sub(s.winStart)
+	if window > 0 {
+		util = float64(s.credited-s.winCredit) / float64(window)
+	}
+	if util > 1 {
+		util = 1
+	}
+	if util < 0 {
+		util = 0
+	}
+	s.winStart = now
+	s.winCredit = s.credited
+	hits = make([]float64, len(s.domainHits))
+	copy(hits, s.domainHits)
+	for i := range s.domainHits {
+		s.domainHits[i] = 0
+	}
+	over := util > s.cfg.AlarmThreshold
+	if over != s.alarmed {
+		s.alarmed = over
+		flipped = true
+	}
+	return util, hits, flipped
+}
+
+// agentLoop measures utilization every interval and pushes reports.
+func (s *Server) agentLoop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.cfg.UtilizationInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-ticker.C:
+			_, hits, flipped := s.closeWindow(now)
+			if s.cfg.ReportAddr == "" {
+				continue
+			}
+			var lines []string
+			if flipped {
+				flag := 0
+				if s.Alarmed() {
+					flag = 1
+				}
+				lines = append(lines, fmt.Sprintf("ALARM %d %d", s.cfg.ServerIndex, flag))
+			}
+			for d, h := range hits {
+				if h > 0 {
+					lines = append(lines, fmt.Sprintf("HITS %d %g", d, h))
+				}
+			}
+			lines = append(lines, fmt.Sprintf("ROLL %g", s.cfg.UtilizationInterval.Seconds()))
+			if err := s.report(lines); err != nil {
+				s.logger.Printf("backend: report: %v", err)
+			}
+		}
+	}
+}
+
+// report sends lines over a persistent connection to the report
+// socket, reconnecting once on failure.
+func (s *Server) report(lines []string) error {
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if s.reportC == nil {
+			conn, err := net.DialTimeout("tcp", s.cfg.ReportAddr, 2*time.Second)
+			if err != nil {
+				return err
+			}
+			s.reportC = conn
+		}
+		if err := sendLines(s.reportC, lines); err != nil {
+			_ = s.reportC.Close()
+			s.reportC = nil
+			continue
+		}
+		return nil
+	}
+	return errors.New("backend: report failed after reconnect")
+}
+
+func sendLines(conn net.Conn, lines []string) error {
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	r := bufio.NewReader(conn)
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			return err
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if len(resp) < 2 || resp[:2] != "OK" {
+			return fmt.Errorf("report rejected: %q (line %q)", resp, line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package backend
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnslb/internal/core"
+	"dnslb/internal/dnsserver"
+	"dnslb/internal/simcore"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Capacity: 0, Domains: 1}); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, err := New(Config{Capacity: 10, Domains: 0}); err == nil {
+		t.Error("zero domains should error")
+	}
+	if _, err := New(Config{Capacity: 10, Domains: 1, AlarmThreshold: 2}); err == nil {
+		t.Error("bad threshold should error")
+	}
+}
+
+func startBackend(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestServesAndCounts(t *testing.T) {
+	s := startBackend(t, Config{Capacity: 1000, Domains: 4, Simulate: true})
+	base := fmt.Sprintf("http://%s", s.Addr())
+	body := get(t, base+"/?hits=5&domain=2")
+	if body != "served 5 hit(s) for domain 2\n" {
+		t.Errorf("body = %q", body)
+	}
+	get(t, base+"/") // defaults: 1 hit, domain 0
+	if got := s.TotalHits(); got != 6 {
+		t.Errorf("TotalHits = %d, want 6", got)
+	}
+}
+
+func TestHeadersOverrideDefaults(t *testing.T) {
+	s := startBackend(t, Config{Capacity: 1000, Domains: 4, Simulate: true})
+	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("http://%s/", s.Addr()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Hits", "7")
+	req.Header.Set("X-Domain", "3")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if string(body) != "served 7 hit(s) for domain 3\n" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestQueueingLatency(t *testing.T) {
+	// Capacity 100 hits/s, a 20-hit request = 200 ms service time; with
+	// Simulate off the response must take at least that long.
+	s := startBackend(t, Config{Capacity: 100, Domains: 1})
+	start := time.Now()
+	get(t, fmt.Sprintf("http://%s/?hits=20", s.Addr()))
+	if elapsed := time.Since(start); elapsed < 180*time.Millisecond {
+		t.Errorf("request returned after %v, want >= ~200ms of service time", elapsed)
+	}
+}
+
+func TestUtilizationTracksLoad(t *testing.T) {
+	s := startBackend(t, Config{Capacity: 100, Domains: 1, Simulate: true,
+		UtilizationInterval: time.Hour}) // agent stays out of the way
+	// 30 hits = 300 ms of work.
+	get(t, fmt.Sprintf("http://%s/?hits=30", s.Addr()))
+	time.Sleep(150 * time.Millisecond)
+	u := s.Utilization()
+	if u < 0.5 || u > 1 {
+		t.Errorf("mid-burst utilization = %v, want high", u)
+	}
+	time.Sleep(400 * time.Millisecond)
+	u = s.Utilization()
+	if u > 0.8 {
+		t.Errorf("post-drain utilization = %v, want decaying", u)
+	}
+}
+
+// startDNS builds a DNS server + report listener for integration.
+func startDNS(t *testing.T) (*dnsserver.Server, *dnsserver.ReportListener) {
+	t.Helper()
+	cluster, err := core.NewCluster([]float64{100, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := core.NewPolicy(core.PolicyConfig{
+		Name:  "PRR2-TTL/K",
+		State: state,
+		Rand:  simcore.NewStream(1, "backend-test"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := dnsserver.New(dnsserver.Config{
+		Zone: "www.b.test",
+		ServerAddrs: []netip.Addr{
+			netip.MustParseAddr("10.7.0.1"),
+			netip.MustParseAddr("10.7.0.2"),
+		},
+		Policy: policy,
+		Addr:   "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	rl, err := dnsserver.NewReportListener(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rl.Close() })
+	return srv, rl
+}
+
+func TestAgentReportsAlarmToDNS(t *testing.T) {
+	srv, rl := startDNS(t)
+	s := startBackend(t, Config{
+		Capacity:            50,
+		Domains:             4,
+		Simulate:            true,
+		ServerIndex:         1,
+		ReportAddr:          rl.Addr().String(),
+		UtilizationInterval: 50 * time.Millisecond,
+		AlarmThreshold:      0.5,
+	})
+	// Saturate: 1000 hits = 20 s of work at capacity 50.
+	get(t, fmt.Sprintf("http://%s/?hits=1000&domain=1", s.Addr()))
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Alarmed(1) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !srv.Alarmed(1) {
+		t.Fatal("backend alarm never reached the DNS scheduler state")
+	}
+}
+
+func TestAgentFeedsHiddenLoadEstimates(t *testing.T) {
+	srv, rl := startDNS(t)
+	s := startBackend(t, Config{
+		Capacity:            10000,
+		Domains:             4,
+		Simulate:            true,
+		ReportAddr:          rl.Addr().String(),
+		UtilizationInterval: 50 * time.Millisecond,
+	})
+	// Domain 2 sends the bulk of the traffic.
+	base := fmt.Sprintf("http://%s", s.Addr())
+	for i := 0; i < 30; i++ {
+		get(t, base+"/?hits=100&domain=2")
+	}
+	get(t, base+"/?hits=10&domain=0")
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.DomainWeight(2) > 0.5 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if w := srv.DomainWeight(2); w <= 0.5 {
+		t.Fatalf("estimated weight of domain 2 = %v, want dominant", w)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := startBackend(t, Config{Capacity: 100, Domains: 1, Simulate: true})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseBeforeStart(t *testing.T) {
+	s, err := New(Config{Capacity: 100, Domains: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close before Start should be a no-op, got %v", err)
+	}
+}

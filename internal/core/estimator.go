@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Estimator computes the hidden load weight of each connected domain
+// from the per-domain request counts that the Web servers report. The
+// paper's DNS "periodically collects the information and calculates
+// the client request rate from each domain"; Roll models one such
+// collection.
+//
+// Counts are smoothed with an exponentially weighted moving average so
+// that a briefly quiet domain does not lose its weight estimate (which
+// would hand it an unbounded TTL on its next request).
+type Estimator struct {
+	domains int
+	alpha   float64 // EWMA smoothing factor in (0,1]
+	counts  []float64
+	rates   []float64
+	rolls   int
+}
+
+// NewEstimator creates an estimator for the given number of domains.
+// alpha is the EWMA weight given to the newest interval (1 = no
+// smoothing).
+func NewEstimator(domains int, alpha float64) (*Estimator, error) {
+	if domains <= 0 {
+		return nil, errors.New("core: estimator needs at least one domain")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: EWMA alpha %v out of (0,1]", alpha)
+	}
+	return &Estimator{
+		domains: domains,
+		alpha:   alpha,
+		counts:  make([]float64, domains),
+		rates:   make([]float64, domains),
+	}, nil
+}
+
+// Record accumulates hits observed from a domain since the last Roll.
+// Servers call this (directly in the simulator, via load reports in
+// the real DNS server).
+func (e *Estimator) Record(domain int, hits float64) {
+	if domain < 0 || domain >= e.domains || hits < 0 {
+		return
+	}
+	e.counts[domain] += hits
+}
+
+// Roll closes the current collection interval of the given length in
+// seconds and folds its per-domain rates into the EWMA estimates.
+func (e *Estimator) Roll(intervalSeconds float64) {
+	if intervalSeconds <= 0 {
+		return
+	}
+	for j := range e.counts {
+		rate := e.counts[j] / intervalSeconds
+		if e.rolls == 0 {
+			e.rates[j] = rate
+		} else {
+			e.rates[j] = e.alpha*rate + (1-e.alpha)*e.rates[j]
+		}
+		e.counts[j] = 0
+	}
+	e.rolls++
+}
+
+// Rolls returns how many collection intervals have completed.
+func (e *Estimator) Rolls() int { return e.rolls }
+
+// Weights returns the current relative hidden load weight estimates
+// (normalized to sum to one). Before the first Roll, or if no traffic
+// was ever observed, it returns a uniform vector.
+func (e *Estimator) Weights() []float64 {
+	out := make([]float64, e.domains)
+	var sum float64
+	for _, r := range e.rates {
+		sum += r
+	}
+	if e.rolls == 0 || sum <= 0 {
+		for j := range out {
+			out[j] = 1 / float64(e.domains)
+		}
+		return out
+	}
+	for j, r := range e.rates {
+		out[j] = r / sum
+	}
+	return out
+}
+
+// Rates returns a copy of the absolute per-domain rate estimates in
+// hits per second.
+func (e *Estimator) Rates() []float64 {
+	out := make([]float64, e.domains)
+	copy(out, e.rates)
+	return out
+}

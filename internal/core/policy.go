@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Decision is the DNS scheduler's answer to one address request: the
+// chosen Web server and the time-to-live of the mapping.
+type Decision struct {
+	Server int
+	TTL    float64 // seconds
+}
+
+// Policy is a complete DNS scheduling policy: a server selector plus a
+// TTL policy, evaluated against shared scheduler state. Policies are
+// not safe for concurrent use; callers (the simulator or the real DNS
+// server) serialize Schedule calls.
+type Policy struct {
+	name     string
+	selector Selector
+	ttl      *TTLPolicy
+	state    *State
+
+	decisions    uint64
+	perServer    []uint64
+	perClass     map[DomainClass]uint64
+	sumTTL       float64
+	minTTLSeen   float64
+	maxTTLSeen   float64
+	firstCounted bool
+}
+
+// NewPolicyFromParts assembles a policy from an explicit selector and
+// TTL policy. Most callers use NewPolicy with a catalog name instead.
+func NewPolicyFromParts(name string, sel Selector, ttl *TTLPolicy, st *State) (*Policy, error) {
+	if sel == nil || ttl == nil || st == nil {
+		return nil, errors.New("core: selector, ttl policy and state are all required")
+	}
+	return &Policy{
+		name:      name,
+		selector:  sel,
+		ttl:       ttl,
+		state:     st,
+		perServer: make([]uint64, st.Cluster().N()),
+		perClass:  make(map[DomainClass]uint64, 2),
+	}, nil
+}
+
+// Name returns the policy's catalog name.
+func (p *Policy) Name() string { return p.name }
+
+// State returns the scheduler state the policy reads.
+func (p *Policy) State() *State { return p.state }
+
+// TTLVariant returns the policy's TTL variant.
+func (p *Policy) TTLVariant() TTLVariant { return p.ttl.Variant() }
+
+// Schedule answers one address request from the given domain.
+func (p *Policy) Schedule(domain int) (Decision, error) {
+	if domain < 0 || domain >= p.state.Domains() {
+		return Decision{}, fmt.Errorf("core: domain %d out of range [0,%d)", domain, p.state.Domains())
+	}
+	server := p.selector.Select(p.state, domain)
+	ttl := p.ttl.TTL(p.state, domain, server)
+	p.decisions++
+	p.perServer[server]++
+	p.perClass[p.state.Class(domain)]++
+	p.sumTTL += ttl
+	if !p.firstCounted || ttl < p.minTTLSeen {
+		p.minTTLSeen = ttl
+	}
+	if !p.firstCounted || ttl > p.maxTTLSeen {
+		p.maxTTLSeen = ttl
+	}
+	p.firstCounted = true
+	return Decision{Server: server, TTL: ttl}, nil
+}
+
+// Stats reports scheduling counters accumulated since creation.
+type Stats struct {
+	Decisions uint64
+	PerServer []uint64
+	PerClass  map[DomainClass]uint64
+	MeanTTL   float64
+	MinTTL    float64
+	MaxTTL    float64
+}
+
+// Stats returns a snapshot of the policy's counters.
+func (p *Policy) Stats() Stats {
+	per := make([]uint64, len(p.perServer))
+	copy(per, p.perServer)
+	pc := make(map[DomainClass]uint64, len(p.perClass))
+	for k, v := range p.perClass {
+		pc[k] = v
+	}
+	s := Stats{
+		Decisions: p.decisions,
+		PerServer: per,
+		PerClass:  pc,
+		MinTTL:    p.minTTLSeen,
+		MaxTTL:    p.maxTTLSeen,
+	}
+	if p.decisions > 0 {
+		s.MeanTTL = p.sumTTL / float64(p.decisions)
+	}
+	return s
+}
+
+// PolicyConfig carries the dependencies needed to build a policy from
+// its catalog name.
+type PolicyConfig struct {
+	// Name is a catalog name; see PolicyNames.
+	Name string
+	// State is the shared scheduler state.
+	State *State
+	// Rand supplies randomness for the probabilistic selectors
+	// (PRR, PRR2). Required for those policies only.
+	Rand Rand
+	// Now supplies the current time for the DAL baseline. Required for
+	// DAL only.
+	Now func() float64
+	// ConstantTTL is the baseline TTL in seconds that every policy's
+	// mean address-request rate is calibrated against. Zero means the
+	// paper's 240 s.
+	ConstantTTL float64
+	// Proximity optionally wraps the server selector with GeoDNS-style
+	// nearest-server preference (extension; see proximity.go).
+	Proximity *ProximityConfig
+}
+
+// ProximityConfig parameterizes the proximity extension.
+type ProximityConfig struct {
+	// Matrix is the per-(domain, server) latency matrix.
+	Matrix *LatencyMatrix
+	// Preference in [0,1]: probability of answering with the nearest
+	// available server instead of the discipline's choice.
+	Preference float64
+}
+
+// DefaultConstantTTL is the paper's constant TTL of 240 seconds.
+const DefaultConstantTTL = 240.0
+
+type policySpec struct {
+	selector string // "RR", "RR2", "PRR", "PRR2", "DAL"
+	variant  TTLVariant
+}
+
+// policyCatalog maps every policy name used in the paper's figures to
+// its construction. "Ideal" is PRR over a uniform client distribution;
+// the workload layer provides the uniform part.
+var policyCatalog = map[string]policySpec{
+	"RR":           {selector: "RR", variant: TTLVariant{Classes: OneClass}},
+	"RR2":          {selector: "RR2", variant: TTLVariant{Classes: OneClass}},
+	"DAL":          {selector: "DAL", variant: TTLVariant{Classes: OneClass}},
+	"MRL":          {selector: "MRL", variant: TTLVariant{Classes: OneClass}},
+	"WRR":          {selector: "WRR", variant: TTLVariant{Classes: OneClass}},
+	"Ideal":        {selector: "PRR", variant: TTLVariant{Classes: OneClass}},
+	"PRR-TTL/1":    {selector: "PRR", variant: TTLVariant{Classes: OneClass}},
+	"PRR-TTL/2":    {selector: "PRR", variant: TTLVariant{Classes: TwoClasses}},
+	"PRR-TTL/K":    {selector: "PRR", variant: TTLVariant{Classes: PerDomain}},
+	"PRR2-TTL/1":   {selector: "PRR2", variant: TTLVariant{Classes: OneClass}},
+	"PRR2-TTL/2":   {selector: "PRR2", variant: TTLVariant{Classes: TwoClasses}},
+	"PRR2-TTL/K":   {selector: "PRR2", variant: TTLVariant{Classes: PerDomain}},
+	"DRR-TTL/S_1":  {selector: "RR", variant: TTLVariant{Classes: OneClass, ServerAware: true}},
+	"DRR-TTL/S_2":  {selector: "RR", variant: TTLVariant{Classes: TwoClasses, ServerAware: true}},
+	"DRR-TTL/S_K":  {selector: "RR", variant: TTLVariant{Classes: PerDomain, ServerAware: true}},
+	"DRR2-TTL/S_1": {selector: "RR2", variant: TTLVariant{Classes: OneClass, ServerAware: true}},
+	"DRR2-TTL/S_2": {selector: "RR2", variant: TTLVariant{Classes: TwoClasses, ServerAware: true}},
+	"DRR2-TTL/S_K": {selector: "RR2", variant: TTLVariant{Classes: PerDomain, ServerAware: true}},
+}
+
+// PolicyNames returns every catalog name, sorted.
+func PolicyNames() []string {
+	names := make([]string, 0, len(policyCatalog))
+	for n := range policyCatalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parsePolicyName resolves names outside the fixed catalog following
+// the paper's TTL/i meta-algorithm naming: "<SEL>-TTL/<i>" and
+// "<SEL>-TTL/S_<i>" for SEL in {PRR, PRR2, DRR, DRR2} and i a positive
+// class count or "K". The paper only evaluates deterministic selectors
+// with TTL/S_i and probabilistic ones with TTL/i; the other
+// combinations are valid compositions and accepted as extensions.
+func parsePolicyName(name string) (policySpec, bool) {
+	sel, rest, found := strings.Cut(name, "-TTL/")
+	if !found || rest == "" {
+		return policySpec{}, false
+	}
+	var spec policySpec
+	switch sel {
+	case "PRR", "PRR2":
+		spec.selector = sel
+	case "DRR":
+		spec.selector = "RR"
+	case "DRR2":
+		spec.selector = "RR2"
+	default:
+		return policySpec{}, false
+	}
+	if cut, ok := strings.CutPrefix(rest, "S_"); ok {
+		spec.variant.ServerAware = true
+		rest = cut
+	}
+	if rest == "K" {
+		spec.variant.Classes = PerDomain
+		return spec, true
+	}
+	i, err := strconv.Atoi(rest)
+	if err != nil || i < 1 {
+		return policySpec{}, false
+	}
+	spec.variant.Classes = NClasses(i)
+	return spec, true
+}
+
+// NewPolicy builds the named policy. It returns an error for unknown
+// names or missing dependencies (Rand for PRR-family, Now for
+// DAL/MRL). Beyond the fixed catalog (PolicyNames), any TTL/i
+// meta-algorithm member is accepted, e.g. "PRR2-TTL/3" or
+// "DRR2-TTL/S_4".
+func NewPolicy(cfg PolicyConfig) (*Policy, error) {
+	spec, ok := policyCatalog[cfg.Name]
+	if !ok {
+		spec, ok = parsePolicyName(cfg.Name)
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: unknown policy %q (known: %v, plus TTL/i forms)", cfg.Name, PolicyNames())
+	}
+	if cfg.State == nil {
+		return nil, errors.New("core: PolicyConfig.State is required")
+	}
+	constTTL := cfg.ConstantTTL
+	if constTTL == 0 {
+		constTTL = DefaultConstantTTL
+	}
+	var sel Selector
+	switch spec.selector {
+	case "RR":
+		sel = NewRR()
+	case "RR2":
+		sel = NewRR2()
+	case "WRR":
+		sel = NewWRR()
+	case "PRR":
+		if cfg.Rand == nil {
+			return nil, fmt.Errorf("core: policy %q needs PolicyConfig.Rand", cfg.Name)
+		}
+		sel = NewPRR(cfg.Rand)
+	case "PRR2":
+		if cfg.Rand == nil {
+			return nil, fmt.Errorf("core: policy %q needs PolicyConfig.Rand", cfg.Name)
+		}
+		sel = NewPRR2(cfg.Rand)
+	case "DAL":
+		if cfg.Now == nil {
+			return nil, fmt.Errorf("core: policy %q needs PolicyConfig.Now", cfg.Name)
+		}
+		sel = NewDAL(cfg.Now, constTTL)
+	case "MRL":
+		if cfg.Now == nil {
+			return nil, fmt.Errorf("core: policy %q needs PolicyConfig.Now", cfg.Name)
+		}
+		sel = NewMRL(cfg.Now, constTTL)
+	default:
+		return nil, fmt.Errorf("core: catalog bug: selector %q", spec.selector)
+	}
+	if cfg.Proximity != nil {
+		wrapped, err := NewProximitySelector(sel, cfg.Proximity.Matrix, cfg.Proximity.Preference, cfg.Rand)
+		if err != nil {
+			return nil, err
+		}
+		sel = wrapped
+	}
+	ttl, err := NewTTLPolicy(spec.variant, constTTL)
+	if err != nil {
+		return nil, err
+	}
+	return NewPolicyFromParts(cfg.Name, sel, ttl, cfg.State)
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Proximity-aware scheduling (extension — not in the paper).
+//
+// The paper's site is geographically distributed but its policies
+// optimize load alone. Modern GeoDNS deployments also weigh network
+// proximity: answering with a nearby server cuts client latency but
+// concentrates load on whatever is close to the hot domains. The
+// ProximitySelector composes both: it prefers the nearest available
+// server as long as that server is not "too loaded" relative to the
+// scheduling discipline's own choice, and otherwise defers to the
+// inner selector. The latency matrix is supplied per (domain, server);
+// the sim's geo extension sweeps the preference strength.
+
+// LatencyMatrix holds the network distance in milliseconds from each
+// connected domain to each Web server.
+type LatencyMatrix struct {
+	domains int
+	servers int
+	ms      []float64 // row-major [domain][server]
+}
+
+// NewLatencyMatrix builds a matrix from row-major values.
+func NewLatencyMatrix(domains, servers int, ms []float64) (*LatencyMatrix, error) {
+	if domains <= 0 || servers <= 0 {
+		return nil, errors.New("core: latency matrix needs positive dimensions")
+	}
+	if len(ms) != domains*servers {
+		return nil, fmt.Errorf("core: latency matrix has %d values, want %d", len(ms), domains*servers)
+	}
+	for i, v := range ms {
+		if v < 0 {
+			return nil, fmt.Errorf("core: negative latency at %d", i)
+		}
+	}
+	out := make([]float64, len(ms))
+	copy(out, ms)
+	return &LatencyMatrix{domains: domains, servers: servers, ms: out}, nil
+}
+
+// Latency returns the distance from domain j to server i in ms.
+func (m *LatencyMatrix) Latency(domain, server int) float64 {
+	return m.ms[domain*m.servers+server]
+}
+
+// Nearest returns the closest available server for a domain, or -1 if
+// none is available (cannot happen: availability admits all servers
+// when every one is alarmed).
+func (m *LatencyMatrix) nearest(st *State, domain int) int {
+	best := -1
+	bestMS := 0.0
+	for i := 0; i < m.servers; i++ {
+		if !st.available(i) {
+			continue
+		}
+		d := m.Latency(domain, i)
+		if best == -1 || d < bestMS {
+			best, bestMS = i, d
+		}
+	}
+	return best
+}
+
+// RingLatencies builds a synthetic geography: domains and servers are
+// placed on a ring and latency grows linearly with angular distance
+// from baseMS up to baseMS+spanMS. It gives every domain a distinct
+// nearest server while keeping the matrix fully deterministic.
+func RingLatencies(domains, servers int, baseMS, spanMS float64) (*LatencyMatrix, error) {
+	if domains <= 0 || servers <= 0 {
+		return nil, errors.New("core: ring needs positive dimensions")
+	}
+	if baseMS < 0 || spanMS < 0 {
+		return nil, errors.New("core: ring latencies must be non-negative")
+	}
+	ms := make([]float64, domains*servers)
+	for j := 0; j < domains; j++ {
+		dj := float64(j) / float64(domains)
+		for i := 0; i < servers; i++ {
+			di := float64(i) / float64(servers)
+			dist := dj - di
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist > 0.5 {
+				dist = 1 - dist
+			}
+			ms[j*servers+i] = baseMS + spanMS*2*dist
+		}
+	}
+	return NewLatencyMatrix(domains, servers, ms)
+}
+
+// proximitySelector prefers the nearest server with probability
+// preference, deferring to the inner discipline otherwise — and always
+// defers when the nearest server is alarmed.
+type proximitySelector struct {
+	inner      Selector
+	matrix     *LatencyMatrix
+	preference float64
+	rng        Rand
+}
+
+// NewProximitySelector wraps a selector with GeoDNS-style proximity
+// preference in [0,1]: 0 behaves exactly like the inner selector, 1
+// always picks the nearest available server (pure GeoDNS).
+func NewProximitySelector(inner Selector, matrix *LatencyMatrix, preference float64, rng Rand) (Selector, error) {
+	if inner == nil || matrix == nil {
+		return nil, errors.New("core: proximity selector needs an inner selector and a matrix")
+	}
+	if preference < 0 || preference > 1 {
+		return nil, fmt.Errorf("core: proximity preference %v out of [0,1]", preference)
+	}
+	if preference > 0 && preference < 1 && rng == nil {
+		return nil, errors.New("core: proximity selector needs Rand for preference in (0,1)")
+	}
+	return &proximitySelector{inner: inner, matrix: matrix, preference: preference, rng: rng}, nil
+}
+
+func (p *proximitySelector) Name() string {
+	return fmt.Sprintf("Geo(%s,%.2f)", p.inner.Name(), p.preference)
+}
+
+func (p *proximitySelector) Select(st *State, domain int) int {
+	usePref := p.preference >= 1
+	if !usePref && p.preference > 0 {
+		usePref = p.rng.Float64() < p.preference
+	}
+	if usePref {
+		if i := p.matrix.nearest(st, domain); i >= 0 {
+			return i
+		}
+	}
+	return p.inner.Select(st, domain)
+}
+
+// MeanLatency returns the expected client-to-server latency of an
+// assignment distribution: Σ_j weight_j · latency(j, assign(j)). The
+// sim's geo extension uses it to quantify the proximity half of the
+// tradeoff.
+func (m *LatencyMatrix) MeanLatency(weights []float64, assign func(domain int) int) float64 {
+	var sum float64
+	for j := 0; j < m.domains && j < len(weights); j++ {
+		sum += weights[j] * m.Latency(j, assign(j))
+	}
+	return sum
+}

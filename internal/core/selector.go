@@ -1,0 +1,217 @@
+package core
+
+import (
+	"container/heap"
+)
+
+// Rand is the source of randomness required by the probabilistic
+// selectors. simcore.Stream and math/rand generators satisfy it.
+type Rand interface {
+	Float64() float64
+}
+
+// Selector chooses the Web server for an address request. Selectors
+// are stateful (round-robin pointers, accumulated loads) and are not
+// safe for concurrent use; the DNS scheduler serializes requests.
+type Selector interface {
+	// Select returns the index of the chosen server for an address
+	// request originating from the given domain.
+	Select(st *State, domain int) int
+	// Name returns the selector's name as used in the paper (RR, RR2,
+	// PRR, PRR2, DAL).
+	Name() string
+}
+
+// rrSelector implements the conventional round-robin policy used by
+// the NCSA multi-server prototype: servers are assigned cyclically,
+// skipping servers that declared themselves critically loaded.
+type rrSelector struct {
+	last int
+}
+
+// NewRR returns the round-robin selector, the paper's lower-bound
+// baseline.
+func NewRR() Selector { return &rrSelector{last: -1} }
+
+func (r *rrSelector) Name() string { return "RR" }
+
+func (r *rrSelector) Select(st *State, _ int) int {
+	n := st.Cluster().N()
+	for k := 1; k <= n; k++ {
+		i := (r.last + k) % n
+		if st.available(i) {
+			r.last = i
+			return i
+		}
+	}
+	// Unreachable: available() admits everything when all are alarmed.
+	r.last = (r.last + 1) % n
+	return r.last
+}
+
+// rr2Selector implements the two-tier round-robin policy (RR2): the
+// domains are partitioned into a normal and a hot class, and each
+// class round-robins independently so that consecutive requests from
+// hot domains are not funnelled to the same server.
+type rr2Selector struct {
+	last map[DomainClass]int
+}
+
+// NewRR2 returns the two-tier round-robin selector.
+func NewRR2() Selector {
+	return &rr2Selector{last: map[DomainClass]int{ClassNormal: -1, ClassHot: -1}}
+}
+
+func (r *rr2Selector) Name() string { return "RR2" }
+
+func (r *rr2Selector) Select(st *State, domain int) int {
+	class := st.Class(domain)
+	n := st.Cluster().N()
+	last := r.last[class]
+	for k := 1; k <= n; k++ {
+		i := (last + k) % n
+		if st.available(i) {
+			r.last[class] = i
+			return i
+		}
+	}
+	i := (last + 1) % n
+	r.last[class] = i
+	return i
+}
+
+// prrSelector implements probabilistic round robin (PRR): starting
+// from the successor of the last chosen server, candidate S_i is
+// accepted with probability α_i (its relative capacity), otherwise the
+// scan moves on. Because α_1 = 1, a full cycle always terminates.
+type prrSelector struct {
+	last int
+	rng  Rand
+}
+
+// NewPRR returns the probabilistic round-robin selector, which extends
+// RR to heterogeneous servers by capacity-proportional skipping.
+func NewPRR(rng Rand) Selector { return &prrSelector{last: -1, rng: rng} }
+
+func (p *prrSelector) Name() string { return "PRR" }
+
+func (p *prrSelector) Select(st *State, _ int) int {
+	i := probScan(st, p.last, p.rng)
+	p.last = i
+	return i
+}
+
+// prr2Selector is PRR with the RR2 two-tier class structure: one
+// probabilistic round-robin pointer per domain class.
+type prr2Selector struct {
+	last map[DomainClass]int
+	rng  Rand
+}
+
+// NewPRR2 returns the two-tier probabilistic round-robin selector.
+func NewPRR2(rng Rand) Selector {
+	return &prr2Selector{last: map[DomainClass]int{ClassNormal: -1, ClassHot: -1}, rng: rng}
+}
+
+func (p *prr2Selector) Name() string { return "PRR2" }
+
+func (p *prr2Selector) Select(st *State, domain int) int {
+	class := st.Class(domain)
+	i := probScan(st, p.last[class], p.rng)
+	p.last[class] = i
+	return i
+}
+
+// probScan performs the paper's probabilistic scan: starting after
+// `last`, accept server i with probability α_i; skip alarmed servers
+// outright. The scan is bounded: after two full unavailing cycles it
+// falls back to the next available server deterministically (this can
+// only happen through extreme rounding of α, not in practice).
+func probScan(st *State, last int, rng Rand) int {
+	n := st.Cluster().N()
+	for k := 1; k <= 2*n; k++ {
+		i := (last + k) % n
+		if !st.available(i) {
+			continue
+		}
+		if rng.Float64() <= st.Cluster().Alpha(i) {
+			return i
+		}
+	}
+	for k := 1; k <= n; k++ {
+		i := (last + k) % n
+		if st.available(i) {
+			return i
+		}
+	}
+	return (last + 1) % n
+}
+
+// dalEntry is one outstanding address mapping tracked by the DAL
+// selector: the hidden load it pins to a server and when it expires.
+type dalEntry struct {
+	expire float64
+	server int
+	load   float64
+}
+
+type dalHeap []dalEntry
+
+func (h dalHeap) Len() int           { return len(h) }
+func (h dalHeap) Less(i, j int) bool { return h[i].expire < h[j].expire }
+func (h dalHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *dalHeap) Push(x any)        { *h = append(*h, x.(dalEntry)) }
+func (h *dalHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// dalSelector implements the minimum Dynamically Accumulated Load
+// baseline in the capacity-aware version used by the paper's Figure 3:
+// every mapping accumulates the domain's hidden load weight on the
+// chosen server for the duration of the TTL, and each request goes to
+// the server with the smallest accumulated load per unit of capacity.
+type dalSelector struct {
+	now     func() float64
+	ttl     float64
+	load    []float64
+	pending dalHeap
+}
+
+// NewDAL returns the DAL selector. now supplies the current (virtual
+// or wall) time; ttl is the constant TTL the policy hands out, which
+// also bounds how long each accumulated load entry persists.
+func NewDAL(now func() float64, ttl float64) Selector {
+	return &dalSelector{now: now, ttl: ttl}
+}
+
+func (d *dalSelector) Name() string { return "DAL" }
+
+func (d *dalSelector) Select(st *State, domain int) int {
+	n := st.Cluster().N()
+	if len(d.load) != n {
+		d.load = make([]float64, n)
+	}
+	t := d.now()
+	for len(d.pending) > 0 && d.pending[0].expire <= t {
+		e := heap.Pop(&d.pending).(dalEntry)
+		d.load[e.server] -= e.load
+		if d.load[e.server] < 0 {
+			d.load[e.server] = 0
+		}
+	}
+	best, bestScore := -1, 0.0
+	for i := 0; i < n; i++ {
+		if !st.available(i) {
+			continue
+		}
+		score := d.load[i] / st.Cluster().Alpha(i)
+		if best == -1 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	if best == -1 {
+		best = 0
+	}
+	w := st.Weight(domain)
+	d.load[best] += w
+	heap.Push(&d.pending, dalEntry{expire: t + d.ttl, server: best, load: w})
+	return best
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dnslb/internal/simcore"
+)
+
+func zipfState(t *testing.T, level int, k int) *State {
+	t.Helper()
+	c, err := ScaledCluster(7, level, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetWeights(simcore.ZipfWeights(k, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestRRCycles(t *testing.T) {
+	st := zipfState(t, 20, 20)
+	sel := NewRR()
+	if sel.Name() != "RR" {
+		t.Errorf("Name = %q", sel.Name())
+	}
+	n := st.Cluster().N()
+	for round := 0; round < 3; round++ {
+		for want := 0; want < n; want++ {
+			if got := sel.Select(st, round%20); got != want {
+				t.Fatalf("round %d: Select = %d, want %d", round, got, want)
+			}
+		}
+	}
+}
+
+func TestRRSkipsAlarmed(t *testing.T) {
+	st := zipfState(t, 20, 20)
+	sel := NewRR()
+	st.SetAlarm(1, true)
+	st.SetAlarm(2, true)
+	var got []int
+	for i := 0; i < 5; i++ {
+		got = append(got, sel.Select(st, 0))
+	}
+	want := []int{0, 3, 4, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("alarmed skip order = %v, want %v", got, want)
+		}
+	}
+	// All alarmed: falls back to plain cycling.
+	for i := 0; i < st.Cluster().N(); i++ {
+		st.SetAlarm(i, true)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < st.Cluster().N(); i++ {
+		seen[sel.Select(st, 0)] = true
+	}
+	if len(seen) != st.Cluster().N() {
+		t.Errorf("all-alarmed fallback cycled over %d servers, want %d", len(seen), st.Cluster().N())
+	}
+}
+
+func TestRR2IndependentPointersPerClass(t *testing.T) {
+	st := zipfState(t, 20, 20)
+	sel := NewRR2()
+	if sel.Name() != "RR2" {
+		t.Errorf("Name = %q", sel.Name())
+	}
+	// Domain 0 is hot, domain 19 is normal: each class starts its own
+	// cycle at server 0.
+	if got := sel.Select(st, 0); got != 0 {
+		t.Errorf("first hot selection = %d, want 0", got)
+	}
+	if got := sel.Select(st, 19); got != 0 {
+		t.Errorf("first normal selection = %d, want 0 (independent pointer)", got)
+	}
+	if got := sel.Select(st, 1); got != 1 { // second hot request
+		t.Errorf("second hot selection = %d, want 1", got)
+	}
+	if got := sel.Select(st, 18); got != 1 { // second normal request
+		t.Errorf("second normal selection = %d, want 1", got)
+	}
+}
+
+func TestPRRCapacityProportionalAssignment(t *testing.T) {
+	// Heterogeneity 50%: α = {1,1,.8,.8,.5,.5,.5}. PRR should assign
+	// address requests roughly proportionally to α.
+	st := zipfState(t, 50, 20)
+	rng := simcore.NewStream(42, "prr")
+	sel := NewPRR(rng)
+	if sel.Name() != "PRR" {
+		t.Errorf("Name = %q", sel.Name())
+	}
+	n := st.Cluster().N()
+	counts := make([]float64, n)
+	const trials = 140000
+	for i := 0; i < trials; i++ {
+		counts[sel.Select(st, i%20)]++
+	}
+	var alphaSum float64
+	for i := 0; i < n; i++ {
+		alphaSum += st.Cluster().Alpha(i)
+	}
+	for i := 0; i < n; i++ {
+		got := counts[i] / trials
+		want := st.Cluster().Alpha(i) / alphaSum
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("server %d assignment share = %.4f, want ≈ %.4f (∝ capacity)", i, got, want)
+		}
+	}
+}
+
+func TestPRR2ClassSeparation(t *testing.T) {
+	st := zipfState(t, 35, 20)
+	rng := simcore.NewStream(7, "prr2")
+	sel := NewPRR2(rng)
+	if sel.Name() != "PRR2" {
+		t.Errorf("Name = %q", sel.Name())
+	}
+	// Both classes should produce capacity-proportional assignment.
+	n := st.Cluster().N()
+	hot := make([]float64, n)
+	norm := make([]float64, n)
+	const trials = 70000
+	for i := 0; i < trials; i++ {
+		hot[sel.Select(st, i%5)]++       // domains 0..4 are hot
+		norm[sel.Select(st, 5+(i%15))]++ // domains 5..19 are normal
+	}
+	var alphaSum float64
+	for i := 0; i < n; i++ {
+		alphaSum += st.Cluster().Alpha(i)
+	}
+	for i := 0; i < n; i++ {
+		want := st.Cluster().Alpha(i) / alphaSum
+		if math.Abs(hot[i]/trials-want) > 0.012 {
+			t.Errorf("hot class share server %d = %.4f, want ≈ %.4f", i, hot[i]/trials, want)
+		}
+		if math.Abs(norm[i]/trials-want) > 0.012 {
+			t.Errorf("normal class share server %d = %.4f, want ≈ %.4f", i, norm[i]/trials, want)
+		}
+	}
+}
+
+func TestPRRSkipsAlarmed(t *testing.T) {
+	st := zipfState(t, 50, 20)
+	rng := simcore.NewStream(3, "prr-alarm")
+	sel := NewPRR(rng)
+	st.SetAlarm(0, true)
+	st.SetAlarm(1, true)
+	for i := 0; i < 1000; i++ {
+		got := sel.Select(st, i%20)
+		if got == 0 || got == 1 {
+			t.Fatalf("PRR selected alarmed server %d", got)
+		}
+	}
+}
+
+func TestDALPrefersLeastLoadedPerCapacity(t *testing.T) {
+	st := zipfState(t, 50, 20)
+	now := 0.0
+	sel := NewDAL(func() float64 { return now }, 240)
+	if sel.Name() != "DAL" {
+		t.Errorf("Name = %q", sel.Name())
+	}
+	// First request (hot domain 0) goes to some empty server; repeat
+	// requests from the hottest domain must spread because accumulated
+	// load penalizes the previous choice.
+	first := sel.Select(st, 0)
+	second := sel.Select(st, 0)
+	if first == second {
+		t.Errorf("DAL sent consecutive hot-domain requests to the same server %d", first)
+	}
+	// Load expires after the TTL: after time passes, the accumulated
+	// entries vanish and the first server becomes attractive again.
+	now = 1000
+	counts := make(map[int]int)
+	for i := 0; i < 7; i++ {
+		counts[sel.Select(st, 0)]++
+	}
+	if len(counts) < 4 {
+		t.Errorf("DAL used only %d distinct servers for 7 hot requests", len(counts))
+	}
+}
+
+func TestDALCapacityAware(t *testing.T) {
+	// Two servers, capacities 100 and 50. Equal accumulated load should
+	// route to the faster server (smaller load/α).
+	c := MustCluster([]float64{100, 50})
+	st, err := NewState(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetWeights([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	sel := NewDAL(func() float64 { return 0 }, 240)
+	counts := make([]int, 2)
+	for i := 0; i < 30; i++ {
+		counts[sel.Select(st, i%2)]++
+	}
+	if counts[0] <= counts[1] {
+		t.Errorf("capacity-aware DAL assigned %v, want majority on the faster server", counts)
+	}
+	// Ratio should approximate the capacity ratio 2:1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("assignment ratio = %v, want ≈ 2", ratio)
+	}
+}
+
+func TestDALRespectsAlarms(t *testing.T) {
+	st := zipfState(t, 50, 20)
+	sel := NewDAL(func() float64 { return 0 }, 240)
+	st.SetAlarm(0, true)
+	for i := 0; i < 100; i++ {
+		if got := sel.Select(st, i%20); got == 0 {
+			t.Fatal("DAL selected alarmed server 0")
+		}
+	}
+}
+
+func TestSelectorsAlwaysInRange(t *testing.T) {
+	st := zipfState(t, 65, 20)
+	rng := simcore.NewStream(9, "range")
+	now := 0.0
+	selectors := []Selector{
+		NewRR(), NewRR2(), NewPRR(rng), NewPRR2(rng),
+		NewDAL(func() float64 { now += 1; return now }, 240),
+	}
+	n := st.Cluster().N()
+	for _, sel := range selectors {
+		for i := 0; i < 2000; i++ {
+			if i == 500 {
+				st.SetAlarm(i%n, true)
+			}
+			if i == 1500 {
+				st.SetAlarm(i%n, false)
+			}
+			got := sel.Select(st, i%20)
+			if got < 0 || got >= n {
+				t.Fatalf("%s returned out-of-range server %d", sel.Name(), got)
+			}
+		}
+	}
+}

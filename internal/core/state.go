@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DomainClass identifies a domain's popularity class under the
+// two-tier (RR2 / TTL-2) partitioning.
+type DomainClass int
+
+const (
+	// ClassNormal marks a domain whose relative hidden load weight is
+	// at or below the class threshold β.
+	ClassNormal DomainClass = iota + 1
+	// ClassHot marks a domain above the class threshold β.
+	ClassHot
+)
+
+// String implements fmt.Stringer.
+func (c DomainClass) String() string {
+	switch c {
+	case ClassNormal:
+		return "normal"
+	case ClassHot:
+		return "hot"
+	default:
+		return fmt.Sprintf("DomainClass(%d)", int(c))
+	}
+}
+
+// State is the information the DNS scheduler works from: the server
+// cluster, the current estimate of each domain's hidden load weight,
+// the two-tier class partition derived from those weights, and the
+// per-server alarm flags raised by the feedback mechanism.
+//
+// State is mutated by the estimator (SetWeights) and by server alarm
+// signals (SetAlarm); selectors and TTL policies read it on every
+// address request.
+type State struct {
+	cluster *Cluster
+	beta    float64 // class threshold; hot iff weight > beta
+
+	weights []float64     // relative hidden load weights, sum 1
+	classes []DomainClass // derived from weights and beta
+	wMax    float64       // weight of the most popular domain
+	wHot    float64       // mean weight of the hot class
+	wNormal float64       // mean weight of the normal class
+
+	alarmed  []bool
+	nAlarmed int
+
+	// version increments whenever weights or β change, letting TTL
+	// policies cache their calibration until the state moves.
+	version uint64
+}
+
+// NewState creates scheduler state for the given cluster and number of
+// connected domains. The class threshold defaults to the paper's
+// β = 1/K. Initial weights are uniform; call SetWeights once estimates
+// are available.
+func NewState(cluster *Cluster, domains int) (*State, error) {
+	if cluster == nil {
+		return nil, errors.New("core: nil cluster")
+	}
+	if domains <= 0 {
+		return nil, errors.New("core: need at least one domain")
+	}
+	s := &State{
+		cluster: cluster,
+		beta:    1 / float64(domains),
+		alarmed: make([]bool, cluster.N()),
+	}
+	uniform := make([]float64, domains)
+	for i := range uniform {
+		uniform[i] = 1 / float64(domains)
+	}
+	if err := s.SetWeights(uniform); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Cluster returns the server cluster.
+func (s *State) Cluster() *Cluster { return s.cluster }
+
+// Domains returns the number of connected domains.
+func (s *State) Domains() int { return len(s.weights) }
+
+// Beta returns the class threshold β.
+func (s *State) Beta() float64 { return s.beta }
+
+// SetBeta overrides the class threshold and recomputes the partition.
+func (s *State) SetBeta(beta float64) {
+	s.beta = beta
+	s.reclassify()
+}
+
+// SetWeights installs new relative hidden load weight estimates. The
+// weights are normalized to sum to one; the two-tier class partition
+// and class means are recomputed. The number of domains must not
+// change over the life of a State.
+func (s *State) SetWeights(w []float64) error {
+	if len(s.weights) != 0 && len(w) != len(s.weights) {
+		return fmt.Errorf("core: weight vector length %d, want %d", len(w), len(s.weights))
+	}
+	var sum float64
+	for i, v := range w {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: weight %d is %v, want non-negative finite", i, v)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return errors.New("core: weights sum to zero")
+	}
+	norm := make([]float64, len(w))
+	for i, v := range w {
+		norm[i] = v / sum
+	}
+	s.weights = norm
+	s.reclassify()
+	return nil
+}
+
+// Version returns a counter that increments whenever the weights or
+// the class threshold change.
+func (s *State) Version() uint64 { return s.version }
+
+func (s *State) reclassify() {
+	s.version++
+	if len(s.classes) != len(s.weights) {
+		s.classes = make([]DomainClass, len(s.weights))
+	}
+	s.wMax = 0
+	var hotSum, normSum float64
+	var hotN, normN int
+	for _, v := range s.weights {
+		if v > s.wMax {
+			s.wMax = v
+		}
+	}
+	for j, v := range s.weights {
+		if v > s.beta {
+			s.classes[j] = ClassHot
+			hotSum += v
+			hotN++
+		} else {
+			s.classes[j] = ClassNormal
+			normSum += v
+			normN++
+		}
+	}
+	// Degenerate partitions (all domains in one class) fall back to the
+	// overall mean so that TTL/2 stays well defined.
+	mean := 1 / float64(len(s.weights))
+	s.wHot, s.wNormal = mean, mean
+	if hotN > 0 {
+		s.wHot = hotSum / float64(hotN)
+	}
+	if normN > 0 {
+		s.wNormal = normSum / float64(normN)
+	}
+}
+
+// Weight returns the relative hidden load weight of domain j.
+func (s *State) Weight(j int) float64 { return s.weights[j] }
+
+// Weights returns a copy of the relative hidden load weight vector.
+func (s *State) Weights() []float64 {
+	out := make([]float64, len(s.weights))
+	copy(out, s.weights)
+	return out
+}
+
+// MaxWeight returns γ_max, the weight of the most popular domain.
+func (s *State) MaxWeight() float64 { return s.wMax }
+
+// Class returns the two-tier class of domain j.
+func (s *State) Class(j int) DomainClass { return s.classes[j] }
+
+// ClassMeanWeight returns the mean hidden load weight of a class,
+// used by the two-class TTL policies.
+func (s *State) ClassMeanWeight(c DomainClass) float64 {
+	if c == ClassHot {
+		return s.wHot
+	}
+	return s.wNormal
+}
+
+// HotDomains returns how many domains are currently in the hot class.
+func (s *State) HotDomains() int {
+	n := 0
+	for _, c := range s.classes {
+		if c == ClassHot {
+			n++
+		}
+	}
+	return n
+}
+
+// SetAlarm records an alarm (overloaded) or normal signal from server i.
+func (s *State) SetAlarm(i int, alarmed bool) {
+	if i < 0 || i >= len(s.alarmed) {
+		return
+	}
+	if s.alarmed[i] != alarmed {
+		s.alarmed[i] = alarmed
+		if alarmed {
+			s.nAlarmed++
+		} else {
+			s.nAlarmed--
+		}
+	}
+}
+
+// Alarmed reports whether server i has declared itself critically
+// loaded.
+func (s *State) Alarmed(i int) bool { return s.alarmed[i] }
+
+// AllAlarmed reports whether every server is currently alarmed, in
+// which case selectors ignore alarms (there is no better candidate).
+func (s *State) AllAlarmed() bool { return s.nAlarmed == len(s.alarmed) }
+
+// available reports whether server i should be considered by a
+// selector: not alarmed, unless all servers are alarmed.
+func (s *State) available(i int) bool {
+	return !s.alarmed[i] || s.nAlarmed == len(s.alarmed)
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dnslb/internal/simcore"
+)
+
+func testState(t *testing.T, k int) *State {
+	t.Helper()
+	c, err := ScaledCluster(7, 20, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewState(c, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestNewStateValidation(t *testing.T) {
+	c := MustCluster([]float64{10})
+	if _, err := NewState(nil, 5); err == nil {
+		t.Error("nil cluster should error")
+	}
+	if _, err := NewState(c, 0); err == nil {
+		t.Error("zero domains should error")
+	}
+}
+
+func TestStateDefaults(t *testing.T) {
+	st := testState(t, 20)
+	if st.Domains() != 20 {
+		t.Errorf("Domains = %d", st.Domains())
+	}
+	if math.Abs(st.Beta()-0.05) > 1e-12 {
+		t.Errorf("Beta = %v, want 1/K = 0.05", st.Beta())
+	}
+	// Uniform initial weights: no domain exceeds β, so all normal.
+	if st.HotDomains() != 0 {
+		t.Errorf("HotDomains = %d with uniform weights, want 0", st.HotDomains())
+	}
+	for j := 0; j < 20; j++ {
+		if math.Abs(st.Weight(j)-0.05) > 1e-12 {
+			t.Errorf("Weight(%d) = %v, want 0.05", j, st.Weight(j))
+		}
+	}
+}
+
+func TestZipfClassPartition(t *testing.T) {
+	// Pure Zipf over K=20 domains: H_20 ≈ 3.5977, so domains 1..5 have
+	// weight (1/j)/H_20 > 1/20 and are hot; the rest are normal.
+	st := testState(t, 20)
+	if err := st.SetWeights(simcore.ZipfWeights(20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.HotDomains(); got != 5 {
+		t.Errorf("HotDomains = %d, want 5 for pure Zipf with K=20", got)
+	}
+	for j := 0; j < 5; j++ {
+		if st.Class(j) != ClassHot {
+			t.Errorf("domain %d should be hot", j)
+		}
+	}
+	for j := 5; j < 20; j++ {
+		if st.Class(j) != ClassNormal {
+			t.Errorf("domain %d should be normal", j)
+		}
+	}
+	if math.Abs(st.MaxWeight()-st.Weight(0)) > 1e-15 {
+		t.Errorf("MaxWeight = %v, want weight of domain 0 = %v", st.MaxWeight(), st.Weight(0))
+	}
+	if st.ClassMeanWeight(ClassHot) <= st.ClassMeanWeight(ClassNormal) {
+		t.Error("hot class mean weight should exceed normal class mean weight")
+	}
+}
+
+func TestSetWeightsNormalizes(t *testing.T) {
+	st := testState(t, 4)
+	if err := st.SetWeights([]float64{2, 2, 2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		if math.Abs(st.Weight(j)-0.25) > 1e-12 {
+			t.Errorf("Weight(%d) = %v, want normalized 0.25", j, st.Weight(j))
+		}
+	}
+}
+
+func TestSetWeightsValidation(t *testing.T) {
+	st := testState(t, 4)
+	if err := st.SetWeights([]float64{1, 2, 3}); err == nil {
+		t.Error("length change should error")
+	}
+	if err := st.SetWeights([]float64{1, -1, 1, 1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if err := st.SetWeights([]float64{0, 0, 0, 0}); err == nil {
+		t.Error("zero-sum weights should error")
+	}
+	if err := st.SetWeights([]float64{math.NaN(), 1, 1, 1}); err == nil {
+		t.Error("NaN weight should error")
+	}
+}
+
+func TestVersionBumpsOnChange(t *testing.T) {
+	st := testState(t, 4)
+	v0 := st.Version()
+	if err := st.SetWeights([]float64{4, 3, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version() == v0 {
+		t.Error("SetWeights should bump version")
+	}
+	v1 := st.Version()
+	st.SetBeta(0.3)
+	if st.Version() == v1 {
+		t.Error("SetBeta should bump version")
+	}
+}
+
+func TestDegenerateClassPartitions(t *testing.T) {
+	st := testState(t, 4)
+	// All domains equal: nothing above β=0.25, so all normal; class
+	// means fall back so TTL/2 stays defined.
+	if err := st.SetWeights([]float64{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st.HotDomains() != 0 {
+		t.Errorf("HotDomains = %d, want 0", st.HotDomains())
+	}
+	if got := st.ClassMeanWeight(ClassHot); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("hot class mean fallback = %v, want overall mean 0.25", got)
+	}
+	// One dominant domain: hot class of size 1.
+	if err := st.SetWeights([]float64{97, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st.HotDomains() != 1 {
+		t.Errorf("HotDomains = %d, want 1", st.HotDomains())
+	}
+}
+
+func TestAlarms(t *testing.T) {
+	st := testState(t, 5)
+	n := st.Cluster().N()
+	if st.AllAlarmed() {
+		t.Error("no alarms initially")
+	}
+	st.SetAlarm(2, true)
+	if !st.Alarmed(2) {
+		t.Error("alarm not recorded")
+	}
+	if st.available(2) {
+		t.Error("alarmed server should be unavailable while others are fine")
+	}
+	// Idempotent set.
+	st.SetAlarm(2, true)
+	st.SetAlarm(2, false)
+	if st.Alarmed(2) {
+		t.Error("alarm not cleared")
+	}
+	// All alarmed: availability is restored (no better candidate).
+	for i := 0; i < n; i++ {
+		st.SetAlarm(i, true)
+	}
+	if !st.AllAlarmed() {
+		t.Error("AllAlarmed should be true")
+	}
+	for i := 0; i < n; i++ {
+		if !st.available(i) {
+			t.Errorf("server %d should be available when all are alarmed", i)
+		}
+	}
+	// Out-of-range alarms are ignored.
+	st.SetAlarm(-1, true)
+	st.SetAlarm(n, true)
+}
+
+func TestDomainClassString(t *testing.T) {
+	if ClassNormal.String() != "normal" || ClassHot.String() != "hot" {
+		t.Error("class string names wrong")
+	}
+	if DomainClass(99).String() == "" {
+		t.Error("unknown class should still stringify")
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ClassCount says how many domain classes a TTL policy distinguishes.
+// The paper's TTL/i meta-algorithm admits any i from 1 (one TTL for
+// all, not adaptive) up to K (one TTL per domain); this package
+// supports the full range.
+type ClassCount int
+
+const (
+	// PerDomain uses a different TTL for every connected domain
+	// (TTL/K), the i = K limit of the meta-algorithm.
+	PerDomain ClassCount = -1
+	// OneClass uses a single TTL for every domain (the degenerate
+	// TTL/1 policy — not adaptive).
+	OneClass ClassCount = 1
+	// TwoClasses uses a high TTL for normal domains and a low TTL for
+	// hot domains (TTL/2), partitioned by the class threshold β.
+	TwoClasses ClassCount = 2
+)
+
+// NClasses returns the ClassCount for an i-class TTL policy. i must
+// be at least 1; NewTTLPolicy validates.
+func NClasses(i int) ClassCount { return ClassCount(i) }
+
+// Valid reports whether the class count is meaningful.
+func (c ClassCount) Valid() bool { return c == PerDomain || c >= 1 }
+
+// String implements fmt.Stringer.
+func (c ClassCount) String() string {
+	switch {
+	case c == PerDomain:
+		return "TTL/K"
+	case c >= 1:
+		return fmt.Sprintf("TTL/%d", int(c))
+	default:
+		return fmt.Sprintf("ClassCount(%d)", int(c))
+	}
+}
+
+// TTLVariant identifies one member of the adaptive TTL family.
+type TTLVariant struct {
+	// Classes is the number of domain classes the TTL discriminates.
+	Classes ClassCount
+	// ServerAware marks the deterministic TTL/S_i family, whose TTL is
+	// additionally proportional to the chosen server's capacity.
+	ServerAware bool
+}
+
+// String returns the paper's name for the variant (TTL/1, TTL/S_K, …).
+func (v TTLVariant) String() string {
+	if !v.ServerAware {
+		return v.Classes.String()
+	}
+	if v.Classes == PerDomain {
+		return "TTL/S_K"
+	}
+	return fmt.Sprintf("TTL/S_%d", int(v.Classes))
+}
+
+// Adaptive reports whether the variant adapts the TTL at all: TTL/1 is
+// the constant-TTL degenerate case.
+func (v TTLVariant) Adaptive() bool {
+	return v.Classes != OneClass || v.ServerAware
+}
+
+const (
+	// maxTTL caps any adaptive TTL at one day; it only binds for
+	// degenerate weight estimates (a domain that was never observed).
+	maxTTL = 86400.0
+	// minAdaptiveTTL is a floor guarding against pathological
+	// calibrations; real NS minimums are modelled separately by the
+	// name server layer.
+	minAdaptiveTTL = 1.0
+)
+
+// TTLPolicy computes the TTL returned with each address mapping.
+// The base value TTL_min is recalibrated whenever the state's hidden
+// load weights change, so that the policy's mean address-request rate
+// matches that of the constant-TTL baseline (the paper's fairness
+// condition for comparing policies).
+type TTLPolicy struct {
+	variant  TTLVariant
+	constTTL float64
+	base     float64
+	factors  []float64 // per-domain d_j for the calibrated version
+	calibFor uint64    // state version the base was calibrated for
+}
+
+// NewTTLPolicy builds a TTL policy of the given variant whose address
+// request rate is calibrated against a constant-TTL baseline of
+// constTTL seconds (240 s in the paper).
+func NewTTLPolicy(variant TTLVariant, constTTL float64) (*TTLPolicy, error) {
+	if constTTL <= 0 || math.IsNaN(constTTL) {
+		return nil, fmt.Errorf("core: constant TTL %v must be positive", constTTL)
+	}
+	if !variant.Classes.Valid() {
+		return nil, fmt.Errorf("core: invalid class count %d", variant.Classes)
+	}
+	return &TTLPolicy{variant: variant, constTTL: constTTL, calibFor: ^uint64(0)}, nil
+}
+
+// Variant returns the policy's variant.
+func (p *TTLPolicy) Variant() TTLVariant { return p.variant }
+
+// DomainFactors returns d_j for every domain j: the domain component
+// of the TTL is base / d_j, so the hottest domain (or class) with
+// d = 1 receives the minimum TTL.
+//
+// TTL/1 gives every domain factor 1. TTL/2 uses the paper's class
+// threshold β partition with class-mean weights. TTL/K uses each
+// domain's own relative weight γ_j/γ_max. Intermediate i (the paper's
+// TTL/i meta-algorithm, "for i = 3 … and so on") partitions the
+// domains, sorted by weight, into i groups of approximately equal
+// aggregate hidden load, then uses class-mean weights like TTL/2.
+func DomainFactors(st *State, classes ClassCount) []float64 {
+	k := st.Domains()
+	out := make([]float64, k)
+	switch {
+	case classes == PerDomain || int(classes) >= k:
+		for j := 0; j < k; j++ {
+			out[j] = st.Weight(j) / st.MaxWeight()
+		}
+	case classes == OneClass:
+		for j := range out {
+			out[j] = 1
+		}
+	case classes == TwoClasses:
+		hot := st.ClassMeanWeight(ClassHot)
+		for j := 0; j < k; j++ {
+			out[j] = st.ClassMeanWeight(st.Class(j)) / hot
+		}
+	default:
+		means := equalLoadPartition(st, int(classes))
+		top := 0.0
+		for j := 0; j < k; j++ {
+			if means[j] > top {
+				top = means[j]
+			}
+		}
+		for j := 0; j < k; j++ {
+			out[j] = means[j] / top
+		}
+	}
+	return out
+}
+
+// equalLoadPartition splits the domains (sorted by decreasing weight)
+// into n contiguous groups of approximately equal aggregate weight and
+// returns each domain's class-mean weight.
+func equalLoadPartition(st *State, n int) []float64 {
+	k := st.Domains()
+	order := make([]int, k)
+	for j := range order {
+		order[j] = j
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return st.Weight(order[a]) > st.Weight(order[b])
+	})
+	means := make([]float64, k)
+	pos := 0
+	var cum float64
+	for class := 0; class < n && pos < k; class++ {
+		// Each class targets the remaining weight split evenly over the
+		// remaining classes, always taking at least one domain and
+		// leaving at least one domain per remaining class.
+		remainingClasses := n - class
+		target := (1 - cum) / float64(remainingClasses)
+		start := pos
+		var classSum float64
+		for pos < k {
+			left := k - pos - 1
+			if pos > start && left < remainingClasses-1 {
+				break
+			}
+			w := st.Weight(order[pos])
+			// The final class absorbs every remaining domain; earlier
+			// classes stop once they reach their load target.
+			if pos > start && remainingClasses > 1 && classSum+w > target {
+				break
+			}
+			classSum += w
+			pos++
+		}
+		mean := classSum / float64(pos-start)
+		for q := start; q < pos; q++ {
+			means[order[q]] = mean
+		}
+		cum += classSum
+	}
+	return means
+}
+
+// serverFactor returns the capacity term α_i·ρ of the TTL/S_i family:
+// 1 for the least capable server, ρ for the most capable.
+func (p *TTLPolicy) serverFactor(st *State, server int) float64 {
+	if !p.variant.ServerAware {
+		return 1
+	}
+	return st.Cluster().Alpha(server) * st.Cluster().Rho()
+}
+
+// TTL returns the time-to-live in seconds for an address mapping of
+// the given domain to the given server.
+func (p *TTLPolicy) TTL(st *State, domain, server int) float64 {
+	p.recalibrate(st)
+	d := p.factors[domain]
+	ttl := p.base * p.serverFactor(st, server)
+	if d > 0 {
+		ttl /= d
+	} else {
+		ttl = maxTTL
+	}
+	if ttl > maxTTL {
+		ttl = maxTTL
+	}
+	if ttl < minAdaptiveTTL {
+		ttl = minAdaptiveTTL
+	}
+	return ttl
+}
+
+// Base returns the calibrated TTL_min for the current state.
+func (p *TTLPolicy) Base(st *State) float64 {
+	p.recalibrate(st)
+	return p.base
+}
+
+func (p *TTLPolicy) recalibrate(st *State) {
+	if p.calibFor == st.Version() {
+		return
+	}
+	p.factors = DomainFactors(st, p.variant.Classes)
+	p.base = calibrateBase(st, p.variant, p.factors, p.constTTL)
+	p.calibFor = st.Version()
+}
+
+// CalibrateBase computes the TTL_min that makes the variant's mean
+// address-request rate equal to the constant-TTL baseline's.
+//
+// A domain cached for TTL_j issues NS cache misses at rate ≈ 1/TTL_j
+// while it stays active, so the baseline rate is K/constTTL. With
+// TTL_ij = base·s_i/d_j and round-robin server assignment (uniform
+// over servers), the policy's rate is (Σ_j d_j)·E_i[1/s_i]/base;
+// setting the two equal gives
+//
+//	base = constTTL · (Σ_j d_j) · E_i[1/s_i] / K.
+func CalibrateBase(st *State, variant TTLVariant, constTTL float64) float64 {
+	return calibrateBase(st, variant, DomainFactors(st, variant.Classes), constTTL)
+}
+
+func calibrateBase(st *State, variant TTLVariant, factors []float64, constTTL float64) float64 {
+	k := float64(st.Domains())
+	var sumD float64
+	for _, d := range factors {
+		sumD += d
+	}
+	meanInvS := 1.0
+	if variant.ServerAware {
+		var sum float64
+		n := st.Cluster().N()
+		for i := 0; i < n; i++ {
+			sum += 1 / (st.Cluster().Alpha(i) * st.Cluster().Rho())
+		}
+		meanInvS = sum / float64(n)
+	}
+	base := constTTL * sumD * meanInvS / k
+	if base < minAdaptiveTTL {
+		base = minAdaptiveTTL
+	}
+	return base
+}

@@ -1,0 +1,165 @@
+package dnsclient
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnslb/internal/dnswire"
+)
+
+func TestDefaultTimeoutApplied(t *testing.T) {
+	r := &Resolver{}
+	if got := r.timeout(); got != 3*time.Second {
+		t.Errorf("default timeout = %v, want 3s", got)
+	}
+	r.Timeout = time.Second
+	if got := r.timeout(); got != time.Second {
+		t.Errorf("timeout = %v", got)
+	}
+}
+
+func TestExchangeInvalidName(t *testing.T) {
+	r := &Resolver{Server: "127.0.0.1:1", Timeout: 100 * time.Millisecond}
+	// A label over 63 bytes fails at pack time, before any network IO.
+	long := make([]byte, 70)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if _, err := r.Exchange(context.Background(), string(long)+".example", dnswire.TypeA); err == nil {
+		t.Error("oversized label should fail to encode")
+	}
+}
+
+func TestExchangeContextDeadline(t *testing.T) {
+	// No server listening; a short context deadline must bound the
+	// exchange even with a long resolver timeout.
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := &Resolver{Server: conn.LocalAddr().String(), Timeout: 30 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = r.Exchange(ctx, "x.example", dnswire.TypeA)
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("context deadline not honoured: %v", elapsed)
+	}
+}
+
+func TestExchangeIgnoresForeignAndCorruptDatagrams(t *testing.T) {
+	// A hostile "server" first sends garbage and a mismatched ID, then
+	// the real answer; the resolver must skip the noise.
+	uaddr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		buf := make([]byte, 65535)
+		n, raddr, err := srv.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return
+		}
+		q, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			return
+		}
+		// 1: garbage bytes.
+		_, _ = srv.WriteToUDPAddrPort([]byte{1, 2, 3}, raddr)
+		// 2: valid message, wrong ID.
+		wrong := &dnswire.Message{Header: dnswire.Header{ID: q.Header.ID + 1, Response: true}}
+		wb, _ := wrong.Pack()
+		_, _ = srv.WriteToUDPAddrPort(wb, raddr)
+		// 3: a query echo (not a response) with the right ID.
+		notResp := &dnswire.Message{Header: dnswire.Header{ID: q.Header.ID}}
+		nb, _ := notResp.Pack()
+		_, _ = srv.WriteToUDPAddrPort(nb, raddr)
+		// 4: the real answer.
+		resp := &dnswire.Message{
+			Header:    dnswire.Header{ID: q.Header.ID, Response: true},
+			Questions: q.Questions,
+			Answers: []dnswire.ResourceRecord{{
+				Name: q.Questions[0].Name, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+				TTL: 60, Data: dnswire.A{Addr: netip.MustParseAddr("10.8.8.8")},
+			}},
+		}
+		rb, _ := resp.Pack()
+		_, _ = srv.WriteToUDPAddrPort(rb, raddr)
+	}()
+
+	r := &Resolver{Server: srv.LocalAddr().String(), Timeout: 2 * time.Second}
+	answers, err := r.LookupA(context.Background(), "victim.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0].Addr != netip.MustParseAddr("10.8.8.8") {
+		t.Errorf("answer = %+v, want the genuine response", answers[0])
+	}
+}
+
+func TestTCPFallbackAgainstDeadTCP(t *testing.T) {
+	// UDP answers with TC set but nothing listens on TCP: the resolver
+	// must surface an error rather than hang.
+	uaddr, err := net.ResolveUDPAddr("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go func() {
+		buf := make([]byte, 65535)
+		n, raddr, err := srv.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			return
+		}
+		q, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			return
+		}
+		resp := &dnswire.Message{
+			Header:    dnswire.Header{ID: q.Header.ID, Response: true, Truncated: true},
+			Questions: q.Questions,
+		}
+		rb, _ := resp.Pack()
+		_, _ = srv.WriteToUDPAddrPort(rb, raddr)
+	}()
+	r := &Resolver{Server: srv.LocalAddr().String(), Timeout: 500 * time.Millisecond}
+	if _, err := r.LookupA(context.Background(), "x.example"); err == nil {
+		t.Error("dead TCP fallback should error")
+	}
+}
+
+func TestResolverDialFailure(t *testing.T) {
+	r := &Resolver{Server: "256.256.256.256:53", Timeout: 100 * time.Millisecond}
+	if _, err := r.LookupA(context.Background(), "x.example"); err == nil {
+		t.Error("bad server address should error")
+	}
+}
+
+func TestResolverECSPackFailureSurfaces(t *testing.T) {
+	r := &Resolver{
+		Server:       "127.0.0.1:1",
+		Timeout:      100 * time.Millisecond,
+		ClientSubnet: netip.Prefix{}, // invalid: ignored, not an error
+	}
+	// Invalid prefix means "no ECS", so the failure is the dial/read.
+	_, err := r.LookupA(context.Background(), "x.example")
+	if err == nil {
+		t.Error("expected network error")
+	}
+}

@@ -1,0 +1,68 @@
+package dnsserver
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"dnslb/internal/dnsclient"
+)
+
+// TestConcurrentQueries hammers the server from many goroutines over
+// UDP while alarms and load reports mutate scheduler state — run with
+// -race to verify the locking discipline.
+func TestConcurrentQueries(t *testing.T) {
+	srv, _ := testServer(t, "PRR2-TTL/K", nil)
+	rl := startReportListener(t, srv)
+
+	const (
+		workers = 8
+		queries = 30
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+2)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &dnsclient.Resolver{Server: srv.Addr().String(), Timeout: 2 * time.Second}
+			ctx := context.Background()
+			for i := 0; i < queries; i++ {
+				if _, err := r.LookupA(ctx, "www.site.example"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent alarm flapping through the API...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			srv.SetAlarm(i%7, i%2 == 0)
+			srv.RecordHits(i%20, 10)
+		}
+		if err := srv.RollEstimates(8); err != nil {
+			errs <- err
+		}
+	}()
+	// ...and through the report socket.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sendReports(t, rl.Addr().String(), "ALARM 3 1", "HITS 5 100", "ROLL 8", "ALARM 3 0")
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := srv.Stats()
+	if st.Answered < workers*queries {
+		t.Errorf("answered %d, want at least %d", st.Answered, workers*queries)
+	}
+}

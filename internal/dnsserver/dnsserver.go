@@ -1,0 +1,554 @@
+// Package dnsserver runs the adaptive-TTL scheduler as a real
+// authoritative DNS server: A queries for the site name are answered
+// with the Web server chosen by the configured core policy and the TTL
+// the policy computed for the (client domain, server) pair.
+//
+// The source "domain" of a query is derived from the querying name
+// server's address through a pluggable DomainMapper, defaulting to a
+// stable hash of the address prefix. Web servers feed the alarm and
+// hidden-load machinery through RecordHits/SetAlarm, or remotely over
+// the plain-text load-report listener (see report.go).
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnslb/internal/core"
+	"dnslb/internal/dnswire"
+)
+
+// DomainMapper identifies the connected domain an address request
+// originates from, given the querying resolver's address.
+type DomainMapper func(addr netip.Addr) int
+
+// Config configures a Server.
+type Config struct {
+	// Zone is the site name served, e.g. "www.site.example".
+	Zone string
+	// ServerAddrs are the Web servers' IPv4 addresses, index-aligned
+	// with the policy's cluster.
+	ServerAddrs []netip.Addr
+	// Policy is the DNS scheduling policy; the server serializes
+	// access to it.
+	Policy *core.Policy
+	// Mapper identifies the source domain of each query. Nil installs
+	// PrefixHashMapper over the policy's domain count.
+	Mapper DomainMapper
+	// Addr is the UDP/TCP listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// Logger receives serve-loop errors; nil discards them.
+	Logger *log.Logger
+	// RateLimit optionally bounds queries per second per source
+	// address; excess queries are answered REFUSED.
+	RateLimit *RateLimiter
+}
+
+// Server is the authoritative DNS front end.
+type Server struct {
+	zone  string
+	addrs []netip.Addr
+
+	mu     sync.Mutex
+	policy *core.Policy
+	est    *core.Estimator
+
+	mapper     DomainMapper
+	logger     *log.Logger
+	listenAddr string
+	limiter    *RateLimiter
+
+	udp *net.UDPConn
+	tcp net.Listener
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	statsMu sync.Mutex
+	stats   ServerStats
+}
+
+// ServerStats counts served queries by outcome.
+type ServerStats struct {
+	Queries     uint64
+	Answered    uint64
+	NXDomain    uint64
+	FormErr     uint64
+	NotImp      uint64
+	ServFail    uint64
+	Truncated   uint64
+	RateLimited uint64
+}
+
+// New creates a server; call Start to bind and serve.
+func New(cfg Config) (*Server, error) {
+	if cfg.Zone == "" {
+		return nil, errors.New("dnsserver: Zone is required")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("dnsserver: Policy is required")
+	}
+	n := cfg.Policy.State().Cluster().N()
+	if len(cfg.ServerAddrs) != n {
+		return nil, fmt.Errorf("dnsserver: %d server addresses for %d servers", len(cfg.ServerAddrs), n)
+	}
+	for i, a := range cfg.ServerAddrs {
+		if !a.Is4() {
+			return nil, fmt.Errorf("dnsserver: server address %d (%v) must be IPv4", i, a)
+		}
+	}
+	mapper := cfg.Mapper
+	if mapper == nil {
+		mapper = PrefixHashMapper(cfg.Policy.State().Domains())
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(discard{}, "", 0)
+	}
+	est, err := core.NewEstimator(cfg.Policy.State().Domains(), 0.5)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		zone:       dnswire.CanonicalName(cfg.Zone),
+		addrs:      append([]netip.Addr(nil), cfg.ServerAddrs...),
+		policy:     cfg.Policy,
+		est:        est,
+		mapper:     mapper,
+		logger:     logger,
+		listenAddr: cfg.Addr,
+		limiter:    cfg.RateLimit,
+		conns:      make(map[net.Conn]struct{}),
+		closed:     make(chan struct{}),
+	}, nil
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Start binds the UDP socket and TCP listener and begins serving.
+func (s *Server) Start() error {
+	uaddr, err := net.ResolveUDPAddr("udp", s.addrOrDefault())
+	if err != nil {
+		return fmt.Errorf("dnsserver: resolve: %w", err)
+	}
+	s.udp, err = net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return fmt.Errorf("dnsserver: listen udp: %w", err)
+	}
+	s.tcp, err = net.Listen("tcp", s.udp.LocalAddr().String())
+	if err != nil {
+		_ = s.udp.Close()
+		return fmt.Errorf("dnsserver: listen tcp: %w", err)
+	}
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return nil
+}
+
+// configured listen address; stored via Config at New time.
+func (s *Server) addrOrDefault() string {
+	if s.listenAddr == "" {
+		return "127.0.0.1:0"
+	}
+	return s.listenAddr
+}
+
+// Addr returns the bound UDP address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.udp.LocalAddr() }
+
+// Close stops serving and waits for the serve loops to exit.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	var first error
+	if s.udp != nil {
+		first = s.udp.Close()
+	}
+	if s.tcp != nil {
+		if err := s.tcp.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	// Closing the listener does not close accepted connections; do it
+	// explicitly so Close never waits out a TCP idle deadline.
+	s.connsMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connsMu.Unlock()
+	s.wg.Wait()
+	return first
+}
+
+// Stats returns a snapshot of the serve counters.
+func (s *Server) Stats() ServerStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// SetAlarm relays a Web server's alarm/normal signal to the scheduler.
+func (s *Server) SetAlarm(server int, alarmed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policy.State().SetAlarm(server, alarmed)
+}
+
+// Alarmed reports whether the scheduler currently excludes server i.
+// It is the synchronized read-side of SetAlarm: the underlying
+// core.State is not safe for unlocked concurrent access.
+func (s *Server) Alarmed(server int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy.State().Alarmed(server)
+}
+
+// DomainWeight returns the scheduler's current hidden-load weight
+// estimate for a domain, synchronized like Alarmed.
+func (s *Server) DomainWeight(domain int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy.State().Weight(domain)
+}
+
+// RecordHits feeds per-domain hit counts into the hidden-load
+// estimator (the server-side accounting the paper's DNS collects).
+func (s *Server) RecordHits(domain int, hits float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.est.Record(domain, hits)
+}
+
+// RollEstimates closes an estimation interval of the given length and
+// installs the resulting hidden-load weights into the scheduler state.
+func (s *Server) RollEstimates(intervalSeconds float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.est.Roll(intervalSeconds)
+	return s.policy.State().SetWeights(s.est.Weights())
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logger.Printf("dnsserver: udp read: %v", err)
+				continue
+			}
+		}
+		resp := s.handle(buf[:n], raddr.Addr(), dnswire.MaxUDPPayload)
+		if resp == nil {
+			continue
+		}
+		if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
+			s.logger.Printf("dnsserver: udp write: %v", err)
+		}
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logger.Printf("dnsserver: tcp accept: %v", err)
+				continue
+			}
+		}
+		s.connsMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connsMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				_ = conn.Close()
+				s.connsMu.Lock()
+				delete(s.conns, conn)
+				s.connsMu.Unlock()
+			}()
+			s.serveTCPConn(conn)
+		}()
+	}
+}
+
+// tcpIdleTimeout bounds how long a TCP client may sit between
+// messages, so idle or slowloris connections cannot pin goroutines.
+const tcpIdleTimeout = 30 * time.Second
+
+func (s *Server) serveTCPConn(conn net.Conn) {
+	var raddr netip.Addr
+	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
+		raddr = ap.Addr()
+	}
+	lenBuf := make([]byte, 2)
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout)); err != nil {
+			return
+		}
+		if _, err := readFull(conn, lenBuf); err != nil {
+			return
+		}
+		n := int(lenBuf[0])<<8 | int(lenBuf[1])
+		msg := make([]byte, n)
+		if _, err := readFull(conn, msg); err != nil {
+			return
+		}
+		resp := s.handle(msg, raddr, math.MaxUint16)
+		if resp == nil {
+			return
+		}
+		out := make([]byte, 2+len(resp))
+		out[0], out[1] = byte(len(resp)>>8), byte(len(resp))
+		copy(out[2:], resp)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	read := 0
+	for read < len(buf) {
+		n, err := conn.Read(buf[read:])
+		read += n
+		if err != nil {
+			return read, err
+		}
+	}
+	return read, nil
+}
+
+func (s *Server) count(f func(*ServerStats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
+}
+
+// handle processes one wire-format query and returns the wire-format
+// response (nil to drop).
+func (s *Server) handle(wire []byte, from netip.Addr, maxSize int) []byte {
+	s.count(func(st *ServerStats) { st.Queries++ })
+	query, err := dnswire.Unpack(wire)
+	if err != nil || len(query.Questions) == 0 {
+		s.count(func(st *ServerStats) { st.FormErr++ })
+		if len(wire) < 2 {
+			return nil // cannot even echo an ID
+		}
+		resp := &dnswire.Message{Header: dnswire.Header{
+			ID:       uint16(wire[0])<<8 | uint16(wire[1]),
+			Response: true,
+			RCode:    dnswire.RCodeFormErr,
+		}}
+		return mustPack(resp)
+	}
+	if query.Header.Response {
+		return nil // never answer responses
+	}
+	if s.limiter != nil && !s.limiter.Allow(from) {
+		s.count(func(st *ServerStats) { st.RateLimited++ })
+		resp := &dnswire.Message{Header: dnswire.Header{
+			ID:       query.Header.ID,
+			Response: true,
+			OpCode:   query.Header.OpCode,
+			RCode:    dnswire.RCodeRefused,
+		}}
+		return mustPack(resp)
+	}
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               query.Header.ID,
+			Response:         true,
+			OpCode:           query.Header.OpCode,
+			Authoritative:    true,
+			RecursionDesired: query.Header.RecursionDesired,
+		},
+		Questions: query.Questions[:1],
+	}
+	if query.Header.OpCode != dnswire.OpQuery {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		s.count(func(st *ServerStats) { st.NotImp++ })
+		return mustPack(resp)
+	}
+	q := query.Questions[0]
+	name := dnswire.CanonicalName(q.Name)
+	if name != s.zone {
+		resp.Header.RCode = dnswire.RCodeNXDomain
+		resp.Authority = []dnswire.ResourceRecord{s.soa()}
+		s.count(func(st *ServerStats) { st.NXDomain++ })
+		return mustPack(resp)
+	}
+	// RFC 7871 Client Subnet: when the resolver forwarded the client's
+	// network prefix, classify the originating domain from it instead
+	// of the resolver's own transport address, and echo the option with
+	// the scope we used.
+	clientAddr := from
+	ecs, hasECS := query.ClientSubnet()
+	if hasECS && ecs.Prefix.IsValid() {
+		clientAddr = ecs.Prefix.Addr()
+	}
+	switch q.Type {
+	case dnswire.TypeA, dnswire.TypeANY:
+		domain := s.mapper(clientAddr)
+		s.mu.Lock()
+		d, err := s.policy.Schedule(domain)
+		s.mu.Unlock()
+		if err != nil {
+			resp.Header.RCode = dnswire.RCodeServFail
+			s.count(func(st *ServerStats) { st.ServFail++ })
+			return mustPack(resp)
+		}
+		ttl := uint32(math.Round(d.TTL))
+		if ttl == 0 {
+			ttl = 1
+		}
+		resp.Answers = []dnswire.ResourceRecord{{
+			Name:  s.zone,
+			Type:  dnswire.TypeA,
+			Class: dnswire.ClassIN,
+			TTL:   ttl,
+			Data:  dnswire.A{Addr: s.addrs[d.Server]},
+		}}
+		if hasECS {
+			echo := ecs
+			echo.ScopePrefixLen = uint8(ecs.Prefix.Bits())
+			if err := resp.SetClientSubnet(echo, dnswire.MaxUDPPayload); err != nil {
+				s.logger.Printf("dnsserver: echo ECS: %v", err)
+			}
+		}
+		s.count(func(st *ServerStats) { st.Answered++ })
+	case dnswire.TypeTXT:
+		// Debug visibility: the policy name and decision counters.
+		s.mu.Lock()
+		stats := s.policy.Stats()
+		polName := s.policy.Name()
+		s.mu.Unlock()
+		resp.Answers = []dnswire.ResourceRecord{{
+			Name:  s.zone,
+			Type:  dnswire.TypeTXT,
+			Class: dnswire.ClassIN,
+			TTL:   0,
+			Data: dnswire.TXT{Strings: []string{
+				"policy=" + polName,
+				fmt.Sprintf("decisions=%d", stats.Decisions),
+			}},
+		}}
+		s.count(func(st *ServerStats) { st.Answered++ })
+	default:
+		// Name exists but no data of this type: NOERROR + SOA.
+		resp.Authority = []dnswire.ResourceRecord{s.soa()}
+		s.count(func(st *ServerStats) { st.Answered++ })
+	}
+	out := mustPack(resp)
+	if len(out) > maxSize {
+		resp.Answers = nil
+		resp.Authority = nil
+		resp.Additional = nil
+		resp.Header.Truncated = true
+		s.count(func(st *ServerStats) { st.Truncated++ })
+		out = mustPack(resp)
+	}
+	return out
+}
+
+// soa returns the zone's SOA record, used in negative responses.
+func (s *Server) soa() dnswire.ResourceRecord {
+	return dnswire.ResourceRecord{
+		Name:  s.zone,
+		Type:  dnswire.TypeSOA,
+		Class: dnswire.ClassIN,
+		TTL:   60,
+		Data: dnswire.SOA{
+			MName:   "ns1." + s.zone,
+			RName:   "hostmaster." + s.zone,
+			Serial:  1,
+			Refresh: 3600,
+			Retry:   600,
+			Expire:  86400,
+			Minimum: 60,
+		},
+	}
+}
+
+func mustPack(m *dnswire.Message) []byte {
+	out, err := m.Pack()
+	if err != nil {
+		// Responses are built from validated parts; a pack failure is a
+		// programming error worth surfacing loudly in development, but
+		// in production we drop the response instead of crashing.
+		return nil
+	}
+	return out
+}
+
+// PrefixHashMapper maps a querying address to a domain index by
+// hashing its /24 (IPv4) or /48 (IPv6) prefix — stable, spreading
+// resolvers of distinct networks across the connected domains.
+func PrefixHashMapper(domains int) DomainMapper {
+	return func(addr netip.Addr) int {
+		if domains <= 0 {
+			return 0
+		}
+		if !addr.IsValid() {
+			return 0
+		}
+		var key []byte
+		if addr.Is4() {
+			b := addr.As4()
+			key = b[:3]
+		} else {
+			b := addr.As16()
+			key = b[:6]
+		}
+		const prime = 1099511628211
+		h := uint64(14695981039346656037)
+		for _, c := range key {
+			h ^= uint64(c)
+			h *= prime
+		}
+		// Finalize with an avalanche step: raw FNV of very short keys
+		// distributes poorly under small moduli.
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		return int(h % uint64(domains))
+	}
+}
+
+// StaticMapper returns a DomainMapper that maps exact addresses per
+// the table and everything else to fallback — convenient for tests and
+// controlled deployments.
+func StaticMapper(table map[netip.Addr]int, fallback int) DomainMapper {
+	return func(addr netip.Addr) int {
+		if d, ok := table[addr]; ok {
+			return d
+		}
+		return fallback
+	}
+}

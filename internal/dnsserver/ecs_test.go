@@ -1,0 +1,91 @@
+package dnsserver
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnslb/internal/dnsclient"
+	"dnslb/internal/dnswire"
+)
+
+// TestECSDrivesDomainClassification verifies the modern deployment
+// path: when a shared resolver forwards the client network via the
+// EDNS Client Subnet option, the scheduler classifies the originating
+// domain from that prefix rather than from the resolver's transport
+// address, and TTLs adapt accordingly.
+func TestECSDrivesDomainClassification(t *testing.T) {
+	// Map two client networks to the hottest and coldest domains.
+	hotNet := netip.MustParseAddr("198.51.100.0")
+	coldNet := netip.MustParseAddr("203.0.113.0")
+	mapper := StaticMapper(map[netip.Addr]int{hotNet: 0, coldNet: 19}, 5)
+	srv, _ := testServer(t, "PRR2-TTL/K", mapper)
+
+	query := func(prefix string) (ttl time.Duration, scoped bool) {
+		t.Helper()
+		r := &dnsclient.Resolver{
+			Server:       srv.Addr().String(),
+			Timeout:      2 * time.Second,
+			ClientSubnet: netip.MustParsePrefix(prefix),
+		}
+		resp, err := r.Exchange(context.Background(), "www.site.example", dnswire.TypeA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Answers) != 1 {
+			t.Fatalf("answers = %d", len(resp.Answers))
+		}
+		_, hasEcho := resp.ClientSubnet()
+		return time.Duration(resp.Answers[0].TTL) * time.Second, hasEcho
+	}
+
+	hotTTL, hotScoped := query("198.51.100.0/24")
+	coldTTL, coldScoped := query("203.0.113.0/24")
+	if !hotScoped || !coldScoped {
+		t.Error("server must echo the ECS option in scoped answers")
+	}
+	// TTL/K with pure Zipf: domain 19's TTL is 20× domain 0's.
+	ratio := coldTTL.Seconds() / hotTTL.Seconds()
+	if ratio < 15 || ratio > 25 {
+		t.Errorf("cold/hot TTL ratio = %v (cold %v, hot %v), want ≈ 20", ratio, coldTTL, hotTTL)
+	}
+}
+
+func TestECSEchoCarriesScope(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	r := &dnsclient.Resolver{
+		Server:       srv.Addr().String(),
+		Timeout:      2 * time.Second,
+		ClientSubnet: netip.MustParsePrefix("192.0.2.0/24"),
+	}
+	resp, err := r.Exchange(context.Background(), "www.site.example", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := resp.ClientSubnet()
+	if !ok {
+		t.Fatal("no ECS echo")
+	}
+	if cs.Prefix != netip.MustParsePrefix("192.0.2.0/24") {
+		t.Errorf("echoed prefix = %v", cs.Prefix)
+	}
+	if cs.ScopePrefixLen != 24 {
+		t.Errorf("scope = %d, want 24 (full prefix used for scheduling)", cs.ScopePrefixLen)
+	}
+}
+
+func TestQueriesWithoutECSStillWork(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	r := &dnsclient.Resolver{Server: srv.Addr().String(), Timeout: 2 * time.Second}
+	resp, err := r.Exchange(context.Background(), "www.site.example", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.ClientSubnet(); ok {
+		t.Error("server must not add ECS when the query had none")
+	}
+	if len(resp.Answers) != 1 {
+		t.Errorf("answers = %d", len(resp.Answers))
+	}
+}

@@ -1,0 +1,78 @@
+package dnsserver
+
+import (
+	"context"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"dnslb/internal/dnsclient"
+)
+
+// checkGoroutines runs f and asserts the goroutine count returns to
+// (near) its baseline afterwards — a dependency-free stand-in for
+// goleak, catching serve loops that outlive Close.
+func checkGoroutines(t *testing.T, f func(t *testing.T)) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	f(t)
+	deadline := time.Now().Add(3 * time.Second)
+	var after int
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before+1 {
+			return
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, after)
+}
+
+func TestServerCloseStopsGoroutines(t *testing.T) {
+	checkGoroutines(t, func(t *testing.T) {
+		srv, _ := testServer(t, "RR", nil)
+		r := &dnsclient.Resolver{Server: srv.Addr().String(), Timeout: 2 * time.Second}
+		if _, err := r.LookupA(context.Background(), "www.site.example"); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestReportListenerCloseStopsGoroutines(t *testing.T) {
+	checkGoroutines(t, func(t *testing.T) {
+		srv, _ := testServer(t, "RR", nil)
+		rl := startReportListener(t, srv)
+		sendReports(t, rl.Addr().String(), "ALARM 1 1")
+		if err := rl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestServerCloseWithOpenTCPConn(t *testing.T) {
+	// A TCP client that connected but never sent anything must not
+	// block Close (the idle deadline and listener close cover it).
+	checkGoroutines(t, func(t *testing.T) {
+		srv, _ := testServer(t, "RR", nil)
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		start := time.Now()
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("Close blocked for %v on an idle TCP conn", elapsed)
+		}
+	})
+}

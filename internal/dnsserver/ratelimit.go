@@ -1,0 +1,107 @@
+package dnsserver
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// RateLimiter bounds queries per second per source address with a
+// token bucket per source — protection against floods and reflection
+// abuse for the public-facing DNS server. The zero value is unusable;
+// create one with NewRateLimiter.
+type RateLimiter struct {
+	rate  float64 // tokens added per second
+	burst float64 // bucket capacity
+
+	mu         sync.Mutex
+	buckets    map[netip.Addr]*tokenBucket
+	maxSources int
+	now        func() time.Time
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter creates a limiter allowing `rate` queries/second with
+// bursts up to `burst` per source address. Non-positive values are
+// raised to minimal sane defaults (1 qps, burst 1).
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		rate:       rate,
+		burst:      burst,
+		buckets:    make(map[netip.Addr]*tokenBucket),
+		maxSources: 4096,
+		now:        time.Now,
+	}
+}
+
+// SetClock overrides the limiter's time source, for tests.
+func (l *RateLimiter) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.now = now
+}
+
+// Allow reports whether a query from addr may be served now, consuming
+// one token if so. Invalid addresses are always allowed (they cannot
+// be attributed to a source anyway).
+func (l *RateLimiter) Allow(addr netip.Addr) bool {
+	if !addr.IsValid() {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[addr]
+	if !ok {
+		if len(l.buckets) >= l.maxSources {
+			l.evictLocked(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[addr] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictLocked drops sources whose buckets have refilled (idle long
+// enough to be indistinguishable from new sources); if none qualify it
+// clears everything, which only momentarily forgives active abusers.
+func (l *RateLimiter) evictLocked(now time.Time) {
+	for addr, b := range l.buckets {
+		idle := now.Sub(b.last).Seconds()
+		if b.tokens+idle*l.rate >= l.burst {
+			delete(l.buckets, addr)
+		}
+	}
+	if len(l.buckets) >= l.maxSources {
+		l.buckets = make(map[netip.Addr]*tokenBucket)
+	}
+}
+
+// Sources returns the number of tracked source addresses.
+func (l *RateLimiter) Sources() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,152 @@
+package dnsserver
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnslb/internal/core"
+	"dnslb/internal/dnsclient"
+	"dnslb/internal/dnswire"
+)
+
+func TestRateLimiterBasics(t *testing.T) {
+	l := NewRateLimiter(10, 3)
+	now := time.Unix(1000, 0)
+	l.SetClock(func() time.Time { return now })
+	src := netip.MustParseAddr("192.0.2.1")
+
+	// Burst of 3 allowed, 4th refused.
+	for i := 0; i < 3; i++ {
+		if !l.Allow(src) {
+			t.Fatalf("query %d within burst refused", i)
+		}
+	}
+	if l.Allow(src) {
+		t.Fatal("burst exceeded but allowed")
+	}
+	// 100 ms at 10 qps refills one token.
+	now = now.Add(100 * time.Millisecond)
+	if !l.Allow(src) {
+		t.Fatal("refilled token refused")
+	}
+	if l.Allow(src) {
+		t.Fatal("double spend allowed")
+	}
+	// A different source has its own bucket.
+	if !l.Allow(netip.MustParseAddr("192.0.2.2")) {
+		t.Fatal("independent source refused")
+	}
+}
+
+func TestRateLimiterTokensCapAtBurst(t *testing.T) {
+	l := NewRateLimiter(100, 2)
+	now := time.Unix(0, 0)
+	l.SetClock(func() time.Time { return now })
+	src := netip.MustParseAddr("10.1.1.1")
+	if !l.Allow(src) {
+		t.Fatal("first refused")
+	}
+	// A long idle period must not bank more than `burst` tokens.
+	now = now.Add(time.Hour)
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if l.Allow(src) {
+			allowed++
+		}
+	}
+	if allowed != 2 {
+		t.Errorf("allowed %d after idle, want burst cap 2", allowed)
+	}
+}
+
+func TestRateLimiterInvalidAddrAlwaysAllowed(t *testing.T) {
+	l := NewRateLimiter(1, 1)
+	for i := 0; i < 5; i++ {
+		if !l.Allow(netip.Addr{}) {
+			t.Fatal("invalid address should bypass limiting")
+		}
+	}
+}
+
+func TestRateLimiterEviction(t *testing.T) {
+	l := NewRateLimiter(1000, 1)
+	now := time.Unix(0, 0)
+	l.SetClock(func() time.Time { return now })
+	l.maxSources = 8
+	for i := 0; i < 20; i++ {
+		addr := netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+		l.Allow(addr)
+		now = now.Add(time.Second) // older entries refill and become evictable
+	}
+	if got := l.Sources(); got > 9 {
+		t.Errorf("tracked sources = %d, want bounded by maxSources", got)
+	}
+}
+
+func TestRateLimiterDefaultsClamped(t *testing.T) {
+	l := NewRateLimiter(-1, 0)
+	if !l.Allow(netip.MustParseAddr("10.0.0.1")) {
+		t.Error("first query should pass with clamped defaults")
+	}
+}
+
+func TestServerRefusesOverLimit(t *testing.T) {
+	cluster, err := core.ScaledCluster(3, 20, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := core.NewPolicy(core.PolicyConfig{Name: "RR", State: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []netip.Addr{
+		netip.MustParseAddr("10.0.0.1"),
+		netip.MustParseAddr("10.0.0.2"),
+		netip.MustParseAddr("10.0.0.3"),
+	}
+	srv, err := New(Config{
+		Zone:        "www.site.example",
+		ServerAddrs: addrs,
+		Policy:      policy,
+		Addr:        "127.0.0.1:0",
+		RateLimit:   NewRateLimiter(1, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	r := &dnsclient.Resolver{Server: srv.Addr().String(), Timeout: 2 * time.Second}
+	ctx := context.Background()
+	var refused, answered int
+	for i := 0; i < 6; i++ {
+		_, err := r.Exchange(ctx, "www.site.example", dnswire.TypeA)
+		if err != nil {
+			var rc *dnsclient.RCodeError
+			if asRCode(err, &rc) && rc.RCode == dnswire.RCodeRefused {
+				refused++
+				continue
+			}
+			t.Fatal(err)
+		}
+		answered++
+	}
+	if refused == 0 {
+		t.Fatal("no queries refused over the limit")
+	}
+	if answered == 0 {
+		t.Fatal("burst should have been served")
+	}
+	if srv.Stats().RateLimited == 0 {
+		t.Error("RateLimited counter not bumped")
+	}
+}

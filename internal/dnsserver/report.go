@@ -1,0 +1,144 @@
+package dnsserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ReportListener accepts plain-text load reports from Web servers and
+// feeds them into a Server's alarm and estimation machinery — the
+// asynchronous feedback channel of the paper, realized as a trivial
+// line protocol:
+//
+//	ALARM <serverIndex> <0|1>\n        alarm / normal signal
+//	HITS <domainIndex> <count>\n       per-domain hits since last report
+//	ROLL <intervalSeconds>\n           close an estimation interval
+//
+// Each accepted line is answered with "OK\n", errors with "ERR <msg>\n".
+type ReportListener struct {
+	srv *Server
+	ln  net.Listener
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// NewReportListener starts a report listener for srv on addr
+// (e.g. "127.0.0.1:0").
+func NewReportListener(srv *Server, addr string) (*ReportListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnsserver: report listen: %w", err)
+	}
+	rl := &ReportListener{srv: srv, ln: ln, closed: make(chan struct{})}
+	rl.wg.Add(1)
+	go rl.acceptLoop()
+	return rl, nil
+}
+
+// Addr returns the bound address.
+func (rl *ReportListener) Addr() net.Addr { return rl.ln.Addr() }
+
+// Close stops accepting and waits for in-flight connections.
+func (rl *ReportListener) Close() error {
+	select {
+	case <-rl.closed:
+		return nil
+	default:
+	}
+	close(rl.closed)
+	err := rl.ln.Close()
+	rl.wg.Wait()
+	return err
+}
+
+func (rl *ReportListener) acceptLoop() {
+	defer rl.wg.Done()
+	for {
+		conn, err := rl.ln.Accept()
+		if err != nil {
+			select {
+			case <-rl.closed:
+				return
+			default:
+				continue
+			}
+		}
+		rl.wg.Add(1)
+		go func() {
+			defer rl.wg.Done()
+			defer conn.Close()
+			rl.serve(conn)
+		}()
+	}
+}
+
+func (rl *ReportListener) serve(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if err := rl.apply(line); err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+		} else {
+			fmt.Fprintln(w, "OK")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// apply parses and executes one report line.
+func (rl *ReportListener) apply(line string) error {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "ALARM":
+		if len(fields) != 3 {
+			return fmt.Errorf("ALARM wants 2 args, got %d", len(fields)-1)
+		}
+		server, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad server index %q", fields[1])
+		}
+		on, err := strconv.Atoi(fields[2])
+		if err != nil || (on != 0 && on != 1) {
+			return fmt.Errorf("bad alarm flag %q", fields[2])
+		}
+		rl.srv.SetAlarm(server, on == 1)
+		return nil
+	case "HITS":
+		if len(fields) != 3 {
+			return fmt.Errorf("HITS wants 2 args, got %d", len(fields)-1)
+		}
+		domain, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad domain index %q", fields[1])
+		}
+		count, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || count < 0 {
+			return fmt.Errorf("bad hit count %q", fields[2])
+		}
+		rl.srv.RecordHits(domain, count)
+		return nil
+	case "ROLL":
+		if len(fields) != 2 {
+			return fmt.Errorf("ROLL wants 1 arg, got %d", len(fields)-1)
+		}
+		interval, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || interval <= 0 {
+			return fmt.Errorf("bad interval %q", fields[1])
+		}
+		return rl.srv.RollEstimates(interval)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,135 @@
+package dnsserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnslb/internal/dnsclient"
+)
+
+func startReportListener(t *testing.T, srv *Server) *ReportListener {
+	t.Helper()
+	rl, err := NewReportListener(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rl.Close() })
+	return rl
+}
+
+// sendReports writes lines and returns each response line.
+func sendReports(t *testing.T, addr string, lines ...string) []string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	r := bufio.NewReader(conn)
+	var out []string
+	for _, line := range lines {
+		if _, err := fmt.Fprintln(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, resp)
+	}
+	return out
+}
+
+func TestReportAlarmProtocol(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+
+	resp := sendReports(t, rl.Addr().String(), "ALARM 2 1")
+	if resp[0] != "OK\n" {
+		t.Fatalf("response = %q", resp[0])
+	}
+	if !srv.Alarmed(2) {
+		t.Error("alarm not applied")
+	}
+	resp = sendReports(t, rl.Addr().String(), "ALARM 2 0")
+	if resp[0] != "OK\n" || srv.Alarmed(2) {
+		t.Error("alarm not cleared")
+	}
+}
+
+func TestReportHitsAndRoll(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+
+	lines := []string{"HITS 7 900"}
+	for j := 0; j < 20; j++ {
+		if j != 7 {
+			lines = append(lines, fmt.Sprintf("HITS %d 10", j))
+		}
+	}
+	lines = append(lines, "ROLL 60")
+	for i, resp := range sendReports(t, rl.Addr().String(), lines...) {
+		if resp != "OK\n" {
+			t.Fatalf("line %d response = %q", i, resp)
+		}
+	}
+	// Weights now reflect the reported skew: domain 7 dominates.
+	if srv.DomainWeight(7) < 0.5 {
+		t.Errorf("estimated weight of domain 7 = %v, want dominant", srv.DomainWeight(7))
+	}
+}
+
+func TestReportErrors(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+	resps := sendReports(t, rl.Addr().String(),
+		"BOGUS 1 2",
+		"ALARM x 1",
+		"ALARM 1 7",
+		"ALARM 1",
+		"HITS 1 -5",
+		"HITS 1",
+		"ROLL 0",
+		"ROLL",
+	)
+	for i, resp := range resps {
+		if len(resp) < 3 || resp[:3] != "ERR" {
+			t.Errorf("line %d: response %q, want ERR", i, resp)
+		}
+	}
+}
+
+func TestReportDrivenSchedulingEndToEnd(t *testing.T) {
+	// Alarm a server over the report socket; DNS answers must avoid it.
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+	sendReports(t, rl.Addr().String(), "ALARM 0 1")
+
+	r := &dnsclient.Resolver{Server: srv.Addr().String(), Timeout: 2 * time.Second}
+	excluded := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+	for i := 0; i < 14; i++ {
+		answers, err := r.LookupA(t.Context(), "www.site.example")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if answers[0].Addr == excluded {
+			t.Fatal("alarmed server still answered")
+		}
+	}
+}
+
+func TestReportListenerCloseIdempotent(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,414 @@
+package dnswire
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalName(t *testing.T) {
+	tests := []struct {
+		in, want string
+	}{
+		{"Example.COM", "example.com."},
+		{"example.com.", "example.com."},
+		{"", "."},
+		{".", "."},
+		{"WWW.site.org", "www.site.org."},
+	}
+	for _, tt := range tests {
+		if got := CanonicalName(tt.in); got != tt.want {
+			t.Errorf("CanonicalName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPackNameGolden(t *testing.T) {
+	buf, err := packName(nil, "www.example.com", make(map[string]int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{3, 'w', 'w', 'w', 7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 3, 'c', 'o', 'm', 0}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("packed = %v, want %v", buf, want)
+	}
+}
+
+func TestPackNameRoot(t *testing.T) {
+	buf, err := packName(nil, ".", make(map[string]int))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte{0}) {
+		t.Errorf("root name packed = %v, want [0]", buf)
+	}
+}
+
+func TestNameCompression(t *testing.T) {
+	cmap := make(map[string]int)
+	buf, err := packName(nil, "www.example.com", cmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := len(buf)
+	buf, err = packName(buf, "ftp.example.com", cmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second name should be label "ftp" (4 bytes) + 2-byte pointer.
+	if len(buf)-plain != 6 {
+		t.Errorf("compressed second name uses %d bytes, want 6", len(buf)-plain)
+	}
+	// Round-trip both names.
+	n1, off, err := unpackName(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != "www.example.com." {
+		t.Errorf("first name = %q", n1)
+	}
+	n2, _, err := unpackName(buf, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != "ftp.example.com." {
+		t.Errorf("second name = %q", n2)
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	if _, err := packName(nil, strings.Repeat("a", 64)+".com", make(map[string]int)); !errors.Is(err, ErrLabelTooLong) {
+		t.Errorf("63+ label: err = %v, want ErrLabelTooLong", err)
+	}
+	long := strings.Repeat("abcdefgh.", 32) // 288 bytes
+	if _, err := packName(nil, long, make(map[string]int)); !errors.Is(err, ErrNameTooLong) {
+		t.Errorf("long name: err = %v, want ErrNameTooLong", err)
+	}
+	if _, err := packName(nil, "a..b", make(map[string]int)); !errors.Is(err, ErrBadName) {
+		t.Errorf("empty label: err = %v, want ErrBadName", err)
+	}
+}
+
+func TestUnpackNameHostile(t *testing.T) {
+	// Self-pointing compression pointer.
+	loop := []byte{0xC0, 0x00}
+	if _, _, err := unpackName(loop, 0); err == nil {
+		t.Error("self-pointer should fail")
+	}
+	// Pointer to a pointer chain that loops between two offsets.
+	chain := []byte{0xC0, 0x02, 0xC0, 0x00}
+	if _, _, err := unpackName(chain, 0); err == nil {
+		t.Error("pointer loop should fail")
+	}
+	// Truncated label.
+	trunc := []byte{5, 'a', 'b'}
+	if _, _, err := unpackName(trunc, 0); !errors.Is(err, ErrTruncatedMessage) {
+		t.Errorf("truncated label: err = %v", err)
+	}
+	// Reserved label type 0x80.
+	reserved := []byte{0x80, 0x00}
+	if _, _, err := unpackName(reserved, 0); err == nil {
+		t.Error("reserved label type should fail")
+	}
+	// Missing terminator.
+	noend := []byte{1, 'a'}
+	if _, _, err := unpackName(noend, 0); !errors.Is(err, ErrTruncatedMessage) {
+		t.Errorf("unterminated name: err = %v", err)
+	}
+}
+
+func TestUnpackNameCaseFolds(t *testing.T) {
+	buf := []byte{3, 'W', 'w', 'W', 0}
+	name, _, err := unpackName(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "www." {
+		t.Errorf("name = %q, want case-folded %q", name, "www.")
+	}
+}
+
+func queryMessage(id uint16, name string, typ Type) *Message {
+	return &Message{
+		Header:    Header{ID: id, RecursionDesired: true},
+		Questions: []Question{{Name: name, Type: typ, Class: ClassIN}},
+	}
+}
+
+func TestQueryGoldenBytes(t *testing.T) {
+	m := queryMessage(0x1234, "example.com", TypeA)
+	got, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0x12, 0x34, // ID
+		0x01, 0x00, // RD set
+		0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+		7, 'e', 'x', 'a', 'm', 'p', 'l', 'e', 3, 'c', 'o', 'm', 0,
+		0x00, 0x01, // QTYPE A
+		0x00, 0x01, // QCLASS IN
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("packed query =\n%v, want\n%v", got, want)
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Header: Header{
+			ID: 777, Response: true, Authoritative: true,
+			RecursionDesired: true, RecursionAvailable: true,
+			OpCode: OpQuery, RCode: RCodeNoError,
+		},
+		Questions: []Question{{Name: "web.site.example.", Type: TypeA, Class: ClassIN}},
+		Answers: []ResourceRecord{
+			{Name: "web.site.example.", Type: TypeA, Class: ClassIN, TTL: 120,
+				Data: A{Addr: netip.MustParseAddr("10.1.2.3")}},
+			{Name: "web.site.example.", Type: TypeA, Class: ClassIN, TTL: 120,
+				Data: A{Addr: netip.MustParseAddr("10.1.2.4")}},
+		},
+		Authority: []ResourceRecord{
+			{Name: "site.example.", Type: TypeNS, Class: ClassIN, TTL: 3600,
+				Data: NS{Host: "ns1.site.example."}},
+		},
+		Additional: []ResourceRecord{
+			{Name: "ns1.site.example.", Type: TypeAAAA, Class: ClassIN, TTL: 3600,
+				Data: AAAA{Addr: netip.MustParseAddr("2001:db8::1")}},
+			{Name: "info.site.example.", Type: TypeTXT, Class: ClassIN, TTL: 60,
+				Data: TXT{Strings: []string{"policy=DRR2-TTL/S_K", "v=1"}}},
+		},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestSOARoundTrip(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 1, Response: true, RCode: RCodeNXDomain},
+		Authority: []ResourceRecord{
+			{Name: "example.", Type: TypeSOA, Class: ClassIN, TTL: 300, Data: SOA{
+				MName: "ns1.example.", RName: "hostmaster.example.",
+				Serial: 2026070401, Refresh: 7200, Retry: 600, Expire: 86400, Minimum: 60,
+			}},
+		},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soa, ok := got.Authority[0].Data.(SOA)
+	if !ok {
+		t.Fatalf("authority data is %T", got.Authority[0].Data)
+	}
+	if soa.Serial != 2026070401 || soa.Minimum != 60 || soa.MName != "ns1.example." {
+		t.Errorf("SOA = %+v", soa)
+	}
+}
+
+func TestCNAMEAndPTRRoundTrip(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 5, Response: true},
+		Answers: []ResourceRecord{
+			{Name: "alias.example.", Type: TypeCNAME, Class: ClassIN, TTL: 30,
+				Data: CNAME{Target: "real.example."}},
+			{Name: "4.3.2.1.in-addr.arpa.", Type: TypePTR, Class: ClassIN, TTL: 30,
+				Data: PTR{Target: "host.example."}},
+		},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Answers[0].Data.(CNAME).Target != "real.example." {
+		t.Errorf("CNAME = %+v", got.Answers[0].Data)
+	}
+	if got.Answers[1].Data.(PTR).Target != "host.example." {
+		t.Errorf("PTR = %+v", got.Answers[1].Data)
+	}
+}
+
+func TestRawRecordRoundTrip(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 9, Response: true},
+		Answers: []ResourceRecord{
+			{Name: "x.example.", Type: Type(99), Class: ClassIN, TTL: 10,
+				Data: Raw{Type: Type(99), Data: []byte{1, 2, 3, 4}}},
+		},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := got.Answers[0].Data.(Raw)
+	if !ok || !bytes.Equal(raw.Data, []byte{1, 2, 3, 4}) {
+		t.Errorf("raw = %+v", got.Answers[0].Data)
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	// A record with IPv6 address fails.
+	m := &Message{Answers: []ResourceRecord{{
+		Name: "a.example.", Type: TypeA, Class: ClassIN,
+		Data: A{Addr: netip.MustParseAddr("::1")},
+	}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("IPv6 in A record should fail")
+	}
+	// AAAA with IPv4 fails.
+	m = &Message{Answers: []ResourceRecord{{
+		Name: "a.example.", Type: TypeAAAA, Class: ClassIN,
+		Data: AAAA{Addr: netip.MustParseAddr("1.2.3.4")},
+	}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("IPv4 in AAAA record should fail")
+	}
+	// Record without data fails.
+	m = &Message{Answers: []ResourceRecord{{Name: "a.example.", Type: TypeA, Class: ClassIN}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("record without data should fail")
+	}
+	// Empty TXT fails.
+	m = &Message{Answers: []ResourceRecord{{
+		Name: "a.example.", Type: TypeTXT, Class: ClassIN, Data: TXT{},
+	}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("empty TXT should fail")
+	}
+	// Oversized TXT string fails.
+	m = &Message{Answers: []ResourceRecord{{
+		Name: "a.example.", Type: TypeTXT, Class: ClassIN,
+		Data: TXT{Strings: []string{strings.Repeat("x", 256)}},
+	}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("oversized TXT string should fail")
+	}
+}
+
+func TestUnpackHostileMessages(t *testing.T) {
+	if _, err := Unpack(nil); !errors.Is(err, ErrTruncatedMessage) {
+		t.Errorf("nil message: %v", err)
+	}
+	if _, err := Unpack(make([]byte, 5)); !errors.Is(err, ErrTruncatedMessage) {
+		t.Errorf("short message: %v", err)
+	}
+	// Claims one question but has none.
+	h := make([]byte, 12)
+	h[5] = 1
+	if _, err := Unpack(h); !errors.Is(err, ErrTruncatedMessage) {
+		t.Errorf("missing question: %v", err)
+	}
+	// Claims absurd record counts.
+	h = make([]byte, 12)
+	h[6], h[7] = 0xFF, 0xFF
+	if _, err := Unpack(h); !errors.Is(err, ErrTooManyRecords) {
+		t.Errorf("absurd counts: %v", err)
+	}
+}
+
+func TestUnpackDoesNotPanicOnFuzzedInput(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Unpack(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint16, a, b, c byte, ttl uint32) bool {
+		name := CanonicalName(strings.Trim(string([]byte{
+			'a' + a%26, 'b' + b%24, '.', 'z', 'a' + c%26,
+		}), "."))
+		m := &Message{
+			Header:    Header{ID: id, Response: true, Authoritative: true},
+			Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}},
+			Answers: []ResourceRecord{{
+				Name: name, Type: TypeA, Class: ClassIN, TTL: ttl,
+				Data: A{Addr: netip.AddrFrom4([4]byte{10, a, b, c})},
+			}},
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeClassRCodeStrings(t *testing.T) {
+	if TypeA.String() != "A" || TypeAAAA.String() != "AAAA" || Type(1000).String() != "TYPE1000" {
+		t.Error("Type strings wrong")
+	}
+	if ClassIN.String() != "IN" || Class(7).String() != "CLASS7" || ClassANY.String() != "ANY" {
+		t.Error("Class strings wrong")
+	}
+	if RCodeNXDomain.String() != "NXDOMAIN" || RCode(15).String() != "RCODE15" {
+		t.Error("RCode strings wrong")
+	}
+	if TypeCNAME.String() != "CNAME" || TypeSOA.String() != "SOA" || TypeNS.String() != "NS" ||
+		TypePTR.String() != "PTR" || TypeMX.String() != "MX" || TypeTXT.String() != "TXT" ||
+		TypeANY.String() != "ANY" {
+		t.Error("remaining Type strings wrong")
+	}
+	if RCodeNoError.String() != "NOERROR" || RCodeFormErr.String() != "FORMERR" ||
+		RCodeServFail.String() != "SERVFAIL" || RCodeNotImp.String() != "NOTIMP" ||
+		RCodeRefused.String() != "REFUSED" {
+		t.Error("remaining RCode strings wrong")
+	}
+}
+
+func TestHeaderFlagsRoundTrip(t *testing.T) {
+	for _, h := range []Header{
+		{ID: 1},
+		{ID: 2, Response: true, RCode: RCodeServFail},
+		{ID: 3, Truncated: true, OpCode: OpStatus},
+		{ID: 4, Authoritative: true, RecursionDesired: true, RecursionAvailable: true},
+	} {
+		m := &Message{Header: h}
+		wire, err := m.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unpack(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Header != h {
+			t.Errorf("header round trip: got %+v, want %+v", got.Header, h)
+		}
+	}
+}

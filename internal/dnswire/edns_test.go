@@ -1,0 +1,200 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestClientSubnetPackParse(t *testing.T) {
+	tests := []struct {
+		prefix string
+	}{
+		{"192.0.2.0/24"},
+		{"10.0.0.0/8"},
+		{"203.0.113.128/25"},
+		{"2001:db8::/48"},
+		{"2001:db8:1234::/64"},
+	}
+	for _, tt := range tests {
+		p := netip.MustParsePrefix(tt.prefix)
+		cs := ClientSubnet{Prefix: p}
+		data, err := cs.Pack()
+		if err != nil {
+			t.Fatalf("%s: %v", tt.prefix, err)
+		}
+		got, err := ParseClientSubnet(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tt.prefix, err)
+		}
+		if got.Prefix != p {
+			t.Errorf("%s: round trip = %v", tt.prefix, got.Prefix)
+		}
+	}
+}
+
+func TestClientSubnetTruncatedAddressBytes(t *testing.T) {
+	// A /24 must encode only 3 address octets (RFC 7871 §6).
+	cs := ClientSubnet{Prefix: netip.MustParsePrefix("192.0.2.0/24")}
+	data, err := cs.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4+3 {
+		t.Errorf("encoded length = %d, want 7 (family+lens+3 octets)", len(data))
+	}
+	want := []byte{0, 1, 24, 0, 192, 0, 2}
+	if !bytes.Equal(data, want) {
+		t.Errorf("encoding = %v, want %v", data, want)
+	}
+}
+
+func TestClientSubnetErrors(t *testing.T) {
+	if _, err := (ClientSubnet{}).Pack(); err == nil {
+		t.Error("invalid prefix should fail to pack")
+	}
+	bad := [][]byte{
+		nil,
+		{0, 1},                       // too short
+		{0, 9, 24, 0, 1, 2, 3},       // unknown family
+		{0, 1, 24, 0, 1},             // fewer octets than prefix needs
+		{0, 1, 40, 0, 1, 2, 3, 4, 5}, // IPv4 prefix > 32
+		{0, 2, 129, 0},               // IPv6 prefix > 128
+	}
+	for i, data := range bad {
+		if _, err := ParseClientSubnet(data); err == nil {
+			t.Errorf("bad ECS %d should fail", i)
+		}
+	}
+}
+
+func TestMessageClientSubnetRoundTrip(t *testing.T) {
+	m := queryMessage(9, "www.site.example", TypeA)
+	p := netip.MustParsePrefix("198.51.100.0/24")
+	if err := m.SetClientSubnet(ClientSubnet{Prefix: p}, 1232); err != nil {
+		t.Fatal(err)
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := got.ClientSubnet()
+	if !ok {
+		t.Fatal("ECS option lost in transit")
+	}
+	if cs.Prefix != p {
+		t.Errorf("prefix = %v, want %v", cs.Prefix, p)
+	}
+	// The OPT record advertises the payload size via its class.
+	var optFound bool
+	for _, rr := range got.Additional {
+		if rr.Type == TypeOPT {
+			optFound = true
+			if uint16(rr.Class) != 1232 {
+				t.Errorf("advertised payload = %d, want 1232", rr.Class)
+			}
+		}
+	}
+	if !optFound {
+		t.Fatal("no OPT record in additional section")
+	}
+}
+
+func TestSetClientSubnetReplacesExisting(t *testing.T) {
+	m := queryMessage(1, "x.example", TypeA)
+	a := netip.MustParsePrefix("10.0.0.0/8")
+	b := netip.MustParsePrefix("172.16.0.0/12")
+	if err := m.SetClientSubnet(ClientSubnet{Prefix: a}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetClientSubnet(ClientSubnet{Prefix: b}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Additional) != 1 {
+		t.Fatalf("additional records = %d, want 1 (OPT replaced)", len(m.Additional))
+	}
+	cs, ok := m.ClientSubnet()
+	if !ok || cs.Prefix != b {
+		t.Errorf("prefix = %v, want %v", cs.Prefix, b)
+	}
+}
+
+func TestClientSubnetAbsent(t *testing.T) {
+	m := queryMessage(1, "x.example", TypeA)
+	if _, ok := m.ClientSubnet(); ok {
+		t.Error("message without OPT should have no ECS")
+	}
+	// OPT present but no ECS option.
+	m.Additional = append(m.Additional, ResourceRecord{
+		Name: ".", Type: TypeOPT, Class: Class(512),
+		Data: OPT{Options: []EDNSOption{{Code: 99, Data: []byte{1}}}},
+	})
+	if _, ok := m.ClientSubnet(); ok {
+		t.Error("OPT without ECS should have no ECS")
+	}
+}
+
+func TestOPTUnknownOptionsPreserved(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 4},
+		Additional: []ResourceRecord{{
+			Name: ".", Type: TypeOPT, Class: Class(4096),
+			Data: OPT{Options: []EDNSOption{
+				{Code: 10, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}}, // cookie
+				{Code: 99, Data: nil},
+			}},
+		}},
+	}
+	wire, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unpack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, ok := got.Additional[0].Data.(OPT)
+	if !ok {
+		t.Fatalf("data is %T", got.Additional[0].Data)
+	}
+	if len(opt.Options) != 2 || opt.Options[0].Code != 10 || len(opt.Options[0].Data) != 8 {
+		t.Errorf("options = %+v", opt.Options)
+	}
+}
+
+func TestUnpackOPTTruncated(t *testing.T) {
+	if _, err := unpackOPT([]byte{0, 8, 0, 10, 1}); err == nil {
+		t.Error("short option payload should fail")
+	}
+	if _, err := unpackOPT([]byte{0, 8}); err == nil {
+		t.Error("short option header should fail")
+	}
+}
+
+func TestClientSubnetPackParseProperty(t *testing.T) {
+	f := func(a, b, c, d byte, bitsRaw uint8) bool {
+		bits := int(bitsRaw % 33)
+		addr := netip.AddrFrom4([4]byte{a, b, c, d})
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			return false
+		}
+		data, err := (ClientSubnet{Prefix: p}).Pack()
+		if err != nil {
+			return false
+		}
+		got, err := ParseClientSubnet(data)
+		if err != nil {
+			return false
+		}
+		return got.Prefix == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// FuzzUnpack exercises the decoder against arbitrary bytes: it must
+// never panic, and anything it accepts must re-encode and re-decode to
+// an equivalent header.
+func FuzzUnpack(f *testing.F) {
+	seed := func(m *Message) {
+		wire, err := m.Pack()
+		if err == nil {
+			f.Add(wire)
+		}
+	}
+	seed(queryMessage(1, "example.com", TypeA))
+	seed(&Message{
+		Header:    Header{ID: 2, Response: true, Authoritative: true},
+		Questions: []Question{{Name: "a.b.c.example.", Type: TypeA, Class: ClassIN}},
+		Answers: []ResourceRecord{{
+			Name: "a.b.c.example.", Type: TypeA, Class: ClassIN, TTL: 300,
+			Data: A{Addr: netip.MustParseAddr("10.0.0.1")},
+		}},
+		Authority: []ResourceRecord{{
+			Name: "example.", Type: TypeSOA, Class: ClassIN, TTL: 60,
+			Data: SOA{MName: "ns.example.", RName: "root.example.", Serial: 1},
+		}},
+	})
+	f.Add([]byte{0xC0, 0x00})
+	f.Add(make([]byte, 12))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unpack(data)
+		if err != nil {
+			return
+		}
+		// Round-trip what we accepted: repack may legitimately fail for
+		// semantic reasons (e.g. empty TXT decoded from a permissive
+		// path must not exist), but if it succeeds, the second decode
+		// must agree on the header and section sizes.
+		wire, err := m.Pack()
+		if err != nil {
+			return
+		}
+		m2, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if m2.Header != m.Header {
+			t.Fatalf("header changed across round trip: %+v vs %+v", m.Header, m2.Header)
+		}
+		if len(m2.Questions) != len(m.Questions) ||
+			len(m2.Answers) != len(m.Answers) ||
+			len(m2.Authority) != len(m.Authority) ||
+			len(m2.Additional) != len(m.Additional) {
+			t.Fatal("section sizes changed across round trip")
+		}
+	})
+}
+
+// FuzzUnpackName targets the name decompressor directly, the riskiest
+// part of the decoder (pointer loops, truncation).
+func FuzzUnpackName(f *testing.F) {
+	f.Add([]byte{3, 'w', 'w', 'w', 0}, 0)
+	f.Add([]byte{0xC0, 0x00}, 0)
+	f.Add([]byte{1, 'a', 0xC0, 0x00}, 2)
+	f.Fuzz(func(t *testing.T, data []byte, off int) {
+		if off < 0 || off > len(data) {
+			return
+		}
+		name, next, err := unpackName(data, off)
+		if err != nil {
+			return
+		}
+		if next < off && next != 0 {
+			t.Fatalf("next offset %d went backwards from %d", next, off)
+		}
+		// Accepted names must satisfy the validator and re-encode.
+		if err := validateName(name); err != nil {
+			t.Fatalf("accepted invalid name %q: %v", name, err)
+		}
+		if _, err := packName(nil, name, make(map[string]int)); err != nil {
+			t.Fatalf("accepted name %q fails to encode: %v", name, err)
+		}
+	})
+}
+
+// FuzzParseClientSubnet targets the ECS option parser.
+func FuzzParseClientSubnet(f *testing.F) {
+	good, _ := (ClientSubnet{Prefix: netip.MustParsePrefix("192.0.2.0/24")}).Pack()
+	f.Add(good)
+	f.Add([]byte{0, 2, 48, 0, 0x20, 0x01, 0x0d, 0xb8, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs, err := ParseClientSubnet(data)
+		if err != nil {
+			return
+		}
+		repacked, err := cs.Pack()
+		if err != nil {
+			t.Fatalf("accepted ECS %v fails to pack: %v", cs, err)
+		}
+		cs2, err := ParseClientSubnet(repacked)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if cs2.Prefix != cs.Prefix {
+			t.Fatalf("prefix changed: %v vs %v", cs.Prefix, cs2.Prefix)
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name limits from RFC 1035 §2.3.4.
+const (
+	maxLabelLen = 63
+	maxNameLen  = 255
+	// compression pointers are 14-bit offsets
+	maxPointerOffset = 1<<14 - 1
+	// maxPointerJumps bounds pointer chains while decoding, preventing
+	// loops in hostile messages.
+	maxPointerJumps = 64
+)
+
+var (
+	// ErrNameTooLong reports a domain name over 255 octets.
+	ErrNameTooLong = errors.New("dnswire: name too long")
+	// ErrLabelTooLong reports a label over 63 octets.
+	ErrLabelTooLong = errors.New("dnswire: label too long")
+	// ErrBadName reports a syntactically invalid name.
+	ErrBadName = errors.New("dnswire: bad name")
+	// ErrTruncatedMessage reports a message shorter than its contents
+	// claim.
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	// ErrPointerLoop reports a compression pointer loop.
+	ErrPointerLoop = errors.New("dnswire: compression pointer loop")
+)
+
+// CanonicalName normalizes a domain name for comparison and storage:
+// lower-cased, exactly one trailing dot. The root is ".".
+func CanonicalName(s string) string {
+	s = strings.ToLower(strings.TrimSuffix(s, "."))
+	if s == "" {
+		return "."
+	}
+	return s + "."
+}
+
+// splitLabels returns the labels of a canonical or plain name, without
+// the trailing root label.
+func splitLabels(name string) []string {
+	name = strings.TrimSuffix(name, ".")
+	if name == "" {
+		return nil
+	}
+	return strings.Split(name, ".")
+}
+
+// validateName checks label and name limits.
+func validateName(name string) error {
+	labels := splitLabels(name)
+	total := 1 // root byte
+	for _, l := range labels {
+		if len(l) == 0 {
+			return fmt.Errorf("%w: empty label in %q", ErrBadName, name)
+		}
+		if len(l) > maxLabelLen {
+			return fmt.Errorf("%w: %q", ErrLabelTooLong, l)
+		}
+		total += len(l) + 1
+	}
+	if total > maxNameLen {
+		return fmt.Errorf("%w: %q", ErrNameTooLong, name)
+	}
+	return nil
+}
+
+// packName appends the wire encoding of name to buf, using the
+// compression map cmap (suffix → message offset) when a suffix was
+// already emitted. New suffix offsets are recorded in cmap.
+func packName(buf []byte, name string, cmap map[string]int) ([]byte, error) {
+	name = CanonicalName(name)
+	if err := validateName(name); err != nil {
+		return nil, err
+	}
+	labels := splitLabels(name)
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".") + "."
+		if off, ok := cmap[suffix]; ok && off <= maxPointerOffset {
+			buf = append(buf, 0xC0|byte(off>>8), byte(off))
+			return buf, nil
+		}
+		if len(buf) <= maxPointerOffset {
+			cmap[suffix] = len(buf)
+		}
+		buf = append(buf, byte(len(labels[i])))
+		buf = append(buf, labels[i]...)
+	}
+	buf = append(buf, 0) // root
+	return buf, nil
+}
+
+// unpackName decodes a possibly compressed name starting at off in
+// msg. It returns the canonical name and the offset just past the name
+// in the original (non-pointer) byte stream.
+func unpackName(msg []byte, off int) (string, int, error) {
+	var sb strings.Builder
+	jumped := false
+	next := off
+	jumps := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedMessage
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				next = off + 1
+			}
+			name := sb.String()
+			if name == "" {
+				name = "."
+			}
+			if err := validateName(name); err != nil {
+				return "", 0, err
+			}
+			return name, next, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			ptr := int(b&0x3F)<<8 | int(msg[off+1])
+			if !jumped {
+				next = off + 2
+				jumped = true
+			}
+			jumps++
+			if jumps > maxPointerJumps {
+				return "", 0, ErrPointerLoop
+			}
+			if ptr >= off {
+				// Forward or self pointers are always invalid and a
+				// common loop vector.
+				return "", 0, ErrPointerLoop
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type 0x%02x", ErrBadName, b&0xC0)
+		default:
+			l := int(b)
+			if off+1+l > len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			sb.Write(toLowerASCII(msg[off+1 : off+1+l]))
+			sb.WriteByte('.')
+			off += 1 + l
+			if !jumped {
+				next = off
+			}
+		}
+	}
+}
+
+// toLowerASCII lower-cases ASCII letters without allocation for
+// already-lowercase input being unnecessary to optimize; names are
+// short.
+func toLowerASCII(b []byte) []byte {
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return out
+}

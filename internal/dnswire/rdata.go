@@ -1,0 +1,248 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// ResourceRecord is one record of the answer, authority, or additional
+// section.
+type ResourceRecord struct {
+	Name  string
+	Type  Type
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// RData is the typed payload of a resource record.
+type RData interface {
+	// RType returns the record type the payload belongs to.
+	RType() Type
+	// packData appends the RDATA encoding (without the length prefix).
+	// Compressible names inside RDATA use cmap relative to the whole
+	// message.
+	packData(buf []byte, cmap map[string]int) ([]byte, error)
+}
+
+// A is an IPv4 address record payload.
+type A struct {
+	Addr netip.Addr
+}
+
+// RType implements RData.
+func (A) RType() Type { return TypeA }
+
+func (a A) packData(buf []byte, _ map[string]int) ([]byte, error) {
+	if !a.Addr.Is4() {
+		return nil, fmt.Errorf("dnswire: A record address %v is not IPv4", a.Addr)
+	}
+	b4 := a.Addr.As4()
+	return append(buf, b4[:]...), nil
+}
+
+// AAAA is an IPv6 address record payload.
+type AAAA struct {
+	Addr netip.Addr
+}
+
+// RType implements RData.
+func (AAAA) RType() Type { return TypeAAAA }
+
+func (a AAAA) packData(buf []byte, _ map[string]int) ([]byte, error) {
+	if !a.Addr.Is6() || a.Addr.Is4In6() {
+		return nil, fmt.Errorf("dnswire: AAAA record address %v is not IPv6", a.Addr)
+	}
+	b16 := a.Addr.As16()
+	return append(buf, b16[:]...), nil
+}
+
+// CNAME is a canonical-name record payload.
+type CNAME struct {
+	Target string
+}
+
+// RType implements RData.
+func (CNAME) RType() Type { return TypeCNAME }
+
+func (c CNAME) packData(buf []byte, cmap map[string]int) ([]byte, error) {
+	return packName(buf, c.Target, cmap)
+}
+
+// NS is a name-server record payload.
+type NS struct {
+	Host string
+}
+
+// RType implements RData.
+func (NS) RType() Type { return TypeNS }
+
+func (n NS) packData(buf []byte, cmap map[string]int) ([]byte, error) {
+	return packName(buf, n.Host, cmap)
+}
+
+// PTR is a pointer record payload.
+type PTR struct {
+	Target string
+}
+
+// RType implements RData.
+func (PTR) RType() Type { return TypePTR }
+
+func (p PTR) packData(buf []byte, cmap map[string]int) ([]byte, error) {
+	return packName(buf, p.Target, cmap)
+}
+
+// TXT is a text record payload: one or more character strings.
+type TXT struct {
+	Strings []string
+}
+
+// RType implements RData.
+func (TXT) RType() Type { return TypeTXT }
+
+func (t TXT) packData(buf []byte, _ map[string]int) ([]byte, error) {
+	if len(t.Strings) == 0 {
+		return nil, errors.New("dnswire: TXT record needs at least one string")
+	}
+	for _, s := range t.Strings {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("dnswire: TXT string of %d bytes exceeds 255", len(s))
+		}
+		buf = append(buf, byte(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf, nil
+}
+
+// SOA is a start-of-authority record payload.
+type SOA struct {
+	MName   string // primary name server
+	RName   string // responsible mailbox
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// RType implements RData.
+func (SOA) RType() Type { return TypeSOA }
+
+func (s SOA) packData(buf []byte, cmap map[string]int) ([]byte, error) {
+	var err error
+	buf, err = packName(buf, s.MName, cmap)
+	if err != nil {
+		return nil, err
+	}
+	buf, err = packName(buf, s.RName, cmap)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint32(buf, s.Serial)
+	buf = binary.BigEndian.AppendUint32(buf, s.Refresh)
+	buf = binary.BigEndian.AppendUint32(buf, s.Retry)
+	buf = binary.BigEndian.AppendUint32(buf, s.Expire)
+	buf = binary.BigEndian.AppendUint32(buf, s.Minimum)
+	return buf, nil
+}
+
+// Raw is an uninterpreted payload carrying any record type this
+// package does not model.
+type Raw struct {
+	Type Type
+	Data []byte
+}
+
+// RType implements RData.
+func (r Raw) RType() Type { return r.Type }
+
+func (r Raw) packData(buf []byte, _ map[string]int) ([]byte, error) {
+	return append(buf, r.Data...), nil
+}
+
+// unpackRData decodes the RDATA of the given type from msg[off:off+n].
+func unpackRData(msg []byte, off, n int, typ Type) (RData, error) {
+	if off+n > len(msg) {
+		return nil, ErrTruncatedMessage
+	}
+	switch typ {
+	case TypeA:
+		if n != 4 {
+			return nil, fmt.Errorf("dnswire: A RDATA length %d, want 4", n)
+		}
+		var b4 [4]byte
+		copy(b4[:], msg[off:off+4])
+		return A{Addr: netip.AddrFrom4(b4)}, nil
+	case TypeAAAA:
+		if n != 16 {
+			return nil, fmt.Errorf("dnswire: AAAA RDATA length %d, want 16", n)
+		}
+		var b16 [16]byte
+		copy(b16[:], msg[off:off+16])
+		return AAAA{Addr: netip.AddrFrom16(b16)}, nil
+	case TypeCNAME:
+		name, _, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		return CNAME{Target: name}, nil
+	case TypeNS:
+		name, _, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		return NS{Host: name}, nil
+	case TypePTR:
+		name, _, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		return PTR{Target: name}, nil
+	case TypeTXT:
+		var out []string
+		end := off + n
+		for off < end {
+			l := int(msg[off])
+			off++
+			if off+l > end {
+				return nil, ErrTruncatedMessage
+			}
+			out = append(out, string(msg[off:off+l]))
+			off += l
+		}
+		if len(out) == 0 {
+			return nil, errors.New("dnswire: empty TXT RDATA")
+		}
+		return TXT{Strings: out}, nil
+	case TypeSOA:
+		m, next, err := unpackName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		r, next, err := unpackName(msg, next)
+		if err != nil {
+			return nil, err
+		}
+		if next+20 > len(msg) || next+20 > off+n {
+			return nil, ErrTruncatedMessage
+		}
+		return SOA{
+			MName:   m,
+			RName:   r,
+			Serial:  binary.BigEndian.Uint32(msg[next:]),
+			Refresh: binary.BigEndian.Uint32(msg[next+4:]),
+			Retry:   binary.BigEndian.Uint32(msg[next+8:]),
+			Expire:  binary.BigEndian.Uint32(msg[next+12:]),
+			Minimum: binary.BigEndian.Uint32(msg[next+16:]),
+		}, nil
+	case TypeOPT:
+		return unpackOPT(msg[off : off+n])
+	default:
+		data := make([]byte, n)
+		copy(data, msg[off:off+n])
+		return Raw{Type: typ, Data: data}, nil
+	}
+}

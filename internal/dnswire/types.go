@@ -1,0 +1,148 @@
+// Package dnswire implements the subset of the RFC 1035 DNS wire
+// protocol needed to run the adaptive-TTL scheduler as a real
+// authoritative name server: message header, questions, resource
+// records (A, AAAA, NS, CNAME, SOA, TXT, and raw fallback), and domain
+// name encoding with message compression.
+//
+// The package is self-contained over the standard library and is used
+// by internal/dnsserver (authoritative side) and internal/dnsclient
+// (stub resolver and caching NS).
+package dnswire
+
+import "fmt"
+
+// Type is a DNS resource record type (RFC 1035 §3.2.2).
+type Type uint16
+
+// Record types supported or recognized by this package.
+const (
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	// TypeANY is the QTYPE "*" matching all records (query only).
+	TypeANY Type = 255
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	case TypeANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("TYPE%d", uint16(t))
+	}
+}
+
+// Class is a DNS class; only IN is used in practice.
+type Class uint16
+
+// Classes.
+const (
+	ClassIN  Class = 1
+	ClassANY Class = 255
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassANY:
+		return "ANY"
+	default:
+		return fmt.Sprintf("CLASS%d", uint16(c))
+	}
+}
+
+// OpCode is the kind of query (RFC 1035 §4.1.1).
+type OpCode uint16
+
+// OpCodes.
+const (
+	OpQuery  OpCode = 0
+	OpIQuery OpCode = 1
+	OpStatus OpCode = 2
+)
+
+// RCode is a response code (RFC 1035 §4.1.1).
+type RCode uint16
+
+// Response codes.
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+// String implements fmt.Stringer.
+func (r RCode) String() string {
+	switch r {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	default:
+		return fmt.Sprintf("RCODE%d", uint16(r))
+	}
+}
+
+// Header is the fixed 12-byte message header (RFC 1035 §4.1.1),
+// unpacked into named fields.
+type Header struct {
+	ID                 uint16
+	Response           bool
+	OpCode             OpCode
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is one entry of the question section.
+type Question struct {
+	Name  string
+	Type  Type
+	Class Class
+}
+
+// Message is a full DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []ResourceRecord
+	Authority  []ResourceRecord
+	Additional []ResourceRecord
+}

@@ -1,0 +1,164 @@
+// Package experiments defines one runnable experiment per table and
+// figure of the paper's evaluation (Section 5), producing the same
+// rows/series the paper reports: cumulative-frequency curves of the
+// maximum server utilization (Figures 1–2) and Prob(MaxUtilization <
+// 0.98) sweeps over heterogeneity, minimum TTL, and estimation error
+// (Figures 3–7).
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"dnslb/internal/sim"
+	"dnslb/internal/stats"
+)
+
+// Options controls how an experiment is executed.
+type Options struct {
+	// Duration is the virtual measurement time per run in seconds
+	// (paper: 5 h).
+	Duration float64
+	// Warmup is discarded virtual time before measurement.
+	Warmup float64
+	// Reps is the number of independent replications per point; the
+	// reported value is their mean.
+	Reps int
+	// Seed is the base random seed.
+	Seed uint64
+	// CurvePoints is the number of x samples for CDF figures.
+	CurvePoints int
+}
+
+// DefaultOptions reproduces the paper's setup: five simulated hours,
+// three replications.
+func DefaultOptions() Options {
+	return Options{
+		Duration:    5 * 3600,
+		Warmup:      600,
+		Reps:        3,
+		Seed:        1,
+		CurvePoints: 21,
+	}
+}
+
+// QuickOptions trades precision for speed: one simulated hour, one
+// replication. Useful for smoke runs and CI.
+func QuickOptions() Options {
+	return Options{
+		Duration:    3600,
+		Warmup:      600,
+		Reps:        1,
+		Seed:        1,
+		CurvePoints: 21,
+	}
+}
+
+func (o Options) validate() error {
+	switch {
+	case o.Duration <= 0:
+		return errors.New("experiments: Duration must be positive")
+	case o.Warmup < 0:
+		return errors.New("experiments: Warmup must be non-negative")
+	case o.Reps <= 0:
+		return errors.New("experiments: Reps must be positive")
+	case o.CurvePoints < 2:
+		return errors.New("experiments: CurvePoints must be at least 2")
+	}
+	return nil
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name string
+	// Values aligns with the figure's XValues.
+	Values []float64
+	// HalfWidths are the 95% confidence half-widths when Reps > 1
+	// (nil otherwise), aligned with Values.
+	HalfWidths []float64
+}
+
+// Figure is the reproduced data behind one paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	XVals  []float64
+	Series []Series
+}
+
+// seriesAt returns the named series, for tests and report generation.
+func (f *Figure) seriesAt(name string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// Value returns the y value of the named series at the x index.
+func (f *Figure) Value(name string, i int) (float64, error) {
+	s, ok := f.seriesAt(name)
+	if !ok {
+		return 0, fmt.Errorf("experiments: figure %s has no series %q", f.ID, name)
+	}
+	if i < 0 || i >= len(s.Values) {
+		return 0, fmt.Errorf("experiments: index %d out of range", i)
+	}
+	return s.Values[i], nil
+}
+
+// applyOptions copies the experiment options onto a sim config.
+func applyOptions(cfg *sim.Config, o Options) {
+	cfg.Duration = o.Duration
+	cfg.Warmup = o.Warmup
+	cfg.Seed = o.Seed
+}
+
+// runProb returns the mean and CI half-width of Prob(MaxUtil < level)
+// over o.Reps replications of cfg.
+func runProb(cfg sim.Config, o Options, level float64) (float64, float64, error) {
+	applyOptions(&cfg, o)
+	results, err := sim.RunReplications(cfg, o.Reps)
+	if err != nil {
+		return 0, 0, err
+	}
+	iv := sim.ProbMaxUnderCI(results, level, 0.95)
+	hw := iv.HalfWide
+	if o.Reps < 2 {
+		hw = 0
+	}
+	return iv.Mean, hw, nil
+}
+
+// runCurve returns the mean cumulative-frequency curve of the maximum
+// utilization at the given levels over o.Reps replications.
+func runCurve(cfg sim.Config, o Options, levels []float64) ([]float64, error) {
+	applyOptions(&cfg, o)
+	results, err := sim.RunReplications(cfg, o.Reps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(levels))
+	for i, x := range levels {
+		var w stats.Welford
+		for _, r := range results {
+			w.Add(r.ProbMaxUnder(x))
+		}
+		out[i] = w.Mean()
+	}
+	return out, nil
+}
+
+// utilizationLevels returns the x axis of the CDF figures.
+func utilizationLevels(points int) []float64 {
+	const lo, hi = 0.5, 1.0
+	out := make([]float64, points)
+	step := (hi - lo) / float64(points-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}

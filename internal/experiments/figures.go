@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"dnslb/internal/core"
+	"dnslb/internal/sim"
+)
+
+// The metric level of Figures 3–7: Prob(MaxUtilization < 0.98),
+// the paper's 98th-percentile view of the maximum utilization.
+const metricLevel = 0.98
+
+// cdfFigure runs one cumulative-frequency figure (Figures 1 and 2):
+// one curve per policy at a fixed heterogeneity level.
+func cdfFigure(id, title string, hetPct int, policies []string, o Options) (*Figure, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	levels := utilizationLevels(o.CurvePoints)
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: "Max Utilization",
+		YLabel: "Cumulative Frequency",
+		XVals:  levels,
+	}
+	for _, pol := range policies {
+		cfg := sim.DefaultConfig(pol)
+		cfg.HeterogeneityPct = hetPct
+		if pol == "Ideal" {
+			cfg.Workload.Uniform = true
+		}
+		values, err := runCurve(cfg, o, levels)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", id, pol, err)
+		}
+		fig.Series = append(fig.Series, Series{Name: pol, Values: values})
+	}
+	return fig, nil
+}
+
+// Figure1 reproduces "Deterministic algorithms (Het. 20%)": the
+// cumulative frequency of the maximum server utilization for the
+// RR-based deterministic adaptive-TTL policies, bracketed by the Ideal
+// envelope above and conventional RR below.
+func Figure1(o Options) (*Figure, error) {
+	return cdfFigure("fig1", "Deterministic algorithms (Het. 20%)", 20,
+		[]string{
+			"Ideal",
+			"DRR2-TTL/S_K", "DRR-TTL/S_K",
+			"DRR2-TTL/S_2", "DRR-TTL/S_2",
+			"DRR2-TTL/S_1", "DRR-TTL/S_1",
+			"RR",
+		}, o)
+}
+
+// Figure2 reproduces "Probabilistic algorithms (Het. 35%)": the same
+// metric for the PRR-based policies whose TTL depends on the domain
+// only.
+func Figure2(o Options) (*Figure, error) {
+	return cdfFigure("fig2", "Probabilistic algorithms (Het. 35%)", 35,
+		[]string{
+			"Ideal",
+			"PRR2-TTL/K", "PRR-TTL/K",
+			"PRR2-TTL/2", "PRR-TTL/2",
+			"PRR2-TTL/1", "PRR-TTL/1",
+			"RR",
+		}, o)
+}
+
+// sweepFigure runs one Prob(MaxUtil < 0.98) sweep figure: for each x
+// value, mutate derives a sim config per policy.
+func sweepFigure(id, title, xlabel string, xs []float64, policies []string,
+	o Options, mutate func(cfg *sim.Config, x float64)) (*Figure, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: xlabel,
+		YLabel: "Prob(MaxUtilization < 0.98)",
+		XVals:  xs,
+	}
+	for _, pol := range policies {
+		s := Series{Name: pol, Values: make([]float64, len(xs)), HalfWidths: make([]float64, len(xs))}
+		for i, x := range xs {
+			cfg := sim.DefaultConfig(pol)
+			if pol == "Ideal" {
+				cfg.Workload.Uniform = true
+			}
+			mutate(&cfg, x)
+			mean, hw, err := runProb(cfg, o, metricLevel)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s x=%v: %w", id, pol, x, err)
+			}
+			s.Values[i] = mean
+			s.HalfWidths[i] = hw
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Figure3 reproduces "Sensitivity to system heterogeneity": the
+// 98th-percentile metric as heterogeneity grows from 20% to 65%,
+// including the capacity-aware DAL baseline that demonstrates
+// homogeneous-system policies do not transfer.
+func Figure3(o Options) (*Figure, error) {
+	return sweepFigure("fig3", "Sensitivity to system heterogeneity",
+		"Heterogeneity (max difference among server capacities %)",
+		[]float64{20, 35, 50, 65},
+		[]string{"DRR2-TTL/S_K", "DRR2-TTL/S_2", "PRR2-TTL/K", "PRR2-TTL/2", "DAL", "RR"},
+		o,
+		func(cfg *sim.Config, x float64) { cfg.HeterogeneityPct = int(x) })
+}
+
+// minTTLXs is the sweep over the minimum TTL imposed by
+// non-cooperative name servers, in seconds.
+var minTTLXs = []float64{0, 60, 120, 180, 240, 300}
+
+// minTTLPolicies are the adaptive schemes compared in Figures 4 and 5.
+var minTTLPolicies = []string{
+	"DRR2-TTL/S_K", "DRR-TTL/S_K", "PRR2-TTL/K", "PRR-TTL/K", "PRR2-TTL/2",
+}
+
+// Figure4 reproduces "Sensitivity to minimum TTL (Het. 20%)": the
+// worst-case scenario where every NS raises any proposed TTL below the
+// x-axis threshold.
+func Figure4(o Options) (*Figure, error) {
+	return sweepFigure("fig4", "Sensitivity to minimum TTL (Het. 20%)",
+		"Minimum TTL (sec)", minTTLXs, minTTLPolicies, o,
+		func(cfg *sim.Config, x float64) {
+			cfg.HeterogeneityPct = 20
+			cfg.MinNSTTL = x
+		})
+}
+
+// Figure5 reproduces "Sensitivity to minimum TTL (Het. 50%)".
+func Figure5(o Options) (*Figure, error) {
+	return sweepFigure("fig5", "Sensitivity to minimum TTL (Het. 50%)",
+		"Minimum TTL (sec)", minTTLXs, minTTLPolicies, o,
+		func(cfg *sim.Config, x float64) {
+			cfg.HeterogeneityPct = 50
+			cfg.MinNSTTL = x
+		})
+}
+
+// errorXs is the sweep over the maximum error in estimating the domain
+// hidden load weight, in percent.
+var errorXs = []float64{0, 10, 20, 30, 40, 50}
+
+// errorPolicies are the eight adaptive schemes compared in Figures 6–7.
+var errorPolicies = []string{
+	"DRR2-TTL/S_K", "DRR-TTL/S_K", "PRR2-TTL/K", "PRR-TTL/K",
+	"DRR2-TTL/S_2", "DRR-TTL/S_2", "PRR2-TTL/2", "PRR-TTL/2",
+}
+
+// Figure6 reproduces "Sensitivity to error in estimating the domain
+// hidden load weight (Het. 20%)": the busiest domain's actual rate is
+// inflated by the x-axis percentage while the DNS keeps stale
+// estimates.
+func Figure6(o Options) (*Figure, error) {
+	return sweepFigure("fig6", "Sensitivity to estimation error (Het. 20%)",
+		"Estimation Error %", errorXs, errorPolicies, o,
+		func(cfg *sim.Config, x float64) {
+			cfg.HeterogeneityPct = 20
+			cfg.Workload.PerturbationPct = x
+		})
+}
+
+// Figure7 reproduces the same sensitivity at 50% heterogeneity, where
+// the two-class schemes degrade substantially.
+func Figure7(o Options) (*Figure, error) {
+	return sweepFigure("fig7", "Sensitivity to estimation error (Het. 50%)",
+		"Estimation Error %", errorXs, errorPolicies, o,
+		func(cfg *sim.Config, x float64) {
+			cfg.HeterogeneityPct = 50
+			cfg.Workload.PerturbationPct = x
+		})
+}
+
+// Table2 reproduces the paper's Table 2: the relative server
+// capacities of the four heterogeneity levels.
+func Table2() (*Figure, error) {
+	fig := &Figure{
+		ID:     "table2",
+		Title:  "Parameters of the heterogeneity levels (relative capacities)",
+		XLabel: "Server",
+		YLabel: "Relative capacity",
+		XVals:  []float64{1, 2, 3, 4, 5, 6, 7},
+	}
+	for _, level := range []int{20, 35, 50, 65} {
+		v, err := core.HeterogeneityVector(7, level)
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = append(fig.Series, Series{Name: fmt.Sprintf("%d%%", level), Values: v})
+	}
+	return fig, nil
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Figure, error)
+
+// Registry maps experiment IDs to their runners: the paper's figures
+// (fig1..fig7, table2) plus the extension sweeps and ablations defined
+// in extensions.go. Table 1 is a plain parameter echo handled by the
+// CLI; Table 2 ignores options.
+var Registry = map[string]Runner{
+	"fig1":   Figure1,
+	"fig2":   Figure2,
+	"fig3":   Figure3,
+	"fig4":   Figure4,
+	"fig5":   Figure5,
+	"fig6":   Figure6,
+	"fig7":   Figure7,
+	"table2": func(Options) (*Figure, error) { return Table2() },
+
+	"ext-domains":   ExtDomains,
+	"ext-servers":   ExtServers,
+	"ext-load":      ExtLoad,
+	"ext-classes":   ExtClasses,
+	"ext-alarm":     ExtAlarm,
+	"ext-window":    ExtWindow,
+	"ext-estimator": ExtEstimator,
+	"ext-geo":       ExtGeo,
+	"ext-baselines": ExtBaselines,
+}
+
+// PaperIDs returns the experiment IDs that reproduce the paper's own
+// evaluation, in figure order.
+func PaperIDs() []string {
+	return []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "table2"}
+}
+
+// ExtensionIDs returns the experiment IDs that go beyond the paper.
+func ExtensionIDs() []string {
+	return []string{
+		"ext-alarm", "ext-baselines", "ext-classes", "ext-domains",
+		"ext-estimator", "ext-geo", "ext-load", "ext-servers", "ext-window",
+	}
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func plotFigure() *Figure {
+	return &Figure{
+		ID: "figP", Title: "plot demo", XLabel: "x", YLabel: "P",
+		XVals: []float64{0, 50, 100},
+		Series: []Series{
+			{Name: "up", Values: []float64{0, 0.5, 1}},
+			{Name: "down", Values: []float64{1, 0.5, 0}},
+		},
+	}
+}
+
+func TestRenderPlotBasics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := plotFigure().RenderPlot(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"figP — plot demo",
+		"1.00", "0.00",
+		"x: x, y: P",
+		"* up",
+		"o down",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both markers appear in the grid.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing from grid")
+	}
+}
+
+func TestRenderPlotEndpointPositions(t *testing.T) {
+	var buf bytes.Buffer
+	fig := &Figure{
+		ID: "figQ", Title: "t", XLabel: "x", YLabel: "y",
+		XVals:  []float64{0, 100},
+		Series: []Series{{Name: "s", Values: []float64{1, 0}}},
+	}
+	if err := fig.RenderPlot(&buf, 30, 7); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// Row 1 (after the title) is y=1: marker at the left edge.
+	top := lines[1]
+	if !strings.Contains(top, "|*") {
+		t.Errorf("top row should start with the y=1 endpoint: %q", top)
+	}
+	bottom := lines[7]
+	if !strings.Contains(bottom, "*|") {
+		t.Errorf("bottom row should end with the y=0 endpoint: %q", bottom)
+	}
+}
+
+func TestRenderPlotClampsTinyDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := plotFigure().RenderPlot(&buf, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.String()) == 0 {
+		t.Error("no output")
+	}
+}
+
+func TestRenderPlotEmptyFigure(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Figure{ID: "figE"}
+	if err := empty.RenderPlot(&buf, 40, 10); err == nil {
+		t.Error("empty figure should error")
+	}
+}
+
+func TestRenderPlotDegenerateXRange(t *testing.T) {
+	fig := &Figure{
+		ID: "figD", Title: "t", XLabel: "x", YLabel: "y",
+		XVals:  []float64{5},
+		Series: []Series{{Name: "s", Values: []float64{0.5}}},
+	}
+	var buf bytes.Buffer
+	if err := fig.RenderPlot(&buf, 30, 7); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes the figure as an aligned text table: one row per x
+// value, one column per series — the same rows/series the paper plots.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# y: %s\n", f.YLabel); err != nil {
+		return err
+	}
+	headers := make([]string, 0, len(f.Series)+1)
+	headers = append(headers, f.XLabel)
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	widths := make([]int, len(headers))
+	rows := make([][]string, 0, len(f.XVals)+1)
+	rows = append(rows, headers)
+	for i, x := range f.XVals {
+		row := make([]string, 0, len(headers))
+		row = append(row, trimFloat(x))
+		for _, s := range f.Series {
+			if i < len(s.Values) {
+				row = append(row, fmt.Sprintf("%.4f", s.Values[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for c, cell := range row {
+			cells[c] = fmt.Sprintf("%-*s", widths[c], cell)
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(cells, "  "), " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the figure as CSV with a header row.
+func (f *Figure) RenderCSV(w io.Writer) error {
+	cols := make([]string, 0, len(f.Series)+1)
+	cols = append(cols, csvEscape(f.XLabel))
+	for _, s := range f.Series {
+		cols = append(cols, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range f.XVals {
+		row := make([]string, 0, len(cols))
+		row = append(row, trimFloat(x))
+		for _, s := range f.Series {
+			if i < len(s.Values) {
+				row = append(row, fmt.Sprintf("%.6f", s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(x float64) string {
+	s := fmt.Sprintf("%.4f", x)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+// Package sim assembles the full simulation of the paper's system: a
+// Zipf-skewed client population, per-domain name-server caches, the
+// DNS scheduler under test, and the heterogeneous Web server cluster,
+// all driven by the discrete-event engine. One Run reproduces one
+// point of one figure; the experiments package sweeps Runs.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dnslb/internal/trace"
+	"dnslb/internal/workload"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Workload is the client population model.
+	Workload workload.Config
+
+	// Trace optionally replaces the generated client population with a
+	// recorded workload (see internal/trace): arrivals are replayed
+	// verbatim, so every policy faces identical traffic. The Workload
+	// field still supplies the domain count and the oracle weights.
+	Trace []trace.Record
+
+	// Servers is the cluster size N (paper default 7, range 5–17).
+	Servers int
+	// HeterogeneityPct is the maximum difference among relative server
+	// capacities in percent (paper: 20, 35, 50, 65).
+	HeterogeneityPct int
+	// TotalCapacity is ΣC_i in hits/second, constant across
+	// heterogeneity levels (paper: 500).
+	TotalCapacity float64
+
+	// Policy is the DNS scheduling policy catalog name (core package).
+	Policy string
+	// ConstantTTL is the baseline TTL in seconds all adaptive policies
+	// are rate-calibrated against (paper: 240).
+	ConstantTTL float64
+	// MinNSTTL models non-cooperative name servers: every NS raises a
+	// proposed TTL below this value to it. 0 = fully cooperative.
+	MinNSTTL float64
+
+	// UtilizationInterval is how often each server recomputes its
+	// utilization and evaluates the alarm condition, in seconds
+	// (paper: 8).
+	UtilizationInterval float64
+	// AlarmThreshold is the utilization θ above which a server signals
+	// the DNS that it is critically loaded (0 disables alarms).
+	AlarmThreshold float64
+	// MetricWindow is the observation window for the reported maximum
+	// utilization metric, in seconds. It must be a multiple of the
+	// utilization interval; each metric observation averages the
+	// consecutive alarm-interval utilizations it spans. A longer
+	// metric window separates persistent scheduling imbalance from
+	// short-term stochastic burst noise (see DESIGN.md).
+	MetricWindow float64
+
+	// OracleWeights gives the DNS perfect knowledge of the nominal
+	// domain request rates (the paper's setting; perturbations in the
+	// workload then model estimation error). When false, the DNS runs
+	// the dynamic hidden-load estimator instead.
+	OracleWeights bool
+	// EstimatorInterval is the collection period of the dynamic
+	// estimator in seconds (used when OracleWeights is false).
+	EstimatorInterval float64
+	// EstimatorAlpha is the EWMA weight of the newest interval.
+	EstimatorAlpha float64
+
+	// GeoPreference enables the proximity extension: with probability
+	// GeoPreference the DNS answers with the nearest available server
+	// (by the synthetic ring geography) instead of the discipline's
+	// choice. 0 disables the extension (the paper's behaviour).
+	GeoPreference float64
+	// GeoBaseMS and GeoSpanMS shape the synthetic ring latency matrix
+	// (defaults 20 ms base, 160 ms span when GeoPreference > 0).
+	GeoBaseMS, GeoSpanMS float64
+
+	// Duration is the measured virtual time in seconds (paper: 5 h).
+	Duration float64
+	// Warmup is discarded virtual time before measurement starts.
+	Warmup float64
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's default parameters (Table 1) for
+// the given policy name.
+func DefaultConfig(policy string) Config {
+	return Config{
+		Workload:            workload.Default(),
+		Servers:             7,
+		HeterogeneityPct:    20,
+		TotalCapacity:       500,
+		Policy:              policy,
+		ConstantTTL:         240,
+		UtilizationInterval: 8,
+		AlarmThreshold:      0.9,
+		MetricWindow:        32,
+		OracleWeights:       true,
+		EstimatorInterval:   60,
+		EstimatorAlpha:      0.5,
+		Duration:            5 * 3600,
+		Warmup:              600,
+		Seed:                1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.Servers <= 0:
+		return errors.New("sim: Servers must be positive")
+	case c.HeterogeneityPct < 0 || c.HeterogeneityPct >= 100:
+		return fmt.Errorf("sim: HeterogeneityPct %d out of [0,100)", c.HeterogeneityPct)
+	case c.TotalCapacity <= 0:
+		return errors.New("sim: TotalCapacity must be positive")
+	case c.Policy == "":
+		return errors.New("sim: Policy is required")
+	case c.ConstantTTL <= 0:
+		return errors.New("sim: ConstantTTL must be positive")
+	case c.MinNSTTL < 0:
+		return errors.New("sim: MinNSTTL must be non-negative")
+	case c.UtilizationInterval <= 0:
+		return errors.New("sim: UtilizationInterval must be positive")
+	case c.AlarmThreshold < 0 || c.AlarmThreshold > 1:
+		return errors.New("sim: AlarmThreshold must be within [0,1]")
+	case c.MetricWindow < c.UtilizationInterval:
+		return errors.New("sim: MetricWindow must be at least the utilization interval")
+	case math.Abs(c.MetricWindow/c.UtilizationInterval-math.Round(c.MetricWindow/c.UtilizationInterval)) > 1e-9:
+		return errors.New("sim: MetricWindow must be a multiple of the utilization interval")
+	case !c.OracleWeights && c.EstimatorInterval <= 0:
+		return errors.New("sim: EstimatorInterval must be positive")
+	case c.Duration <= 0:
+		return errors.New("sim: Duration must be positive")
+	case c.Warmup < 0:
+		return errors.New("sim: Warmup must be non-negative")
+	case c.GeoPreference < 0 || c.GeoPreference > 1:
+		return errors.New("sim: GeoPreference must be within [0,1]")
+	case c.GeoBaseMS < 0 || c.GeoSpanMS < 0:
+		return errors.New("sim: geo latencies must be non-negative")
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dnslb/internal/core"
+	"dnslb/internal/nameserver"
+	"dnslb/internal/simcore"
+	"dnslb/internal/stats"
+	"dnslb/internal/webserver"
+)
+
+// Result holds the outputs of one simulation run.
+type Result struct {
+	// Config echoes the run's configuration.
+	Config Config
+	// MaxUtil is the per-window maximum server utilization series
+	// after warm-up — the paper's primary metric source.
+	MaxUtil *stats.Series
+	// MeanServerUtil is each server's mean utilization over the
+	// measured period.
+	MeanServerUtil []float64
+	// AddressRequests counts DNS scheduler decisions (NS cache misses).
+	AddressRequests uint64
+	// CacheHits counts NS lookups answered from cache.
+	CacheHits uint64
+	// TotalHits and TotalPages count the data requests served.
+	TotalHits  uint64
+	TotalPages uint64
+	// AlarmSignals counts alarm state transitions sent to the DNS.
+	AlarmSignals uint64
+	// MeanResponseTime is the traffic-weighted mean page response time
+	// (queue wait + service) across servers, in seconds — a secondary
+	// metric: overload shows up as unbounded queueing delay.
+	MeanResponseTime float64
+	// MaxResponseTime is the worst page response time at any server.
+	MaxResponseTime float64
+	// MeanLatencyMS is the traffic-weighted mean client-to-server
+	// network distance under the geo extension (0 unless GeoPreference
+	// or the geo matrix is enabled).
+	MeanLatencyMS float64
+	// Sched is the scheduling policy's own counters.
+	Sched core.Stats
+	// ClampedTTLs counts mappings whose TTL a non-cooperative NS raised.
+	ClampedTTLs uint64
+	// EventsFired is the engine's executed event count.
+	EventsFired uint64
+}
+
+// ProbMaxUnder returns the fraction of measurement windows in which
+// every server's utilization stayed below the level x — the paper's
+// cumulative frequency of the maximum utilization.
+func (r *Result) ProbMaxUnder(x float64) float64 { return r.MaxUtil.CDF(x) }
+
+// ProbMaxUnderBatchCI estimates a within-run confidence interval for
+// Prob(MaxUtilization < x) by the method of batch means over the
+// window indicator series — the single-run analogue of the paper's
+// "95% confidence interval within 4% of the mean" statement.
+func (r *Result) ProbMaxUnderBatchCI(x, level float64) stats.Interval {
+	vals := r.MaxUtil.Values()
+	indicators := make([]float64, len(vals))
+	for i, v := range vals {
+		if v <= x {
+			indicators[i] = 1
+		}
+	}
+	return stats.BatchMeansCI(indicators, 10, level)
+}
+
+// AddressRate returns scheduler decisions per virtual second.
+func (r *Result) AddressRate() float64 {
+	return float64(r.AddressRequests) / (r.Config.Duration + r.Config.Warmup)
+}
+
+// ControlledFraction returns the fraction of page requests whose
+// routing the DNS directly decided — the paper's observation that the
+// scheduler controls only a small percentage of the requests.
+func (r *Result) ControlledFraction() float64 {
+	if r.TotalPages == 0 {
+		return 0
+	}
+	return float64(r.AddressRequests) / float64(r.TotalPages)
+}
+
+// client is one Web client: it belongs to a domain, holds the
+// session's server mapping, and cycles think → page burst.
+type client struct {
+	domain    int
+	server    int
+	pagesLeft int
+}
+
+// Run executes one simulation and returns its results.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cluster, err := core.ScaledCluster(cfg.Servers, cfg.HeterogeneityPct, cfg.TotalCapacity)
+	if err != nil {
+		return nil, err
+	}
+	state, err := core.NewState(cluster, cfg.Workload.Domains)
+	if err != nil {
+		return nil, err
+	}
+	if err := state.SetWeights(cfg.Workload.OracleWeights()); err != nil {
+		return nil, err
+	}
+
+	engine := simcore.New(cfg.Seed)
+	policyCfg := core.PolicyConfig{
+		Name:        cfg.Policy,
+		State:       state,
+		Rand:        engine.Stream("policy"),
+		Now:         engine.Now,
+		ConstantTTL: cfg.ConstantTTL,
+	}
+	var geo *core.LatencyMatrix
+	if cfg.GeoPreference > 0 {
+		base, span := cfg.GeoBaseMS, cfg.GeoSpanMS
+		if base == 0 && span == 0 {
+			base, span = 20, 160
+		}
+		geo, err = core.RingLatencies(cfg.Workload.Domains, cfg.Servers, base, span)
+		if err != nil {
+			return nil, err
+		}
+		policyCfg.Proximity = &core.ProximityConfig{Matrix: geo, Preference: cfg.GeoPreference}
+	}
+	policy, err := core.NewPolicy(policyCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	servers := make([]*webserver.Server, cfg.Servers)
+	for i := range servers {
+		servers[i], err = webserver.New(cluster.Capacity(i), cfg.Workload.Domains)
+		if err != nil {
+			return nil, err
+		}
+	}
+	caches := make([]*nameserver.Cache, cfg.Workload.Domains)
+	for j := range caches {
+		caches[j], err = nameserver.New(cfg.MinNSTTL)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var estimator *core.Estimator
+	if !cfg.OracleWeights {
+		estimator, err = core.NewEstimator(cfg.Workload.Domains, cfg.EstimatorAlpha)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Config: cfg}
+	var scheduleErr error
+	var latSum, latHits float64
+	deliver := func(domain, server, hits int) {
+		servers[server].Arrive(engine.Now(), domain, hits)
+		if geo != nil {
+			latSum += geo.Latency(domain, server) * float64(hits)
+			latHits += float64(hits)
+		}
+	}
+
+	// resolve returns the server for a new session of the given domain,
+	// consulting the domain's NS cache first.
+	resolve := func(domain int) int {
+		now := engine.Now()
+		if server, ok := caches[domain].Lookup(now); ok {
+			return server
+		}
+		d, err := policy.Schedule(domain)
+		if err != nil {
+			if scheduleErr == nil {
+				scheduleErr = err
+			}
+			return 0
+		}
+		res.AddressRequests++
+		caches[domain].Store(now, d.Server, d.TTL)
+		return d.Server
+	}
+
+	// Traffic: either live client processes or a recorded trace.
+	if len(cfg.Trace) > 0 {
+		if err := scheduleTrace(cfg, engine, deliver, resolve); err != nil {
+			return nil, err
+		}
+	} else {
+		scheduleClients(cfg, engine, deliver, resolve)
+	}
+
+	// Utilization sampling, alarms, and the max-utilization metric.
+	// Servers recompute utilization (and evaluate the alarm condition)
+	// every UtilizationInterval; the reported metric averages the
+	// sub-windows spanned by each MetricWindow.
+	horizon := cfg.Warmup + cfg.Duration
+	maxUtil := stats.NewWindowedMax(cfg.Servers)
+	alarmed := make([]bool, cfg.Servers)
+	subPerMetric := int(math.Round(cfg.MetricWindow / cfg.UtilizationInterval))
+	utilSum := make([]float64, cfg.Servers)
+	subCount := 0
+	var sampler func()
+	sampler = func() {
+		now := engine.Now()
+		measuring := now > cfg.Warmup
+		for i, sv := range servers {
+			u := sv.CloseWindow(now)
+			if cfg.AlarmThreshold > 0 {
+				over := u > cfg.AlarmThreshold
+				if over != alarmed[i] {
+					alarmed[i] = over
+					state.SetAlarm(i, over)
+					res.AlarmSignals++
+				}
+			}
+			if measuring {
+				utilSum[i] += u
+			}
+		}
+		if measuring {
+			subCount++
+			if subCount == subPerMetric {
+				for i := range utilSum {
+					maxUtil.Observe(i, utilSum[i]/float64(subPerMetric))
+					utilSum[i] = 0
+				}
+				subCount = 0
+			}
+		}
+		if now < horizon {
+			engine.Schedule(cfg.UtilizationInterval, sampler)
+		}
+	}
+	engine.Schedule(cfg.UtilizationInterval, sampler)
+
+	// Dynamic hidden-load estimation, when enabled.
+	if estimator != nil {
+		var collect func()
+		collect = func() {
+			for _, sv := range servers {
+				for j, h := range sv.TakeDomainHits() {
+					estimator.Record(j, h)
+				}
+			}
+			estimator.Roll(cfg.EstimatorInterval)
+			if err := state.SetWeights(estimator.Weights()); err != nil && scheduleErr == nil {
+				scheduleErr = err
+			}
+			if engine.Now() < horizon {
+				engine.Schedule(cfg.EstimatorInterval, collect)
+			}
+		}
+		engine.Schedule(cfg.EstimatorInterval, collect)
+	}
+
+	engine.Run(horizon)
+	if scheduleErr != nil {
+		return nil, fmt.Errorf("sim: scheduling failed: %w", scheduleErr)
+	}
+
+	res.MaxUtil = maxUtil.Series()
+	res.MeanServerUtil = make([]float64, cfg.Servers)
+	var weightedResponse float64
+	for i, sv := range servers {
+		res.MeanServerUtil[i] = sv.MeanUtilization(engine.Now())
+		res.TotalHits += sv.TotalHits()
+		res.TotalPages += sv.TotalPages()
+		weightedResponse += sv.MeanResponseTime() * float64(sv.TotalPages())
+		if sv.MaxResponseTime() > res.MaxResponseTime {
+			res.MaxResponseTime = sv.MaxResponseTime()
+		}
+	}
+	if res.TotalPages > 0 {
+		res.MeanResponseTime = weightedResponse / float64(res.TotalPages)
+	}
+	if latHits > 0 {
+		res.MeanLatencyMS = latSum / latHits
+	}
+	for _, c := range caches {
+		st := c.Stats()
+		res.CacheHits += st.Hits
+		res.ClampedTTLs += st.Clamped
+	}
+	res.Sched = policy.Stats()
+	res.EventsFired = engine.EventsFired()
+	return res, nil
+}
+
+// scheduleClients installs the live client processes: each client
+// cycles think → page burst, resolving the site name at each session
+// start.
+func scheduleClients(cfg Config, engine *simcore.Simulator, deliver func(domain, server, hits int), resolve func(int) int) {
+	thinkStream := engine.Stream("think")
+	hitsStream := engine.Stream("hits")
+	pagesStream := engine.Stream("pages")
+	thinks := cfg.Workload.ThinkTimes()
+	counts := cfg.Workload.Partition()
+	for domain := 0; domain < cfg.Workload.Domains; domain++ {
+		if math.IsInf(thinks[domain], 1) {
+			continue // perturbation starved this domain entirely
+		}
+		for c := 0; c < counts[domain]; c++ {
+			cl := &client{domain: domain}
+			var wake func()
+			wake = func() {
+				if cl.pagesLeft == 0 {
+					cl.server = resolve(cl.domain)
+					cl.pagesLeft = pagesStream.Geometric(cfg.Workload.PagesPerSession)
+				}
+				hits := hitsStream.UniformInt(cfg.Workload.HitsMin, cfg.Workload.HitsMax)
+				deliver(cl.domain, cl.server, hits)
+				cl.pagesLeft--
+				engine.Schedule(thinkStream.Exp(thinks[cl.domain]), wake)
+			}
+			engine.Schedule(thinkStream.Exp(thinks[domain]), wake)
+		}
+	}
+}
+
+// scheduleTrace installs trace playback: every record becomes one
+// arrival event; new-session records re-resolve the client's mapping.
+func scheduleTrace(cfg Config, engine *simcore.Simulator, deliver func(domain, server, hits int), resolve func(int) int) error {
+	clientServer := make(map[int]int)
+	for i := range cfg.Trace {
+		rec := cfg.Trace[i]
+		if rec.Domain >= cfg.Workload.Domains {
+			return fmt.Errorf("sim: trace record %d references domain %d, workload has %d",
+				i, rec.Domain, cfg.Workload.Domains)
+		}
+		engine.ScheduleAt(rec.Time, func() {
+			if rec.NewSession {
+				clientServer[rec.Client] = resolve(rec.Domain)
+			}
+			server, ok := clientServer[rec.Client]
+			if !ok {
+				// Tolerate traces that start mid-session.
+				server = resolve(rec.Domain)
+				clientServer[rec.Client] = server
+			}
+			deliver(rec.Domain, server, rec.Hits)
+		})
+	}
+	return nil
+}
+
+// RunReplications executes the same configuration with seeds
+// seed, seed+1, … and returns all results.
+func RunReplications(cfg Config, reps int) ([]*Result, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("sim: reps %d must be positive", reps)
+	}
+	out := make([]*Result, 0, reps)
+	for r := 0; r < reps; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(r)
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ProbMaxUnderCI aggregates Prob(MaxUtilization < x) across
+// replications into a confidence interval.
+func ProbMaxUnderCI(results []*Result, x, level float64) stats.Interval {
+	obs := make([]float64, len(results))
+	for i, r := range results {
+		obs[i] = r.ProbMaxUnder(x)
+	}
+	return stats.MeanCI(obs, level)
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"testing"
+
+	"dnslb/internal/trace"
+)
+
+// TestTraceReplayMatchesLiveRun is the strongest possible check of the
+// trace substrate: a trace generated with the same seed and workload
+// must replay into *exactly* the same simulation results as the live
+// client processes — same address requests, same hits, same metric.
+func TestTraceReplayMatchesLiveRun(t *testing.T) {
+	cfg := quickCfg("DRR2-TTL/S_K")
+	cfg.Duration = 1800
+
+	live, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	records, err := trace.Generate(cfg.Workload, cfg.Warmup+cfg.Duration, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCfg := cfg
+	replayCfg.Trace = records
+	replay, err := Run(replayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if live.TotalHits != replay.TotalHits {
+		t.Errorf("TotalHits: live %d, replay %d", live.TotalHits, replay.TotalHits)
+	}
+	if live.TotalPages != replay.TotalPages {
+		t.Errorf("TotalPages: live %d, replay %d", live.TotalPages, replay.TotalPages)
+	}
+	if live.AddressRequests != replay.AddressRequests {
+		t.Errorf("AddressRequests: live %d, replay %d", live.AddressRequests, replay.AddressRequests)
+	}
+	if live.CacheHits != replay.CacheHits {
+		t.Errorf("CacheHits: live %d, replay %d", live.CacheHits, replay.CacheHits)
+	}
+	if got, want := replay.ProbMaxUnder(0.9), live.ProbMaxUnder(0.9); got != want {
+		t.Errorf("ProbMaxUnder(0.9): live %v, replay %v", want, got)
+	}
+	if got, want := replay.ProbMaxUnder(0.98), live.ProbMaxUnder(0.98); got != want {
+		t.Errorf("ProbMaxUnder(0.98): live %v, replay %v", want, got)
+	}
+}
+
+// TestTraceEnablesPairedPolicyComparison replays one trace against two
+// policies: identical arrivals, so the difference is purely the
+// scheduling discipline.
+func TestTraceEnablesPairedPolicyComparison(t *testing.T) {
+	base := quickCfg("RR")
+	base.Duration = 1800
+	records, err := trace.Generate(base.Workload, base.Warmup+base.Duration, base.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(policy string) *Result {
+		cfg := base
+		cfg.Policy = policy
+		cfg.Trace = records
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	rr := run("RR")
+	best := run("DRR2-TTL/S_K")
+	if rr.TotalHits != best.TotalHits {
+		t.Fatalf("paired runs saw different traffic: %d vs %d", rr.TotalHits, best.TotalHits)
+	}
+	if best.ProbMaxUnder(0.9) <= rr.ProbMaxUnder(0.9) {
+		t.Errorf("on identical arrivals, DRR2-TTL/S_K (%v) must beat RR (%v)",
+			best.ProbMaxUnder(0.9), rr.ProbMaxUnder(0.9))
+	}
+}
+
+func TestTraceDomainOutOfRange(t *testing.T) {
+	cfg := quickCfg("RR")
+	cfg.Trace = []trace.Record{{Time: 1, Domain: 99, Client: 0, Hits: 5, NewSession: true}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("trace referencing unknown domain should error")
+	}
+}
+
+func TestTraceStartingMidSession(t *testing.T) {
+	cfg := quickCfg("RR")
+	cfg.Duration = 900
+	// No NewSession on the first record: the replay must resolve lazily.
+	cfg.Trace = []trace.Record{
+		{Time: 1, Domain: 0, Client: 0, Hits: 5},
+		{Time: 2, Domain: 0, Client: 0, Hits: 7},
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalHits != 12 {
+		t.Errorf("TotalHits = %d, want 12", r.TotalHits)
+	}
+	if r.AddressRequests != 1 {
+		t.Errorf("AddressRequests = %d, want 1 (lazy resolve once)", r.AddressRequests)
+	}
+}

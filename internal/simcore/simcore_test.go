@@ -1,0 +1,352 @@
+package simcore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(3, func() { got = append(got, 3) })
+	s.Schedule(1, func() { got = append(got, 1) })
+	s.Schedule(2, func() { got = append(got, 2) })
+	s.Run(10)
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired as %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	s := New(1)
+	var got []string
+	s.Schedule(5, func() { got = append(got, "a") })
+	s.Schedule(5, func() { got = append(got, "b") })
+	s.Schedule(5, func() { got = append(got, "c") })
+	s.Run(5)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("tie-broken order = %v, want [a b c]", got)
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.Schedule(1, func() { fired++ })
+	s.Schedule(2, func() { fired++ })
+	s.Schedule(3, func() { fired++ })
+	s.Run(2)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2 (event at t=3 is beyond until)", fired)
+	}
+	if s.Now() != 2 {
+		t.Errorf("Now() = %v, want clock to land on until=2", s.Now())
+	}
+	s.Run(3)
+	if fired != 3 {
+		t.Errorf("fired = %d after second Run, want 3", fired)
+	}
+}
+
+func TestClockAdvancesToUntilWhenIdle(t *testing.T) {
+	s := New(1)
+	s.Run(100)
+	if s.Now() != 100 {
+		t.Errorf("Now() = %v, want 100 on an empty event list", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	ev := s.Schedule(1, func() { fired = true })
+	ev.Cancel()
+	s.Run(10)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	s := New(1)
+	fired := false
+	var victim *Event
+	s.Schedule(1, func() { victim.Cancel() })
+	victim = s.Schedule(2, func() { fired = true })
+	s.Run(10)
+	if fired {
+		t.Error("event cancelled by an earlier event still fired")
+	}
+}
+
+func TestScheduleWithinEvent(t *testing.T) {
+	s := New(1)
+	var times []float64
+	var chain func()
+	chain = func() {
+		times = append(times, s.Now())
+		if len(times) < 4 {
+			s.Schedule(2.5, chain)
+		}
+	}
+	s.Schedule(0, chain)
+	s.Run(100)
+	want := []float64{0, 2.5, 5, 7.5}
+	for i, w := range want {
+		if math.Abs(times[i]-w) > 1e-9 {
+			t.Errorf("chain event %d at t=%v, want %v", i, times[i], w)
+		}
+	}
+}
+
+func TestNegativeAndNaNDelaysClamp(t *testing.T) {
+	s := New(1)
+	s.Schedule(5, func() {})
+	s.Run(5)
+	fired := 0
+	s.Schedule(-3, func() { fired++ })
+	s.Schedule(math.NaN(), func() { fired++ })
+	s.ScheduleAt(1, func() { fired++ }) // in the past: clamps to now
+	s.Run(5)
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3 (clamped events fire immediately)", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	fired := 0
+	s.Schedule(1, func() { fired++; s.Stop() })
+	s.Schedule(2, func() { fired++ })
+	s.Run(10)
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1 after Stop", fired)
+	}
+	s.Run(10)
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2: a later Run resumes", fired)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func(seed uint64) []float64 {
+		s := New(seed)
+		st := s.Stream("arrivals")
+		var samples []float64
+		var next func()
+		next = func() {
+			samples = append(samples, s.Now())
+			s.Schedule(st.Exp(10), next)
+		}
+		s.Schedule(0, next)
+		s.Run(500)
+		return samples
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical histories")
+		}
+	}
+}
+
+func TestStreamIndependenceFromCreationOrder(t *testing.T) {
+	s1 := New(7)
+	a := s1.Stream("alpha")
+	_ = s1.Stream("beta")
+	firstA := a.Float64()
+
+	s2 := New(7)
+	_ = s2.Stream("beta")
+	a2 := s2.Stream("alpha")
+	if got := a2.Float64(); got != firstA {
+		t.Errorf("stream draw depends on creation order: %v vs %v", got, firstA)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	st := NewStream(1, "exp")
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += st.Exp(15)
+	}
+	mean := sum / n
+	if math.Abs(mean-15) > 0.3 {
+		t.Errorf("sample mean of Exp(15) = %v, want ~15", mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	st := NewStream(1, "exp0")
+	if got := st.Exp(0); got != 0 {
+		t.Errorf("Exp(0) = %v, want 0", got)
+	}
+	if got := st.Exp(-5); got != 0 {
+		t.Errorf("Exp(-5) = %v, want 0", got)
+	}
+}
+
+func TestUniformIntBoundsInclusive(t *testing.T) {
+	st := NewStream(3, "hits")
+	seen := make(map[int]bool)
+	for i := 0; i < 20000; i++ {
+		v := st.UniformInt(5, 15)
+		if v < 5 || v > 15 {
+			t.Fatalf("UniformInt(5,15) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := 5; v <= 15; v++ {
+		if !seen[v] {
+			t.Errorf("UniformInt(5,15) never produced %d in 20000 draws", v)
+		}
+	}
+	if got := st.UniformInt(9, 9); got != 9 {
+		t.Errorf("UniformInt(9,9) = %d, want 9", got)
+	}
+	if got := st.UniformInt(9, 3); got != 9 {
+		t.Errorf("UniformInt(lo>hi) = %d, want lo", got)
+	}
+}
+
+func TestGeometricMeanAndSupport(t *testing.T) {
+	st := NewStream(4, "pages")
+	const n = 200000
+	sum := 0
+	for i := 0; i < n; i++ {
+		v := st.Geometric(20)
+		if v < 1 {
+			t.Fatalf("Geometric produced %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-20) > 0.5 {
+		t.Errorf("sample mean of Geometric(20) = %v, want ~20", mean)
+	}
+	if got := st.Geometric(0.5); got != 1 {
+		t.Errorf("Geometric(mean<=1) = %d, want 1", got)
+	}
+}
+
+func TestPickWeighted(t *testing.T) {
+	st := NewStream(5, "pick")
+	counts := make([]int, 3)
+	w := []float64{1, 2, 7}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[st.PickWeighted(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("PickWeighted freq[%d] = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestPickWeightedPanics(t *testing.T) {
+	st := NewStream(5, "pick")
+	assertPanics := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("zero weights", func() { st.PickWeighted([]float64{0, 0}) })
+	assertPanics("negative weight", func() { st.PickWeighted([]float64{1, -1}) })
+}
+
+func TestZipfWeights(t *testing.T) {
+	w := ZipfWeights(20, 1)
+	if len(w) != 20 {
+		t.Fatalf("len = %d, want 20", len(w))
+	}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+	for j := 1; j < len(w); j++ {
+		if w[j] > w[j-1] {
+			t.Errorf("weights not monotone at %d: %v > %v", j, w[j], w[j-1])
+		}
+	}
+	// Pure Zipf: w[0]/w[j] == j+1.
+	for j := range w {
+		ratio := w[0] / w[j]
+		if math.Abs(ratio-float64(j+1)) > 1e-9 {
+			t.Errorf("w[0]/w[%d] = %v, want %d", j, ratio, j+1)
+		}
+	}
+	if got := ZipfWeights(0, 1); got != nil {
+		t.Errorf("ZipfWeights(0,1) = %v, want nil", got)
+	}
+}
+
+func TestZipfWeightsProperty(t *testing.T) {
+	f := func(kRaw uint8, thetaRaw uint8) bool {
+		k := int(kRaw%100) + 1
+		theta := float64(thetaRaw%30) / 10
+		w := ZipfWeights(k, theta)
+		var sum float64
+		for _, v := range w {
+			if v <= 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventsFiredAndPending(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 5; i++ {
+		s.Schedule(float64(i), func() {})
+	}
+	if s.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", s.Pending())
+	}
+	s.Run(10)
+	if s.EventsFired() != 5 {
+		t.Errorf("EventsFired = %d, want 5", s.EventsFired())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d after run, want 0", s.Pending())
+	}
+}

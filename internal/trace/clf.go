@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Common Log Format import: convert a real Web server access log into
+// a replayable trace. Each log line is one hit; consecutive hits from
+// the same remote host within PageGap are coalesced into one page
+// burst (the paper's "HTML page and the objects contained in it"), and
+// a host idle for longer than SessionTimeout starts a new session
+// (forcing a fresh address resolution on replay).
+
+// CLFOptions tunes the log conversion.
+type CLFOptions struct {
+	// DomainOf maps a remote host string to a connected-domain index.
+	// Nil hashes the host into Domains buckets.
+	DomainOf func(host string) int
+	// Domains is the connected-domain count for the default hash
+	// mapper (ignored when DomainOf is set; default 20).
+	Domains int
+	// PageGap is the maximum spacing between hits of one page burst
+	// (default 1 s).
+	PageGap time.Duration
+	// SessionTimeout is the idle period after which a host's next
+	// request opens a new session (default 30 min).
+	SessionTimeout time.Duration
+}
+
+func (o *CLFOptions) setDefaults() {
+	if o.Domains <= 0 {
+		o.Domains = 20
+	}
+	if o.PageGap <= 0 {
+		o.PageGap = time.Second
+	}
+	if o.SessionTimeout <= 0 {
+		o.SessionTimeout = 30 * time.Minute
+	}
+	if o.DomainOf == nil {
+		domains := o.Domains
+		o.DomainOf = func(host string) int {
+			const prime = 1099511628211
+			h := uint64(14695981039346656037)
+			for i := 0; i < len(host); i++ {
+				h ^= uint64(host[i])
+				h *= prime
+			}
+			h ^= h >> 33
+			h *= 0xff51afd7ed558ccd
+			h ^= h >> 33
+			return int(h % uint64(domains))
+		}
+	}
+}
+
+// clfTimeLayout is the CLF timestamp, e.g. "10/Oct/2000:13:55:36 -0700".
+const clfTimeLayout = "02/Jan/2006:15:04:05 -0700"
+
+type hostState struct {
+	client    int
+	lastSeen  time.Time
+	pageStart time.Time
+	pageHits  int
+	inSession bool
+}
+
+// ParseCommonLog converts a Common Log Format access log into trace
+// records. Lines that do not parse are skipped (server logs are messy);
+// the error is non-nil only when no line parses at all or reading
+// fails. Record times are seconds relative to the first parsed hit.
+func ParseCommonLog(r io.Reader, opts CLFOptions) ([]Record, error) {
+	opts.setDefaults()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	hosts := make(map[string]*hostState)
+	var (
+		records []Record
+		t0      time.Time
+		haveT0  bool
+		parsed  int
+	)
+	flush := func(host string, st *hostState) {
+		if st.pageHits == 0 {
+			return
+		}
+		records = append(records, Record{
+			Time:       st.pageStart.Sub(t0).Seconds(),
+			Domain:     opts.DomainOf(host),
+			Client:     st.client,
+			Hits:       st.pageHits,
+			NewSession: !st.inSession,
+		})
+		st.inSession = true
+		st.pageHits = 0
+	}
+	for sc.Scan() {
+		host, ts, ok := parseCLFLine(sc.Text())
+		if !ok {
+			continue
+		}
+		parsed++
+		if !haveT0 {
+			t0 = ts
+			haveT0 = true
+		}
+		st, seen := hosts[host]
+		if !seen {
+			st = &hostState{client: len(hosts), pageStart: ts}
+			hosts[host] = st
+		}
+		if st.pageHits > 0 && ts.Sub(st.pageStart) > opts.PageGap {
+			flush(host, st)
+		}
+		if st.inSession && ts.Sub(st.lastSeen) > opts.SessionTimeout {
+			st.inSession = false
+		}
+		if st.pageHits == 0 {
+			st.pageStart = ts
+		}
+		st.pageHits++
+		st.lastSeen = ts
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if parsed == 0 {
+		return nil, errors.New("trace: no parsable Common Log Format lines")
+	}
+	for host, st := range hosts {
+		flush(host, st)
+	}
+	sort.SliceStable(records, func(a, b int) bool { return records[a].Time < records[b].Time })
+	// Guard against logs with clock skew: clamp any record before t0.
+	for i := range records {
+		if records[i].Time < 0 {
+			records[i].Time = 0
+		}
+	}
+	return records, nil
+}
+
+// parseCLFLine extracts the remote host and timestamp of one CLF line:
+//
+//	host ident authuser [timestamp] "request" status bytes
+func parseCLFLine(line string) (host string, ts time.Time, ok bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", time.Time{}, false
+	}
+	sp := strings.IndexByte(line, ' ')
+	if sp <= 0 {
+		return "", time.Time{}, false
+	}
+	host = line[:sp]
+	open := strings.IndexByte(line, '[')
+	if open < 0 {
+		return "", time.Time{}, false
+	}
+	close := strings.IndexByte(line[open:], ']')
+	if close < 0 {
+		return "", time.Time{}, false
+	}
+	stamp := line[open+1 : open+close]
+	ts, err := time.Parse(clfTimeLayout, stamp)
+	if err != nil {
+		return "", time.Time{}, false
+	}
+	return host, ts, true
+}
+
+// FormatCommonLog renders trace records as a synthetic Common Log
+// Format access log (one line per hit), the inverse of ParseCommonLog
+// for interoperability with standard log tooling. base anchors the
+// virtual time axis.
+func FormatCommonLog(w io.Writer, records []Record, base time.Time) error {
+	bw := bufio.NewWriter(w)
+	for _, rec := range records {
+		ts := base.Add(time.Duration(rec.Time * float64(time.Second)))
+		for h := 0; h < rec.Hits; h++ {
+			_, err := fmt.Fprintf(bw, "client%d.domain%d.example - - [%s] \"GET /page HTTP/1.0\" 200 1024\n",
+				rec.Client, rec.Domain, ts.Format(clfTimeLayout))
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dnslb/internal/workload"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Time: 0.5, Domain: 0, Client: 1, Hits: 7, NewSession: true},
+		{Time: 1.25, Domain: 0, Client: 1, Hits: 5},
+		{Time: 2.0, Domain: 3, Client: 9, Hits: 15, NewSession: true},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleRecords()
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# dnslb trace v1") {
+		t.Error("missing header comment")
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d records", len(out))
+	}
+	for i := range in {
+		if math.Abs(out[i].Time-in[i].Time) > 1e-6 ||
+			out[i].Domain != in[i].Domain ||
+			out[i].Client != in[i].Client ||
+			out[i].Hits != in[i].Hits ||
+			out[i].NewSession != in[i].NewSession {
+			t.Errorf("record %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                         // no records
+		"1.0 0 1 5",                // missing field
+		"x 0 1 5 0",                // bad time
+		"-1 0 1 5 0",               // negative time
+		"1.0 -1 1 5 0",             // bad domain
+		"1.0 0 -1 5 0",             // bad client
+		"1.0 0 1 0 0",              // zero hits
+		"1.0 0 1 5 7",              // bad newsession flag
+		"2.0 0 1 5 0\n1.0 0 1 5 0", // time goes backwards
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d (%q) should fail", i, c)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n1.0 0 1 5 1\n# more\n2.0 0 1 3 0\n"
+	out, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("records = %d, want 2", len(out))
+	}
+}
+
+func TestGenerate(t *testing.T) {
+	wl := workload.Default()
+	records, err := Generate(wl, 600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("empty trace")
+	}
+	// Roughly clients/think pages per second: 500/15 ≈ 33/s × 600 s.
+	if len(records) < 15000 || len(records) > 25000 {
+		t.Errorf("records = %d, want ≈ 20000", len(records))
+	}
+	var sessions int
+	for i, r := range records {
+		if r.Time < 0 || r.Time > 600 {
+			t.Fatalf("record %d at %v outside horizon", i, r.Time)
+		}
+		if r.Hits < wl.HitsMin || r.Hits > wl.HitsMax {
+			t.Fatalf("record %d hits %d out of range", i, r.Hits)
+		}
+		if r.Domain < 0 || r.Domain >= wl.Domains {
+			t.Fatalf("record %d domain %d out of range", i, r.Domain)
+		}
+		if r.NewSession {
+			sessions++
+		}
+	}
+	if sessions == 0 {
+		t.Error("no sessions in trace")
+	}
+	// Every client's first record opens a session.
+	first := make(map[int]Record)
+	for _, r := range records {
+		if _, seen := first[r.Client]; !seen {
+			first[r.Client] = r
+			if !r.NewSession {
+				t.Fatalf("client %d starts mid-session", r.Client)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := workload.Default()
+	bad.Domains = 0
+	if _, err := Generate(bad, 600, 1); err == nil {
+		t.Error("invalid workload should error")
+	}
+	if _, err := Generate(workload.Default(), 0, 1); err == nil {
+		t.Error("zero horizon should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(workload.Default(), 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(workload.Default(), 300, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(sampleRecords())
+	if s.Records != 3 || s.Sessions != 2 || s.Clients != 2 || s.Domains != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.TotalHits != 27 {
+		t.Errorf("TotalHits = %d, want 27", s.TotalHits)
+	}
+	if math.Abs(s.Duration-1.5) > 1e-9 {
+		t.Errorf("Duration = %v, want 1.5", s.Duration)
+	}
+	if math.Abs(s.HitRate-18) > 1e-9 {
+		t.Errorf("HitRate = %v, want 18", s.HitRate)
+	}
+	if math.Abs(s.DomainShare[0]-12.0/27) > 1e-9 {
+		t.Errorf("DomainShare[0] = %v", s.DomainShare[0])
+	}
+	if got := Summarize(nil); got.Records != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestGeneratedZipfSkew(t *testing.T) {
+	records, err := Generate(workload.Default(), 1200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(records)
+	// Pure Zipf: domain 0 carries ≈ 28% of the hits.
+	if s.DomainShare[0] < 0.2 || s.DomainShare[0] > 0.36 {
+		t.Errorf("domain 0 share = %v, want ≈ 0.28", s.DomainShare[0])
+	}
+	if s.DomainShare[19] > 0.05 {
+		t.Errorf("domain 19 share = %v, want tiny", s.DomainShare[19])
+	}
+}
