@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/dnsserver/ ./internal/dnsclient/ ./internal/backend/
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

@@ -59,6 +59,8 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 		domains    = fs.Int("domains", 20, "connected domains for source classification")
 		qps        = fs.Float64("qps", 0, "per-source query rate limit (0 = unlimited)")
 		burst      = fs.Float64("burst", 10, "per-source burst allowance when -qps is set")
+		livenessK  = fs.Int("liveness-k", 3, "missed report intervals before a backend is marked down (0 = disable liveness)")
+		livenessIv = fs.Duration("liveness-interval", 8*time.Second, "expected backend report interval")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,7 +123,17 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 		return err
 	}
 	defer reporter.Close()
-	logger.Printf("load reports on %s (ALARM/HITS/ROLL)", reporter.Addr())
+	logger.Printf("load reports on %s (ALIVE/ALARM/HITS/ROLL)", reporter.Addr())
+
+	if *livenessK > 0 {
+		monitor, err := dnslb.NewLivenessMonitor(srv, *livenessIv, *livenessK)
+		if err != nil {
+			return err
+		}
+		defer monitor.Close()
+		logger.Printf("liveness: backends silent for %d x %v are excluded until they report again",
+			*livenessK, *livenessIv)
+	}
 
 	if started != nil {
 		started(srv.Addr().String(), reporter.Addr().String())

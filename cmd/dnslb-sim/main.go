@@ -8,6 +8,8 @@
 //	dnslb-sim -policy DRR2-TTL/S_K -het 35
 //	dnslb-sim -policy RR -curve
 //	dnslb-sim -policy PRR2-TTL/K -minttl 120 -reps 3
+//	dnslb-sim -policy DRR2-TTL/S_K -fail 0@900+600
+//	dnslb-sim -policy DRR2-TTL/S_K -estimator -reportloss 0.1
 package main
 
 import (
@@ -49,6 +51,8 @@ func run(args []string, out io.Writer) error {
 		estimator = fs.Bool("estimator", false, "use the dynamic hidden-load estimator instead of oracle weights")
 		curve     = fs.Bool("curve", false, "print the cumulative-frequency curve")
 		jsonOut   = fs.Bool("json", false, "emit a JSON summary instead of text")
+		fail      = fs.String("fail", "", "comma-separated server outages, each server@start+duration (e.g. 0@900+600)")
+		lossProb  = fs.Float64("reportloss", 0, "probability each estimator report is lost in transit [0,1]")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +79,12 @@ func run(args []string, out io.Writer) error {
 	cfg.Seed = *seed
 	cfg.MinNSTTL = *minTTL
 	cfg.OracleWeights = !*estimator
+	cfg.ReportLossProb = *lossProb
+	faults, err := parseFaults(*fail)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = faults
 
 	results, err := dnslb.RunSimReplications(cfg, *reps)
 	if err != nil {
@@ -109,6 +119,16 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "hits served         %d in %d pages\n", r.TotalHits, r.TotalPages)
 	fmt.Fprintf(out, "alarm signals       %d\n", r.AlarmSignals)
+	if len(cfg.Faults) > 0 || r.LostReports > 0 {
+		fmt.Fprintf(out, "dead-server hits    %d (pages lost: %d)\n", r.DeadServerHits, r.LostPages)
+		fmt.Fprintf(out, "failed resolves     %d\n", r.FailedResolves)
+		if r.MeanTimeToDrain > 0 {
+			fmt.Fprintf(out, "time to drain       %.1fs mean after recovery\n", r.MeanTimeToDrain)
+		}
+		if r.LostReports > 0 {
+			fmt.Fprintf(out, "lost reports        %d\n", r.LostReports)
+		}
+	}
 	fmt.Fprintf(out, "page response time  mean %.3fs, max %.1fs\n", r.MeanResponseTime, r.MaxResponseTime)
 	fmt.Fprintf(out, "TTLs handed out     min %.0fs mean %.0fs max %.0fs\n",
 		r.Sched.MinTTL, r.Sched.MeanTTL, r.Sched.MaxTTL)
@@ -125,6 +145,28 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// parseFaults parses the -fail syntax: comma-separated outages of the
+// form server@start+duration, in virtual seconds from run start.
+func parseFaults(spec string) ([]dnslb.FaultEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var faults []dnslb.FaultEvent
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		var server int
+		var start, duration float64
+		if _, err := fmt.Sscanf(part, "%d@%f+%f", &server, &start, &duration); err != nil {
+			return nil, fmt.Errorf("bad -fail entry %q (want server@start+duration): %v", part, err)
+		}
+		if duration <= 0 {
+			return nil, fmt.Errorf("bad -fail entry %q: duration must be positive", part)
+		}
+		faults = append(faults, dnslb.Outage(server, start, duration)...)
+	}
+	return faults, nil
 }
 
 // comparePolicies runs each policy against the same recorded workload
@@ -181,6 +223,11 @@ type jsonSummary struct {
 	MeanResponseSec  float64   `json:"meanResponseSeconds"`
 	MeanServerUtil   []float64 `json:"meanServerUtil"`
 	MeanTTLSeconds   float64   `json:"meanTTLSeconds"`
+	DeadServerHits   uint64    `json:"deadServerHits,omitempty"`
+	LostPages        uint64    `json:"lostPages,omitempty"`
+	FailedResolves   uint64    `json:"failedResolves,omitempty"`
+	MeanDrainSeconds float64   `json:"meanDrainSeconds,omitempty"`
+	LostReports      uint64    `json:"lostReports,omitempty"`
 }
 
 func writeJSON(out io.Writer, policy string, cfg dnslb.SimConfig, results []*dnslb.SimResult) error {
@@ -210,6 +257,11 @@ func writeJSON(out io.Writer, policy string, cfg dnslb.SimConfig, results []*dns
 	summary.MeanResponseSec = r.MeanResponseTime
 	summary.MeanServerUtil = r.MeanServerUtil
 	summary.MeanTTLSeconds = r.Sched.MeanTTL
+	summary.DeadServerHits = r.DeadServerHits
+	summary.LostPages = r.LostPages
+	summary.FailedResolves = r.FailedResolves
+	summary.MeanDrainSeconds = r.MeanTimeToDrain
+	summary.LostReports = r.LostReports
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(summary)

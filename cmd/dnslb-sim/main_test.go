@@ -143,3 +143,65 @@ func TestRunJSONOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFaults(t *testing.T) {
+	faults, err := parseFaults("0@900+600, 2@100+50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(faults) != 4 {
+		t.Fatalf("got %d events, want 4 (crash+recover per outage)", len(faults))
+	}
+	if faults[0].Server != 0 || faults[0].Time != 900 || !faults[0].Down {
+		t.Errorf("first event = %+v", faults[0])
+	}
+	if faults[1].Time != 1500 || faults[1].Down {
+		t.Errorf("second event = %+v", faults[1])
+	}
+	if faults[2].Server != 2 || faults[3].Time != 150 {
+		t.Errorf("second outage = %+v %+v", faults[2], faults[3])
+	}
+	for _, bad := range []string{"x", "0@900", "0@900+0", "0@900-600"} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("parseFaults(%q) should error", bad)
+		}
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-policy", "RR2",
+		"-duration", "1500", "-warmup", "100",
+		"-fail", "0@600+400",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dead-server hits", "failed resolves", "time to drain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fault output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := run([]string{
+		"-policy", "RR2", "-duration", "600", "-warmup", "100",
+		"-fail", "0@200+100", "-json",
+	}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var summary jsonSummary
+	if err := json.Unmarshal(buf.Bytes(), &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.DeadServerHits == 0 {
+		t.Error("JSON summary missing dead-server hits")
+	}
+}
+
+func TestRunBadFailFlag(t *testing.T) {
+	if err := run([]string{"-fail", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad -fail should error")
+	}
+}

@@ -102,6 +102,9 @@ type (
 	TraceRecord = trace.Record
 	// TraceSummary aggregates a trace for inspection.
 	TraceSummary = trace.Summary
+	// FaultEvent is one scheduled crash or recovery of a simulated
+	// server (SimConfig.Faults).
+	FaultEvent = sim.FaultEvent
 )
 
 // Simulation entry points.
@@ -127,7 +130,13 @@ var (
 	ReadTrace = trace.Read
 	// SummarizeTrace aggregates a trace.
 	SummarizeTrace = trace.Summarize
+	// Outage builds the crash+recover fault pair for one server.
+	Outage = sim.Outage
 )
+
+// ErrNoServers is returned by Policy.Schedule when every server in the
+// cluster is down; the DNS server answers SERVFAIL in that case.
+var ErrNoServers = core.ErrNoServers
 
 // Experiment types.
 type (
@@ -177,6 +186,9 @@ type (
 	Backend = backend.Server
 	// BackendConfig configures a Backend.
 	BackendConfig = backend.Config
+	// LivenessMonitor excludes backends that stop reporting from the
+	// DNS scheduler and re-admits them on their next report.
+	LivenessMonitor = dnsserver.LivenessMonitor
 )
 
 // Real-network entry points.
@@ -195,4 +207,7 @@ var (
 	NewBackend = backend.New
 	// NewRateLimiter creates a per-source query rate limiter.
 	NewRateLimiter = dnsserver.NewRateLimiter
+	// NewLivenessMonitor attaches k-missed-report failure detection to
+	// a DNS server.
+	NewLivenessMonitor = dnsserver.NewLivenessMonitor
 )

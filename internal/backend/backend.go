@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"strconv"
@@ -45,6 +46,13 @@ type Config struct {
 	// identical; only the client-visible latency differs. Useful for
 	// fast demos and tests.
 	Simulate bool
+	// ReconnectBackoffMin/Max bound the exponential backoff between
+	// dial attempts when the report socket is unreachable (defaults
+	// 500 ms and 30 s). Each failed dial doubles the delay up to Max,
+	// with a 0.5–1.5x jitter factor so a restarted DNS server is not
+	// hit by every backend at once.
+	ReconnectBackoffMin time.Duration
+	ReconnectBackoffMax time.Duration
 	// Logger receives agent errors; nil discards.
 	Logger *log.Logger
 }
@@ -74,8 +82,10 @@ type Server struct {
 	done     chan struct{}
 	logger   *log.Logger
 
-	reportMu sync.Mutex
-	reportC  net.Conn
+	reportMu    sync.Mutex
+	reportC     net.Conn
+	dialBackoff time.Duration
+	nextDial    time.Time
 }
 
 // New creates a backend server; call Start.
@@ -94,6 +104,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.AlarmThreshold < 0 || cfg.AlarmThreshold > 1 {
 		return nil, fmt.Errorf("backend: alarm threshold %v out of [0,1]", cfg.AlarmThreshold)
+	}
+	if cfg.ReconnectBackoffMin <= 0 {
+		cfg.ReconnectBackoffMin = 500 * time.Millisecond
+	}
+	if cfg.ReconnectBackoffMax <= 0 {
+		cfg.ReconnectBackoffMax = 30 * time.Second
+	}
+	if cfg.ReconnectBackoffMax < cfg.ReconnectBackoffMin {
+		return nil, fmt.Errorf("backend: reconnect backoff max %v below min %v",
+			cfg.ReconnectBackoffMax, cfg.ReconnectBackoffMin)
 	}
 	logger := cfg.Logger
 	if logger == nil {
@@ -308,7 +328,9 @@ func (s *Server) agentLoop() {
 			if s.cfg.ReportAddr == "" {
 				continue
 			}
-			var lines []string
+			// Every cycle opens with a heartbeat so the DNS liveness
+			// monitor sees lightly loaded backends too.
+			lines := []string{fmt.Sprintf("ALIVE %d", s.cfg.ServerIndex)}
 			if flipped {
 				flag := 0
 				if s.Alarmed() {
@@ -330,17 +352,33 @@ func (s *Server) agentLoop() {
 }
 
 // report sends lines over a persistent connection to the report
-// socket, reconnecting once on failure.
+// socket. A broken connection is redialed under bounded exponential
+// backoff with jitter: the cycle's report is lost while the socket is
+// down (matching the lossy feedback channel the paper assumes), but
+// the agent keeps trying and resynchronizes once the DNS side is back.
 func (s *Server) report(lines []string) error {
 	s.reportMu.Lock()
 	defer s.reportMu.Unlock()
 	for attempt := 0; attempt < 2; attempt++ {
 		if s.reportC == nil {
+			if wait := time.Until(s.nextDial); wait > 0 {
+				return fmt.Errorf("backend: report socket down, next dial in %v", wait.Round(time.Millisecond))
+			}
 			conn, err := net.DialTimeout("tcp", s.cfg.ReportAddr, 2*time.Second)
 			if err != nil {
+				s.bumpBackoffLocked()
 				return err
 			}
 			s.reportC = conn
+			s.dialBackoff = 0
+			s.nextDial = time.Time{}
+			// Resync: the DNS side may have missed an alarm transition
+			// (or marked us down) while the socket was broken.
+			flag := 0
+			if s.Alarmed() {
+				flag = 1
+			}
+			lines = append([]string{fmt.Sprintf("ALARM %d %d", s.cfg.ServerIndex, flag)}, lines...)
 		}
 		if err := sendLines(s.reportC, lines); err != nil {
 			_ = s.reportC.Close()
@@ -349,7 +387,24 @@ func (s *Server) report(lines []string) error {
 		}
 		return nil
 	}
+	s.bumpBackoffLocked()
 	return errors.New("backend: report failed after reconnect")
+}
+
+// bumpBackoffLocked doubles the reconnect delay up to the configured
+// maximum and schedules the next allowed dial with 0.5–1.5x jitter.
+// Callers hold reportMu.
+func (s *Server) bumpBackoffLocked() {
+	if s.dialBackoff == 0 {
+		s.dialBackoff = s.cfg.ReconnectBackoffMin
+	} else if s.dialBackoff < s.cfg.ReconnectBackoffMax {
+		s.dialBackoff *= 2
+		if s.dialBackoff > s.cfg.ReconnectBackoffMax {
+			s.dialBackoff = s.cfg.ReconnectBackoffMax
+		}
+	}
+	jittered := time.Duration(float64(s.dialBackoff) * (0.5 + rand.Float64()))
+	s.nextDial = time.Now().Add(jittered)
 }
 
 func sendLines(conn net.Conn, lines []string) error {

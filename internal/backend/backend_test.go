@@ -3,8 +3,10 @@ package backend
 import (
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 
@@ -207,6 +209,128 @@ func TestAgentFeedsHiddenLoadEstimates(t *testing.T) {
 	if w := srv.DomainWeight(2); w <= 0.5 {
 		t.Fatalf("estimated weight of domain 2 = %v, want dominant", w)
 	}
+}
+
+func TestBackoffValidation(t *testing.T) {
+	_, err := New(Config{Capacity: 10, Domains: 1,
+		ReconnectBackoffMin: time.Second, ReconnectBackoffMax: time.Millisecond})
+	if err == nil {
+		t.Error("backoff max below min should error")
+	}
+}
+
+func TestReportBackoffGatesDialing(t *testing.T) {
+	// Point the agent at a dead address: the first report fails with a
+	// dial error, and the next one is refused locally while the backoff
+	// window is open — no second dial attempt.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr().String()
+	_ = dead.Close()
+
+	s, err := New(Config{Capacity: 10, Domains: 1, ReportAddr: addr,
+		ReconnectBackoffMin: time.Hour, ReconnectBackoffMax: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.report([]string{"ROLL 8"}); err == nil {
+		t.Fatal("report to a dead address should fail")
+	}
+	if s.nextDial.IsZero() {
+		t.Fatal("failed dial did not arm the backoff")
+	}
+	err = s.report([]string{"ROLL 8"})
+	if err == nil || !strings.Contains(err.Error(), "next dial") {
+		t.Errorf("in-backoff report error = %v, want local backoff refusal", err)
+	}
+}
+
+func TestBackoffDoublesAndJitters(t *testing.T) {
+	s, err := New(Config{Capacity: 10, Domains: 1,
+		ReconnectBackoffMin: 100 * time.Millisecond, ReconnectBackoffMax: 400 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{100, 200, 400, 400, 400} // ms, capped at max
+	for i, w := range want {
+		s.bumpBackoffLocked()
+		if s.dialBackoff != w*time.Millisecond {
+			t.Fatalf("bump %d: backoff = %v, want %v", i, s.dialBackoff, w*time.Millisecond)
+		}
+		delay := time.Until(s.nextDial)
+		lo := time.Duration(float64(s.dialBackoff) * 0.4) // slack for elapsed time
+		hi := time.Duration(float64(s.dialBackoff) * 1.5)
+		if delay < lo || delay > hi {
+			t.Fatalf("bump %d: jittered delay %v outside [%v,%v]", i, delay, lo, hi)
+		}
+	}
+}
+
+func TestAgentSurvivesReportOutage(t *testing.T) {
+	// Acceptance path for the live failure model: kill the report
+	// socket, watch the liveness monitor exclude the backend, restart
+	// the socket, and watch the agent's backoff redial re-admit it —
+	// including the alarm transition that happened while disconnected.
+	srv, rl := startDNS(t)
+	m, err := dnsserver.NewLivenessMonitor(srv, 40*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	addr := rl.Addr().String()
+	s := startBackend(t, Config{
+		Capacity:            50,
+		Domains:             4,
+		Simulate:            true,
+		ServerIndex:         1,
+		ReportAddr:          addr,
+		UtilizationInterval: 25 * time.Millisecond,
+		AlarmThreshold:      0.5,
+		ReconnectBackoffMin: 10 * time.Millisecond,
+		ReconnectBackoffMax: 40 * time.Millisecond,
+	})
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatal(what)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	waitFor("backend never marked live by its own heartbeats", func() bool {
+		return !srv.Down(1)
+	})
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("silent backend never excluded after report socket died", func() bool {
+		return srv.Down(1)
+	})
+
+	// Alarm flips while the feedback channel is down: that transition
+	// line is lost with the cycle, so only the reconnect resync can
+	// deliver it.
+	get(t, fmt.Sprintf("http://%s/?hits=10000&domain=1", s.Addr()))
+	waitFor("backend never alarmed locally", s.Alarmed)
+
+	rl2, err := dnsserver.NewReportListener(srv, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rl2.Close() })
+	waitFor("backend never re-admitted after report socket restart", func() bool {
+		return !srv.Down(1)
+	})
+	waitFor("alarm state not resynced after reconnect", func() bool {
+		return srv.Alarmed(1)
+	})
 }
 
 func TestCloseIdempotent(t *testing.T) {

@@ -49,7 +49,7 @@ func (m *mrlSelector) Select(st *State, domain int) int {
 		}
 	}
 	if best == -1 {
-		best = 0
+		return -1
 	}
 	heap.Push(&m.pending, dalEntry{expire: t + m.ttl, server: best, load: st.Weight(domain)})
 	return best

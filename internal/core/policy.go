@@ -59,12 +59,17 @@ func (p *Policy) State() *State { return p.state }
 // TTLVariant returns the policy's TTL variant.
 func (p *Policy) TTLVariant() TTLVariant { return p.ttl.Variant() }
 
-// Schedule answers one address request from the given domain.
+// Schedule answers one address request from the given domain. When
+// every server is down it returns ErrNoServers; the decision counters
+// are untouched in that case.
 func (p *Policy) Schedule(domain int) (Decision, error) {
 	if domain < 0 || domain >= p.state.Domains() {
 		return Decision{}, fmt.Errorf("core: domain %d out of range [0,%d)", domain, p.state.Domains())
 	}
 	server := p.selector.Select(p.state, domain)
+	if server < 0 {
+		return Decision{}, ErrNoServers
+	}
 	ttl := p.ttl.TTL(p.state, domain, server)
 	p.decisions++
 	p.perServer[server]++

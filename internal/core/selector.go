@@ -15,7 +15,8 @@ type Rand interface {
 // safe for concurrent use; the DNS scheduler serializes requests.
 type Selector interface {
 	// Select returns the index of the chosen server for an address
-	// request originating from the given domain.
+	// request originating from the given domain, or -1 when no server
+	// is available (every server is marked down).
 	Select(st *State, domain int) int
 	// Name returns the selector's name as used in the paper (RR, RR2,
 	// PRR, PRR2, DAL).
@@ -44,9 +45,9 @@ func (r *rrSelector) Select(st *State, _ int) int {
 			return i
 		}
 	}
-	// Unreachable: available() admits everything when all are alarmed.
-	r.last = (r.last + 1) % n
-	return r.last
+	// Every server is down: availability only rejects the whole cluster
+	// on liveness, never on alarms alone.
+	return -1
 }
 
 // rr2Selector implements the two-tier round-robin policy (RR2): the
@@ -75,9 +76,7 @@ func (r *rr2Selector) Select(st *State, domain int) int {
 			return i
 		}
 	}
-	i := (last + 1) % n
-	r.last[class] = i
-	return i
+	return -1
 }
 
 // prrSelector implements probabilistic round robin (PRR): starting
@@ -97,7 +96,9 @@ func (p *prrSelector) Name() string { return "PRR" }
 
 func (p *prrSelector) Select(st *State, _ int) int {
 	i := probScan(st, p.last, p.rng)
-	p.last = i
+	if i >= 0 {
+		p.last = i
+	}
 	return i
 }
 
@@ -118,15 +119,18 @@ func (p *prr2Selector) Name() string { return "PRR2" }
 func (p *prr2Selector) Select(st *State, domain int) int {
 	class := st.Class(domain)
 	i := probScan(st, p.last[class], p.rng)
-	p.last[class] = i
+	if i >= 0 {
+		p.last[class] = i
+	}
 	return i
 }
 
 // probScan performs the paper's probabilistic scan: starting after
-// `last`, accept server i with probability α_i; skip alarmed servers
-// outright. The scan is bounded: after two full unavailing cycles it
-// falls back to the next available server deterministically (this can
-// only happen through extreme rounding of α, not in practice).
+// `last`, accept server i with probability α_i; skip alarmed and down
+// servers outright. The scan is bounded: after two full unavailing
+// cycles it falls back to the next available server deterministically
+// (this can only happen through extreme rounding of α, not in
+// practice). When every server is down it returns -1.
 func probScan(st *State, last int, rng Rand) int {
 	n := st.Cluster().N()
 	for k := 1; k <= 2*n; k++ {
@@ -144,7 +148,7 @@ func probScan(st *State, last int, rng Rand) int {
 			return i
 		}
 	}
-	return (last + 1) % n
+	return -1
 }
 
 // dalEntry is one outstanding address mapping tracked by the DAL
@@ -208,7 +212,7 @@ func (d *dalSelector) Select(st *State, domain int) int {
 		}
 	}
 	if best == -1 {
-		best = 0
+		return -1
 	}
 	w := st.Weight(domain)
 	d.load[best] += w

@@ -250,3 +250,112 @@ func TestSelectorsAlwaysInRange(t *testing.T) {
 		}
 	}
 }
+
+func TestSelectorsSkipDownServers(t *testing.T) {
+	rng := simcore.NewStream(7, "down")
+	now := func() float64 { return 0 }
+	selectors := []Selector{
+		NewRR(), NewRR2(), NewPRR(rng), NewPRR2(rng), NewWRR(),
+		NewDAL(now, 240), NewMRL(now, 240),
+	}
+	for _, sel := range selectors {
+		st := zipfState(t, 20, 20)
+		if err := st.SetDown(0, true); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.SetDown(4, true); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			got := sel.Select(st, i%20)
+			if got == 0 || got == 4 {
+				t.Errorf("%s: selected down server %d", sel.Name(), got)
+			}
+			if got < 0 {
+				t.Errorf("%s: no-server answer with live servers remaining", sel.Name())
+			}
+		}
+	}
+}
+
+func TestSelectorsReturnNoServerWhenAllDown(t *testing.T) {
+	rng := simcore.NewStream(7, "alldown")
+	now := func() float64 { return 0 }
+	selectors := []Selector{
+		NewRR(), NewRR2(), NewPRR(rng), NewPRR2(rng), NewWRR(),
+		NewDAL(now, 240), NewMRL(now, 240),
+	}
+	for _, sel := range selectors {
+		st := zipfState(t, 20, 20)
+		n := st.Cluster().N()
+		for i := 0; i < n; i++ {
+			if err := st.SetDown(i, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := sel.Select(st, 0); got != -1 {
+			t.Errorf("%s: Select = %d with all servers down, want -1", sel.Name(), got)
+		}
+		// Recovery restores selection.
+		if err := st.SetDown(2, false); err != nil {
+			t.Fatal(err)
+		}
+		if got := sel.Select(st, 0); got != 2 {
+			t.Errorf("%s: Select = %d after recovery of server 2", sel.Name(), got)
+		}
+	}
+}
+
+func TestScheduleErrNoServers(t *testing.T) {
+	st := zipfState(t, 20, 20)
+	pol, err := NewPolicy(PolicyConfig{Name: "DRR2-TTL/S_K", State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := st.Cluster().N()
+	for i := 0; i < n; i++ {
+		if err := st.SetDown(i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pol.Schedule(3); err != ErrNoServers {
+		t.Fatalf("Schedule error = %v, want ErrNoServers", err)
+	}
+	if pol.Stats().Decisions != 0 {
+		t.Error("failed schedule must not count as a decision")
+	}
+	if err := st.SetDown(1, false); err != nil {
+		t.Fatal(err)
+	}
+	d, err := pol.Schedule(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Server != 1 {
+		t.Errorf("Schedule after recovery chose %d, want the only live server 1", d.Server)
+	}
+}
+
+func TestTTLRecalibratesOnMembershipChange(t *testing.T) {
+	// TTL/S_i calibrates E[1/s_i] over live servers: removing the most
+	// capable server must change the calibrated base.
+	st := zipfState(t, 65, 20)
+	ttl, err := NewTTLPolicy(TTLVariant{Classes: PerDomain, ServerAware: true}, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ttl.Base(st)
+	if err := st.SetDown(0, true); err != nil { // server 0 is the most capable
+		t.Fatal(err)
+	}
+	after := ttl.Base(st)
+	if before == after {
+		t.Errorf("base unchanged (%v) after losing the most capable server", before)
+	}
+	if err := st.SetDown(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := ttl.Base(st); math.Abs(got-before) > 1e-12 {
+		t.Errorf("base = %v after recovery, want %v restored", got, before)
+	}
+}

@@ -30,14 +30,27 @@ func (c DomainClass) String() string {
 	}
 }
 
+// ErrNoServers is returned by Policy.Schedule when every server in the
+// cluster is down: there is no address the DNS could meaningfully hand
+// out, so the caller must answer "no server available" (SERVFAIL on
+// the live path).
+var ErrNoServers = errors.New("core: no server available")
+
 // State is the information the DNS scheduler works from: the server
 // cluster, the current estimate of each domain's hidden load weight,
-// the two-tier class partition derived from those weights, and the
-// per-server alarm flags raised by the feedback mechanism.
+// the two-tier class partition derived from those weights, the
+// per-server alarm flags raised by the feedback mechanism, and the
+// per-server liveness flags maintained by failure detection.
 //
-// State is mutated by the estimator (SetWeights) and by server alarm
-// signals (SetAlarm); selectors and TTL policies read it on every
-// address request.
+// State is mutated by the estimator (SetWeights), by server alarm
+// signals (SetAlarm), and by the liveness machinery (SetDown);
+// selectors and TTL policies read it on every address request.
+//
+// Alarms and liveness are distinct: an alarmed server is overloaded
+// but serving (it is skipped unless every live server is alarmed),
+// while a down server is gone and never eligible. Membership changes
+// (SetDown) bump the state version so TTL policies recalibrate against
+// the surviving cluster.
 type State struct {
 	cluster *Cluster
 	beta    float64 // class threshold; hot iff weight > beta
@@ -51,8 +64,13 @@ type State struct {
 	alarmed  []bool
 	nAlarmed int
 
-	// version increments whenever weights or β change, letting TTL
-	// policies cache their calibration until the state moves.
+	down         []bool
+	nDown        int
+	nAlarmedLive int // servers both alarmed and not down
+
+	// version increments whenever weights, β, or cluster membership
+	// change, letting TTL policies cache their calibration until the
+	// state moves.
 	version uint64
 }
 
@@ -71,6 +89,7 @@ func NewState(cluster *Cluster, domains int) (*State, error) {
 		cluster: cluster,
 		beta:    1 / float64(domains),
 		alarmed: make([]bool, cluster.N()),
+		down:    make([]bool, cluster.N()),
 	}
 	uniform := make([]float64, domains)
 	for i := range uniform {
@@ -200,19 +219,26 @@ func (s *State) HotDomains() int {
 	return n
 }
 
-// SetAlarm records an alarm (overloaded) or normal signal from server i.
-func (s *State) SetAlarm(i int, alarmed bool) {
+// SetAlarm records an alarm (overloaded) or normal signal from server
+// i. An out-of-range index is an error: it means a misconfigured or
+// misbehaving reporter, which the caller should surface rather than
+// silently drop.
+func (s *State) SetAlarm(i int, alarmed bool) error {
 	if i < 0 || i >= len(s.alarmed) {
-		return
+		return fmt.Errorf("core: alarm for server %d out of range [0,%d)", i, len(s.alarmed))
 	}
 	if s.alarmed[i] != alarmed {
 		s.alarmed[i] = alarmed
+		delta := -1
 		if alarmed {
-			s.nAlarmed++
-		} else {
-			s.nAlarmed--
+			delta = 1
+		}
+		s.nAlarmed += delta
+		if !s.down[i] {
+			s.nAlarmedLive += delta
 		}
 	}
+	return nil
 }
 
 // Alarmed reports whether server i has declared itself critically
@@ -223,8 +249,50 @@ func (s *State) Alarmed(i int) bool { return s.alarmed[i] }
 // which case selectors ignore alarms (there is no better candidate).
 func (s *State) AllAlarmed() bool { return s.nAlarmed == len(s.alarmed) }
 
+// SetDown marks server i as failed (down=true) or recovered. A down
+// server is excluded from every selector regardless of alarms; a
+// membership change bumps the state version so TTL policies
+// recalibrate against the surviving cluster.
+func (s *State) SetDown(i int, down bool) error {
+	if i < 0 || i >= len(s.down) {
+		return fmt.Errorf("core: liveness for server %d out of range [0,%d)", i, len(s.down))
+	}
+	if s.down[i] == down {
+		return nil
+	}
+	s.down[i] = down
+	if down {
+		s.nDown++
+		if s.alarmed[i] {
+			s.nAlarmedLive--
+		}
+	} else {
+		s.nDown--
+		if s.alarmed[i] {
+			s.nAlarmedLive++
+		}
+	}
+	s.version++
+	return nil
+}
+
+// Down reports whether server i is currently marked failed.
+func (s *State) Down(i int) bool { return s.down[i] }
+
+// AllDown reports whether no server is live; Schedule then returns
+// ErrNoServers.
+func (s *State) AllDown() bool { return s.nDown == len(s.down) }
+
+// LiveServers returns the number of servers not marked down.
+func (s *State) LiveServers() int { return len(s.down) - s.nDown }
+
 // available reports whether server i should be considered by a
-// selector: not alarmed, unless all servers are alarmed.
+// selector: live and not alarmed — unless every live server is
+// alarmed, in which case alarms are ignored (there is no better
+// candidate). A down server is never available.
 func (s *State) available(i int) bool {
-	return !s.alarmed[i] || s.nAlarmed == len(s.alarmed)
+	if s.down[i] {
+		return false
+	}
+	return !s.alarmed[i] || s.nAlarmedLive == len(s.down)-s.nDown
 }

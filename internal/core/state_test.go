@@ -174,9 +174,115 @@ func TestAlarms(t *testing.T) {
 			t.Errorf("server %d should be available when all are alarmed", i)
 		}
 	}
-	// Out-of-range alarms are ignored.
-	st.SetAlarm(-1, true)
-	st.SetAlarm(n, true)
+	// Out-of-range alarms are reported.
+	if err := st.SetAlarm(-1, true); err == nil {
+		t.Error("SetAlarm(-1) should error")
+	}
+	if err := st.SetAlarm(n, true); err == nil {
+		t.Errorf("SetAlarm(%d) should error", n)
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	st := testState(t, 5)
+	n := st.Cluster().N()
+	if st.LiveServers() != n {
+		t.Errorf("LiveServers = %d, want %d", st.LiveServers(), n)
+	}
+	if err := st.SetDown(3, true); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Down(3) || st.available(3) {
+		t.Error("down server must be recorded and unavailable")
+	}
+	if st.LiveServers() != n-1 {
+		t.Errorf("LiveServers = %d, want %d", st.LiveServers(), n-1)
+	}
+	// Idempotent: repeating the same transition changes nothing.
+	v := st.Version()
+	if err := st.SetDown(3, true); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version() != v {
+		t.Error("repeated SetDown must not bump version")
+	}
+	if err := st.SetDown(3, false); err != nil {
+		t.Fatal(err)
+	}
+	if st.Down(3) || st.Version() == v {
+		t.Error("recovery must clear the flag and bump version")
+	}
+	// Out-of-range liveness is reported.
+	if err := st.SetDown(-1, true); err == nil {
+		t.Error("SetDown(-1) should error")
+	}
+	if err := st.SetDown(n, true); err == nil {
+		t.Errorf("SetDown(%d) should error", n)
+	}
+}
+
+func TestLivenessVersionBump(t *testing.T) {
+	st := testState(t, 4)
+	v0 := st.Version()
+	if err := st.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version() == v0 {
+		t.Error("membership change should bump version for TTL recalibration")
+	}
+}
+
+func TestAlarmsAmongLiveServersOnly(t *testing.T) {
+	// With server 0 down, alarming all *live* servers must re-admit the
+	// live ones (no better candidate) while 0 stays excluded.
+	st := testState(t, 5)
+	n := st.Cluster().N()
+	if err := st.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if err := st.SetAlarm(i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.available(0) {
+		t.Error("down server must stay excluded even when all live servers are alarmed")
+	}
+	for i := 1; i < n; i++ {
+		if !st.available(i) {
+			t.Errorf("server %d should be available when every live server is alarmed", i)
+		}
+	}
+	// Recovery of a non-alarmed server breaks the all-alarmed tie.
+	if err := st.SetDown(0, false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if st.available(i) {
+			t.Errorf("server %d should be excluded again once a non-alarmed server is live", i)
+		}
+	}
+	if !st.available(0) {
+		t.Error("recovered server should be available")
+	}
+}
+
+func TestAllDown(t *testing.T) {
+	st := testState(t, 5)
+	n := st.Cluster().N()
+	for i := 0; i < n; i++ {
+		if err := st.SetDown(i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.AllDown() || st.LiveServers() != 0 {
+		t.Error("AllDown should hold with every server down")
+	}
+	for i := 0; i < n; i++ {
+		if st.available(i) {
+			t.Errorf("server %d available with the whole cluster down", i)
+		}
+	}
 }
 
 func TestDomainClassString(t *testing.T) {

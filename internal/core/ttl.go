@@ -262,12 +262,22 @@ func calibrateBase(st *State, variant TTLVariant, factors []float64, constTTL fl
 	}
 	meanInvS := 1.0
 	if variant.ServerAware {
+		// Average over live servers only: a crashed server receives no
+		// mappings, so counting it would miscalibrate the request rate of
+		// the surviving cluster until it recovers.
 		var sum float64
+		live := 0
 		n := st.Cluster().N()
 		for i := 0; i < n; i++ {
+			if st.Down(i) {
+				continue
+			}
 			sum += 1 / (st.Cluster().Alpha(i) * st.Cluster().Rho())
+			live++
 		}
-		meanInvS = sum / float64(n)
+		if live > 0 {
+			meanInvS = sum / float64(live)
+		}
 	}
 	base := constTTL * sumD * meanInvS / k
 	if base < minAdaptiveTTL {

@@ -41,7 +41,7 @@ func (w *wrrSelector) Select(st *State, _ int) int {
 		}
 	}
 	if best == -1 {
-		return 0
+		return -1
 	}
 	w.current[best] -= total
 	return best

@@ -70,6 +70,9 @@ type Server struct {
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{}
 
+	livenessMu sync.Mutex
+	liveness   *LivenessMonitor
+
 	wg     sync.WaitGroup
 	closed chan struct{}
 
@@ -203,11 +206,53 @@ func (s *Server) Stats() ServerStats {
 	return s.stats
 }
 
+// Servers returns the cluster size of the scheduling policy.
+func (s *Server) Servers() int { return len(s.addrs) }
+
 // SetAlarm relays a Web server's alarm/normal signal to the scheduler.
-func (s *Server) SetAlarm(server int, alarmed bool) {
+// An out-of-range index is reported back, so remote reporters learn
+// about their misconfiguration instead of being silently ignored.
+func (s *Server) SetAlarm(server int, alarmed bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.policy.State().SetAlarm(server, alarmed)
+	return s.policy.State().SetAlarm(server, alarmed)
+}
+
+// SetDown marks a Web server failed (down=true) or recovered in the
+// scheduler state: down servers receive no new mappings, and queries
+// are answered SERVFAIL only when every server is down.
+func (s *Server) SetDown(server int, down bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy.State().SetDown(server, down)
+}
+
+// Down reports whether the scheduler currently considers server i
+// failed, synchronized like Alarmed.
+func (s *Server) Down(server int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy.State().Down(server)
+}
+
+// SetLiveness attaches a liveness monitor: report lines that prove a
+// backend alive are forwarded to it. NewLivenessMonitor attaches
+// itself; direct calls are only needed to detach (nil).
+func (s *Server) SetLiveness(m *LivenessMonitor) {
+	s.livenessMu.Lock()
+	s.liveness = m
+	s.livenessMu.Unlock()
+}
+
+// touchLiveness records proof of life for a backend, if a liveness
+// monitor is attached.
+func (s *Server) touchLiveness(server int) {
+	s.livenessMu.Lock()
+	m := s.liveness
+	s.livenessMu.Unlock()
+	if m != nil {
+		m.Touch(server)
+	}
 }
 
 // Alarmed reports whether the scheduler currently excludes server i.

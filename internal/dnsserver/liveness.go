@@ -1,0 +1,135 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LivenessMonitor implements failure detection for the live feedback
+// path: every report line that names a backend (ALIVE, ALARM) counts
+// as proof of life, and a backend that stays silent for k consecutive
+// report intervals is marked down in the scheduler — it receives no
+// new mappings until it reports again. Recovery is immediate: the
+// next line from a down backend re-admits it.
+//
+// The interval should match the backends' utilization/report interval
+// (the paper's 8 s); k trades detection latency against tolerance of
+// transient report loss.
+type LivenessMonitor struct {
+	srv      *Server
+	interval time.Duration
+	k        int
+
+	mu       sync.Mutex
+	lastSeen []time.Time
+	down     []bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewLivenessMonitor starts a monitor for srv's backends and attaches
+// it to the server's report path. Every backend starts with a full
+// grace period of k intervals to deliver its first report.
+func NewLivenessMonitor(srv *Server, interval time.Duration, k int) (*LivenessMonitor, error) {
+	if srv == nil {
+		return nil, errors.New("dnsserver: liveness monitor needs a server")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("dnsserver: liveness interval %v must be positive", interval)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("dnsserver: liveness k %d must be positive", k)
+	}
+	n := srv.Servers()
+	m := &LivenessMonitor{
+		srv:      srv,
+		interval: interval,
+		k:        k,
+		lastSeen: make([]time.Time, n),
+		down:     make([]bool, n),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	now := time.Now()
+	for i := range m.lastSeen {
+		m.lastSeen[i] = now
+	}
+	srv.SetLiveness(m)
+	go m.loop()
+	return m, nil
+}
+
+// Touch records proof of life for a backend; a down backend recovers
+// on the spot. Out-of-range indexes are ignored (the protocol layer
+// validates and reports them before they reach the monitor).
+func (m *LivenessMonitor) Touch(server int) {
+	m.mu.Lock()
+	if server < 0 || server >= len(m.lastSeen) {
+		m.mu.Unlock()
+		return
+	}
+	m.lastSeen[server] = time.Now()
+	wasDown := m.down[server]
+	m.down[server] = false
+	m.mu.Unlock()
+	if wasDown {
+		_ = m.srv.SetDown(server, false)
+	}
+}
+
+// Down reports whether the monitor currently considers the backend
+// failed.
+func (m *LivenessMonitor) Down(server int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if server < 0 || server >= len(m.down) {
+		return false
+	}
+	return m.down[server]
+}
+
+// Close stops the monitor. The scheduler keeps its current liveness
+// view; it no longer changes.
+func (m *LivenessMonitor) Close() {
+	select {
+	case <-m.stop:
+		return
+	default:
+	}
+	close(m.stop)
+	<-m.done
+}
+
+func (m *LivenessMonitor) loop() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-ticker.C:
+			m.check(now)
+		}
+	}
+}
+
+// check marks every backend silent for more than k intervals as down.
+func (m *LivenessMonitor) check(now time.Time) {
+	deadline := time.Duration(m.k) * m.interval
+	var newlyDown []int
+	m.mu.Lock()
+	for i := range m.lastSeen {
+		if !m.down[i] && now.Sub(m.lastSeen[i]) > deadline {
+			m.down[i] = true
+			newlyDown = append(newlyDown, i)
+		}
+	}
+	m.mu.Unlock()
+	for _, i := range newlyDown {
+		_ = m.srv.SetDown(i, true)
+	}
+}

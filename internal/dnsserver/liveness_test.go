@@ -1,0 +1,106 @@
+package dnsserver
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestLivenessMonitorValidation(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	if _, err := NewLivenessMonitor(nil, time.Second, 3); err == nil {
+		t.Error("nil server accepted")
+	}
+	if _, err := NewLivenessMonitor(srv, 0, 3); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewLivenessMonitor(srv, time.Second, 0); err == nil {
+		t.Error("zero k accepted")
+	}
+}
+
+func TestLivenessDetectsSilentBackend(t *testing.T) {
+	// Backends 0..6 exist; only backend 0 keeps reporting. After the
+	// grace period the silent ones are marked down, the reporter stays.
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+	m, err := NewLivenessMonitor(srv, 20*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				// Best effort: the listener may already be shut down
+				// when the test body is done.
+				if conn, err := net.Dial("tcp", rl.Addr().String()); err == nil {
+					fmt.Fprintln(conn, "ALIVE 0")
+					_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+					_, _ = bufio.NewReader(conn).ReadString('\n')
+					_ = conn.Close()
+				}
+			}
+		}
+	}()
+
+	if !waitFor(t, 2*time.Second, func() bool { return srv.Down(3) }) {
+		t.Fatal("silent backend 3 never marked down")
+	}
+	if srv.Down(0) {
+		t.Error("reporting backend 0 marked down")
+	}
+	if !m.Down(3) || m.Down(0) {
+		t.Error("monitor view disagrees with scheduler")
+	}
+}
+
+func TestLivenessRecoveryOnReport(t *testing.T) {
+	// A down backend is re-admitted the moment it reports again —
+	// ALIVE and ALARM both count as proof of life.
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+	m, err := NewLivenessMonitor(srv, 15*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if !waitFor(t, 2*time.Second, func() bool { return srv.Down(2) && srv.Down(5) }) {
+		t.Fatal("backends never marked down")
+	}
+	sendReports(t, rl.Addr().String(), "ALIVE 2", "ALARM 5 0")
+	if srv.Down(2) || srv.Down(5) {
+		t.Error("reporting backends not re-admitted immediately")
+	}
+}
+
+func TestLivenessMonitorCloseIdempotent(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	m, err := NewLivenessMonitor(srv, time.Hour, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	m.Close()
+}

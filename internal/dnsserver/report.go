@@ -10,18 +10,24 @@ import (
 )
 
 // ReportListener accepts plain-text load reports from Web servers and
-// feeds them into a Server's alarm and estimation machinery — the
-// asynchronous feedback channel of the paper, realized as a trivial
-// line protocol:
+// feeds them into a Server's alarm, liveness, and estimation
+// machinery — the asynchronous feedback channel of the paper, realized
+// as a trivial line protocol:
 //
+//	ALIVE <serverIndex>\n              heartbeat (proof of life)
 //	ALARM <serverIndex> <0|1>\n        alarm / normal signal
 //	HITS <domainIndex> <count>\n       per-domain hits since last report
 //	ROLL <intervalSeconds>\n           close an estimation interval
 //
 // Each accepted line is answered with "OK\n", errors with "ERR <msg>\n".
+// ALIVE and ALARM also feed the server's liveness monitor when one is
+// attached (see LivenessMonitor).
 type ReportListener struct {
 	srv *Server
 	ln  net.Listener
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -34,7 +40,12 @@ func NewReportListener(srv *Server, addr string) (*ReportListener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dnsserver: report listen: %w", err)
 	}
-	rl := &ReportListener{srv: srv, ln: ln, closed: make(chan struct{})}
+	rl := &ReportListener{
+		srv:    srv,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+		closed: make(chan struct{}),
+	}
 	rl.wg.Add(1)
 	go rl.acceptLoop()
 	return rl, nil
@@ -43,7 +54,9 @@ func NewReportListener(srv *Server, addr string) (*ReportListener, error) {
 // Addr returns the bound address.
 func (rl *ReportListener) Addr() net.Addr { return rl.ln.Addr() }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting, closes every live connection, and waits for
+// the handlers to exit. A client holding its socket open cannot block
+// shutdown: closing the connection unblocks its handler's read.
 func (rl *ReportListener) Close() error {
 	select {
 	case <-rl.closed:
@@ -52,6 +65,11 @@ func (rl *ReportListener) Close() error {
 	}
 	close(rl.closed)
 	err := rl.ln.Close()
+	rl.connsMu.Lock()
+	for c := range rl.conns {
+		_ = c.Close()
+	}
+	rl.connsMu.Unlock()
 	rl.wg.Wait()
 	return err
 }
@@ -68,10 +86,18 @@ func (rl *ReportListener) acceptLoop() {
 				continue
 			}
 		}
+		rl.connsMu.Lock()
+		rl.conns[conn] = struct{}{}
+		rl.connsMu.Unlock()
 		rl.wg.Add(1)
 		go func() {
 			defer rl.wg.Done()
-			defer conn.Close()
+			defer func() {
+				_ = conn.Close()
+				rl.connsMu.Lock()
+				delete(rl.conns, conn)
+				rl.connsMu.Unlock()
+			}()
 			rl.serve(conn)
 		}()
 	}
@@ -94,6 +120,12 @@ func (rl *ReportListener) serve(conn net.Conn) {
 			return
 		}
 	}
+	// An oversized line exceeds the scanner's token limit; tell the
+	// client why it is being disconnected (best effort).
+	if sc.Err() == bufio.ErrTooLong {
+		fmt.Fprintln(w, "ERR line too long")
+		_ = w.Flush()
+	}
 }
 
 // apply parses and executes one report line.
@@ -101,6 +133,19 @@ func (rl *ReportListener) apply(line string) error {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	switch cmd {
+	case "ALIVE":
+		if len(fields) != 2 {
+			return fmt.Errorf("ALIVE wants 1 arg, got %d", len(fields)-1)
+		}
+		server, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad server index %q", fields[1])
+		}
+		if server < 0 || server >= rl.srv.Servers() {
+			return fmt.Errorf("server index %d out of range [0,%d)", server, rl.srv.Servers())
+		}
+		rl.srv.touchLiveness(server)
+		return nil
 	case "ALARM":
 		if len(fields) != 3 {
 			return fmt.Errorf("ALARM wants 2 args, got %d", len(fields)-1)
@@ -113,7 +158,10 @@ func (rl *ReportListener) apply(line string) error {
 		if err != nil || (on != 0 && on != 1) {
 			return fmt.Errorf("bad alarm flag %q", fields[2])
 		}
-		rl.srv.SetAlarm(server, on == 1)
+		if err := rl.srv.SetAlarm(server, on == 1); err != nil {
+			return err
+		}
+		rl.srv.touchLiveness(server)
 		return nil
 	case "HITS":
 		if len(fields) != 3 {

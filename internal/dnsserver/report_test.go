@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"sync"
 	"testing"
 	"time"
 
@@ -131,5 +132,201 @@ func TestReportListenerCloseIdempotent(t *testing.T) {
 	}
 	if err := rl.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestReportListenerCloseWithOpenConn(t *testing.T) {
+	// Regression: Close used to wait on the handler WaitGroup without
+	// closing accepted connections, so a client holding its socket open
+	// hung shutdown forever.
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+
+	conn, err := net.Dial("tcp", rl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Prove the connection is accepted and served before closing.
+	if resp := roundTrip(t, conn, "ALARM 1 1"); resp != "OK\n" {
+		t.Fatalf("response = %q", resp)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- rl.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hangs while a report connection is open")
+	}
+}
+
+func roundTrip(t *testing.T, conn net.Conn, line string) string {
+	t.Helper()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := fmt.Fprintln(conn, line); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestReportAlarmOutOfRange(t *testing.T) {
+	// An out-of-range server index must come back as ERR over the wire,
+	// not be silently swallowed.
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+	resps := sendReports(t, rl.Addr().String(), "ALARM 99 1", "ALARM -1 0")
+	for i, resp := range resps {
+		if len(resp) < 3 || resp[:3] != "ERR" {
+			t.Errorf("line %d: response %q, want ERR", i, resp)
+		}
+	}
+}
+
+func TestReportAliveProtocol(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+	resps := sendReports(t, rl.Addr().String(),
+		"ALIVE 3",
+		"ALIVE 99",
+		"ALIVE x",
+		"ALIVE",
+	)
+	if resps[0] != "OK\n" {
+		t.Errorf("ALIVE 3 response = %q", resps[0])
+	}
+	for i, resp := range resps[1:] {
+		if len(resp) < 3 || resp[:3] != "ERR" {
+			t.Errorf("line %d: response %q, want ERR", i+1, resp)
+		}
+	}
+}
+
+func TestReportOversizedLine(t *testing.T) {
+	// A line beyond bufio.Scanner's 64 KiB token limit must get the
+	// client disconnected with an error, and the listener must keep
+	// serving new connections afterwards.
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+
+	conn, err := net.Dial("tcp", rl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	huge := make([]byte, 80*1024)
+	for i := range huge {
+		huge[i] = 'A'
+	}
+	huge = append(huge, '\n')
+	if _, err := conn.Write(huge); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	resp, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) < 3 || resp[:3] != "ERR" {
+		t.Errorf("oversized line response = %q, want ERR", resp)
+	}
+	// The connection is gone after the protocol violation.
+	if _, err := r.ReadString('\n'); err == nil {
+		t.Error("connection still open after oversized line")
+	}
+	// Fresh connections still work.
+	if resp := sendReports(t, rl.Addr().String(), "ALARM 1 1"); resp[0] != "OK\n" {
+		t.Errorf("post-violation response = %q", resp[0])
+	}
+}
+
+func TestReportTruncatedWrite(t *testing.T) {
+	// A client that dies mid-line must not wedge the listener or apply
+	// the partial command.
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+
+	conn, err := net.Dial("tcp", rl.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("ALARM 2")); err != nil { // no newline
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+
+	// The listener still answers other clients, and the torn line was
+	// parsed as an (incomplete) command, not applied as an alarm.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Alarmed(2) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Alarmed(2) {
+		t.Error("truncated ALARM line was applied")
+	}
+	if resp := sendReports(t, rl.Addr().String(), "ALARM 2 1"); resp[0] != "OK\n" {
+		t.Errorf("response after truncated client = %q", resp[0])
+	}
+}
+
+func TestReportConcurrentBackends(t *testing.T) {
+	// Many backends reporting ALARM/HITS/ROLL/ALIVE at once: every line
+	// is answered and the listener state stays consistent (run with
+	// -race to check for data races).
+	srv, _ := testServer(t, "RR", nil)
+	rl := startReportListener(t, srv)
+
+	const backends = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, backends)
+	for b := 0; b < backends; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", rl.Addr().String())
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+			r := bufio.NewReader(conn)
+			for i := 0; i < 50; i++ {
+				lines := []string{
+					fmt.Sprintf("ALIVE %d", b%7),
+					fmt.Sprintf("ALARM %d %d", b%7, i%2),
+					fmt.Sprintf("HITS %d 10", i%20),
+					"ROLL 8",
+				}
+				for _, line := range lines {
+					if _, err := fmt.Fprintln(conn, line); err != nil {
+						errc <- err
+						return
+					}
+					resp, err := r.ReadString('\n')
+					if err != nil {
+						errc <- err
+						return
+					}
+					if resp != "OK\n" {
+						errc <- fmt.Errorf("backend %d: %q -> %q", b, line, resp)
+						return
+					}
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
 	}
 }

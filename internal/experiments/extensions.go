@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dnslb/internal/sim"
+	"dnslb/internal/stats"
 )
 
 // This file defines experiments beyond the paper's figures: the
@@ -196,6 +197,62 @@ func ExtGeo(o Options) (*Figure, error) {
 		latency.Values[i] = lat / float64(len(results)) / 200
 	}
 	fig.Series = append(fig.Series, balance, latency)
+	return fig, nil
+}
+
+// ExtFailures measures the cost of a server crash under address
+// caching (extension): the most capable server fails for the x-axis
+// duration mid-run, and the y-axis reports the fraction of pages that
+// hit it while TTL-pinned mappings were still naming it. New DNS
+// decisions exclude the dead server immediately; only cached mappings
+// keep losing pages until their TTL expires or the server returns.
+// Comparing the adaptive DRR2-TTL/S_K against constant-TTL RR2
+// (TTL/1) shows failure cost is governed by the residual TTL mass a
+// discipline leaves in the resolvers' caches, not by how it balances
+// load — the calibration that equalizes mean DNS request rates also
+// roughly equalizes pinned loss.
+func ExtFailures(o Options) (*Figure, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	durations := []float64{300, 600, 1200, 2400}
+	fig := &Figure{
+		ID:     "ext-failures",
+		Title:  "Pinned-load loss under a server crash (Het. 35%)",
+		XLabel: "Outage duration of the most capable server (s)",
+		YLabel: "Lost pages / total pages",
+		XVals:  durations,
+	}
+	policies := []struct{ name, label string }{
+		{"DRR2-TTL/S_K", "DRR2-TTL/S_K (adaptive TTL)"},
+		{"RR2", "RR2 (constant TTL)"},
+	}
+	for _, pol := range policies {
+		s := Series{Name: pol.label, Values: make([]float64, len(durations)), HalfWidths: make([]float64, len(durations))}
+		for i, d := range durations {
+			cfg := sim.DefaultConfig(pol.name)
+			cfg.HeterogeneityPct = 35
+			applyOptions(&cfg, o)
+			// Crash after the caches are fully populated.
+			cfg.Faults = sim.Outage(0, o.Warmup+300, d)
+			results, err := sim.RunReplications(cfg, o.Reps)
+			if err != nil {
+				return nil, fmt.Errorf("ext-failures/%s d=%v: %w", pol.name, d, err)
+			}
+			obs := make([]float64, len(results))
+			for r, res := range results {
+				if total := res.DeadServerHits + res.TotalHits; total > 0 {
+					obs[r] = float64(res.DeadServerHits) / float64(total)
+				}
+			}
+			iv := stats.MeanCI(obs, 0.95)
+			s.Values[i] = iv.Mean
+			if o.Reps > 1 {
+				s.HalfWidths[i] = iv.HalfWide
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
 	return fig, nil
 }
 

@@ -226,6 +226,7 @@ var Registry = map[string]Runner{
 	"ext-alarm":     ExtAlarm,
 	"ext-window":    ExtWindow,
 	"ext-estimator": ExtEstimator,
+	"ext-failures":  ExtFailures,
 	"ext-geo":       ExtGeo,
 	"ext-baselines": ExtBaselines,
 }
@@ -240,7 +241,8 @@ func PaperIDs() []string {
 func ExtensionIDs() []string {
 	return []string{
 		"ext-alarm", "ext-baselines", "ext-classes", "ext-domains",
-		"ext-estimator", "ext-geo", "ext-load", "ext-servers", "ext-window",
+		"ext-estimator", "ext-failures", "ext-geo", "ext-load",
+		"ext-servers", "ext-window",
 	}
 }
 

@@ -69,6 +69,17 @@ type Config struct {
 	// EstimatorAlpha is the EWMA weight of the newest interval.
 	EstimatorAlpha float64
 
+	// Faults injects server crash/recovery events at fixed virtual
+	// times (failure extension). The DNS learns of a membership change
+	// instantly — the optimistic bound; what it cannot fix is the
+	// hidden load already pinned to a dead server by cached mappings,
+	// which the failure metrics of Result quantify.
+	Faults []FaultEvent
+	// ReportLossProb is the probability that one server's hidden-load
+	// report for one estimator collection interval is lost in transit
+	// (failure extension; only meaningful when OracleWeights is false).
+	ReportLossProb float64
+
 	// GeoPreference enables the proximity extension: with probability
 	// GeoPreference the DNS answers with the nearest available server
 	// (by the synthetic ring geography) instead of the discipline's
@@ -84,6 +95,23 @@ type Config struct {
 	Warmup float64
 	// Seed makes the run reproducible.
 	Seed uint64
+}
+
+// FaultEvent is one liveness transition of one server at a fixed
+// virtual time: Down true crashes the server, false recovers it.
+type FaultEvent struct {
+	Time   float64
+	Server int
+	Down   bool
+}
+
+// Outage returns the crash/recover event pair for one server failing
+// at start and coming back after duration seconds.
+func Outage(server int, start, duration float64) []FaultEvent {
+	return []FaultEvent{
+		{Time: start, Server: server, Down: true},
+		{Time: start + duration, Server: server, Down: false},
+	}
 }
 
 // DefaultConfig returns the paper's default parameters (Table 1) for
@@ -144,6 +172,16 @@ func (c Config) Validate() error {
 		return errors.New("sim: GeoPreference must be within [0,1]")
 	case c.GeoBaseMS < 0 || c.GeoSpanMS < 0:
 		return errors.New("sim: geo latencies must be non-negative")
+	case c.ReportLossProb < 0 || c.ReportLossProb > 1:
+		return errors.New("sim: ReportLossProb must be within [0,1]")
+	}
+	for i, ev := range c.Faults {
+		if ev.Time < 0 {
+			return fmt.Errorf("sim: fault event %d at negative time %v", i, ev.Time)
+		}
+		if ev.Server < 0 || ev.Server >= c.Servers {
+			return fmt.Errorf("sim: fault event %d targets server %d, cluster has %d", i, ev.Server, c.Servers)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+)
+
+// faultCfg is a short run with one outage of server 0 in the middle.
+func faultCfg(policy string, start, duration float64) Config {
+	cfg := DefaultConfig(policy)
+	cfg.Duration = 1800
+	cfg.Warmup = 100
+	cfg.Faults = Outage(0, start, duration)
+	return cfg
+}
+
+func TestFaultValidation(t *testing.T) {
+	cfg := DefaultConfig("RR")
+	cfg.Faults = []FaultEvent{{Time: -1, Server: 0, Down: true}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative fault time should error")
+	}
+	cfg.Faults = []FaultEvent{{Time: 10, Server: 7, Down: true}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("out-of-range fault server should error")
+	}
+	cfg.Faults = nil
+	cfg.ReportLossProb = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Error("report loss probability > 1 should error")
+	}
+}
+
+func TestOutageHelper(t *testing.T) {
+	evs := Outage(3, 100, 50)
+	if len(evs) != 2 || !evs[0].Down || evs[1].Down ||
+		evs[0].Time != 100 || evs[1].Time != 150 || evs[0].Server != 3 {
+		t.Errorf("Outage = %+v", evs)
+	}
+}
+
+func TestCrashExcludesServerFromNewDecisions(t *testing.T) {
+	// Crash server 0 for the whole measured period: the failure-aware
+	// scheduler must route zero *new* decisions to it after the crash.
+	// TTL-pinned cached mappings still hit it, which is exactly the
+	// pinned-load loss the metrics report.
+	for _, policy := range []string{"DRR2-TTL/S_K", "RR2", "PRR2-TTL/K"} {
+		cfg := faultCfg(policy, 200, 1e9)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		// Decisions to server 0 can only stem from the 200 pre-crash
+		// seconds. Re-run with the crash from t=0: now there must be none.
+		preCrash := res.Sched.PerServer[0]
+		cfg0 := faultCfg(policy, 0, 1e9)
+		res0, err := Run(cfg0)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if got := res0.Sched.PerServer[0]; got != 0 {
+			t.Errorf("%s: %d new decisions routed to a down server", policy, got)
+		}
+		if preCrash == 0 {
+			t.Errorf("%s: expected some pre-crash decisions to server 0", policy)
+		}
+		if res0.DeadServerHits != 0 {
+			t.Errorf("%s: dead-server hits with no mapping ever pointing there", policy)
+		}
+	}
+}
+
+func TestTTLPinnedLossAndDrain(t *testing.T) {
+	cfg := faultCfg("RR2", 600, 400)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadServerHits == 0 {
+		t.Error("a mid-run crash under constant TTL 240s must strand pinned load")
+	}
+	if res.LostPages == 0 {
+		t.Error("pages sent to the dead server must count as lost")
+	}
+	if res.MeanTimeToDrain <= 0 {
+		t.Error("recovery must record a time-to-drain")
+	}
+	// Sanity: a faultless run of the same config loses nothing.
+	cfg.Faults = nil
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.DeadServerHits != 0 || clean.LostPages != 0 || clean.FailedResolves != 0 {
+		t.Errorf("faultless run reported losses: %+v", clean)
+	}
+}
+
+func TestPinnedLossGrowsWithOutage(t *testing.T) {
+	// Pinned-load loss must be reported for constant-TTL and adaptive
+	// policies alike and grow with the outage duration (longer outage =
+	// more mappings stranded past their residual TTL).
+	loss := func(policy string, duration float64) float64 {
+		cfg := DefaultConfig(policy)
+		cfg.Duration = 3600
+		cfg.Warmup = 100
+		cfg.Faults = Outage(0, 600, duration)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TotalHits == 0 {
+			t.Fatal("no hits served")
+		}
+		return float64(res.DeadServerHits) / float64(res.DeadServerHits+res.TotalHits)
+	}
+	for _, policy := range []string{"RR2", "DRR2-TTL/S_K"} {
+		short := loss(policy, 120)
+		long := loss(policy, 1200)
+		if short <= 0 || long <= 0 {
+			t.Errorf("%s: pinned loss not reported (short %v, long %v)", policy, short, long)
+		}
+		if long <= short {
+			t.Errorf("%s: loss %v for a 1200s outage, want above %v (120s outage)", policy, long, short)
+		}
+	}
+}
+
+func TestAllServersDown(t *testing.T) {
+	// Crash the whole cluster: resolves fail explicitly and pages are
+	// lost, but the run completes without error.
+	cfg := DefaultConfig("DRR2-TTL/S_K")
+	cfg.Duration = 600
+	cfg.Warmup = 0
+	for i := 0; i < cfg.Servers; i++ {
+		cfg.Faults = append(cfg.Faults, FaultEvent{Time: 0, Server: i, Down: true})
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedResolves == 0 {
+		t.Error("want failed resolves with the whole cluster down")
+	}
+	if res.AddressRequests != 0 {
+		t.Errorf("%d address requests answered with no live server", res.AddressRequests)
+	}
+	if res.TotalHits != 0 {
+		t.Errorf("%d hits served by dead servers", res.TotalHits)
+	}
+	if res.LostPages == 0 {
+		t.Error("want lost pages with the whole cluster down")
+	}
+}
+
+func TestReportLoss(t *testing.T) {
+	cfg := DefaultConfig("DRR2-TTL/S_K")
+	cfg.Duration = 1800
+	cfg.Warmup = 100
+	cfg.OracleWeights = false
+	cfg.ReportLossProb = 0.5
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostReports == 0 {
+		t.Error("want lost reports at loss probability 0.5")
+	}
+	// The estimator still functions on the surviving reports.
+	cfg.ReportLossProb = 0
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.LostReports != 0 {
+		t.Errorf("lost %d reports at probability 0", clean.LostReports)
+	}
+}
+
+func TestFaultRunDeterminism(t *testing.T) {
+	cfg := faultCfg("DRR2-TTL/S_K", 300, 500)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeadServerHits != b.DeadServerHits || a.LostPages != b.LostPages ||
+		a.MeanTimeToDrain != b.MeanTimeToDrain || a.TotalHits != b.TotalHits {
+		t.Error("fault-injected runs must stay deterministic for a fixed seed")
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -46,6 +47,27 @@ type Result struct {
 	ClampedTTLs uint64
 	// EventsFired is the engine's executed event count.
 	EventsFired uint64
+
+	// DeadServerHits counts hits addressed to a server while it was
+	// down: the TTL-pinned traffic cached mappings keep sending to a
+	// dead server until they expire. Every such page is also lost.
+	DeadServerHits uint64
+	// LostPages counts page bursts that could not be served: their
+	// target server was down, or no server was available at resolve
+	// time.
+	LostPages uint64
+	// FailedResolves counts address requests the scheduler answered
+	// with "no server available" (the whole cluster was down).
+	FailedResolves uint64
+	// MeanTimeToDrain is the mean delay, over recovery events, from a
+	// server coming back until client traffic reaches it again — how
+	// long stale cached mappings and pointer state keep a recovered
+	// server idle. 0 when no recovery was observed (or traffic never
+	// returned).
+	MeanTimeToDrain float64
+	// LostReports counts hidden-load reports dropped by the
+	// report-loss fault model.
+	LostReports uint64
 }
 
 // ProbMaxUnder returns the fraction of measurement windows in which
@@ -159,7 +181,33 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Config: cfg}
 	var scheduleErr error
 	var latSum, latHits float64
+
+	// Failure model: liveness as the scheduler sees it, plus
+	// time-to-drain bookkeeping per server.
+	downNow := make([]bool, cfg.Servers)
+	recoveredAt := make([]float64, cfg.Servers)
+	drainPending := make([]bool, cfg.Servers)
+	var drainSum float64
+	var drainN int
+
 	deliver := func(domain, server, hits int) {
+		if server < 0 {
+			// The session could not be resolved: the page is lost.
+			res.LostPages++
+			return
+		}
+		if downNow[server] {
+			// A cached mapping pinned this domain to a dead server; the
+			// page is lost until the TTL expires or the server returns.
+			res.DeadServerHits += uint64(hits)
+			res.LostPages++
+			return
+		}
+		if drainPending[server] {
+			drainPending[server] = false
+			drainSum += engine.Now() - recoveredAt[server]
+			drainN++
+		}
 		servers[server].Arrive(engine.Now(), domain, hits)
 		if geo != nil {
 			latSum += geo.Latency(domain, server) * float64(hits)
@@ -168,7 +216,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// resolve returns the server for a new session of the given domain,
-	// consulting the domain's NS cache first.
+	// consulting the domain's NS cache first; -1 when the whole cluster
+	// is down.
 	resolve := func(domain int) int {
 		now := engine.Now()
 		if server, ok := caches[domain].Lookup(now); ok {
@@ -176,6 +225,10 @@ func Run(cfg Config) (*Result, error) {
 		}
 		d, err := policy.Schedule(domain)
 		if err != nil {
+			if errors.Is(err, core.ErrNoServers) {
+				res.FailedResolves++
+				return -1
+			}
 			if scheduleErr == nil {
 				scheduleErr = err
 			}
@@ -211,11 +264,19 @@ func Run(cfg Config) (*Result, error) {
 		measuring := now > cfg.Warmup
 		for i, sv := range servers {
 			u := sv.CloseWindow(now)
+			if downNow[i] {
+				// A dead server serves nothing and signals nothing; its
+				// residual backlog drain is not a utilization observation
+				// (the metric window averages it as zero).
+				continue
+			}
 			if cfg.AlarmThreshold > 0 {
 				over := u > cfg.AlarmThreshold
 				if over != alarmed[i] {
 					alarmed[i] = over
-					state.SetAlarm(i, over)
+					if err := state.SetAlarm(i, over); err != nil && scheduleErr == nil {
+						scheduleErr = err
+					}
 					res.AlarmSignals++
 				}
 			}
@@ -239,12 +300,52 @@ func Run(cfg Config) (*Result, error) {
 	}
 	engine.Schedule(cfg.UtilizationInterval, sampler)
 
-	// Dynamic hidden-load estimation, when enabled.
+	// Fault injection: crash/recovery events flip the scheduler's
+	// liveness view at their virtual times. A crash also retracts the
+	// server's alarm (a dead server signals nothing); what the DNS
+	// cannot retract are the cached mappings still pointing at it.
+	for _, ev := range cfg.Faults {
+		ev := ev
+		engine.ScheduleAt(ev.Time, func() {
+			if downNow[ev.Server] == ev.Down {
+				return
+			}
+			downNow[ev.Server] = ev.Down
+			if err := state.SetDown(ev.Server, ev.Down); err != nil && scheduleErr == nil {
+				scheduleErr = err
+			}
+			if ev.Down {
+				if alarmed[ev.Server] {
+					alarmed[ev.Server] = false
+					if err := state.SetAlarm(ev.Server, false); err != nil && scheduleErr == nil {
+						scheduleErr = err
+					}
+				}
+				drainPending[ev.Server] = false
+			} else {
+				recoveredAt[ev.Server] = engine.Now()
+				drainPending[ev.Server] = true
+			}
+		})
+	}
+
+	// Dynamic hidden-load estimation, when enabled. The report-loss
+	// fault model drops a server's whole interval report with
+	// probability ReportLossProb; dead servers report nothing.
 	if estimator != nil {
+		lossStream := engine.Stream("reportloss")
 		var collect func()
 		collect = func() {
-			for _, sv := range servers {
-				for j, h := range sv.TakeDomainHits() {
+			for i, sv := range servers {
+				hits := sv.TakeDomainHits()
+				if downNow[i] {
+					continue
+				}
+				if cfg.ReportLossProb > 0 && lossStream.Float64() < cfg.ReportLossProb {
+					res.LostReports++
+					continue
+				}
+				for j, h := range hits {
 					estimator.Record(j, h)
 				}
 			}
@@ -281,6 +382,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if latHits > 0 {
 		res.MeanLatencyMS = latSum / latHits
+	}
+	if drainN > 0 {
+		res.MeanTimeToDrain = drainSum / float64(drainN)
 	}
 	for _, c := range caches {
 		st := c.Stats()
