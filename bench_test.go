@@ -2,6 +2,7 @@ package dnslb_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"dnslb"
@@ -155,6 +156,49 @@ func BenchmarkSchedulerDecision(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkScheduleParallel measures concurrent scheduling decisions
+// against one shared policy — the contention profile of the lock-free
+// query path. Compare -cpu 1 with -cpu N: the snapshot design keeps
+// per-decision cost flat instead of serializing behind a policy mutex.
+func BenchmarkScheduleParallel(b *testing.B) {
+	for _, name := range []string{"RR", "PRR2-TTL/K", "DRR2-TTL/S_K"} {
+		b.Run(name, func(b *testing.B) {
+			cluster, err := core.ScaledCluster(7, 35, 500)
+			if err != nil {
+				b.Fatal(err)
+			}
+			state, err := core.NewState(cluster, 20)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := state.SetWeights(simcore.ZipfWeights(20, 1)); err != nil {
+				b.Fatal(err)
+			}
+			var tick atomic.Int64
+			policy, err := core.NewPolicy(core.PolicyConfig{
+				Name:  name,
+				State: state,
+				Rand:  simcore.NewStream(1, "bench"),
+				Now:   func() float64 { return float64(tick.Add(1)) / 1e4 },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				domain := 0
+				for pb.Next() {
+					if _, err := policy.Schedule(domain); err != nil {
+						b.Fatal(err)
+					}
+					domain = (domain + 1) % 20
+				}
+			})
 		})
 	}
 }

@@ -16,10 +16,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand/v2"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof flag: registers /debug/pprof handlers
 	"net/netip"
 	"os"
 	"os/signal"
@@ -61,6 +65,8 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 		burst      = fs.Float64("burst", 10, "per-source burst allowance when -qps is set")
 		livenessK  = fs.Int("liveness-k", 3, "missed report intervals before a backend is marked down (0 = disable liveness)")
 		livenessIv = fs.Duration("liveness-interval", 8*time.Second, "expected backend report interval")
+		udpWorkers = fs.Int("udp-workers", 0, "parallel UDP serve goroutines (0 = GOMAXPROCS)")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +106,7 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 		Policy:      pol,
 		Addr:        *addr,
 		Logger:      logger,
+		UDPWorkers:  *udpWorkers,
 	}
 	if *qps > 0 {
 		cfg.RateLimit = dnslb.NewRateLimiter(*qps, *burst)
@@ -113,6 +120,24 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 	}
 	defer srv.Close()
 	logger.Printf("serving %s on %s with %s over %d servers", *zone, srv.Addr(), *policy, len(addrs))
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers its handlers on DefaultServeMux at
+		// import; a plain server on that mux exposes them. Profiling
+		// the lock-free query path under load is the point, so this
+		// stays opt-in and should never face the public internet.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
+		logger.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+	}
 
 	rAddr := *reportAddr
 	if rAddr == "" {

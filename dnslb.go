@@ -43,9 +43,16 @@ import (
 type (
 	// Cluster describes the heterogeneous server set.
 	Cluster = core.Cluster
-	// State is the scheduler's view: weights, classes, alarms.
+	// State is the scheduler's view: weights, classes, alarms. Reads
+	// are lock-free against an immutable atomically-published
+	// snapshot; mutators may be called concurrently with reads and
+	// with Policy.Schedule.
 	State = core.State
-	// Policy is a complete DNS scheduling policy.
+	// Policy is a complete DNS scheduling policy. Schedule and Stats
+	// are safe for concurrent callers: each decision is made against
+	// one immutable state snapshot and the counters are atomic (exact
+	// once callers quiesce). See DESIGN.md §9 for the full
+	// concurrency contract.
 	Policy = core.Policy
 	// PolicyConfig selects and parameterizes a policy by name.
 	PolicyConfig = core.PolicyConfig

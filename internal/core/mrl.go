@@ -1,6 +1,9 @@
 package core
 
-import "container/heap"
+import (
+	"container/heap"
+	"sync"
+)
 
 // mrlSelector implements the Minimum Residual Load baseline from the
 // companion homogeneous-server study (Colajanni, Yu, Dias, ICDCS'97),
@@ -11,10 +14,14 @@ import "container/heap"
 // contribution decays linearly from the domain's hidden load weight to
 // zero across the TTL interval, modelling that the burst of cached
 // requests spreads over the TTL. Each address request goes to the
-// server minimizing residual load per unit of relative capacity.
+// server minimizing residual load per unit of relative capacity. Like
+// DAL, the mapping ledger needs a consistent read-modify-write, so it
+// is guarded by a selector-local mutex.
 type mrlSelector struct {
-	now     func() float64
-	ttl     float64
+	now func() float64
+	ttl float64
+
+	mu      sync.Mutex
 	pending dalHeap // reuses the (expire, server, load) entry heap
 }
 
@@ -26,9 +33,11 @@ func NewMRL(now func() float64, ttl float64) Selector {
 
 func (m *mrlSelector) Name() string { return "MRL" }
 
-func (m *mrlSelector) Select(st *State, domain int) int {
-	n := st.Cluster().N()
+func (m *mrlSelector) Select(sn *Snapshot, domain int) int {
+	n := sn.Cluster().N()
 	t := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for len(m.pending) > 0 && m.pending[0].expire <= t {
 		heap.Pop(&m.pending)
 	}
@@ -40,10 +49,10 @@ func (m *mrlSelector) Select(st *State, domain int) int {
 	best := -1
 	bestScore := 0.0
 	for i := 0; i < n; i++ {
-		if !st.available(i) {
+		if !sn.available(i) {
 			continue
 		}
-		score := residual[i] / st.Cluster().Alpha(i)
+		score := residual[i] / sn.Cluster().Alpha(i)
 		if best == -1 || score < bestScore {
 			best, bestScore = i, score
 		}
@@ -51,6 +60,6 @@ func (m *mrlSelector) Select(st *State, domain int) int {
 	if best == -1 {
 		return -1
 	}
-	heap.Push(&m.pending, dalEntry{expire: t + m.ttl, server: best, load: st.Weight(domain)})
+	heap.Push(&m.pending, dalEntry{expire: t + m.ttl, server: best, load: sn.Weight(domain)})
 	return best
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Decision is the DNS scheduler's answer to one address request: the
@@ -16,22 +18,47 @@ type Decision struct {
 }
 
 // Policy is a complete DNS scheduling policy: a server selector plus a
-// TTL policy, evaluated against shared scheduler state. Policies are
-// not safe for concurrent use; callers (the simulator or the real DNS
-// server) serialize Schedule calls.
+// TTL policy, evaluated against shared scheduler state.
+//
+// Concurrency contract: Schedule is safe for concurrent callers and
+// may race freely with the State mutators (SetWeights, SetBeta,
+// SetAlarm, SetDown) — each decision is made against one immutable
+// state snapshot. The decision counters are atomics, so every
+// scheduled decision is counted exactly once; a Stats call concurrent
+// with in-flight Schedules may observe a decision whose counters are
+// only partially applied, but once the callers quiesce the totals are
+// exact (Decisions == ΣPerServer == ΣPerClass).
 type Policy struct {
 	name     string
 	selector Selector
 	ttl      *TTLPolicy
 	state    *State
 
-	decisions    uint64
-	perServer    []uint64
-	perClass     map[DomainClass]uint64
-	sumTTL       float64
-	minTTLSeen   float64
-	maxTTLSeen   float64
-	firstCounted bool
+	decisions atomic.Uint64
+	perServer []atomic.Uint64
+	perClass  [2]atomic.Uint64 // indexed by class - ClassNormal
+	sumTTL    [ttlAccShards]ttlAccShard
+	minTTL    atomic.Uint64 // float64 bits; +Inf until first decision
+	maxTTL    atomic.Uint64 // float64 bits; -Inf until first decision
+}
+
+// ttlAccShards spreads the CAS-accumulated TTL sum across cache lines
+// so concurrent Schedule callers do not all retry on one word.
+const ttlAccShards = 8
+
+type ttlAccShard struct {
+	bits atomic.Uint64 // float64 bits of the partial sum
+	_    [56]byte      // pad to a cache line
+}
+
+// addFloat atomically accumulates v into a float64 stored as bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
 }
 
 // NewPolicyFromParts assembles a policy from an explicit selector and
@@ -40,14 +67,16 @@ func NewPolicyFromParts(name string, sel Selector, ttl *TTLPolicy, st *State) (*
 	if sel == nil || ttl == nil || st == nil {
 		return nil, errors.New("core: selector, ttl policy and state are all required")
 	}
-	return &Policy{
+	p := &Policy{
 		name:      name,
 		selector:  sel,
 		ttl:       ttl,
 		state:     st,
-		perServer: make([]uint64, st.Cluster().N()),
-		perClass:  make(map[DomainClass]uint64, 2),
-	}, nil
+		perServer: make([]atomic.Uint64, st.Cluster().N()),
+	}
+	p.minTTL.Store(math.Float64bits(math.Inf(1)))
+	p.maxTTL.Store(math.Float64bits(math.Inf(-1)))
+	return p, nil
 }
 
 // Name returns the policy's catalog name.
@@ -62,30 +91,44 @@ func (p *Policy) TTLVariant() TTLVariant { return p.ttl.Variant() }
 // Schedule answers one address request from the given domain. When
 // every server is down it returns ErrNoServers; the decision counters
 // are untouched in that case.
+//
+// Schedule is safe for concurrent callers and may run concurrently
+// with every State mutator; the decision is made against a single
+// immutable snapshot of the scheduler state.
 func (p *Policy) Schedule(domain int) (Decision, error) {
-	if domain < 0 || domain >= p.state.Domains() {
-		return Decision{}, fmt.Errorf("core: domain %d out of range [0,%d)", domain, p.state.Domains())
+	sn := p.state.Snapshot()
+	if domain < 0 || domain >= sn.Domains() {
+		return Decision{}, fmt.Errorf("core: domain %d out of range [0,%d)", domain, sn.Domains())
 	}
-	server := p.selector.Select(p.state, domain)
+	server := p.selector.Select(sn, domain)
 	if server < 0 {
 		return Decision{}, ErrNoServers
 	}
-	ttl := p.ttl.TTL(p.state, domain, server)
-	p.decisions++
-	p.perServer[server]++
-	p.perClass[p.state.Class(domain)]++
-	p.sumTTL += ttl
-	if !p.firstCounted || ttl < p.minTTLSeen {
-		p.minTTLSeen = ttl
+	ttl := p.ttl.TTL(sn, domain, server)
+	p.decisions.Add(1)
+	p.perServer[server].Add(1)
+	p.perClass[sn.Class(domain)-ClassNormal].Add(1)
+	addFloat(&p.sumTTL[server%ttlAccShards].bits, ttl)
+	for {
+		old := p.minTTL.Load()
+		if ttl >= math.Float64frombits(old) || p.minTTL.CompareAndSwap(old, math.Float64bits(ttl)) {
+			break
+		}
 	}
-	if !p.firstCounted || ttl > p.maxTTLSeen {
-		p.maxTTLSeen = ttl
+	for {
+		old := p.maxTTL.Load()
+		if ttl <= math.Float64frombits(old) || p.maxTTL.CompareAndSwap(old, math.Float64bits(ttl)) {
+			break
+		}
 	}
-	p.firstCounted = true
 	return Decision{Server: server, TTL: ttl}, nil
 }
 
 // Stats reports scheduling counters accumulated since creation.
+//
+// Before the first decision it is the documented zero value: Decisions
+// is 0, PerServer is all-zero, PerClass is empty, and MeanTTL, MinTTL
+// and MaxTTL are all 0 (not ±Inf or NaN).
 type Stats struct {
 	Decisions uint64
 	PerServer []uint64
@@ -95,23 +138,34 @@ type Stats struct {
 	MaxTTL    float64
 }
 
-// Stats returns a snapshot of the policy's counters.
+// Stats returns a snapshot of the policy's counters. Each counter is
+// read atomically; if Schedule calls are in flight the individual
+// counters are exact but may be mutually out of step by the handful of
+// decisions being applied, and they agree once the callers quiesce.
 func (p *Policy) Stats() Stats {
 	per := make([]uint64, len(p.perServer))
-	copy(per, p.perServer)
-	pc := make(map[DomainClass]uint64, len(p.perClass))
-	for k, v := range p.perClass {
-		pc[k] = v
+	for i := range p.perServer {
+		per[i] = p.perServer[i].Load()
+	}
+	pc := make(map[DomainClass]uint64, 2)
+	for c := ClassNormal; c <= ClassHot; c++ {
+		if v := p.perClass[c-ClassNormal].Load(); v > 0 {
+			pc[c] = v
+		}
 	}
 	s := Stats{
-		Decisions: p.decisions,
+		Decisions: p.decisions.Load(),
 		PerServer: per,
 		PerClass:  pc,
-		MinTTL:    p.minTTLSeen,
-		MaxTTL:    p.maxTTLSeen,
 	}
-	if p.decisions > 0 {
-		s.MeanTTL = p.sumTTL / float64(p.decisions)
+	if s.Decisions > 0 {
+		var sum float64
+		for i := range p.sumTTL {
+			sum += math.Float64frombits(p.sumTTL[i].bits.Load())
+		}
+		s.MeanTTL = sum / float64(s.Decisions)
+		s.MinTTL = math.Float64frombits(p.minTTL.Load())
+		s.MaxTTL = math.Float64frombits(p.maxTTL.Load())
 	}
 	return s
 }
@@ -247,6 +301,11 @@ func NewPolicy(cfg PolicyConfig) (*Policy, error) {
 	if constTTL == 0 {
 		constTTL = DefaultConstantTTL
 	}
+	// One locked generator shared by the selector and the proximity
+	// wrapper: concurrent Schedule callers then serialize draws on a
+	// single lock, and single-threaded callers see the exact draw
+	// sequence the unlocked generator would produce.
+	rng := LockRand(cfg.Rand)
 	var sel Selector
 	switch spec.selector {
 	case "RR":
@@ -256,15 +315,15 @@ func NewPolicy(cfg PolicyConfig) (*Policy, error) {
 	case "WRR":
 		sel = NewWRR()
 	case "PRR":
-		if cfg.Rand == nil {
+		if rng == nil {
 			return nil, fmt.Errorf("core: policy %q needs PolicyConfig.Rand", cfg.Name)
 		}
-		sel = NewPRR(cfg.Rand)
+		sel = NewPRR(rng)
 	case "PRR2":
-		if cfg.Rand == nil {
+		if rng == nil {
 			return nil, fmt.Errorf("core: policy %q needs PolicyConfig.Rand", cfg.Name)
 		}
-		sel = NewPRR2(cfg.Rand)
+		sel = NewPRR2(rng)
 	case "DAL":
 		if cfg.Now == nil {
 			return nil, fmt.Errorf("core: policy %q needs PolicyConfig.Now", cfg.Name)
@@ -279,7 +338,7 @@ func NewPolicy(cfg PolicyConfig) (*Policy, error) {
 		return nil, fmt.Errorf("core: catalog bug: selector %q", spec.selector)
 	}
 	if cfg.Proximity != nil {
-		wrapped, err := NewProximitySelector(sel, cfg.Proximity.Matrix, cfg.Proximity.Preference, cfg.Rand)
+		wrapped, err := NewProximitySelector(sel, cfg.Proximity.Matrix, cfg.Proximity.Preference, rng)
 		if err != nil {
 			return nil, err
 		}

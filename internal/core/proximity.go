@@ -51,11 +51,11 @@ func (m *LatencyMatrix) Latency(domain, server int) float64 {
 // Nearest returns the closest available server for a domain, or -1 if
 // none is available (cannot happen: availability admits all servers
 // when every one is alarmed).
-func (m *LatencyMatrix) nearest(st *State, domain int) int {
+func (m *LatencyMatrix) nearest(sn *Snapshot, domain int) int {
 	best := -1
 	bestMS := 0.0
 	for i := 0; i < m.servers; i++ {
-		if !st.available(i) {
+		if !sn.available(i) {
 			continue
 		}
 		d := m.Latency(domain, i)
@@ -107,7 +107,10 @@ type proximitySelector struct {
 
 // NewProximitySelector wraps a selector with GeoDNS-style proximity
 // preference in [0,1]: 0 behaves exactly like the inner selector, 1
-// always picks the nearest available server (pure GeoDNS).
+// always picks the nearest available server (pure GeoDNS). The
+// generator is wrapped with LockRand for concurrent callers; pass the
+// same (already locked) Rand as the inner selector's so both share one
+// lock.
 func NewProximitySelector(inner Selector, matrix *LatencyMatrix, preference float64, rng Rand) (Selector, error) {
 	if inner == nil || matrix == nil {
 		return nil, errors.New("core: proximity selector needs an inner selector and a matrix")
@@ -118,24 +121,24 @@ func NewProximitySelector(inner Selector, matrix *LatencyMatrix, preference floa
 	if preference > 0 && preference < 1 && rng == nil {
 		return nil, errors.New("core: proximity selector needs Rand for preference in (0,1)")
 	}
-	return &proximitySelector{inner: inner, matrix: matrix, preference: preference, rng: rng}, nil
+	return &proximitySelector{inner: inner, matrix: matrix, preference: preference, rng: LockRand(rng)}, nil
 }
 
 func (p *proximitySelector) Name() string {
 	return fmt.Sprintf("Geo(%s,%.2f)", p.inner.Name(), p.preference)
 }
 
-func (p *proximitySelector) Select(st *State, domain int) int {
+func (p *proximitySelector) Select(sn *Snapshot, domain int) int {
 	usePref := p.preference >= 1
 	if !usePref && p.preference > 0 {
 		usePref = p.rng.Float64() < p.preference
 	}
 	if usePref {
-		if i := p.matrix.nearest(st, domain); i >= 0 {
+		if i := p.matrix.nearest(sn, domain); i >= 0 {
 			return i
 		}
 	}
-	return p.inner.Select(st, domain)
+	return p.inner.Select(sn, domain)
 }
 
 // MeanLatency returns the expected client-to-server latency of an

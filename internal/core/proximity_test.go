@@ -64,7 +64,7 @@ func TestProximitySelectorPureGeo(t *testing.T) {
 	}
 	// Pure geo always picks the nearest available server.
 	for domain := 0; domain < 8; domain++ {
-		got := sel.Select(st, domain)
+		got := sel.Select(st.Snapshot(), domain)
 		best := 0
 		for i := 1; i < st.Cluster().N(); i++ {
 			if m.Latency(domain, i) < m.Latency(domain, best) {
@@ -93,7 +93,7 @@ func TestProximitySelectorZeroPrefIsInner(t *testing.T) {
 	}
 	ref := NewRR()
 	for i := 0; i < 30; i++ {
-		if got, want := sel.Select(st, i%8), ref.Select(st, i%8); got != want {
+		if got, want := sel.Select(st.Snapshot(), i%8), ref.Select(st.Snapshot(), i%8); got != want {
 			t.Fatalf("p=0 selector diverged from inner at %d: %d vs %d", i, got, want)
 		}
 	}
@@ -109,10 +109,10 @@ func TestProximitySelectorRespectsAlarms(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nearest := sel.Select(st, 0)
+	nearest := sel.Select(st.Snapshot(), 0)
 	st.SetAlarm(nearest, true)
 	for i := 0; i < 20; i++ {
-		if got := sel.Select(st, 0); got == nearest {
+		if got := sel.Select(st.Snapshot(), 0); got == nearest {
 			t.Fatal("alarmed nearest server still selected")
 		}
 	}
@@ -138,7 +138,7 @@ func TestProximitySelectorMixedPreference(t *testing.T) {
 	hits := 0
 	const trials = 2000
 	for i := 0; i < trials; i++ {
-		if sel.Select(st, 0) == nearest {
+		if sel.Select(st.Snapshot(), 0) == nearest {
 			hits++
 		}
 	}

@@ -2,22 +2,25 @@ package core
 
 import (
 	"container/heap"
+	"sync"
+	"sync/atomic"
 )
 
-// Rand is the source of randomness required by the probabilistic
-// selectors. simcore.Stream and math/rand generators satisfy it.
-type Rand interface {
-	Float64() float64
-}
-
-// Selector chooses the Web server for an address request. Selectors
-// are stateful (round-robin pointers, accumulated loads) and are not
-// safe for concurrent use; the DNS scheduler serializes requests.
+// Selector chooses the Web server for an address request against one
+// immutable state snapshot.
+//
+// Selectors are stateful (round-robin pointers, accumulated loads) but
+// safe for concurrent use: the rotation pointers are atomics and the
+// accounting selectors (WRR, DAL, MRL) take a small internal lock.
+// Under concurrent callers the round-robin rotation is approximate —
+// two simultaneous requests may pick the same server — while
+// single-threaded call sequences reproduce the paper's behavior
+// exactly, which keeps the simulator deterministic.
 type Selector interface {
 	// Select returns the index of the chosen server for an address
 	// request originating from the given domain, or -1 when no server
 	// is available (every server is marked down).
-	Select(st *State, domain int) int
+	Select(sn *Snapshot, domain int) int
 	// Name returns the selector's name as used in the paper (RR, RR2,
 	// PRR, PRR2, DAL).
 	Name() string
@@ -25,23 +28,29 @@ type Selector interface {
 
 // rrSelector implements the conventional round-robin policy used by
 // the NCSA multi-server prototype: servers are assigned cyclically,
-// skipping servers that declared themselves critically loaded.
+// skipping servers that declared themselves critically loaded. The
+// rotation pointer is a lock-free atomic.
 type rrSelector struct {
-	last int
+	last atomic.Int64
 }
 
 // NewRR returns the round-robin selector, the paper's lower-bound
 // baseline.
-func NewRR() Selector { return &rrSelector{last: -1} }
+func NewRR() Selector {
+	r := &rrSelector{}
+	r.last.Store(-1)
+	return r
+}
 
 func (r *rrSelector) Name() string { return "RR" }
 
-func (r *rrSelector) Select(st *State, _ int) int {
-	n := st.Cluster().N()
+func (r *rrSelector) Select(sn *Snapshot, _ int) int {
+	n := sn.Cluster().N()
+	last := int(r.last.Load())
 	for k := 1; k <= n; k++ {
-		i := (r.last + k) % n
-		if st.available(i) {
-			r.last = i
+		i := (last + k) % n
+		if sn.available(i) {
+			r.last.Store(int64(i))
 			return i
 		}
 	}
@@ -55,24 +64,27 @@ func (r *rrSelector) Select(st *State, _ int) int {
 // class round-robins independently so that consecutive requests from
 // hot domains are not funnelled to the same server.
 type rr2Selector struct {
-	last map[DomainClass]int
+	last [2]atomic.Int64 // indexed by class - ClassNormal
 }
 
 // NewRR2 returns the two-tier round-robin selector.
 func NewRR2() Selector {
-	return &rr2Selector{last: map[DomainClass]int{ClassNormal: -1, ClassHot: -1}}
+	r := &rr2Selector{}
+	r.last[0].Store(-1)
+	r.last[1].Store(-1)
+	return r
 }
 
 func (r *rr2Selector) Name() string { return "RR2" }
 
-func (r *rr2Selector) Select(st *State, domain int) int {
-	class := st.Class(domain)
-	n := st.Cluster().N()
-	last := r.last[class]
+func (r *rr2Selector) Select(sn *Snapshot, domain int) int {
+	p := &r.last[sn.Class(domain)-ClassNormal]
+	n := sn.Cluster().N()
+	last := int(p.Load())
 	for k := 1; k <= n; k++ {
 		i := (last + k) % n
-		if st.available(i) {
-			r.last[class] = i
+		if sn.available(i) {
+			p.Store(int64(i))
 			return i
 		}
 	}
@@ -84,20 +96,25 @@ func (r *rr2Selector) Select(st *State, domain int) int {
 // accepted with probability α_i (its relative capacity), otherwise the
 // scan moves on. Because α_1 = 1, a full cycle always terminates.
 type prrSelector struct {
-	last int
+	last atomic.Int64
 	rng  Rand
 }
 
 // NewPRR returns the probabilistic round-robin selector, which extends
-// RR to heterogeneous servers by capacity-proportional skipping.
-func NewPRR(rng Rand) Selector { return &prrSelector{last: -1, rng: rng} }
+// RR to heterogeneous servers by capacity-proportional skipping. The
+// generator is wrapped with LockRand for concurrent callers.
+func NewPRR(rng Rand) Selector {
+	p := &prrSelector{rng: LockRand(rng)}
+	p.last.Store(-1)
+	return p
+}
 
 func (p *prrSelector) Name() string { return "PRR" }
 
-func (p *prrSelector) Select(st *State, _ int) int {
-	i := probScan(st, p.last, p.rng)
+func (p *prrSelector) Select(sn *Snapshot, _ int) int {
+	i := probScan(sn, int(p.last.Load()), p.rng)
 	if i >= 0 {
-		p.last = i
+		p.last.Store(int64(i))
 	}
 	return i
 }
@@ -105,22 +122,26 @@ func (p *prrSelector) Select(st *State, _ int) int {
 // prr2Selector is PRR with the RR2 two-tier class structure: one
 // probabilistic round-robin pointer per domain class.
 type prr2Selector struct {
-	last map[DomainClass]int
+	last [2]atomic.Int64 // indexed by class - ClassNormal
 	rng  Rand
 }
 
-// NewPRR2 returns the two-tier probabilistic round-robin selector.
+// NewPRR2 returns the two-tier probabilistic round-robin selector. The
+// generator is wrapped with LockRand for concurrent callers.
 func NewPRR2(rng Rand) Selector {
-	return &prr2Selector{last: map[DomainClass]int{ClassNormal: -1, ClassHot: -1}, rng: rng}
+	p := &prr2Selector{rng: LockRand(rng)}
+	p.last[0].Store(-1)
+	p.last[1].Store(-1)
+	return p
 }
 
 func (p *prr2Selector) Name() string { return "PRR2" }
 
-func (p *prr2Selector) Select(st *State, domain int) int {
-	class := st.Class(domain)
-	i := probScan(st, p.last[class], p.rng)
+func (p *prr2Selector) Select(sn *Snapshot, domain int) int {
+	ptr := &p.last[sn.Class(domain)-ClassNormal]
+	i := probScan(sn, int(ptr.Load()), p.rng)
 	if i >= 0 {
-		p.last[class] = i
+		ptr.Store(int64(i))
 	}
 	return i
 }
@@ -131,20 +152,20 @@ func (p *prr2Selector) Select(st *State, domain int) int {
 // cycles it falls back to the next available server deterministically
 // (this can only happen through extreme rounding of α, not in
 // practice). When every server is down it returns -1.
-func probScan(st *State, last int, rng Rand) int {
-	n := st.Cluster().N()
+func probScan(sn *Snapshot, last int, rng Rand) int {
+	n := sn.Cluster().N()
 	for k := 1; k <= 2*n; k++ {
 		i := (last + k) % n
-		if !st.available(i) {
+		if !sn.available(i) {
 			continue
 		}
-		if rng.Float64() <= st.Cluster().Alpha(i) {
+		if rng.Float64() <= sn.Cluster().Alpha(i) {
 			return i
 		}
 	}
 	for k := 1; k <= n; k++ {
 		i := (last + k) % n
-		if st.available(i) {
+		if sn.available(i) {
 			return i
 		}
 	}
@@ -172,9 +193,14 @@ func (h *dalHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; 
 // every mapping accumulates the domain's hidden load weight on the
 // chosen server for the duration of the TTL, and each request goes to
 // the server with the smallest accumulated load per unit of capacity.
+// The accumulated-load ledger is guarded by a selector-local mutex:
+// unlike the rotation selectors it cannot decide without a consistent
+// read-modify-write of all per-server loads.
 type dalSelector struct {
-	now     func() float64
-	ttl     float64
+	now func() float64
+	ttl float64
+
+	mu      sync.Mutex
 	load    []float64
 	pending dalHeap
 }
@@ -188,12 +214,14 @@ func NewDAL(now func() float64, ttl float64) Selector {
 
 func (d *dalSelector) Name() string { return "DAL" }
 
-func (d *dalSelector) Select(st *State, domain int) int {
-	n := st.Cluster().N()
+func (d *dalSelector) Select(sn *Snapshot, domain int) int {
+	n := sn.Cluster().N()
+	t := d.now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if len(d.load) != n {
 		d.load = make([]float64, n)
 	}
-	t := d.now()
 	for len(d.pending) > 0 && d.pending[0].expire <= t {
 		e := heap.Pop(&d.pending).(dalEntry)
 		d.load[e.server] -= e.load
@@ -203,10 +231,10 @@ func (d *dalSelector) Select(st *State, domain int) int {
 	}
 	best, bestScore := -1, 0.0
 	for i := 0; i < n; i++ {
-		if !st.available(i) {
+		if !sn.available(i) {
 			continue
 		}
-		score := d.load[i] / st.Cluster().Alpha(i)
+		score := d.load[i] / sn.Cluster().Alpha(i)
 		if best == -1 || score < bestScore {
 			best, bestScore = i, score
 		}
@@ -214,7 +242,7 @@ func (d *dalSelector) Select(st *State, domain int) int {
 	if best == -1 {
 		return -1
 	}
-	w := st.Weight(domain)
+	w := sn.Weight(domain)
 	d.load[best] += w
 	heap.Push(&d.pending, dalEntry{expire: t + d.ttl, server: best, load: w})
 	return best

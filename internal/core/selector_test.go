@@ -32,7 +32,7 @@ func TestRRCycles(t *testing.T) {
 	n := st.Cluster().N()
 	for round := 0; round < 3; round++ {
 		for want := 0; want < n; want++ {
-			if got := sel.Select(st, round%20); got != want {
+			if got := sel.Select(st.Snapshot(), round%20); got != want {
 				t.Fatalf("round %d: Select = %d, want %d", round, got, want)
 			}
 		}
@@ -46,7 +46,7 @@ func TestRRSkipsAlarmed(t *testing.T) {
 	st.SetAlarm(2, true)
 	var got []int
 	for i := 0; i < 5; i++ {
-		got = append(got, sel.Select(st, 0))
+		got = append(got, sel.Select(st.Snapshot(), 0))
 	}
 	want := []int{0, 3, 4, 5, 6}
 	for i := range want {
@@ -60,7 +60,7 @@ func TestRRSkipsAlarmed(t *testing.T) {
 	}
 	seen := make(map[int]bool)
 	for i := 0; i < st.Cluster().N(); i++ {
-		seen[sel.Select(st, 0)] = true
+		seen[sel.Select(st.Snapshot(), 0)] = true
 	}
 	if len(seen) != st.Cluster().N() {
 		t.Errorf("all-alarmed fallback cycled over %d servers, want %d", len(seen), st.Cluster().N())
@@ -75,16 +75,16 @@ func TestRR2IndependentPointersPerClass(t *testing.T) {
 	}
 	// Domain 0 is hot, domain 19 is normal: each class starts its own
 	// cycle at server 0.
-	if got := sel.Select(st, 0); got != 0 {
+	if got := sel.Select(st.Snapshot(), 0); got != 0 {
 		t.Errorf("first hot selection = %d, want 0", got)
 	}
-	if got := sel.Select(st, 19); got != 0 {
+	if got := sel.Select(st.Snapshot(), 19); got != 0 {
 		t.Errorf("first normal selection = %d, want 0 (independent pointer)", got)
 	}
-	if got := sel.Select(st, 1); got != 1 { // second hot request
+	if got := sel.Select(st.Snapshot(), 1); got != 1 { // second hot request
 		t.Errorf("second hot selection = %d, want 1", got)
 	}
-	if got := sel.Select(st, 18); got != 1 { // second normal request
+	if got := sel.Select(st.Snapshot(), 18); got != 1 { // second normal request
 		t.Errorf("second normal selection = %d, want 1", got)
 	}
 }
@@ -102,7 +102,7 @@ func TestPRRCapacityProportionalAssignment(t *testing.T) {
 	counts := make([]float64, n)
 	const trials = 140000
 	for i := 0; i < trials; i++ {
-		counts[sel.Select(st, i%20)]++
+		counts[sel.Select(st.Snapshot(), i%20)]++
 	}
 	var alphaSum float64
 	for i := 0; i < n; i++ {
@@ -130,8 +130,8 @@ func TestPRR2ClassSeparation(t *testing.T) {
 	norm := make([]float64, n)
 	const trials = 70000
 	for i := 0; i < trials; i++ {
-		hot[sel.Select(st, i%5)]++       // domains 0..4 are hot
-		norm[sel.Select(st, 5+(i%15))]++ // domains 5..19 are normal
+		hot[sel.Select(st.Snapshot(), i%5)]++       // domains 0..4 are hot
+		norm[sel.Select(st.Snapshot(), 5+(i%15))]++ // domains 5..19 are normal
 	}
 	var alphaSum float64
 	for i := 0; i < n; i++ {
@@ -155,7 +155,7 @@ func TestPRRSkipsAlarmed(t *testing.T) {
 	st.SetAlarm(0, true)
 	st.SetAlarm(1, true)
 	for i := 0; i < 1000; i++ {
-		got := sel.Select(st, i%20)
+		got := sel.Select(st.Snapshot(), i%20)
 		if got == 0 || got == 1 {
 			t.Fatalf("PRR selected alarmed server %d", got)
 		}
@@ -172,8 +172,8 @@ func TestDALPrefersLeastLoadedPerCapacity(t *testing.T) {
 	// First request (hot domain 0) goes to some empty server; repeat
 	// requests from the hottest domain must spread because accumulated
 	// load penalizes the previous choice.
-	first := sel.Select(st, 0)
-	second := sel.Select(st, 0)
+	first := sel.Select(st.Snapshot(), 0)
+	second := sel.Select(st.Snapshot(), 0)
 	if first == second {
 		t.Errorf("DAL sent consecutive hot-domain requests to the same server %d", first)
 	}
@@ -182,7 +182,7 @@ func TestDALPrefersLeastLoadedPerCapacity(t *testing.T) {
 	now = 1000
 	counts := make(map[int]int)
 	for i := 0; i < 7; i++ {
-		counts[sel.Select(st, 0)]++
+		counts[sel.Select(st.Snapshot(), 0)]++
 	}
 	if len(counts) < 4 {
 		t.Errorf("DAL used only %d distinct servers for 7 hot requests", len(counts))
@@ -203,7 +203,7 @@ func TestDALCapacityAware(t *testing.T) {
 	sel := NewDAL(func() float64 { return 0 }, 240)
 	counts := make([]int, 2)
 	for i := 0; i < 30; i++ {
-		counts[sel.Select(st, i%2)]++
+		counts[sel.Select(st.Snapshot(), i%2)]++
 	}
 	if counts[0] <= counts[1] {
 		t.Errorf("capacity-aware DAL assigned %v, want majority on the faster server", counts)
@@ -220,7 +220,7 @@ func TestDALRespectsAlarms(t *testing.T) {
 	sel := NewDAL(func() float64 { return 0 }, 240)
 	st.SetAlarm(0, true)
 	for i := 0; i < 100; i++ {
-		if got := sel.Select(st, i%20); got == 0 {
+		if got := sel.Select(st.Snapshot(), i%20); got == 0 {
 			t.Fatal("DAL selected alarmed server 0")
 		}
 	}
@@ -243,7 +243,7 @@ func TestSelectorsAlwaysInRange(t *testing.T) {
 			if i == 1500 {
 				st.SetAlarm(i%n, false)
 			}
-			got := sel.Select(st, i%20)
+			got := sel.Select(st.Snapshot(), i%20)
 			if got < 0 || got >= n {
 				t.Fatalf("%s returned out-of-range server %d", sel.Name(), got)
 			}
@@ -267,7 +267,7 @@ func TestSelectorsSkipDownServers(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; i < 100; i++ {
-			got := sel.Select(st, i%20)
+			got := sel.Select(st.Snapshot(), i%20)
 			if got == 0 || got == 4 {
 				t.Errorf("%s: selected down server %d", sel.Name(), got)
 			}
@@ -293,14 +293,14 @@ func TestSelectorsReturnNoServerWhenAllDown(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if got := sel.Select(st, 0); got != -1 {
+		if got := sel.Select(st.Snapshot(), 0); got != -1 {
 			t.Errorf("%s: Select = %d with all servers down, want -1", sel.Name(), got)
 		}
 		// Recovery restores selection.
 		if err := st.SetDown(2, false); err != nil {
 			t.Fatal(err)
 		}
-		if got := sel.Select(st, 0); got != 2 {
+		if got := sel.Select(st.Snapshot(), 0); got != 2 {
 			t.Errorf("%s: Select = %d after recovery of server 2", sel.Name(), got)
 		}
 	}
@@ -344,18 +344,18 @@ func TestTTLRecalibratesOnMembershipChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := ttl.Base(st)
+	before := ttl.Base(st.Snapshot())
 	if err := st.SetDown(0, true); err != nil { // server 0 is the most capable
 		t.Fatal(err)
 	}
-	after := ttl.Base(st)
+	after := ttl.Base(st.Snapshot())
 	if before == after {
 		t.Errorf("base unchanged (%v) after losing the most capable server", before)
 	}
 	if err := st.SetDown(0, false); err != nil {
 		t.Fatal(err)
 	}
-	if got := ttl.Base(st); math.Abs(got-before) > 1e-12 {
+	if got := ttl.Base(st.Snapshot()); math.Abs(got-before) > 1e-12 {
 		t.Errorf("base = %v after recovery, want %v restored", got, before)
 	}
 }

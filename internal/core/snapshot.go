@@ -1,0 +1,157 @@
+package core
+
+// Snapshot is an immutable, internally consistent view of the
+// scheduler state: the cluster, the hidden-load weight estimates, the
+// derived two-tier class partition, and the per-server alarm and
+// liveness flags, all frozen at one instant.
+//
+// Snapshots are built copy-on-write by State's mutators and published
+// atomically; once obtained from State.Snapshot they are safe for
+// unsynchronized concurrent reads and never change. The query hot path
+// (Policy.Schedule) loads one snapshot per decision so that the
+// selector and the TTL policy agree on what the cluster looked like,
+// with no lock on the read side.
+type Snapshot struct {
+	cluster *Cluster
+	beta    float64 // class threshold; hot iff weight > beta
+
+	weights []float64     // relative hidden load weights, sum 1
+	classes []DomainClass // derived from weights and beta
+	wMax    float64       // weight of the most popular domain
+	wHot    float64       // mean weight of the hot class
+	wNormal float64       // mean weight of the normal class
+	hotN    int           // cached hot-class size (avoids O(K) scans)
+
+	alarmed  []bool
+	nAlarmed int
+
+	down         []bool
+	nDown        int
+	nAlarmedLive int // servers both alarmed and not down
+
+	// version increments whenever weights, β, or cluster membership
+	// change, letting TTL policies cache their calibration until the
+	// state moves.
+	version uint64
+}
+
+// clone returns a deep copy of the snapshot for copy-on-write
+// mutation. The cluster is shared: it is immutable after construction.
+func (sn *Snapshot) clone() *Snapshot {
+	next := *sn
+	next.weights = append([]float64(nil), sn.weights...)
+	next.classes = append([]DomainClass(nil), sn.classes...)
+	next.alarmed = append([]bool(nil), sn.alarmed...)
+	next.down = append([]bool(nil), sn.down...)
+	return &next
+}
+
+// reclassify recomputes the derived partition data of a snapshot under
+// construction. It must only be called before the snapshot is
+// published.
+func (sn *Snapshot) reclassify() {
+	sn.version++
+	if len(sn.classes) != len(sn.weights) {
+		sn.classes = make([]DomainClass, len(sn.weights))
+	}
+	sn.wMax = 0
+	var hotSum, normSum float64
+	var hotN, normN int
+	for _, v := range sn.weights {
+		if v > sn.wMax {
+			sn.wMax = v
+		}
+	}
+	for j, v := range sn.weights {
+		if v > sn.beta {
+			sn.classes[j] = ClassHot
+			hotSum += v
+			hotN++
+		} else {
+			sn.classes[j] = ClassNormal
+			normSum += v
+			normN++
+		}
+	}
+	sn.hotN = hotN
+	// Degenerate partitions (all domains in one class) fall back to the
+	// overall mean so that TTL/2 stays well defined.
+	mean := 1 / float64(len(sn.weights))
+	sn.wHot, sn.wNormal = mean, mean
+	if hotN > 0 {
+		sn.wHot = hotSum / float64(hotN)
+	}
+	if normN > 0 {
+		sn.wNormal = normSum / float64(normN)
+	}
+}
+
+// Cluster returns the server cluster.
+func (sn *Snapshot) Cluster() *Cluster { return sn.cluster }
+
+// Domains returns the number of connected domains.
+func (sn *Snapshot) Domains() int { return len(sn.weights) }
+
+// Beta returns the class threshold β.
+func (sn *Snapshot) Beta() float64 { return sn.beta }
+
+// Version returns the state version this snapshot was built at; it
+// increments whenever the weights, the class threshold, or cluster
+// membership change.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// Weight returns the relative hidden load weight of domain j.
+func (sn *Snapshot) Weight(j int) float64 { return sn.weights[j] }
+
+// Weights returns a copy of the relative hidden load weight vector.
+func (sn *Snapshot) Weights() []float64 {
+	return append([]float64(nil), sn.weights...)
+}
+
+// MaxWeight returns γ_max, the weight of the most popular domain.
+func (sn *Snapshot) MaxWeight() float64 { return sn.wMax }
+
+// Class returns the two-tier class of domain j.
+func (sn *Snapshot) Class(j int) DomainClass { return sn.classes[j] }
+
+// ClassMeanWeight returns the mean hidden load weight of a class,
+// used by the two-class TTL policies.
+func (sn *Snapshot) ClassMeanWeight(c DomainClass) float64 {
+	if c == ClassHot {
+		return sn.wHot
+	}
+	return sn.wNormal
+}
+
+// HotDomains returns how many domains are currently in the hot class.
+// The count is computed once per reclassification, not per call.
+func (sn *Snapshot) HotDomains() int { return sn.hotN }
+
+// Alarmed reports whether server i has declared itself critically
+// loaded.
+func (sn *Snapshot) Alarmed(i int) bool { return sn.alarmed[i] }
+
+// AllAlarmed reports whether every server is currently alarmed, in
+// which case selectors ignore alarms (there is no better candidate).
+func (sn *Snapshot) AllAlarmed() bool { return sn.nAlarmed == len(sn.alarmed) }
+
+// Down reports whether server i is currently marked failed.
+func (sn *Snapshot) Down(i int) bool { return sn.down[i] }
+
+// AllDown reports whether no server is live; Schedule then returns
+// ErrNoServers.
+func (sn *Snapshot) AllDown() bool { return sn.nDown == len(sn.down) }
+
+// LiveServers returns the number of servers not marked down.
+func (sn *Snapshot) LiveServers() int { return len(sn.down) - sn.nDown }
+
+// available reports whether server i should be considered by a
+// selector: live and not alarmed — unless every live server is
+// alarmed, in which case alarms are ignored (there is no better
+// candidate). A down server is never available.
+func (sn *Snapshot) available(i int) bool {
+	if sn.down[i] {
+		return false
+	}
+	return !sn.alarmed[i] || sn.nAlarmedLive == len(sn.down)-sn.nDown
+}

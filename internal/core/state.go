@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // DomainClass identifies a domain's popularity class under the
@@ -46,32 +48,21 @@ var ErrNoServers = errors.New("core: no server available")
 // signals (SetAlarm), and by the liveness machinery (SetDown);
 // selectors and TTL policies read it on every address request.
 //
+// Concurrency: State publishes an immutable Snapshot through an atomic
+// pointer. Readers (including Policy.Schedule) never block and may run
+// concurrently with any mutator; mutators serialize among themselves
+// on an internal mutex, rebuild the snapshot copy-on-write, and
+// publish it atomically. A reader holding a Snapshot sees one frozen,
+// internally consistent state; it does not observe later mutations.
+//
 // Alarms and liveness are distinct: an alarmed server is overloaded
 // but serving (it is skipped unless every live server is alarmed),
 // while a down server is gone and never eligible. Membership changes
 // (SetDown) bump the state version so TTL policies recalibrate against
 // the surviving cluster.
 type State struct {
-	cluster *Cluster
-	beta    float64 // class threshold; hot iff weight > beta
-
-	weights []float64     // relative hidden load weights, sum 1
-	classes []DomainClass // derived from weights and beta
-	wMax    float64       // weight of the most popular domain
-	wHot    float64       // mean weight of the hot class
-	wNormal float64       // mean weight of the normal class
-
-	alarmed  []bool
-	nAlarmed int
-
-	down         []bool
-	nDown        int
-	nAlarmedLive int // servers both alarmed and not down
-
-	// version increments whenever weights, β, or cluster membership
-	// change, letting TTL policies cache their calibration until the
-	// state moves.
-	version uint64
+	mu   sync.Mutex // serializes mutators; readers never take it
+	snap atomic.Pointer[Snapshot]
 }
 
 // NewState creates scheduler state for the given cluster and number of
@@ -85,35 +76,44 @@ func NewState(cluster *Cluster, domains int) (*State, error) {
 	if domains <= 0 {
 		return nil, errors.New("core: need at least one domain")
 	}
-	s := &State{
+	sn := &Snapshot{
 		cluster: cluster,
 		beta:    1 / float64(domains),
+		weights: make([]float64, domains),
 		alarmed: make([]bool, cluster.N()),
 		down:    make([]bool, cluster.N()),
 	}
-	uniform := make([]float64, domains)
-	for i := range uniform {
-		uniform[i] = 1 / float64(domains)
+	for i := range sn.weights {
+		sn.weights[i] = 1 / float64(domains)
 	}
-	if err := s.SetWeights(uniform); err != nil {
-		return nil, err
-	}
+	sn.reclassify()
+	s := &State{}
+	s.snap.Store(sn)
 	return s, nil
 }
 
+// Snapshot returns the current immutable view of the state. The
+// returned value never changes; it is safe for unsynchronized
+// concurrent use and is the unit the query hot path works from.
+func (s *State) Snapshot() *Snapshot { return s.snap.Load() }
+
 // Cluster returns the server cluster.
-func (s *State) Cluster() *Cluster { return s.cluster }
+func (s *State) Cluster() *Cluster { return s.Snapshot().Cluster() }
 
 // Domains returns the number of connected domains.
-func (s *State) Domains() int { return len(s.weights) }
+func (s *State) Domains() int { return s.Snapshot().Domains() }
 
 // Beta returns the class threshold β.
-func (s *State) Beta() float64 { return s.beta }
+func (s *State) Beta() float64 { return s.Snapshot().Beta() }
 
 // SetBeta overrides the class threshold and recomputes the partition.
 func (s *State) SetBeta(beta float64) {
-	s.beta = beta
-	s.reclassify()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := s.snap.Load().clone()
+	next.beta = beta
+	next.reclassify()
+	s.snap.Store(next)
 }
 
 // SetWeights installs new relative hidden load weight estimates. The
@@ -121,9 +121,6 @@ func (s *State) SetBeta(beta float64) {
 // and class means are recomputed. The number of domains must not
 // change over the life of a State.
 func (s *State) SetWeights(w []float64) error {
-	if len(s.weights) != 0 && len(w) != len(s.weights) {
-		return fmt.Errorf("core: weight vector length %d, want %d", len(w), len(s.weights))
-	}
 	var sum float64
 	for i, v := range w {
 		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
@@ -134,165 +131,124 @@ func (s *State) SetWeights(w []float64) error {
 	if sum <= 0 {
 		return errors.New("core: weights sum to zero")
 	}
-	norm := make([]float64, len(w))
-	for i, v := range w {
-		norm[i] = v / sum
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	if len(w) != len(cur.weights) {
+		return fmt.Errorf("core: weight vector length %d, want %d", len(w), len(cur.weights))
 	}
-	s.weights = norm
-	s.reclassify()
+	next := cur.clone()
+	for i, v := range w {
+		next.weights[i] = v / sum
+	}
+	next.reclassify()
+	s.snap.Store(next)
 	return nil
 }
 
-// Version returns a counter that increments whenever the weights or
-// the class threshold change.
-func (s *State) Version() uint64 { return s.version }
-
-func (s *State) reclassify() {
-	s.version++
-	if len(s.classes) != len(s.weights) {
-		s.classes = make([]DomainClass, len(s.weights))
-	}
-	s.wMax = 0
-	var hotSum, normSum float64
-	var hotN, normN int
-	for _, v := range s.weights {
-		if v > s.wMax {
-			s.wMax = v
-		}
-	}
-	for j, v := range s.weights {
-		if v > s.beta {
-			s.classes[j] = ClassHot
-			hotSum += v
-			hotN++
-		} else {
-			s.classes[j] = ClassNormal
-			normSum += v
-			normN++
-		}
-	}
-	// Degenerate partitions (all domains in one class) fall back to the
-	// overall mean so that TTL/2 stays well defined.
-	mean := 1 / float64(len(s.weights))
-	s.wHot, s.wNormal = mean, mean
-	if hotN > 0 {
-		s.wHot = hotSum / float64(hotN)
-	}
-	if normN > 0 {
-		s.wNormal = normSum / float64(normN)
-	}
-}
+// Version returns a counter that increments whenever the weights, the
+// class threshold, or cluster membership change.
+func (s *State) Version() uint64 { return s.Snapshot().Version() }
 
 // Weight returns the relative hidden load weight of domain j.
-func (s *State) Weight(j int) float64 { return s.weights[j] }
+func (s *State) Weight(j int) float64 { return s.Snapshot().Weight(j) }
 
 // Weights returns a copy of the relative hidden load weight vector.
-func (s *State) Weights() []float64 {
-	out := make([]float64, len(s.weights))
-	copy(out, s.weights)
-	return out
-}
+func (s *State) Weights() []float64 { return s.Snapshot().Weights() }
 
 // MaxWeight returns γ_max, the weight of the most popular domain.
-func (s *State) MaxWeight() float64 { return s.wMax }
+func (s *State) MaxWeight() float64 { return s.Snapshot().MaxWeight() }
 
 // Class returns the two-tier class of domain j.
-func (s *State) Class(j int) DomainClass { return s.classes[j] }
+func (s *State) Class(j int) DomainClass { return s.Snapshot().Class(j) }
 
 // ClassMeanWeight returns the mean hidden load weight of a class,
 // used by the two-class TTL policies.
 func (s *State) ClassMeanWeight(c DomainClass) float64 {
-	if c == ClassHot {
-		return s.wHot
-	}
-	return s.wNormal
+	return s.Snapshot().ClassMeanWeight(c)
 }
 
 // HotDomains returns how many domains are currently in the hot class.
-func (s *State) HotDomains() int {
-	n := 0
-	for _, c := range s.classes {
-		if c == ClassHot {
-			n++
-		}
-	}
-	return n
-}
+func (s *State) HotDomains() int { return s.Snapshot().HotDomains() }
 
 // SetAlarm records an alarm (overloaded) or normal signal from server
 // i. An out-of-range index is an error: it means a misconfigured or
 // misbehaving reporter, which the caller should surface rather than
 // silently drop.
 func (s *State) SetAlarm(i int, alarmed bool) error {
-	if i < 0 || i >= len(s.alarmed) {
-		return fmt.Errorf("core: alarm for server %d out of range [0,%d)", i, len(s.alarmed))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	if i < 0 || i >= len(cur.alarmed) {
+		return fmt.Errorf("core: alarm for server %d out of range [0,%d)", i, len(cur.alarmed))
 	}
-	if s.alarmed[i] != alarmed {
-		s.alarmed[i] = alarmed
-		delta := -1
-		if alarmed {
-			delta = 1
-		}
-		s.nAlarmed += delta
-		if !s.down[i] {
-			s.nAlarmedLive += delta
-		}
+	if cur.alarmed[i] == alarmed {
+		return nil
 	}
+	next := cur.clone()
+	next.alarmed[i] = alarmed
+	delta := -1
+	if alarmed {
+		delta = 1
+	}
+	next.nAlarmed += delta
+	if !next.down[i] {
+		next.nAlarmedLive += delta
+	}
+	s.snap.Store(next)
 	return nil
 }
 
 // Alarmed reports whether server i has declared itself critically
 // loaded.
-func (s *State) Alarmed(i int) bool { return s.alarmed[i] }
+func (s *State) Alarmed(i int) bool { return s.Snapshot().Alarmed(i) }
 
 // AllAlarmed reports whether every server is currently alarmed, in
 // which case selectors ignore alarms (there is no better candidate).
-func (s *State) AllAlarmed() bool { return s.nAlarmed == len(s.alarmed) }
+func (s *State) AllAlarmed() bool { return s.Snapshot().AllAlarmed() }
 
 // SetDown marks server i as failed (down=true) or recovered. A down
 // server is excluded from every selector regardless of alarms; a
 // membership change bumps the state version so TTL policies
 // recalibrate against the surviving cluster.
 func (s *State) SetDown(i int, down bool) error {
-	if i < 0 || i >= len(s.down) {
-		return fmt.Errorf("core: liveness for server %d out of range [0,%d)", i, len(s.down))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	if i < 0 || i >= len(cur.down) {
+		return fmt.Errorf("core: liveness for server %d out of range [0,%d)", i, len(cur.down))
 	}
-	if s.down[i] == down {
+	if cur.down[i] == down {
 		return nil
 	}
-	s.down[i] = down
+	next := cur.clone()
+	next.down[i] = down
 	if down {
-		s.nDown++
-		if s.alarmed[i] {
-			s.nAlarmedLive--
+		next.nDown++
+		if next.alarmed[i] {
+			next.nAlarmedLive--
 		}
 	} else {
-		s.nDown--
-		if s.alarmed[i] {
-			s.nAlarmedLive++
+		next.nDown--
+		if next.alarmed[i] {
+			next.nAlarmedLive++
 		}
 	}
-	s.version++
+	next.version++
+	s.snap.Store(next)
 	return nil
 }
 
 // Down reports whether server i is currently marked failed.
-func (s *State) Down(i int) bool { return s.down[i] }
+func (s *State) Down(i int) bool { return s.Snapshot().Down(i) }
 
 // AllDown reports whether no server is live; Schedule then returns
 // ErrNoServers.
-func (s *State) AllDown() bool { return s.nDown == len(s.down) }
+func (s *State) AllDown() bool { return s.Snapshot().AllDown() }
 
 // LiveServers returns the number of servers not marked down.
-func (s *State) LiveServers() int { return len(s.down) - s.nDown }
+func (s *State) LiveServers() int { return s.Snapshot().LiveServers() }
 
 // available reports whether server i should be considered by a
-// selector: live and not alarmed — unless every live server is
-// alarmed, in which case alarms are ignored (there is no better
-// candidate). A down server is never available.
-func (s *State) available(i int) bool {
-	if s.down[i] {
-		return false
-	}
-	return !s.alarmed[i] || s.nAlarmedLive == len(s.down)-s.nDown
-}
+// selector under the current snapshot; see Snapshot.available.
+func (s *State) available(i int) bool { return s.Snapshot().available(i) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
 
 // ClassCount says how many domain classes a TTL policy distinguishes.
@@ -84,12 +85,24 @@ const (
 // load weights change, so that the policy's mean address-request rate
 // matches that of the constant-TTL baseline (the paper's fairness
 // condition for comparing policies).
+//
+// TTLPolicy is safe for concurrent use: the calibration for a state
+// version is an immutable value published through an atomic pointer.
+// Concurrent callers that race on a version change recompute the same
+// pure function of the snapshot, so whichever publication wins is
+// correct.
 type TTLPolicy struct {
 	variant  TTLVariant
 	constTTL float64
-	base     float64
-	factors  []float64 // per-domain d_j for the calibrated version
-	calibFor uint64    // state version the base was calibrated for
+	calib    atomic.Pointer[ttlCalib]
+}
+
+// ttlCalib is one immutable calibration: the base TTL_min and the
+// per-domain factors d_j computed for a specific state version.
+type ttlCalib struct {
+	version uint64
+	base    float64
+	factors []float64
 }
 
 // NewTTLPolicy builds a TTL policy of the given variant whose address
@@ -102,7 +115,7 @@ func NewTTLPolicy(variant TTLVariant, constTTL float64) (*TTLPolicy, error) {
 	if !variant.Classes.Valid() {
 		return nil, fmt.Errorf("core: invalid class count %d", variant.Classes)
 	}
-	return &TTLPolicy{variant: variant, constTTL: constTTL, calibFor: ^uint64(0)}, nil
+	return &TTLPolicy{variant: variant, constTTL: constTTL}, nil
 }
 
 // Variant returns the policy's variant.
@@ -118,25 +131,25 @@ func (p *TTLPolicy) Variant() TTLVariant { return p.variant }
 // TTL/i meta-algorithm, "for i = 3 … and so on") partitions the
 // domains, sorted by weight, into i groups of approximately equal
 // aggregate hidden load, then uses class-mean weights like TTL/2.
-func DomainFactors(st *State, classes ClassCount) []float64 {
-	k := st.Domains()
+func DomainFactors(sn *Snapshot, classes ClassCount) []float64 {
+	k := sn.Domains()
 	out := make([]float64, k)
 	switch {
 	case classes == PerDomain || int(classes) >= k:
 		for j := 0; j < k; j++ {
-			out[j] = st.Weight(j) / st.MaxWeight()
+			out[j] = sn.Weight(j) / sn.MaxWeight()
 		}
 	case classes == OneClass:
 		for j := range out {
 			out[j] = 1
 		}
 	case classes == TwoClasses:
-		hot := st.ClassMeanWeight(ClassHot)
+		hot := sn.ClassMeanWeight(ClassHot)
 		for j := 0; j < k; j++ {
-			out[j] = st.ClassMeanWeight(st.Class(j)) / hot
+			out[j] = sn.ClassMeanWeight(sn.Class(j)) / hot
 		}
 	default:
-		means := equalLoadPartition(st, int(classes))
+		means := equalLoadPartition(sn, int(classes))
 		top := 0.0
 		for j := 0; j < k; j++ {
 			if means[j] > top {
@@ -153,14 +166,14 @@ func DomainFactors(st *State, classes ClassCount) []float64 {
 // equalLoadPartition splits the domains (sorted by decreasing weight)
 // into n contiguous groups of approximately equal aggregate weight and
 // returns each domain's class-mean weight.
-func equalLoadPartition(st *State, n int) []float64 {
-	k := st.Domains()
+func equalLoadPartition(sn *Snapshot, n int) []float64 {
+	k := sn.Domains()
 	order := make([]int, k)
 	for j := range order {
 		order[j] = j
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return st.Weight(order[a]) > st.Weight(order[b])
+		return sn.Weight(order[a]) > sn.Weight(order[b])
 	})
 	means := make([]float64, k)
 	pos := 0
@@ -178,7 +191,7 @@ func equalLoadPartition(st *State, n int) []float64 {
 			if pos > start && left < remainingClasses-1 {
 				break
 			}
-			w := st.Weight(order[pos])
+			w := sn.Weight(order[pos])
 			// The final class absorbs every remaining domain; earlier
 			// classes stop once they reach their load target.
 			if pos > start && remainingClasses > 1 && classSum+w > target {
@@ -198,19 +211,19 @@ func equalLoadPartition(st *State, n int) []float64 {
 
 // serverFactor returns the capacity term α_i·ρ of the TTL/S_i family:
 // 1 for the least capable server, ρ for the most capable.
-func (p *TTLPolicy) serverFactor(st *State, server int) float64 {
+func (p *TTLPolicy) serverFactor(sn *Snapshot, server int) float64 {
 	if !p.variant.ServerAware {
 		return 1
 	}
-	return st.Cluster().Alpha(server) * st.Cluster().Rho()
+	return sn.Cluster().Alpha(server) * sn.Cluster().Rho()
 }
 
 // TTL returns the time-to-live in seconds for an address mapping of
-// the given domain to the given server.
-func (p *TTLPolicy) TTL(st *State, domain, server int) float64 {
-	p.recalibrate(st)
-	d := p.factors[domain]
-	ttl := p.base * p.serverFactor(st, server)
+// the given domain to the given server, as seen by the given snapshot.
+func (p *TTLPolicy) TTL(sn *Snapshot, domain, server int) float64 {
+	c := p.recalibrate(sn)
+	d := c.factors[domain]
+	ttl := c.base * p.serverFactor(sn, server)
 	if d > 0 {
 		ttl /= d
 	} else {
@@ -225,19 +238,25 @@ func (p *TTLPolicy) TTL(st *State, domain, server int) float64 {
 	return ttl
 }
 
-// Base returns the calibrated TTL_min for the current state.
-func (p *TTLPolicy) Base(st *State) float64 {
-	p.recalibrate(st)
-	return p.base
+// Base returns the calibrated TTL_min for the given snapshot.
+func (p *TTLPolicy) Base(sn *Snapshot) float64 {
+	return p.recalibrate(sn).base
 }
 
-func (p *TTLPolicy) recalibrate(st *State) {
-	if p.calibFor == st.Version() {
-		return
+// recalibrate returns the calibration for the snapshot's version,
+// computing and publishing it when the cached one is stale.
+func (p *TTLPolicy) recalibrate(sn *Snapshot) *ttlCalib {
+	if c := p.calib.Load(); c != nil && c.version == sn.Version() {
+		return c
 	}
-	p.factors = DomainFactors(st, p.variant.Classes)
-	p.base = calibrateBase(st, p.variant, p.factors, p.constTTL)
-	p.calibFor = st.Version()
+	factors := DomainFactors(sn, p.variant.Classes)
+	c := &ttlCalib{
+		version: sn.Version(),
+		base:    calibrateBase(sn, p.variant, factors, p.constTTL),
+		factors: factors,
+	}
+	p.calib.Store(c)
+	return c
 }
 
 // CalibrateBase computes the TTL_min that makes the variant's mean
@@ -250,12 +269,12 @@ func (p *TTLPolicy) recalibrate(st *State) {
 // setting the two equal gives
 //
 //	base = constTTL · (Σ_j d_j) · E_i[1/s_i] / K.
-func CalibrateBase(st *State, variant TTLVariant, constTTL float64) float64 {
-	return calibrateBase(st, variant, DomainFactors(st, variant.Classes), constTTL)
+func CalibrateBase(sn *Snapshot, variant TTLVariant, constTTL float64) float64 {
+	return calibrateBase(sn, variant, DomainFactors(sn, variant.Classes), constTTL)
 }
 
-func calibrateBase(st *State, variant TTLVariant, factors []float64, constTTL float64) float64 {
-	k := float64(st.Domains())
+func calibrateBase(sn *Snapshot, variant TTLVariant, factors []float64, constTTL float64) float64 {
+	k := float64(sn.Domains())
 	var sumD float64
 	for _, d := range factors {
 		sumD += d
@@ -267,12 +286,12 @@ func calibrateBase(st *State, variant TTLVariant, factors []float64, constTTL fl
 		// the surviving cluster until it recovers.
 		var sum float64
 		live := 0
-		n := st.Cluster().N()
+		n := sn.Cluster().N()
 		for i := 0; i < n; i++ {
-			if st.Down(i) {
+			if sn.Down(i) {
 				continue
 			}
-			sum += 1 / (st.Cluster().Alpha(i) * st.Cluster().Rho())
+			sum += 1 / (sn.Cluster().Alpha(i) * sn.Cluster().Rho())
 			live++
 		}
 		if live > 0 {

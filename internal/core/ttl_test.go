@@ -59,7 +59,7 @@ func TestConstantTTLIsConstant(t *testing.T) {
 	}
 	for j := 0; j < 20; j++ {
 		for i := 0; i < st.Cluster().N(); i++ {
-			if got := p.TTL(st, j, i); math.Abs(got-240) > 1e-9 {
+			if got := p.TTL(st.Snapshot(), j, i); math.Abs(got-240) > 1e-9 {
 				t.Fatalf("TTL/1(%d,%d) = %v, want 240", j, i, got)
 			}
 		}
@@ -73,10 +73,10 @@ func TestTTLKPerDomainScaling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := p.Base(st)
+	base := p.Base(st.Snapshot())
 	for j := 0; j < 20; j++ {
 		want := base * float64(j+1)
-		if got := p.TTL(st, j, 0); math.Abs(got-want) > 1e-6 {
+		if got := p.TTL(st.Snapshot(), j, 0); math.Abs(got-want) > 1e-6 {
 			t.Errorf("TTL/K domain %d = %v, want %v", j, got, want)
 		}
 	}
@@ -97,15 +97,15 @@ func TestTTL2TwoValues(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hotTTL := p.TTL(st, 0, 0)
+	hotTTL := p.TTL(st.Snapshot(), 0, 0)
 	for j := 0; j < 5; j++ {
-		if got := p.TTL(st, j, 0); math.Abs(got-hotTTL) > 1e-9 {
+		if got := p.TTL(st.Snapshot(), j, 0); math.Abs(got-hotTTL) > 1e-9 {
 			t.Errorf("hot domain %d TTL = %v, want same as other hot %v", j, got, hotTTL)
 		}
 	}
-	normalTTL := p.TTL(st, 19, 0)
+	normalTTL := p.TTL(st.Snapshot(), 19, 0)
 	for j := 5; j < 20; j++ {
-		if got := p.TTL(st, j, 0); math.Abs(got-normalTTL) > 1e-9 {
+		if got := p.TTL(st.Snapshot(), j, 0); math.Abs(got-normalTTL) > 1e-9 {
 			t.Errorf("normal domain %d TTL = %v, want %v", j, got, normalTTL)
 		}
 	}
@@ -129,17 +129,17 @@ func TestTTLSKServerScaling(t *testing.T) {
 	}
 	rho := st.Cluster().Rho()
 	n := st.Cluster().N()
-	base := p.Base(st)
-	if got := p.TTL(st, 0, n-1); math.Abs(got-base) > 1e-6 {
+	base := p.Base(st.Snapshot())
+	if got := p.TTL(st.Snapshot(), 0, n-1); math.Abs(got-base) > 1e-6 {
 		t.Errorf("hottest domain on slowest server TTL = %v, want base %v", got, base)
 	}
-	if got := p.TTL(st, 0, 0); math.Abs(got-base*rho) > 1e-6 {
+	if got := p.TTL(st.Snapshot(), 0, 0); math.Abs(got-base*rho) > 1e-6 {
 		t.Errorf("hottest domain on fastest server TTL = %v, want base·ρ = %v", got, base*rho)
 	}
 	// TTLs across servers for one domain scale with capacity.
 	for i := 0; i < n; i++ {
 		want := base * st.Cluster().Alpha(i) * rho
-		if got := p.TTL(st, 0, i); math.Abs(got-want) > 1e-6 {
+		if got := p.TTL(st.Snapshot(), 0, i); math.Abs(got-want) > 1e-6 {
 			t.Errorf("server %d TTL = %v, want %v", i, got, want)
 		}
 	}
@@ -152,8 +152,8 @@ func TestTTLS1IgnoresDomain(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < st.Cluster().N(); i++ {
-		a := p.TTL(st, 0, i)
-		b := p.TTL(st, 19, i)
+		a := p.TTL(st.Snapshot(), 0, i)
+		b := p.TTL(st.Snapshot(), 19, i)
 		if math.Abs(a-b) > 1e-9 {
 			t.Errorf("TTL/S_1 server %d: domain 0 TTL %v != domain 19 TTL %v", i, a, b)
 		}
@@ -185,7 +185,7 @@ func TestCalibrationEqualizesAddressRate(t *testing.T) {
 			n := st.Cluster().N()
 			for j := 0; j < 20; j++ {
 				for i := 0; i < n; i++ {
-					rate += 1 / p.TTL(st, j, i) / float64(n)
+					rate += 1 / p.TTL(st.Snapshot(), j, i) / float64(n)
 				}
 			}
 			if math.Abs(rate-want)/want > 0.01 {
@@ -227,7 +227,7 @@ func TestCalibrationProperty(t *testing.T) {
 		}
 		var rate float64
 		for j := range w {
-			rate += 1 / p.TTL(st, j, 0)
+			rate += 1 / p.TTL(st.Snapshot(), j, 0)
 		}
 		want := float64(len(w)) / 240
 		return math.Abs(rate-want)/want < 0.02
@@ -243,7 +243,7 @@ func TestTTLRecalibratesOnWeightChange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := p.TTL(st, 10, 0)
+	before := p.TTL(st.Snapshot(), 10, 0)
 	// Flip the skew: domain 19 becomes the most popular.
 	w := simcore.ZipfWeights(20, 1)
 	for i, j := 0, len(w)-1; i < j; i, j = i+1, j-1 {
@@ -252,12 +252,12 @@ func TestTTLRecalibratesOnWeightChange(t *testing.T) {
 	if err := st.SetWeights(w); err != nil {
 		t.Fatal(err)
 	}
-	after := p.TTL(st, 10, 0)
+	after := p.TTL(st.Snapshot(), 10, 0)
 	if math.Abs(before-after) < 1e-9 {
 		t.Error("TTL did not adapt to new weights")
 	}
-	if got := p.TTL(st, 19, 0); math.Abs(got-p.Base(st)) > 1e-6 {
-		t.Errorf("new hottest domain TTL = %v, want base %v", got, p.Base(st))
+	if got := p.TTL(st.Snapshot(), 19, 0); math.Abs(got-p.Base(st.Snapshot())) > 1e-6 {
+		t.Errorf("new hottest domain TTL = %v, want base %v", got, p.Base(st.Snapshot()))
 	}
 }
 
@@ -277,7 +277,7 @@ func TestTTLBoundsWithDegenerateWeights(t *testing.T) {
 	}
 	for j := 0; j < 3; j++ {
 		for i := 0; i < 2; i++ {
-			ttl := p.TTL(st, j, i)
+			ttl := p.TTL(st.Snapshot(), j, i)
 			if ttl < minAdaptiveTTL || ttl > maxTTL {
 				t.Errorf("TTL(%d,%d) = %v out of [%v,%v]", j, i, ttl, minAdaptiveTTL, maxTTL)
 			}

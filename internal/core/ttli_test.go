@@ -39,13 +39,13 @@ func TestClassCountStringGeneral(t *testing.T) {
 
 func TestDomainFactorsOneTwoK(t *testing.T) {
 	st := zipfState(t, 20, 20)
-	one := DomainFactors(st, OneClass)
+	one := DomainFactors(st.Snapshot(), OneClass)
 	for j, f := range one {
 		if f != 1 {
 			t.Errorf("TTL/1 factor[%d] = %v, want 1", j, f)
 		}
 	}
-	two := DomainFactors(st, TwoClasses)
+	two := DomainFactors(st.Snapshot(), TwoClasses)
 	// Hot domains (0..4) share one factor 1; normal domains share a
 	// smaller factor.
 	for j := 0; j < 5; j++ {
@@ -61,7 +61,7 @@ func TestDomainFactorsOneTwoK(t *testing.T) {
 	if two[5] >= 1 {
 		t.Errorf("normal factor = %v, want < 1", two[5])
 	}
-	k := DomainFactors(st, PerDomain)
+	k := DomainFactors(st.Snapshot(), PerDomain)
 	for j := range k {
 		want := 1 / float64(j+1)
 		if math.Abs(k[j]-want) > 1e-9 {
@@ -73,7 +73,7 @@ func TestDomainFactorsOneTwoK(t *testing.T) {
 func TestDomainFactorsIntermediate(t *testing.T) {
 	st := zipfState(t, 20, 20)
 	for _, i := range []int{3, 4, 5, 7, 10} {
-		f := DomainFactors(st, NClasses(i))
+		f := DomainFactors(st.Snapshot(), NClasses(i))
 		// Factors are grouped: at most i distinct values, and the top
 		// group has factor 1.
 		distinct := make(map[float64]bool)
@@ -103,9 +103,9 @@ func TestDomainFactorsIntermediate(t *testing.T) {
 
 func TestDomainFactorsIAtLeastKIsPerDomain(t *testing.T) {
 	st := zipfState(t, 20, 20)
-	perDomain := DomainFactors(st, PerDomain)
+	perDomain := DomainFactors(st.Snapshot(), PerDomain)
 	for _, i := range []int{20, 25, 1000} {
-		got := DomainFactors(st, NClasses(i))
+		got := DomainFactors(st.Snapshot(), NClasses(i))
 		for j := range got {
 			if math.Abs(got[j]-perDomain[j]) > 1e-12 {
 				t.Errorf("i=%d: factor[%d] = %v, want per-domain %v", i, j, got[j], perDomain[j])
@@ -116,7 +116,7 @@ func TestDomainFactorsIAtLeastKIsPerDomain(t *testing.T) {
 
 func TestEqualLoadPartitionBalance(t *testing.T) {
 	st := zipfState(t, 20, 20)
-	means := equalLoadPartition(st, 4)
+	means := equalLoadPartition(st.Snapshot(), 4)
 	// Sum of class totals = 1; reconstruct class totals from means.
 	classTotal := make(map[float64]float64)
 	classSize := make(map[float64]int)
@@ -161,7 +161,7 @@ func TestEqualLoadPartitionProperty(t *testing.T) {
 		if err := st.SetWeights(w); err != nil {
 			return false
 		}
-		means := equalLoadPartition(st, n)
+		means := equalLoadPartition(st.Snapshot(), n)
 		// Every domain belongs to a class; class count <= n; means positive.
 		distinct := make(map[float64]bool)
 		for _, m := range means {
@@ -193,7 +193,7 @@ func TestTTLiCalibrationHolds(t *testing.T) {
 			n := st.Cluster().N()
 			for j := 0; j < 20; j++ {
 				for s := 0; s < n; s++ {
-					rate += 1 / p.TTL(st, j, s) / float64(n)
+					rate += 1 / p.TTL(st.Snapshot(), j, s) / float64(n)
 				}
 			}
 			if math.Abs(rate-want)/want > 0.01 {
@@ -215,7 +215,7 @@ func TestTTLiMonotoneInformationGain(t *testing.T) {
 		}
 		min, max := math.Inf(1), math.Inf(-1)
 		for j := 0; j < 20; j++ {
-			ttl := p.TTL(st, j, 0)
+			ttl := p.TTL(st.Snapshot(), j, 0)
 			if ttl < min {
 				min = ttl
 			}
@@ -283,8 +283,8 @@ func TestMRLSelector(t *testing.T) {
 		t.Errorf("Name = %q", sel.Name())
 	}
 	// Consecutive hot-domain requests spread like DAL.
-	a := sel.Select(st, 0)
-	b := sel.Select(st, 0)
+	a := sel.Select(st.Snapshot(), 0)
+	b := sel.Select(st.Snapshot(), 0)
 	if a == b {
 		t.Error("MRL funnelled consecutive hot requests to one server")
 	}
@@ -294,7 +294,7 @@ func TestMRLSelector(t *testing.T) {
 	now = 120
 	counts := make(map[int]bool)
 	for i := 0; i < 7; i++ {
-		counts[sel.Select(st, 0)] = true
+		counts[sel.Select(st.Snapshot(), 0)] = true
 	}
 	if len(counts) < 4 {
 		t.Errorf("MRL used only %d distinct servers", len(counts))
@@ -302,7 +302,7 @@ func TestMRLSelector(t *testing.T) {
 	// Alarmed servers are skipped.
 	st.SetAlarm(3, true)
 	for i := 0; i < 50; i++ {
-		if got := sel.Select(st, i%20); got == 3 {
+		if got := sel.Select(st.Snapshot(), i%20); got == 3 {
 			t.Fatal("MRL selected alarmed server")
 		}
 	}
@@ -368,7 +368,7 @@ func TestWRRSmoothProportionalRotation(t *testing.T) {
 	counts := make([]int, 2)
 	streak := 0
 	for i := 0; i < 300; i++ {
-		got := sel.Select(st, 0)
+		got := sel.Select(st.Snapshot(), 0)
 		counts[got]++
 		if got == 0 {
 			streak++
@@ -391,7 +391,7 @@ func TestWRRCapacityShares(t *testing.T) {
 	counts := make([]float64, n)
 	const picks = 62000
 	for i := 0; i < picks; i++ {
-		counts[sel.Select(st, i%20)]++
+		counts[sel.Select(st.Snapshot(), i%20)]++
 	}
 	var alphaSum float64
 	for i := 0; i < n; i++ {
@@ -411,14 +411,14 @@ func TestWRRRespectsAlarms(t *testing.T) {
 	sel := NewWRR()
 	st.SetAlarm(0, true)
 	for i := 0; i < 100; i++ {
-		if got := sel.Select(st, i%20); got == 0 {
+		if got := sel.Select(st.Snapshot(), i%20); got == 0 {
 			t.Fatal("WRR selected alarmed server")
 		}
 	}
 	st.SetAlarm(0, false)
 	seen := false
 	for i := 0; i < 20; i++ {
-		if sel.Select(st, 0) == 0 {
+		if sel.Select(st.Snapshot(), 0) == 0 {
 			seen = true
 		}
 	}

@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // wrrSelector implements smooth weighted round robin (extension — the
 // deterministic capacity-proportional rotation used by modern load
 // balancers such as nginx and weighted DNS services). It is the
@@ -11,8 +13,11 @@ package core
 // server's weight to its running current value, selects the largest
 // current, then subtracts the total weight from the winner. Over any
 // window the selection counts match the weights, and the winner
-// sequence avoids bursts on the heavy server.
+// sequence avoids bursts on the heavy server. The running values need
+// a consistent read-modify-write across all servers, so the selector
+// takes a local mutex (held for one O(N) pass).
 type wrrSelector struct {
+	mu      sync.Mutex
 	current []float64
 }
 
@@ -22,18 +27,20 @@ func NewWRR() Selector { return &wrrSelector{} }
 
 func (w *wrrSelector) Name() string { return "WRR" }
 
-func (w *wrrSelector) Select(st *State, _ int) int {
-	n := st.Cluster().N()
+func (w *wrrSelector) Select(sn *Snapshot, _ int) int {
+	n := sn.Cluster().N()
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if len(w.current) != n {
 		w.current = make([]float64, n)
 	}
 	best := -1
 	var total float64
 	for i := 0; i < n; i++ {
-		if !st.available(i) {
+		if !sn.available(i) {
 			continue
 		}
-		weight := st.Cluster().Alpha(i)
+		weight := sn.Cluster().Alpha(i)
 		w.current[i] += weight
 		total += weight
 		if best == -1 || w.current[i] > w.current[best] {

@@ -2,11 +2,15 @@ package dnsserver
 
 import (
 	"context"
+	"net/netip"
 	"sync"
 	"testing"
 	"time"
 
+	"dnslb/internal/core"
 	"dnslb/internal/dnsclient"
+	"dnslb/internal/dnswire"
+	"dnslb/internal/simcore"
 )
 
 // TestConcurrentQueries hammers the server from many goroutines over
@@ -64,5 +68,120 @@ func TestConcurrentQueries(t *testing.T) {
 	st := srv.Stats()
 	if st.Answered < workers*queries {
 		t.Errorf("answered %d, want at least %d", st.Answered, workers*queries)
+	}
+}
+
+// TestConcurrentClientsCountersExact fires many clients at a server
+// running several parallel UDP workers and checks the books balance:
+// every query is answered, the sharded serve counters sum to the
+// number of queries sent, the policy's per-server decision counts sum
+// to its decision total, and the A records the clients actually
+// received match the policy's per-server ledger exactly.
+func TestConcurrentClientsCountersExact(t *testing.T) {
+	cluster, err := core.ScaledCluster(5, 35, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	policy, err := core.NewPolicy(core.PolicyConfig{
+		Name:  "PRR2-TTL/K",
+		State: state,
+		Rand:  simcore.NewStream(1, "server"),
+		Now:   func() float64 { return time.Since(start).Seconds() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netip.Addr, cluster.N())
+	addrByServer := make(map[netip.Addr]int, cluster.N())
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+		addrByServer[addrs[i]] = i
+	}
+	srv, err := New(Config{
+		Zone:        "www.site.example",
+		ServerAddrs: addrs,
+		Policy:      policy,
+		Addr:        "127.0.0.1:0",
+		UDPWorkers:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	const (
+		clients   = 8
+		perClient = 50
+		totalSent = clients * perClient
+	)
+	got := make([]map[int]uint64, clients) // per-client server counts
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer wg.Done()
+			counts := make(map[int]uint64)
+			r := &dnsclient.Resolver{Server: srv.Addr().String(), Timeout: 5 * time.Second}
+			ctx := context.Background()
+			for i := 0; i < perClient; i++ {
+				msg, err := r.Exchange(ctx, "www.site.example", dnswire.TypeA)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				a, ok := msg.Answers[0].Data.(dnswire.A)
+				if !ok {
+					t.Errorf("client %d: answer is %T, not A", c, msg.Answers[0].Data)
+					return
+				}
+				counts[addrByServer[a.Addr]]++
+			}
+			got[c] = counts
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+
+	perServer := make([]uint64, cluster.N())
+	for _, counts := range got {
+		for srvIdx, n := range counts {
+			perServer[srvIdx] += n
+		}
+	}
+
+	pstats := policy.Stats()
+	if pstats.Decisions != totalSent {
+		t.Errorf("policy decisions = %d, want %d", pstats.Decisions, totalSent)
+	}
+	var sum uint64
+	for i, n := range pstats.PerServer {
+		sum += n
+		if n != perServer[i] {
+			t.Errorf("server %d: policy counted %d decisions, clients received %d", i, n, perServer[i])
+		}
+	}
+	if sum != pstats.Decisions {
+		t.Errorf("sum(PerServer) = %d, want Decisions %d", sum, pstats.Decisions)
+	}
+
+	sstats := srv.Stats()
+	if sstats.Queries != totalSent {
+		t.Errorf("server queries = %d, want %d", sstats.Queries, totalSent)
+	}
+	if sstats.Answered != totalSent {
+		t.Errorf("server answered = %d, want %d", sstats.Answered, totalSent)
 	}
 }

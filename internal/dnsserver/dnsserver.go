@@ -8,6 +8,14 @@
 // stable hash of the address prefix. Web servers feed the alarm and
 // hidden-load machinery through RecordHits/SetAlarm, or remotely over
 // the plain-text load-report listener (see report.go).
+//
+// The query path is lock-free: core.Policy and core.State are safe for
+// concurrent use (see core's concurrency contract), so the server runs
+// several UDP reader/responder goroutines over one shared socket, each
+// scheduling directly against the policy. Serve counters are sharded
+// per source-address hash and response buffers are pooled, so the hot
+// path takes no server-level lock and makes no per-query allocations
+// beyond message decode.
 package dnsserver
 
 import (
@@ -17,7 +25,9 @@ import (
 	"math"
 	"net"
 	"net/netip"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnslb/internal/core"
@@ -35,8 +45,9 @@ type Config struct {
 	// ServerAddrs are the Web servers' IPv4 addresses, index-aligned
 	// with the policy's cluster.
 	ServerAddrs []netip.Addr
-	// Policy is the DNS scheduling policy; the server serializes
-	// access to it.
+	// Policy is the DNS scheduling policy. It is called concurrently
+	// from every serve goroutine without server-level locking;
+	// core.Policy guarantees this is safe.
 	Policy *core.Policy
 	// Mapper identifies the source domain of each query. Nil installs
 	// PrefixHashMapper over the policy's domain count.
@@ -48,6 +59,10 @@ type Config struct {
 	// RateLimit optionally bounds queries per second per source
 	// address; excess queries are answered REFUSED.
 	RateLimit *RateLimiter
+	// UDPWorkers is the number of parallel UDP reader/responder
+	// goroutines sharing the socket. Zero or negative defaults to
+	// runtime.GOMAXPROCS(0).
+	UDPWorkers int
 }
 
 // Server is the authoritative DNS front end.
@@ -55,14 +70,16 @@ type Server struct {
 	zone  string
 	addrs []netip.Addr
 
-	mu     sync.Mutex
 	policy *core.Policy
-	est    *core.Estimator
+
+	estMu sync.Mutex
+	est   *core.Estimator
 
 	mapper     DomainMapper
 	logger     *log.Logger
 	listenAddr string
 	limiter    *RateLimiter
+	udpWorkers int
 
 	udp *net.UDPConn
 	tcp net.Listener
@@ -76,8 +93,7 @@ type Server struct {
 	wg     sync.WaitGroup
 	closed chan struct{}
 
-	statsMu sync.Mutex
-	stats   ServerStats
+	stats [statsShards]statsShard
 }
 
 // ServerStats counts served queries by outcome.
@@ -90,6 +106,39 @@ type ServerStats struct {
 	ServFail    uint64
 	Truncated   uint64
 	RateLimited uint64
+}
+
+// statsShards spreads the serve counters across independently updated
+// cache lines, indexed by source-address hash, so parallel serve
+// goroutines don't bounce one counter line between cores.
+const statsShards = 16
+
+// statsShard mirrors ServerStats with atomic counters. Eight 8-byte
+// atomics fill exactly one 64-byte cache line, so adjacent shards
+// never share a line.
+type statsShard struct {
+	queries     atomic.Uint64
+	answered    atomic.Uint64
+	nxdomain    atomic.Uint64
+	formerr     atomic.Uint64
+	notimp      atomic.Uint64
+	servfail    atomic.Uint64
+	truncated   atomic.Uint64
+	ratelimited atomic.Uint64
+}
+
+// statsFor hashes the source address to a counter shard. Invalid
+// addresses (possible on the TCP path) land in shard 0.
+func (s *Server) statsFor(addr netip.Addr) *statsShard {
+	if !addr.IsValid() {
+		return &s.stats[0]
+	}
+	b := addr.As16()
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return &s.stats[h&(statsShards-1)]
 }
 
 // New creates a server; call Start to bind and serve.
@@ -121,6 +170,10 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers := cfg.UDPWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	return &Server{
 		zone:       dnswire.CanonicalName(cfg.Zone),
 		addrs:      append([]netip.Addr(nil), cfg.ServerAddrs...),
@@ -130,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 		logger:     logger,
 		listenAddr: cfg.Addr,
 		limiter:    cfg.RateLimit,
+		udpWorkers: workers,
 		conns:      make(map[net.Conn]struct{}),
 		closed:     make(chan struct{}),
 	}, nil
@@ -139,7 +193,8 @@ type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
-// Start binds the UDP socket and TCP listener and begins serving.
+// Start binds the UDP socket and TCP listener and begins serving with
+// the configured number of parallel UDP workers.
 func (s *Server) Start() error {
 	uaddr, err := net.ResolveUDPAddr("udp", s.addrOrDefault())
 	if err != nil {
@@ -154,8 +209,10 @@ func (s *Server) Start() error {
 		_ = s.udp.Close()
 		return fmt.Errorf("dnsserver: listen tcp: %w", err)
 	}
-	s.wg.Add(2)
-	go s.serveUDP()
+	s.wg.Add(s.udpWorkers + 1)
+	for i := 0; i < s.udpWorkers; i++ {
+		go s.serveUDP()
+	}
 	go s.serveTCP()
 	return nil
 }
@@ -199,11 +256,23 @@ func (s *Server) Close() error {
 	return first
 }
 
-// Stats returns a snapshot of the serve counters.
+// Stats returns a snapshot of the serve counters, summed across the
+// shards. Counters may be mid-update while summing; each total is
+// individually consistent (monotone), which is all the callers need.
 func (s *Server) Stats() ServerStats {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.stats
+	var out ServerStats
+	for i := range s.stats {
+		sh := &s.stats[i]
+		out.Queries += sh.queries.Load()
+		out.Answered += sh.answered.Load()
+		out.NXDomain += sh.nxdomain.Load()
+		out.FormErr += sh.formerr.Load()
+		out.NotImp += sh.notimp.Load()
+		out.ServFail += sh.servfail.Load()
+		out.Truncated += sh.truncated.Load()
+		out.RateLimited += sh.ratelimited.Load()
+	}
+	return out
 }
 
 // Servers returns the cluster size of the scheduling policy.
@@ -212,9 +281,8 @@ func (s *Server) Servers() int { return len(s.addrs) }
 // SetAlarm relays a Web server's alarm/normal signal to the scheduler.
 // An out-of-range index is reported back, so remote reporters learn
 // about their misconfiguration instead of being silently ignored.
+// core.State synchronizes its own mutations; no server lock is taken.
 func (s *Server) SetAlarm(server int, alarmed bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.policy.State().SetAlarm(server, alarmed)
 }
 
@@ -222,16 +290,12 @@ func (s *Server) SetAlarm(server int, alarmed bool) error {
 // scheduler state: down servers receive no new mappings, and queries
 // are answered SERVFAIL only when every server is down.
 func (s *Server) SetDown(server int, down bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.policy.State().SetDown(server, down)
 }
 
 // Down reports whether the scheduler currently considers server i
-// failed, synchronized like Alarmed.
+// failed.
 func (s *Server) Down(server int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.policy.State().Down(server)
 }
 
@@ -256,39 +320,49 @@ func (s *Server) touchLiveness(server int) {
 }
 
 // Alarmed reports whether the scheduler currently excludes server i.
-// It is the synchronized read-side of SetAlarm: the underlying
-// core.State is not safe for unlocked concurrent access.
 func (s *Server) Alarmed(server int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.policy.State().Alarmed(server)
 }
 
 // DomainWeight returns the scheduler's current hidden-load weight
-// estimate for a domain, synchronized like Alarmed.
+// estimate for a domain.
 func (s *Server) DomainWeight(domain int) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.policy.State().Weight(domain)
 }
 
 // RecordHits feeds per-domain hit counts into the hidden-load
 // estimator (the server-side accounting the paper's DNS collects).
+// The estimator keeps mutable running sums, so it has its own lock —
+// off the query path entirely.
 func (s *Server) RecordHits(domain int, hits float64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.estMu.Lock()
+	defer s.estMu.Unlock()
 	s.est.Record(domain, hits)
 }
 
 // RollEstimates closes an estimation interval of the given length and
 // installs the resulting hidden-load weights into the scheduler state.
 func (s *Server) RollEstimates(intervalSeconds float64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.estMu.Lock()
+	defer s.estMu.Unlock()
 	s.est.Roll(intervalSeconds)
 	return s.policy.State().SetWeights(s.est.Weights())
 }
 
+// packPool recycles response buffers across queries; serve loops pack
+// into a pooled buffer via dnswire.AppendPack and return it after the
+// write, so steady-state encoding allocates nothing.
+var packPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+// serveUDP is one of UDPWorkers identical reader/responder loops over
+// the shared socket. The kernel distributes datagrams across blocked
+// readers; each worker owns its read buffer, so the loops never touch
+// shared mutable server state.
 func (s *Server) serveUDP() {
 	defer s.wg.Done()
 	buf := make([]byte, 65535)
@@ -303,13 +377,17 @@ func (s *Server) serveUDP() {
 				continue
 			}
 		}
-		resp := s.handle(buf[:n], raddr.Addr(), dnswire.MaxUDPPayload)
-		if resp == nil {
-			continue
+		bp := packPool.Get().(*[]byte)
+		resp := s.handle(buf[:n], raddr.Addr(), dnswire.MaxUDPPayload, (*bp)[:0])
+		if resp != nil {
+			if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
+				s.logger.Printf("dnsserver: udp write: %v", err)
+			}
+			if cap(resp) > cap(*bp) {
+				*bp = resp[:0] // keep the grown buffer
+			}
 		}
-		if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
-			s.logger.Printf("dnsserver: udp write: %v", err)
-		}
+		packPool.Put(bp)
 	}
 }
 
@@ -365,7 +443,7 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		if _, err := readFull(conn, msg); err != nil {
 			return
 		}
-		resp := s.handle(msg, raddr, math.MaxUint16)
+		resp := s.handle(msg, raddr, math.MaxUint16, nil)
 		if resp == nil {
 			return
 		}
@@ -390,19 +468,17 @@ func readFull(conn net.Conn, buf []byte) (int, error) {
 	return read, nil
 }
 
-func (s *Server) count(f func(*ServerStats)) {
-	s.statsMu.Lock()
-	f(&s.stats)
-	s.statsMu.Unlock()
-}
-
 // handle processes one wire-format query and returns the wire-format
-// response (nil to drop).
-func (s *Server) handle(wire []byte, from netip.Addr, maxSize int) []byte {
-	s.count(func(st *ServerStats) { st.Queries++ })
+// response (nil to drop), packed into dst's capacity when possible.
+// dst must be a zero-length slice (or nil to allocate). handle touches
+// no server-level lock: the policy and state are internally safe, and
+// counters go to the caller's stats shard.
+func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) []byte {
+	st := s.statsFor(from)
+	st.queries.Add(1)
 	query, err := dnswire.Unpack(wire)
 	if err != nil || len(query.Questions) == 0 {
-		s.count(func(st *ServerStats) { st.FormErr++ })
+		st.formerr.Add(1)
 		if len(wire) < 2 {
 			return nil // cannot even echo an ID
 		}
@@ -411,20 +487,20 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int) []byte {
 			Response: true,
 			RCode:    dnswire.RCodeFormErr,
 		}}
-		return mustPack(resp)
+		return mustPack(resp, dst)
 	}
 	if query.Header.Response {
 		return nil // never answer responses
 	}
 	if s.limiter != nil && !s.limiter.Allow(from) {
-		s.count(func(st *ServerStats) { st.RateLimited++ })
+		st.ratelimited.Add(1)
 		resp := &dnswire.Message{Header: dnswire.Header{
 			ID:       query.Header.ID,
 			Response: true,
 			OpCode:   query.Header.OpCode,
 			RCode:    dnswire.RCodeRefused,
 		}}
-		return mustPack(resp)
+		return mustPack(resp, dst)
 	}
 	resp := &dnswire.Message{
 		Header: dnswire.Header{
@@ -438,16 +514,16 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int) []byte {
 	}
 	if query.Header.OpCode != dnswire.OpQuery {
 		resp.Header.RCode = dnswire.RCodeNotImp
-		s.count(func(st *ServerStats) { st.NotImp++ })
-		return mustPack(resp)
+		st.notimp.Add(1)
+		return mustPack(resp, dst)
 	}
 	q := query.Questions[0]
 	name := dnswire.CanonicalName(q.Name)
 	if name != s.zone {
 		resp.Header.RCode = dnswire.RCodeNXDomain
 		resp.Authority = []dnswire.ResourceRecord{s.soa()}
-		s.count(func(st *ServerStats) { st.NXDomain++ })
-		return mustPack(resp)
+		st.nxdomain.Add(1)
+		return mustPack(resp, dst)
 	}
 	// RFC 7871 Client Subnet: when the resolver forwarded the client's
 	// network prefix, classify the originating domain from it instead
@@ -461,13 +537,11 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int) []byte {
 	switch q.Type {
 	case dnswire.TypeA, dnswire.TypeANY:
 		domain := s.mapper(clientAddr)
-		s.mu.Lock()
 		d, err := s.policy.Schedule(domain)
-		s.mu.Unlock()
 		if err != nil {
 			resp.Header.RCode = dnswire.RCodeServFail
-			s.count(func(st *ServerStats) { st.ServFail++ })
-			return mustPack(resp)
+			st.servfail.Add(1)
+			return mustPack(resp, dst)
 		}
 		ttl := uint32(math.Round(d.TTL))
 		if ttl == 0 {
@@ -487,37 +561,34 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int) []byte {
 				s.logger.Printf("dnsserver: echo ECS: %v", err)
 			}
 		}
-		s.count(func(st *ServerStats) { st.Answered++ })
+		st.answered.Add(1)
 	case dnswire.TypeTXT:
 		// Debug visibility: the policy name and decision counters.
-		s.mu.Lock()
 		stats := s.policy.Stats()
-		polName := s.policy.Name()
-		s.mu.Unlock()
 		resp.Answers = []dnswire.ResourceRecord{{
 			Name:  s.zone,
 			Type:  dnswire.TypeTXT,
 			Class: dnswire.ClassIN,
 			TTL:   0,
 			Data: dnswire.TXT{Strings: []string{
-				"policy=" + polName,
+				"policy=" + s.policy.Name(),
 				fmt.Sprintf("decisions=%d", stats.Decisions),
 			}},
 		}}
-		s.count(func(st *ServerStats) { st.Answered++ })
+		st.answered.Add(1)
 	default:
 		// Name exists but no data of this type: NOERROR + SOA.
 		resp.Authority = []dnswire.ResourceRecord{s.soa()}
-		s.count(func(st *ServerStats) { st.Answered++ })
+		st.answered.Add(1)
 	}
-	out := mustPack(resp)
+	out := mustPack(resp, dst)
 	if len(out) > maxSize {
 		resp.Answers = nil
 		resp.Authority = nil
 		resp.Additional = nil
 		resp.Header.Truncated = true
-		s.count(func(st *ServerStats) { st.Truncated++ })
-		out = mustPack(resp)
+		st.truncated.Add(1)
+		out = mustPack(resp, out[:0])
 	}
 	return out
 }
@@ -541,12 +612,13 @@ func (s *Server) soa() dnswire.ResourceRecord {
 	}
 }
 
-func mustPack(m *dnswire.Message) []byte {
-	out, err := m.Pack()
+// mustPack appends the encoded message to dst (a zero-length slice or
+// nil), returning nil on encode failure: responses are built from
+// validated parts, so a pack failure is a programming error, but in
+// production we drop the response instead of crashing.
+func mustPack(m *dnswire.Message, dst []byte) []byte {
+	out, err := m.AppendPack(dst)
 	if err != nil {
-		// Responses are built from validated parts; a pack failure is a
-		// programming error worth surfacing loudly in development, but
-		// in production we drop the response instead of crashing.
 		return nil
 	}
 	return out

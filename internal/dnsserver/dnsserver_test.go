@@ -113,7 +113,7 @@ func TestUDPQueryAnswersWithAdaptiveTTL(t *testing.T) {
 		if server < 0 || server >= 7 {
 			t.Fatalf("answer address %v not a site server", answers[0].Addr)
 		}
-		want := ttlPolicy.TTL(state, 0, server)
+		want := ttlPolicy.TTL(state.Snapshot(), 0, server)
 		got := answers[0].TTL.Seconds()
 		if math.Abs(got-math.Round(want)) > 1.0 {
 			t.Errorf("TTL for server %d = %vs, want ≈ %vs", server, got, want)

@@ -3,21 +3,39 @@ package dnsserver
 import (
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// rateShards is the number of independently locked bucket maps. Source
+// addresses are spread across shards by hash, so a flood from many
+// sources contends on many locks instead of one. A power of two keeps
+// the index a mask.
+const rateShards = 16
+
 // RateLimiter bounds queries per second per source address with a
 // token bucket per source — protection against floods and reflection
-// abuse for the public-facing DNS server. The zero value is unusable;
+// abuse for the public-facing DNS server. The bucket map is sharded
+// 16-way by address hash; each shard has its own lock and eviction, so
+// concurrent serve loops rarely contend. The zero value is unusable;
 // create one with NewRateLimiter.
 type RateLimiter struct {
 	rate  float64 // tokens added per second
 	burst float64 // bucket capacity
 
-	mu         sync.Mutex
-	buckets    map[netip.Addr]*tokenBucket
+	// maxSources bounds tracked addresses across all shards; each
+	// shard evicts at its share (maxSources/rateShards, at least 1).
 	maxSources int
-	now        func() time.Time
+	now        atomic.Pointer[clockFunc]
+	shards     [rateShards]rateShard
+}
+
+type clockFunc func() time.Time
+
+type rateShard struct {
+	mu      sync.Mutex
+	buckets map[netip.Addr]*tokenBucket
+	_       [24]byte // keep neighbouring shard locks off one cache line
 }
 
 type tokenBucket struct {
@@ -35,20 +53,44 @@ func NewRateLimiter(rate, burst float64) *RateLimiter {
 	if burst < 1 {
 		burst = 1
 	}
-	return &RateLimiter{
+	l := &RateLimiter{
 		rate:       rate,
 		burst:      burst,
-		buckets:    make(map[netip.Addr]*tokenBucket),
 		maxSources: 4096,
-		now:        time.Now,
 	}
+	clock := clockFunc(time.Now)
+	l.now.Store(&clock)
+	for i := range l.shards {
+		l.shards[i].buckets = make(map[netip.Addr]*tokenBucket)
+	}
+	return l
 }
 
 // SetClock overrides the limiter's time source, for tests.
 func (l *RateLimiter) SetClock(now func() time.Time) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.now = now
+	clock := clockFunc(now)
+	l.now.Store(&clock)
+}
+
+// shardFor hashes the address (FNV-1a over the 16-byte form) to a
+// shard. IPv4 addresses map to their 4-in-6 form, so the low bytes
+// still vary and spread adjacent sources across shards.
+func (l *RateLimiter) shardFor(addr netip.Addr) *rateShard {
+	b := addr.As16()
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return &l.shards[h&(rateShards-1)]
+}
+
+// shardCap is each shard's share of the source budget.
+func (l *RateLimiter) shardCap() int {
+	c := l.maxSources / rateShards
+	if c < 1 {
+		c = 1
+	}
+	return c
 }
 
 // Allow reports whether a query from addr may be served now, consuming
@@ -58,16 +100,17 @@ func (l *RateLimiter) Allow(addr netip.Addr) bool {
 	if !addr.IsValid() {
 		return true
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	now := l.now()
-	b, ok := l.buckets[addr]
+	now := (*l.now.Load())()
+	s := l.shardFor(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[addr]
 	if !ok {
-		if len(l.buckets) >= l.maxSources {
-			l.evictLocked(now)
+		if len(s.buckets) >= l.shardCap() {
+			l.evictLocked(s, now)
 		}
 		b = &tokenBucket{tokens: l.burst, last: now}
-		l.buckets[addr] = b
+		s.buckets[addr] = b
 	}
 	elapsed := now.Sub(b.last).Seconds()
 	if elapsed > 0 {
@@ -84,24 +127,31 @@ func (l *RateLimiter) Allow(addr netip.Addr) bool {
 	return true
 }
 
-// evictLocked drops sources whose buckets have refilled (idle long
-// enough to be indistinguishable from new sources); if none qualify it
-// clears everything, which only momentarily forgives active abusers.
-func (l *RateLimiter) evictLocked(now time.Time) {
-	for addr, b := range l.buckets {
+// evictLocked drops sources in one shard whose buckets have refilled
+// (idle long enough to be indistinguishable from new sources); if none
+// qualify it clears the shard, which only momentarily forgives the
+// active abusers hashed there. Caller holds the shard's lock.
+func (l *RateLimiter) evictLocked(s *rateShard, now time.Time) {
+	for addr, b := range s.buckets {
 		idle := now.Sub(b.last).Seconds()
 		if b.tokens+idle*l.rate >= l.burst {
-			delete(l.buckets, addr)
+			delete(s.buckets, addr)
 		}
 	}
-	if len(l.buckets) >= l.maxSources {
-		l.buckets = make(map[netip.Addr]*tokenBucket)
+	if len(s.buckets) >= l.shardCap() {
+		s.buckets = make(map[netip.Addr]*tokenBucket)
 	}
 }
 
-// Sources returns the number of tracked source addresses.
+// Sources returns the number of tracked source addresses across all
+// shards.
 func (l *RateLimiter) Sources() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.buckets)
+	var n int
+	for i := range l.shards {
+		s := &l.shards[i]
+		s.mu.Lock()
+		n += len(s.buckets)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -74,14 +74,17 @@ func TestRateLimiterEviction(t *testing.T) {
 	l := NewRateLimiter(1000, 1)
 	now := time.Unix(0, 0)
 	l.SetClock(func() time.Time { return now })
-	l.maxSources = 8
-	for i := 0; i < 20; i++ {
+	// One source slot per shard: every shard must evict on each new
+	// address, so the tracked set stays bounded no matter how many
+	// distinct sources probe the limiter.
+	l.maxSources = rateShards
+	for i := 0; i < 20*rateShards; i++ {
 		addr := netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
 		l.Allow(addr)
 		now = now.Add(time.Second) // older entries refill and become evictable
 	}
-	if got := l.Sources(); got > 9 {
-		t.Errorf("tracked sources = %d, want bounded by maxSources", got)
+	if got := l.Sources(); got > rateShards {
+		t.Errorf("tracked sources = %d, want bounded by maxSources %d", got, rateShards)
 	}
 }
 

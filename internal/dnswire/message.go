@@ -4,7 +4,16 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
+
+// cmapPool recycles name-compression maps across AppendPack calls, so
+// repeated packing with recycled buffers allocates nothing: map keys
+// are substrings of the message's own names and are cleared before the
+// map returns to the pool.
+var cmapPool = sync.Pool{
+	New: func() any { return make(map[string]int, 8) },
+}
 
 // Limits guarding against hostile messages.
 const (
@@ -30,8 +39,20 @@ const (
 
 // Pack encodes the message with name compression.
 func (m *Message) Pack() ([]byte, error) {
-	buf := make([]byte, headerLen, 128)
-	binary.BigEndian.PutUint16(buf[0:], m.Header.ID)
+	return m.AppendPack(make([]byte, 0, 128))
+}
+
+// AppendPack encodes the message into dst, reusing its capacity, and
+// returns the extended slice. It is the allocation-free variant of
+// Pack for callers that recycle buffers (the server's query hot path
+// passes pooled buffers as dst[:0]). Name-compression pointer offsets
+// are computed from the start of dst, so dst must be positioned at the
+// start of the DNS message: pass a zero-length slice.
+func (m *Message) AppendPack(dst []byte) ([]byte, error) {
+	var zero [headerLen]byte
+	buf := append(dst, zero[:]...)
+	hdr := buf[len(dst):]
+	binary.BigEndian.PutUint16(hdr[0:], m.Header.ID)
 	var flags uint16
 	if m.Header.Response {
 		flags |= flagQR
@@ -50,13 +71,17 @@ func (m *Message) Pack() ([]byte, error) {
 		flags |= flagRA
 	}
 	flags |= uint16(m.Header.RCode & 0xF)
-	binary.BigEndian.PutUint16(buf[2:], flags)
-	binary.BigEndian.PutUint16(buf[4:], uint16(len(m.Questions)))
-	binary.BigEndian.PutUint16(buf[6:], uint16(len(m.Answers)))
-	binary.BigEndian.PutUint16(buf[8:], uint16(len(m.Authority)))
-	binary.BigEndian.PutUint16(buf[10:], uint16(len(m.Additional)))
+	binary.BigEndian.PutUint16(hdr[2:], flags)
+	binary.BigEndian.PutUint16(hdr[4:], uint16(len(m.Questions)))
+	binary.BigEndian.PutUint16(hdr[6:], uint16(len(m.Answers)))
+	binary.BigEndian.PutUint16(hdr[8:], uint16(len(m.Authority)))
+	binary.BigEndian.PutUint16(hdr[10:], uint16(len(m.Additional)))
 
-	cmap := make(map[string]int)
+	cmap := cmapPool.Get().(map[string]int)
+	defer func() {
+		clear(cmap)
+		cmapPool.Put(cmap)
+	}()
 	var err error
 	for _, q := range m.Questions {
 		buf, err = packName(buf, q.Name, cmap)

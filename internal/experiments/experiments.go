@@ -9,6 +9,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"dnslb/internal/sim"
 	"dnslb/internal/stats"
@@ -28,6 +29,12 @@ type Options struct {
 	Seed uint64
 	// CurvePoints is the number of x samples for CDF figures.
 	CurvePoints int
+	// Workers bounds how many independent simulation runs execute
+	// concurrently while producing a figure (policy × point fan-out).
+	// 0 or 1 keeps the fully sequential path. Parallel execution
+	// yields identical numbers: every run is independently seeded and
+	// results are assembled in deterministic order.
+	Workers int
 }
 
 // DefaultOptions reproduces the paper's setup: five simulated hours,
@@ -117,11 +124,21 @@ func applyOptions(cfg *sim.Config, o Options) {
 	cfg.Seed = o.Seed
 }
 
+// runReps executes the point's replications, in parallel when the
+// options carry a worker budget. Parallel and sequential replication
+// results are identical (see sim.RunReplicationsParallel).
+func runReps(cfg sim.Config, o Options) ([]*sim.Result, error) {
+	if o.Workers > 1 {
+		return sim.RunReplicationsParallel(cfg, o.Reps, o.Workers)
+	}
+	return sim.RunReplications(cfg, o.Reps)
+}
+
 // runProb returns the mean and CI half-width of Prob(MaxUtil < level)
 // over o.Reps replications of cfg.
 func runProb(cfg sim.Config, o Options, level float64) (float64, float64, error) {
 	applyOptions(&cfg, o)
-	results, err := sim.RunReplications(cfg, o.Reps)
+	results, err := runReps(cfg, o)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -137,7 +154,7 @@ func runProb(cfg sim.Config, o Options, level float64) (float64, float64, error)
 // utilization at the given levels over o.Reps replications.
 func runCurve(cfg sim.Config, o Options, levels []float64) ([]float64, error) {
 	applyOptions(&cfg, o)
-	results, err := sim.RunReplications(cfg, o.Reps)
+	results, err := runReps(cfg, o)
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +167,47 @@ func runCurve(cfg sim.Config, o Options, levels []float64) ([]float64, error) {
 		out[i] = w.Mean()
 	}
 	return out, nil
+}
+
+// forEachLimit runs f(0..n-1) across at most `workers` goroutines and
+// returns the lowest-index error, so parallel figure production fails
+// the same way the sequential loop would. workers <= 1 (or n == 1)
+// keeps the plain sequential loop.
+func forEachLimit(n, workers int, f func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := f(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // utilizationLevels returns the x axis of the CDF figures.

@@ -26,7 +26,9 @@ func cdfFigure(id, title string, hetPct int, policies []string, o Options) (*Fig
 		YLabel: "Cumulative Frequency",
 		XVals:  levels,
 	}
-	for _, pol := range policies {
+	fig.Series = make([]Series, len(policies))
+	err := forEachLimit(len(policies), o.Workers, func(p int) error {
+		pol := policies[p]
 		cfg := sim.DefaultConfig(pol)
 		cfg.HeterogeneityPct = hetPct
 		if pol == "Ideal" {
@@ -34,9 +36,13 @@ func cdfFigure(id, title string, hetPct int, policies []string, o Options) (*Fig
 		}
 		values, err := runCurve(cfg, o, levels)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", id, pol, err)
+			return fmt.Errorf("%s/%s: %w", id, pol, err)
 		}
-		fig.Series = append(fig.Series, Series{Name: pol, Values: values})
+		fig.Series[p] = Series{Name: pol, Values: values}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }
@@ -84,22 +90,31 @@ func sweepFigure(id, title, xlabel string, xs []float64, policies []string,
 		YLabel: "Prob(MaxUtilization < 0.98)",
 		XVals:  xs,
 	}
-	for _, pol := range policies {
-		s := Series{Name: pol, Values: make([]float64, len(xs)), HalfWidths: make([]float64, len(xs))}
-		for i, x := range xs {
-			cfg := sim.DefaultConfig(pol)
-			if pol == "Ideal" {
-				cfg.Workload.Uniform = true
-			}
-			mutate(&cfg, x)
-			mean, hw, err := runProb(cfg, o, metricLevel)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s x=%v: %w", id, pol, x, err)
-			}
-			s.Values[i] = mean
-			s.HalfWidths[i] = hw
+	fig.Series = make([]Series, len(policies))
+	for p, pol := range policies {
+		fig.Series[p] = Series{Name: pol, Values: make([]float64, len(xs)), HalfWidths: make([]float64, len(xs))}
+	}
+	// Fan the independent (policy × point) simulations across the
+	// worker budget; each unit writes its own slot, so assembly order
+	// is deterministic regardless of completion order.
+	err := forEachLimit(len(policies)*len(xs), o.Workers, func(u int) error {
+		p, i := u/len(xs), u%len(xs)
+		pol, x := policies[p], xs[i]
+		cfg := sim.DefaultConfig(pol)
+		if pol == "Ideal" {
+			cfg.Workload.Uniform = true
 		}
-		fig.Series = append(fig.Series, s)
+		mutate(&cfg, x)
+		mean, hw, err := runProb(cfg, o, metricLevel)
+		if err != nil {
+			return fmt.Errorf("%s/%s x=%v: %w", id, pol, x, err)
+		}
+		fig.Series[p].Values[i] = mean
+		fig.Series[p].HalfWidths[i] = hw
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return fig, nil
 }

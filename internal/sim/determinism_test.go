@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+)
+
+// fingerprint reduces a run's observable output — scheduler decisions,
+// cache behaviour, event count, the full max-utilization series and
+// per-server decision counts — to one hash, so any behavioural drift
+// in the single-threaded path shows up as a mismatch.
+func fingerprint(res *Result) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d %d %d %d %d %v %v %.9f\n",
+		res.AddressRequests, res.CacheHits, res.TotalHits, res.TotalPages,
+		res.EventsFired, res.MaxUtil.Values(), res.Sched.PerServer, res.Sched.MeanTTL)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Golden fingerprints recorded from the pre-concurrency (single-mutex)
+// implementation at seed 7, 900 s. The lock-free scheduler must keep
+// single-threaded simulation output byte-identical: the paper's
+// figures depend on it, and TestTraceReplayMatchesLiveRun-style replay
+// equivalence does too.
+const (
+	goldenDRR2  = "c28908b60873ca8014fe94b473f0c10519ca23f94c96a8d4bf4f202a7314ecab"
+	goldenPRR2K = "78897c26fef92290d53cfda682c7dcadd662a8738493742dafd34f107f34bfb7"
+)
+
+func goldenConfig(policy string) Config {
+	cfg := DefaultConfig(policy)
+	cfg.Duration = 900
+	cfg.Seed = 7
+	return cfg
+}
+
+// TestSingleThreadedDeterminismGolden asserts the simulator's
+// single-threaded output is byte-identical to the pre-refactor
+// implementation, for a deterministic (DRR2) and a probabilistic
+// (PRR2, RNG-order-sensitive) policy.
+func TestSingleThreadedDeterminismGolden(t *testing.T) {
+	for _, tc := range []struct {
+		policy string
+		want   string
+	}{
+		{"DRR2-TTL/S_K", goldenDRR2},
+		{"PRR2-TTL/K", goldenPRR2K},
+	} {
+		res, err := Run(goldenConfig(tc.policy))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.policy, err)
+		}
+		if got := fingerprint(res); got != tc.want {
+			t.Errorf("%s: output drifted from pre-refactor golden\n got %s\nwant %s",
+				tc.policy, got, tc.want)
+		}
+	}
+}
+
+// TestParallelReplicationsMatchSequential asserts the parallel
+// replication runner produces the exact results of the sequential one,
+// replication by replication — parallelism is a wall-clock
+// optimization, never a behavioural one.
+func TestParallelReplicationsMatchSequential(t *testing.T) {
+	cfg := goldenConfig("PRR2-TTL/K")
+	cfg.Duration = 300
+	const reps = 4
+	seq, err := RunReplications(cfg, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunReplicationsParallel(cfg, reps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel returned %d results, sequential %d", len(par), len(seq))
+	}
+	for i := range seq {
+		if got, want := fingerprint(par[i]), fingerprint(seq[i]); got != want {
+			t.Errorf("replication %d: parallel output %s != sequential %s", i, got, want)
+		}
+	}
+}
+
+// TestRunRepeatable asserts two identical runs in the same process
+// produce identical output (no hidden shared state between runs).
+func TestRunRepeatable(t *testing.T) {
+	a, err := Run(goldenConfig("PRR2-TTL/K"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(goldenConfig("PRR2-TTL/K"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(a) != fingerprint(b) {
+		t.Error("identical configs produced different output")
+	}
+}

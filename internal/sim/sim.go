@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"dnslb/internal/core"
 	"dnslb/internal/nameserver"
@@ -468,6 +470,53 @@ func RunReplications(cfg Config, reps int) ([]*Result, error) {
 			return nil, err
 		}
 		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunReplicationsParallel is RunReplications fanned across up to
+// `workers` goroutines (capped at reps; 0 or negative means
+// runtime.NumCPU). Every replication is an independent simulation with
+// its own engine, state and policy, so runs never share mutable state;
+// results come back in seed order and are identical to the sequential
+// runner's — parallelism changes wall-clock only, never output.
+func RunReplicationsParallel(cfg Config, reps, workers int) ([]*Result, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("sim: reps %d must be positive", reps)
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > reps {
+		workers = reps
+	}
+	if workers == 1 {
+		return RunReplications(cfg, reps)
+	}
+	out := make([]*Result, reps)
+	errs := make([]error, reps)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				c := cfg
+				c.Seed = cfg.Seed + uint64(r)
+				out[r], errs[r] = Run(c)
+			}
+		}()
+	}
+	for r := 0; r < reps; r++ {
+		next <- r
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
