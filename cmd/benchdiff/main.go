@@ -1,0 +1,185 @@
+// Command benchdiff compares two `go test -bench` outputs and fails
+// when a benchmark regressed. CI runs the benchmarks on the PR head
+// and on the base commit, then gates the merge on this tool:
+//
+//	benchdiff -old base.txt -new head.txt -threshold 15 -filter 'Schedule|UDP'
+//
+// A benchmark run multiple times (-count N, -cpu a,b) contributes one
+// entry per distinct name (the -cpu suffix is part of the name); the
+// best (minimum) ns/op of the repeats is compared, which damps
+// scheduler noise without hiding real regressions. Benchmarks present
+// in only one input are reported but never fail the gate — new or
+// deleted benchmarks are not regressions.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+var errRegression = fmt.Errorf("benchmark regression over threshold")
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		oldPath   = fs.String("old", "", "baseline `go test -bench` output (required)")
+		newPath   = fs.String("new", "", "candidate `go test -bench` output (required)")
+		filterStr = fs.String("filter", "", "regexp; only matching benchmarks gate the exit code (default: all)")
+		threshold = fs.Float64("threshold", 15, "max allowed ns/op regression percent")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("-old and -new are required")
+	}
+	var filter *regexp.Regexp
+	if *filterStr != "" {
+		re, err := regexp.Compile(*filterStr)
+		if err != nil {
+			return fmt.Errorf("bad -filter: %w", err)
+		}
+		filter = re
+	}
+	oldB, err := parseFile(*oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := parseFile(*newPath)
+	if err != nil {
+		return err
+	}
+	rows, failed := diff(oldB, newB, filter, *threshold)
+	writeReport(out, rows, *threshold)
+	if failed {
+		return errRegression
+	}
+	return nil
+}
+
+type result struct {
+	name     string
+	oldNs    float64 // 0 = missing on that side
+	newNs    float64
+	deltaPct float64
+	gated    bool // matched the filter (or no filter) and present in both
+	failed   bool
+}
+
+// parse reads benchmark result lines, keeping the minimum ns/op per
+// benchmark name.
+func parse(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := best[name]; !seen || ns < prev {
+			best[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return best, nil
+}
+
+// parseLine extracts (name, ns/op) from one standard benchmark line:
+//
+//	BenchmarkFoo-8   123456   789.0 ns/op   0 B/op   0 allocs/op
+func parseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil || ns <= 0 {
+				return "", 0, false
+			}
+			return fields[0], ns, true
+		}
+	}
+	return "", 0, false
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return b, nil
+}
+
+// diff pairs benchmarks by name and flags gated entries whose ns/op
+// grew by more than threshold percent.
+func diff(oldB, newB map[string]float64, filter *regexp.Regexp, threshold float64) ([]result, bool) {
+	names := make(map[string]bool, len(oldB)+len(newB))
+	for n := range oldB {
+		names[n] = true
+	}
+	for n := range newB {
+		names[n] = true
+	}
+	rows := make([]result, 0, len(names))
+	failed := false
+	for n := range names {
+		r := result{name: n, oldNs: oldB[n], newNs: newB[n]}
+		if r.oldNs > 0 && r.newNs > 0 {
+			r.deltaPct = 100 * (r.newNs - r.oldNs) / r.oldNs
+			r.gated = filter == nil || filter.MatchString(n)
+			r.failed = r.gated && r.deltaPct > threshold
+			failed = failed || r.failed
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].name < rows[b].name })
+	return rows, failed
+}
+
+func writeReport(w io.Writer, rows []result, threshold float64) {
+	fmt.Fprintf(w, "%-50s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range rows {
+		switch {
+		case r.oldNs == 0:
+			fmt.Fprintf(w, "%-50s %12s %12.2f %9s\n", r.name, "-", r.newNs, "new")
+		case r.newNs == 0:
+			fmt.Fprintf(w, "%-50s %12.2f %12s %9s\n", r.name, r.oldNs, "-", "gone")
+		default:
+			mark := ""
+			if r.failed {
+				mark = "  FAIL"
+			} else if !r.gated {
+				mark = "  (ungated)"
+			}
+			fmt.Fprintf(w, "%-50s %12.2f %12.2f %+8.2f%%%s\n", r.name, r.oldNs, r.newNs, r.deltaPct, mark)
+		}
+	}
+	fmt.Fprintf(w, "gate: fail when a gated benchmark regresses more than %.1f%%\n", threshold)
+}

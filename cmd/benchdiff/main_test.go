@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseOutput = `goos: linux
+goarch: amd64
+BenchmarkScheduleParallel/DRR2-TTL_S_K         	33520830	        35.85 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduleParallel/DRR2-TTL_S_K-4       	 9812762	       122.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServerUDPThroughput                   	  190346	      6312 ns/op	     720 B/op	      25 allocs/op
+BenchmarkServerUDPThroughput-4                 	  176580	      6805 ns/op	     720 B/op	      25 allocs/op
+BenchmarkEncodeOnly                            	 5000000	       240.0 ns/op
+PASS
+ok  	dnslb	4.1s
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseTakesMinimum(t *testing.T) {
+	b, err := parse(strings.NewReader(
+		"BenchmarkX \t 100 \t 50.0 ns/op\nBenchmarkX \t 100 \t 45.0 ns/op\nBenchmarkX \t 100 \t 60.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b["BenchmarkX"] != 45.0 {
+		t.Errorf("min ns/op = %v, want 45", b["BenchmarkX"])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok dnslb 1s\n")); err == nil {
+		t.Error("output without benchmark lines should error")
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	name, ns, ok := parseLine("BenchmarkFoo-8   123456   789.25 ns/op   0 B/op   0 allocs/op")
+	if !ok || name != "BenchmarkFoo-8" || ns != 789.25 {
+		t.Errorf("parseLine = %q %v %v", name, ns, ok)
+	}
+	if _, _, ok := parseLine("ok  	dnslb	4.1s"); ok {
+		t.Error("non-benchmark line accepted")
+	}
+	if _, _, ok := parseLine("BenchmarkBad 10 notanumber ns/op"); ok {
+		t.Error("bad number accepted")
+	}
+}
+
+func TestNoRegressionPasses(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	// 10% slower UDP: inside the 15% budget.
+	faster := strings.Replace(baseOutput, "6312 ns/op", "6943 ns/op", 1)
+	neu := writeTemp(t, faster)
+	var out bytes.Buffer
+	if err := run([]string{"-old", old, "-new", neu, "-threshold", "15", "-filter", "Schedule|UDP"}, &out); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	// 20% slower scheduling: over the 15% budget.
+	slower := strings.Replace(baseOutput, "35.85 ns/op", "43.02 ns/op", 1)
+	neu := writeTemp(t, slower)
+	var out bytes.Buffer
+	err := run([]string{"-old", old, "-new", neu, "-threshold", "15", "-filter", "Schedule|UDP"}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want regression", err)
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("report lacks FAIL marker:\n%s", out.String())
+	}
+}
+
+func TestFilterExcludesUngated(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	// EncodeOnly doubles, but it is outside the filter.
+	slower := strings.Replace(baseOutput, "240.0 ns/op", "480.0 ns/op", 1)
+	neu := writeTemp(t, slower)
+	var out bytes.Buffer
+	if err := run([]string{"-old", old, "-new", neu, "-threshold", "15", "-filter", "Schedule|UDP"}, &out); err != nil {
+		t.Fatalf("ungated regression failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "(ungated)") {
+		t.Errorf("report lacks ungated marker:\n%s", out.String())
+	}
+}
+
+func TestNewAndGoneBenchmarksDoNotFail(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	neu := writeTemp(t, "BenchmarkBrandNew 	 100 	 1.0 ns/op\nBenchmarkServerUDPThroughput 	 100 	 6312 ns/op\n")
+	var out bytes.Buffer
+	if err := run([]string{"-old", old, "-new", neu}, &out); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new") || !strings.Contains(out.String(), "gone") {
+		t.Errorf("report lacks new/gone rows:\n%s", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -old/-new should error")
+	}
+	p := writeTemp(t, baseOutput)
+	if err := run([]string{"-old", p, "-new", p, "-filter", "("}, &out); err == nil {
+		t.Error("bad filter regexp should error")
+	}
+	if err := run([]string{"-old", p, "-new", filepath.Join(t.TempDir(), "missing.txt")}, &out); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -8,18 +8,22 @@
 //	printf 'ALARM 0 1\n' | nc <host> <report-port>
 //	printf 'HITS 3 1200\nROLL 60\n' | nc <host> <report-port>
 //
+// Observability: -metrics-addr serves Prometheus text-format metrics
+// on /metrics (DESIGN.md §10 lists the series); SIGUSR1 dumps the same
+// snapshot to stderr; -log-level/-log-format control the structured
+// logs; -pprof serves net/http/pprof.
+//
 // Example:
 //
 //	dnslb-server -zone www.site.example -addr 127.0.0.1:5353 \
 //	  -servers 10.0.0.1,10.0.0.2,10.0.0.3 -capacities 100,80,50 \
-//	  -policy DRR2-TTL/S_K -domains 20
+//	  -policy DRR2-TTL/S_K -domains 20 -metrics-addr 127.0.0.1:9153
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand/v2"
 	"net"
 	"net/http"
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"dnslb"
+	"dnslb/internal/logging"
 )
 
 func main() {
@@ -49,24 +54,34 @@ func main() {
 	}
 }
 
+// boundAddrs reports where the listeners actually landed (useful with
+// :0 ports); MetricsAddr is empty when -metrics-addr is unset.
+type boundAddrs struct {
+	DNS     string
+	Report  string
+	Metrics string
+}
+
 // run serves until stop closes. When non-nil, started is called with
-// the bound DNS and report addresses once both listeners are up.
-func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr string)) error {
+// the bound addresses once every listener is up.
+func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 	fs := flag.NewFlagSet("dnslb-server", flag.ContinueOnError)
 	var (
-		zone       = fs.String("zone", "www.site.example", "zone name answered authoritatively")
-		addr       = fs.String("addr", "127.0.0.1:5353", "DNS listen address (UDP and TCP)")
-		reportAddr = fs.String("report", "", "load-report listen address (empty = port after DNS port)")
-		policy     = fs.String("policy", "DRR2-TTL/S_K", "scheduling policy")
-		servers    = fs.String("servers", "", "comma-separated Web server IPv4 addresses (required)")
-		capacities = fs.String("capacities", "", "comma-separated capacities in hits/s (default: equal)")
-		domains    = fs.Int("domains", 20, "connected domains for source classification")
-		qps        = fs.Float64("qps", 0, "per-source query rate limit (0 = unlimited)")
-		burst      = fs.Float64("burst", 10, "per-source burst allowance when -qps is set")
-		livenessK  = fs.Int("liveness-k", 3, "missed report intervals before a backend is marked down (0 = disable liveness)")
-		livenessIv = fs.Duration("liveness-interval", 8*time.Second, "expected backend report interval")
-		udpWorkers = fs.Int("udp-workers", 0, "parallel UDP serve goroutines (0 = GOMAXPROCS)")
-		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+		zone        = fs.String("zone", "www.site.example", "zone name answered authoritatively")
+		addr        = fs.String("addr", "127.0.0.1:5353", "DNS listen address (UDP and TCP)")
+		reportAddr  = fs.String("report", "", "load-report listen address (empty = port after DNS port)")
+		policy      = fs.String("policy", "DRR2-TTL/S_K", "scheduling policy")
+		servers     = fs.String("servers", "", "comma-separated Web server IPv4 addresses (required)")
+		capacities  = fs.String("capacities", "", "comma-separated capacities in hits/s (default: equal)")
+		domains     = fs.Int("domains", 20, "connected domains for source classification")
+		qps         = fs.Float64("qps", 0, "per-source query rate limit (0 = unlimited)")
+		burst       = fs.Float64("burst", 10, "per-source burst allowance when -qps is set")
+		livenessK   = fs.Int("liveness-k", 3, "missed report intervals before a backend is marked down (0 = disable liveness)")
+		livenessIv  = fs.Duration("liveness-interval", 8*time.Second, "expected backend report interval")
+		udpWorkers  = fs.Int("udp-workers", 0, "parallel UDP serve goroutines (0 = GOMAXPROCS)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
+		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = disabled)")
+		logOpts     = logging.AddFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +90,10 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 		return fmt.Errorf("-servers is required")
 	}
 	addrs, caps, err := parseServers(*servers, *capacities)
+	if err != nil {
+		return err
+	}
+	logger, err := logOpts.New(os.Stderr)
 	if err != nil {
 		return err
 	}
@@ -99,7 +118,9 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 		return err
 	}
 
-	logger := log.New(os.Stderr, "dnslb-server: ", log.LstdFlags)
+	// The registry always exists — the SIGUSR1 dump works even without
+	// an HTTP exposition endpoint.
+	registry := dnslb.NewMetricsRegistry()
 	cfg := dnslb.DNSServerConfig{
 		Zone:        *zone,
 		ServerAddrs: addrs,
@@ -107,6 +128,7 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 		Addr:        *addr,
 		Logger:      logger,
 		UDPWorkers:  *udpWorkers,
+		Metrics:     registry,
 	}
 	if *qps > 0 {
 		cfg.RateLimit = dnslb.NewRateLimiter(*qps, *burst)
@@ -119,7 +141,8 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 		return err
 	}
 	defer srv.Close()
-	logger.Printf("serving %s on %s with %s over %d servers", *zone, srv.Addr(), *policy, len(addrs))
+	logger.Info("serving", "zone", *zone, "addr", srv.Addr().String(),
+		"policy", *policy, "servers", len(addrs))
 
 	if *pprofAddr != "" {
 		// net/http/pprof registers its handlers on DefaultServeMux at
@@ -133,11 +156,45 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 		defer ln.Close()
 		go func() {
 			if err := http.Serve(ln, nil); err != nil && !errors.Is(err, net.ErrClosed) {
-				logger.Printf("pprof: %v", err)
+				logger.Warn("pprof server exited", "err", err)
 			}
 		}()
-		logger.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+		logger.Info("pprof enabled", "url", fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
 	}
+
+	boundMetrics := ""
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", registry.Handler())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Warn("metrics server exited", "err", err)
+			}
+		}()
+		boundMetrics = ln.Addr().String()
+		logger.Info("metrics enabled", "url", fmt.Sprintf("http://%s/metrics", ln.Addr()))
+	}
+
+	// SIGUSR1: dump a metrics snapshot to stderr, exposition-formatted,
+	// so an operator can inspect a server that has no scrape endpoint
+	// configured (or whose endpoint is unreachable).
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	defer signal.Stop(usr1)
+	go func() {
+		for range usr1 {
+			fmt.Fprintln(os.Stderr, "--- metrics snapshot (SIGUSR1) ---")
+			if err := registry.WritePrometheus(os.Stderr); err != nil {
+				logger.Warn("metrics dump failed", "err", err)
+			}
+			fmt.Fprintln(os.Stderr, "--- end metrics snapshot ---")
+		}
+	}()
 
 	rAddr := *reportAddr
 	if rAddr == "" {
@@ -148,7 +205,8 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 		return err
 	}
 	defer reporter.Close()
-	logger.Printf("load reports on %s (ALIVE/ALARM/HITS/ROLL)", reporter.Addr())
+	logger.Info("load reports enabled", "addr", reporter.Addr().String(),
+		"protocol", "ALIVE/ALARM/HITS/ROLL")
 
 	if *livenessK > 0 {
 		monitor, err := dnslb.NewLivenessMonitor(srv, *livenessIv, *livenessK)
@@ -156,15 +214,20 @@ func run(args []string, stop <-chan struct{}, started func(dnsAddr, reportAddr s
 			return err
 		}
 		defer monitor.Close()
-		logger.Printf("liveness: backends silent for %d x %v are excluded until they report again",
-			*livenessK, *livenessIv)
+		logger.Info("liveness enabled", "k", *livenessK, "interval", *livenessIv)
 	}
 
 	if started != nil {
-		started(srv.Addr().String(), reporter.Addr().String())
+		started(boundAddrs{
+			DNS:     srv.Addr().String(),
+			Report:  reporter.Addr().String(),
+			Metrics: boundMetrics,
+		})
 	}
 	<-stop
-	logger.Printf("shutting down: %+v", srv.Stats())
+	st := srv.Stats()
+	logger.Info("shutting down", "queries", st.Queries, "answered", st.Answered,
+		"servfail", st.ServFail, "ratelimited", st.RateLimited)
 	return nil
 }
 

@@ -1,13 +1,19 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"dnslb"
+	"dnslb/internal/metrics"
 )
 
 func TestParseServers(t *testing.T) {
@@ -58,7 +64,7 @@ func TestNextPort(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	stop := make(chan struct{})
-	addrs := make(chan [2]string, 1)
+	addrs := make(chan boundAddrs, 1)
 	errc := make(chan error, 1)
 	go func() {
 		errc <- run([]string{
@@ -68,10 +74,12 @@ func TestRunEndToEnd(t *testing.T) {
 			"-capacities", "100,50",
 			"-policy", "DRR2-TTL/S_K",
 			"-domains", "4",
-		}, stop, func(dns, report string) { addrs <- [2]string{dns, report} })
+			"-metrics-addr", "127.0.0.1:0",
+			"-log-level", "error",
+		}, stop, func(b boundAddrs) { addrs <- b })
 	}()
 
-	var bound [2]string
+	var bound boundAddrs
 	select {
 	case bound = <-addrs:
 	case err := <-errc:
@@ -80,16 +88,18 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal("server did not start")
 	}
 
-	r := &dnslb.Resolver{Server: bound[0], Timeout: 2 * time.Second}
-	answers, err := r.LookupA(context.Background(), "www.e2e.test")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(answers) != 1 {
-		t.Fatalf("answers = %+v", answers)
+	r := &dnslb.Resolver{Server: bound.DNS, Timeout: 2 * time.Second}
+	for i := 0; i < 5; i++ {
+		answers, err := r.LookupA(context.Background(), "www.e2e.test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(answers) != 1 {
+			t.Fatalf("answers = %+v", answers)
+		}
 	}
 	// The report socket accepts an alarm.
-	conn, err := net.Dial("tcp", bound[1])
+	conn, err := net.Dial("tcp", bound.Report)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,6 +113,62 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Errorf("report response = %q", buf)
 	}
 
+	// /metrics serves valid exposition text with the live query, TTL,
+	// per-server decision, liveness, and report series all moving.
+	resp, err := http.Get("http://" + bound.Metrics + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if n, err := metrics.CheckText(bytes.NewReader(body)); err != nil {
+		t.Errorf("invalid exposition format: %v\n%s", err, body)
+	} else if n == 0 {
+		t.Error("no samples exposed")
+	}
+	text := string(body)
+	queries := sampleValue(t, text, "dnslb_dns_queries_total")
+	if queries < 5 {
+		t.Errorf("dnslb_dns_queries_total = %v, want >= 5", queries)
+	}
+	ttlCount := sampleValue(t, text, "dnslb_dns_ttl_seconds_count")
+	if ttlCount < 5 {
+		t.Errorf("dnslb_dns_ttl_seconds_count = %v, want >= 5", ttlCount)
+	}
+	d0 := sampleValue(t, text, `dnslb_policy_decisions_total{policy="DRR2-TTL/S_K",server="0"}`)
+	d1 := sampleValue(t, text, `dnslb_policy_decisions_total{policy="DRR2-TTL/S_K",server="1"}`)
+	if d0+d1 < 5 {
+		t.Errorf("per-server decisions = %v + %v, want >= 5", d0, d1)
+	}
+	if got := sampleValue(t, text, "dnslb_state_alarm_transitions_total"); got != 1 {
+		t.Errorf("alarm transitions = %v, want 1", got)
+	}
+	if got := sampleValue(t, text, `dnslb_state_server_alarmed{server="0"}`); got != 1 {
+		t.Errorf("server 0 alarmed gauge = %v, want 1", got)
+	}
+	if got := sampleValue(t, text, `dnslb_report_lines_total{status="ok"}`); got != 1 {
+		t.Errorf("ok report lines = %v, want 1", got)
+	}
+	// Liveness series exist from the start (exclusions stay 0 here).
+	if got := sampleValue(t, text, `dnslb_liveness_exclusions_total{server="1"}`); got != 0 {
+		t.Errorf("exclusions = %v, want 0", got)
+	}
+	for _, series := range []string{
+		`dnslb_liveness_report_age_seconds{server="0"}`,
+		"dnslb_dns_query_duration_seconds_count",
+		`dnslb_dns_responses_total{outcome="answered"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("series %s missing from exposition", series)
+		}
+	}
+
 	close(stop)
 	select {
 	case err := <-errc:
@@ -112,6 +178,25 @@ func TestRunEndToEnd(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("server did not shut down")
 	}
+}
+
+// sampleValue extracts one sample's value from exposition text by its
+// exact series name (including any label set).
+func sampleValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("series %s has bad value %q", series, rest)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found", series)
+	return 0
 }
 
 func TestRunValidation(t *testing.T) {

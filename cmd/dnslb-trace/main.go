@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"dnslb"
+	"dnslb/internal/logging"
 	"dnslb/internal/trace"
 )
 
@@ -194,12 +195,17 @@ func runImport(args []string, out io.Writer) error {
 		domains = fs.Int("domains", 20, "connected domains for host hashing")
 		pageGap = fs.Duration("pagegap", time.Second, "max spacing between hits of one page")
 		session = fs.Duration("session", 30*time.Minute, "idle period opening a new session")
+		logOpts = logging.AddFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *inPath == "" {
 		return fmt.Errorf("-in is required")
+	}
+	logger, err := logOpts.New(os.Stderr)
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(*inPath)
 	if err != nil {
@@ -210,6 +216,7 @@ func runImport(args []string, out io.Writer) error {
 		Domains:        *domains,
 		PageGap:        *pageGap,
 		SessionTimeout: *session,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err

@@ -33,6 +33,8 @@ import (
 	"dnslb/internal/dnsclient"
 	"dnslb/internal/dnsserver"
 	"dnslb/internal/experiments"
+	"dnslb/internal/logging"
+	"dnslb/internal/metrics"
 	"dnslb/internal/sim"
 	"dnslb/internal/stats"
 	"dnslb/internal/trace"
@@ -196,6 +198,30 @@ type (
 	// LivenessMonitor excludes backends that stop reporting from the
 	// DNS scheduler and re-admits them on their next report.
 	LivenessMonitor = dnsserver.LivenessMonitor
+)
+
+// Observability types (see internal/metrics and internal/logging).
+type (
+	// MetricsRegistry collects counters, gauges, and histograms and
+	// renders them in the Prometheus text exposition format. Pass one
+	// via DNSServerConfig.Metrics / BackendConfig.Metrics to
+	// instrument the live path; serve Handler() on /metrics.
+	MetricsRegistry = metrics.Registry
+	// MetricLabels is an ordered key/value list attached to a series.
+	MetricLabels = metrics.Labels
+	// LogOptions carries the shared -log-level/-log-format flag values
+	// and builds slog loggers from them.
+	LogOptions = logging.Options
+)
+
+// Observability entry points.
+var (
+	// NewMetricsRegistry creates an empty metrics registry.
+	NewMetricsRegistry = metrics.NewRegistry
+	// AddLogFlags registers -log-level and -log-format on a FlagSet.
+	AddLogFlags = logging.AddFlags
+	// DiscardLogger returns a logger that drops every record.
+	DiscardLogger = logging.Discard
 )
 
 // Real-network entry points.

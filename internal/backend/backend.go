@@ -11,13 +11,16 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand/v2"
 	"net"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
+
+	"dnslb/internal/logging"
+	"dnslb/internal/metrics"
 )
 
 // Config configures a backend server.
@@ -53,8 +56,12 @@ type Config struct {
 	// hit by every backend at once.
 	ReconnectBackoffMin time.Duration
 	ReconnectBackoffMax time.Duration
-	// Logger receives agent errors; nil discards.
-	Logger *log.Logger
+	// Logger receives structured agent diagnostics; nil discards.
+	Logger *slog.Logger
+	// Metrics optionally registers the agent's observability series
+	// (reports sent/failed, redial backoffs, alarm resyncs, live
+	// utilization) on the given registry. Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Server is one capacity-limited Web server.
@@ -80,12 +87,22 @@ type Server struct {
 	listener net.Listener
 	stop     chan struct{}
 	done     chan struct{}
-	logger   *log.Logger
+	logger   *slog.Logger
 
 	reportMu    sync.Mutex
 	reportC     net.Conn
 	dialBackoff time.Duration
 	nextDial    time.Time
+
+	metrics *agentMetrics // nil when uninstrumented
+}
+
+// agentMetrics are the report agent's series (see DESIGN.md §10).
+type agentMetrics struct {
+	reportsOK  *metrics.Counter
+	reportsErr *metrics.Counter
+	redials    *metrics.Counter
+	resyncs    *metrics.Counter
 }
 
 // New creates a backend server; call Start.
@@ -117,20 +134,41 @@ func New(cfg Config) (*Server, error) {
 	}
 	logger := cfg.Logger
 	if logger == nil {
-		logger = log.New(nullWriter{}, "", 0)
+		logger = logging.Discard()
 	}
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		domainHits: make([]float64, cfg.Domains),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		logger:     logger,
-	}, nil
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.metrics = &agentMetrics{
+			reportsOK: reg.NewCounter("dnslb_backend_reports_total",
+				"Report cycles by result.", metrics.Labels{"status", "ok"}),
+			reportsErr: reg.NewCounter("dnslb_backend_reports_total",
+				"Report cycles by result.", metrics.Labels{"status", "error"}),
+			redials: reg.NewCounter("dnslb_backend_report_redials_total",
+				"Report-socket dial failures and send failures (each schedules a backoff retry).", nil),
+			resyncs: reg.NewCounter("dnslb_backend_report_resyncs_total",
+				"Alarm-state resyncs prepended after the report socket reconnected.", nil),
+		}
+		reg.NewGaugeFunc("dnslb_backend_utilization",
+			"Busy fraction of the current measurement window.", nil, s.Utilization)
+		reg.NewGaugeFunc("dnslb_backend_alarmed",
+			"1 while the last closed window exceeded the alarm threshold.", nil,
+			func() float64 {
+				if s.Alarmed() {
+					return 1
+				}
+				return 0
+			})
+		reg.NewCounterFunc("dnslb_backend_hits_total",
+			"Hits served since start.", nil, s.TotalHits)
+	}
+	return s, nil
 }
-
-type nullWriter struct{}
-
-func (nullWriter) Write(p []byte) (int, error) { return len(p), nil }
 
 // Start binds the HTTP listener and launches the reporting agent.
 func (s *Server) Start() error {
@@ -345,7 +383,12 @@ func (s *Server) agentLoop() {
 			}
 			lines = append(lines, fmt.Sprintf("ROLL %g", s.cfg.UtilizationInterval.Seconds()))
 			if err := s.report(lines); err != nil {
-				s.logger.Printf("backend: report: %v", err)
+				if s.metrics != nil {
+					s.metrics.reportsErr.Inc()
+				}
+				s.logger.Warn("report failed", "err", err, "server", s.cfg.ServerIndex)
+			} else if s.metrics != nil {
+				s.metrics.reportsOK.Inc()
 			}
 		}
 	}
@@ -379,6 +422,11 @@ func (s *Server) report(lines []string) error {
 				flag = 1
 			}
 			lines = append([]string{fmt.Sprintf("ALARM %d %d", s.cfg.ServerIndex, flag)}, lines...)
+			if s.metrics != nil {
+				s.metrics.resyncs.Inc()
+			}
+			s.logger.Info("report socket connected, alarm state resynced",
+				"server", s.cfg.ServerIndex, "alarmed", flag == 1)
 		}
 		if err := sendLines(s.reportC, lines); err != nil {
 			_ = s.reportC.Close()
@@ -395,6 +443,9 @@ func (s *Server) report(lines []string) error {
 // maximum and schedules the next allowed dial with 0.5–1.5x jitter.
 // Callers hold reportMu.
 func (s *Server) bumpBackoffLocked() {
+	if s.metrics != nil {
+		s.metrics.redials.Inc()
+	}
 	if s.dialBackoff == 0 {
 		s.dialBackoff = s.cfg.ReconnectBackoffMin
 	} else if s.dialBackoff < s.cfg.ReconnectBackoffMax {

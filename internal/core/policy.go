@@ -37,6 +37,7 @@ type Policy struct {
 	decisions atomic.Uint64
 	perServer []atomic.Uint64
 	perClass  [2]atomic.Uint64 // indexed by class - ClassNormal
+	noServers atomic.Uint64
 	sumTTL    [ttlAccShards]ttlAccShard
 	minTTL    atomic.Uint64 // float64 bits; +Inf until first decision
 	maxTTL    atomic.Uint64 // float64 bits; -Inf until first decision
@@ -102,6 +103,7 @@ func (p *Policy) Schedule(domain int) (Decision, error) {
 	}
 	server := p.selector.Select(sn, domain)
 	if server < 0 {
+		p.noServers.Add(1)
 		return Decision{}, ErrNoServers
 	}
 	ttl := p.ttl.TTL(sn, domain, server)
@@ -123,6 +125,33 @@ func (p *Policy) Schedule(domain int) (Decision, error) {
 	}
 	return Decision{Server: server, TTL: ttl}, nil
 }
+
+// Decisions returns the total number of scheduling decisions made, as
+// one atomic load — cheap enough for metric scrapes on a live server.
+func (p *Policy) Decisions() uint64 { return p.decisions.Load() }
+
+// ServerDecisions returns the number of decisions that chose server i,
+// or 0 for an out-of-range index.
+func (p *Policy) ServerDecisions(i int) uint64 {
+	if i < 0 || i >= len(p.perServer) {
+		return 0
+	}
+	return p.perServer[i].Load()
+}
+
+// ClassDecisions returns the number of decisions made for domains of
+// class c, or 0 for an unknown class.
+func (p *Policy) ClassDecisions(c DomainClass) uint64 {
+	if c < ClassNormal || c > ClassHot {
+		return 0
+	}
+	return p.perClass[c-ClassNormal].Load()
+}
+
+// NoServerErrors returns how many Schedule calls failed with
+// ErrNoServers (every server down). These are counted separately from
+// the decision counters, which only ever count scheduled decisions.
+func (p *Policy) NoServerErrors() uint64 { return p.noServers.Load() }
 
 // Stats reports scheduling counters accumulated since creation.
 //

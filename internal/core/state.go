@@ -63,6 +63,12 @@ var ErrNoServers = errors.New("core: no server available")
 type State struct {
 	mu   sync.Mutex // serializes mutators; readers never take it
 	snap atomic.Pointer[Snapshot]
+
+	// Transition counters for observability: how often the feedback
+	// machinery actually changed a server's standing. Only real flips
+	// count — a repeated identical signal is a no-op.
+	alarmFlips atomic.Uint64
+	downFlips  atomic.Uint64
 }
 
 // NewState creates scheduler state for the given cluster and number of
@@ -196,8 +202,17 @@ func (s *State) SetAlarm(i int, alarmed bool) error {
 		next.nAlarmedLive += delta
 	}
 	s.snap.Store(next)
+	s.alarmFlips.Add(1)
 	return nil
 }
+
+// AlarmTransitions returns how many SetAlarm calls changed a server's
+// alarm flag since creation (repeated identical signals do not count).
+func (s *State) AlarmTransitions() uint64 { return s.alarmFlips.Load() }
+
+// DownTransitions returns how many SetDown calls changed a server's
+// liveness since creation (repeated identical signals do not count).
+func (s *State) DownTransitions() uint64 { return s.downFlips.Load() }
 
 // Alarmed reports whether server i has declared itself critically
 // loaded.
@@ -236,6 +251,7 @@ func (s *State) SetDown(i int, down bool) error {
 	}
 	next.version++
 	s.snap.Store(next)
+	s.downFlips.Add(1)
 	return nil
 }
 

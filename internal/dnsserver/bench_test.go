@@ -9,11 +9,14 @@ import (
 
 	"dnslb/internal/core"
 	"dnslb/internal/dnswire"
+	"dnslb/internal/metrics"
 	"dnslb/internal/simcore"
 )
 
 // benchServer starts a server for throughput benchmarks: 7 servers,
-// 20 domains, parallel UDP workers.
+// 20 domains, parallel UDP workers. Metrics are enabled — the numbers
+// this benchmark records are for the instrumented hot path, which is
+// what production runs.
 func benchServer(b *testing.B, policyName string) *Server {
 	b.Helper()
 	cluster, err := core.ScaledCluster(7, 50, 500)
@@ -47,6 +50,7 @@ func benchServer(b *testing.B, policyName string) *Server {
 		Policy:      policy,
 		Addr:        "127.0.0.1:0",
 		UDPWorkers:  runtime.GOMAXPROCS(0),
+		Metrics:     metrics.NewRegistry(),
 	})
 	if err != nil {
 		b.Fatal(err)

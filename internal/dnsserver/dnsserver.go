@@ -21,7 +21,7 @@ package dnsserver
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/netip"
@@ -32,6 +32,8 @@ import (
 
 	"dnslb/internal/core"
 	"dnslb/internal/dnswire"
+	"dnslb/internal/logging"
+	"dnslb/internal/metrics"
 )
 
 // DomainMapper identifies the connected domain an address request
@@ -54,8 +56,9 @@ type Config struct {
 	Mapper DomainMapper
 	// Addr is the UDP/TCP listen address, e.g. "127.0.0.1:0".
 	Addr string
-	// Logger receives serve-loop errors; nil discards them.
-	Logger *log.Logger
+	// Logger receives structured serve-loop diagnostics; nil discards
+	// them.
+	Logger *slog.Logger
 	// RateLimit optionally bounds queries per second per source
 	// address; excess queries are answered REFUSED.
 	RateLimit *RateLimiter
@@ -63,6 +66,12 @@ type Config struct {
 	// goroutines sharing the socket. Zero or negative defaults to
 	// runtime.GOMAXPROCS(0).
 	UDPWorkers int
+	// Metrics optionally registers the server's observability series
+	// (queries by outcome, per-worker latency, returned-TTL histogram,
+	// policy decisions, alarm/liveness transitions) on the given
+	// registry. Nil disables instrumentation; the hot path then pays
+	// only nil checks. See DESIGN.md §10 for the series inventory.
+	Metrics *metrics.Registry
 }
 
 // Server is the authoritative DNS front end.
@@ -76,10 +85,13 @@ type Server struct {
 	est   *core.Estimator
 
 	mapper     DomainMapper
-	logger     *log.Logger
+	logger     *slog.Logger
 	listenAddr string
 	limiter    *RateLimiter
 	udpWorkers int
+
+	registry *metrics.Registry // nil when uninstrumented
+	metrics  *serverMetrics    // nil when uninstrumented
 
 	udp *net.UDPConn
 	tcp net.Listener
@@ -127,18 +139,19 @@ type statsShard struct {
 	ratelimited atomic.Uint64
 }
 
-// statsFor hashes the source address to a counter shard. Invalid
-// addresses (possible on the TCP path) land in shard 0.
-func (s *Server) statsFor(addr netip.Addr) *statsShard {
+// statsIndex hashes the source address to a counter-shard index, also
+// used as the metric shard hint. Invalid addresses (possible on the
+// TCP path) land in shard 0.
+func (s *Server) statsIndex(addr netip.Addr) uint32 {
 	if !addr.IsValid() {
-		return &s.stats[0]
+		return 0
 	}
 	b := addr.As16()
 	h := uint32(2166136261)
 	for _, c := range b {
 		h = (h ^ uint32(c)) * 16777619
 	}
-	return &s.stats[h&(statsShards-1)]
+	return h & (statsShards - 1)
 }
 
 // New creates a server; call Start to bind and serve.
@@ -164,7 +177,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	logger := cfg.Logger
 	if logger == nil {
-		logger = log.New(discard{}, "", 0)
+		logger = logging.Discard()
 	}
 	est, err := core.NewEstimator(cfg.Policy.State().Domains(), 0.5)
 	if err != nil {
@@ -174,7 +187,7 @@ func New(cfg Config) (*Server, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Server{
+	s := &Server{
 		zone:       dnswire.CanonicalName(cfg.Zone),
 		addrs:      append([]netip.Addr(nil), cfg.ServerAddrs...),
 		policy:     cfg.Policy,
@@ -184,14 +197,15 @@ func New(cfg Config) (*Server, error) {
 		listenAddr: cfg.Addr,
 		limiter:    cfg.RateLimit,
 		udpWorkers: workers,
+		registry:   cfg.Metrics,
 		conns:      make(map[net.Conn]struct{}),
 		closed:     make(chan struct{}),
-	}, nil
+	}
+	if cfg.Metrics != nil {
+		s.metrics = newServerMetrics(cfg.Metrics, s)
+	}
+	return s, nil
 }
-
-type discard struct{}
-
-func (discard) Write(p []byte) (int, error) { return len(p), nil }
 
 // Start binds the UDP socket and TCP listener and begins serving with
 // the configured number of parallel UDP workers.
@@ -211,7 +225,7 @@ func (s *Server) Start() error {
 	}
 	s.wg.Add(s.udpWorkers + 1)
 	for i := 0; i < s.udpWorkers; i++ {
-		go s.serveUDP()
+		go s.serveUDP(i)
 	}
 	go s.serveTCP()
 	return nil
@@ -362,10 +376,15 @@ var packPool = sync.Pool{
 // serveUDP is one of UDPWorkers identical reader/responder loops over
 // the shared socket. The kernel distributes datagrams across blocked
 // readers; each worker owns its read buffer, so the loops never touch
-// shared mutable server state.
-func (s *Server) serveUDP() {
+// shared mutable server state. When instrumented, each worker times
+// its own queries and accumulates the latency histogram sum on its own
+// shard (the worker index is the hint), keeping the measurement as
+// contention-free as the serving.
+func (s *Server) serveUDP(worker int) {
 	defer s.wg.Done()
 	buf := make([]byte, 65535)
+	m := s.metrics
+	hint := uint32(worker)
 	for {
 		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
 		if err != nil {
@@ -373,21 +392,28 @@ func (s *Server) serveUDP() {
 			case <-s.closed:
 				return
 			default:
-				s.logger.Printf("dnsserver: udp read: %v", err)
+				s.logger.Warn("udp read failed", "err", err, "worker", worker)
 				continue
 			}
+		}
+		var start time.Time
+		if m != nil {
+			start = time.Now()
 		}
 		bp := packPool.Get().(*[]byte)
 		resp := s.handle(buf[:n], raddr.Addr(), dnswire.MaxUDPPayload, (*bp)[:0])
 		if resp != nil {
 			if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
-				s.logger.Printf("dnsserver: udp write: %v", err)
+				s.logger.Warn("udp write failed", "err", err, "worker", worker, "raddr", raddr)
 			}
 			if cap(resp) > cap(*bp) {
 				*bp = resp[:0] // keep the grown buffer
 			}
 		}
 		packPool.Put(bp)
+		if m != nil {
+			m.latency.ObserveHint(hint, time.Since(start).Seconds())
+		}
 	}
 }
 
@@ -400,7 +426,7 @@ func (s *Server) serveTCP() {
 			case <-s.closed:
 				return
 			default:
-				s.logger.Printf("dnsserver: tcp accept: %v", err)
+				s.logger.Warn("tcp accept failed", "err", err)
 				continue
 			}
 		}
@@ -474,7 +500,8 @@ func readFull(conn net.Conn, buf []byte) (int, error) {
 // no server-level lock: the policy and state are internally safe, and
 // counters go to the caller's stats shard.
 func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) []byte {
-	st := s.statsFor(from)
+	idx := s.statsIndex(from)
+	st := &s.stats[idx]
 	st.queries.Add(1)
 	query, err := dnswire.Unpack(wire)
 	if err != nil || len(query.Questions) == 0 {
@@ -547,6 +574,9 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) [
 		if ttl == 0 {
 			ttl = 1
 		}
+		if s.metrics != nil {
+			s.metrics.ttl.ObserveHint(idx, d.TTL)
+		}
 		resp.Answers = []dnswire.ResourceRecord{{
 			Name:  s.zone,
 			Type:  dnswire.TypeA,
@@ -558,7 +588,7 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) [
 			echo := ecs
 			echo.ScopePrefixLen = uint8(ecs.Prefix.Bits())
 			if err := resp.SetClientSubnet(echo, dnswire.MaxUDPPayload); err != nil {
-				s.logger.Printf("dnsserver: echo ECS: %v", err)
+				s.logger.Debug("ECS echo failed", "err", err, "raddr", from)
 			}
 		}
 		st.answered.Add(1)

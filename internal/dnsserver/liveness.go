@@ -3,8 +3,11 @@ package dnsserver
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
+
+	"dnslb/internal/metrics"
 )
 
 // LivenessMonitor implements failure detection for the live feedback
@@ -25,6 +28,8 @@ type LivenessMonitor struct {
 	mu       sync.Mutex
 	lastSeen []time.Time
 	down     []bool
+
+	exclusions []*metrics.Counter // per server; nil when uninstrumented
 
 	stop chan struct{}
 	done chan struct{}
@@ -56,6 +61,23 @@ func NewLivenessMonitor(srv *Server, interval time.Duration, k int) (*LivenessMo
 	now := time.Now()
 	for i := range m.lastSeen {
 		m.lastSeen[i] = now
+	}
+	if reg := srv.registry; reg != nil {
+		m.exclusions = make([]*metrics.Counter, n)
+		for i := 0; i < n; i++ {
+			i := i
+			lbl := metrics.Labels{"server", strconv.Itoa(i)}
+			m.exclusions[i] = reg.NewCounter("dnslb_liveness_exclusions_total",
+				"Backends marked down after k missed report intervals.", lbl)
+			reg.NewGaugeFunc("dnslb_liveness_report_age_seconds",
+				"Seconds since the backend last proved it was alive (heartbeat gap).", lbl,
+				func() float64 {
+					m.mu.Lock()
+					last := m.lastSeen[i]
+					m.mu.Unlock()
+					return time.Since(last).Seconds()
+				})
+		}
 	}
 	srv.SetLiveness(m)
 	go m.loop()
@@ -130,6 +152,9 @@ func (m *LivenessMonitor) check(now time.Time) {
 	}
 	m.mu.Unlock()
 	for _, i := range newlyDown {
+		if m.exclusions != nil {
+			m.exclusions[i].Inc()
+		}
 		_ = m.srv.SetDown(i, true)
 	}
 }

@@ -1,0 +1,147 @@
+package dnsserver
+
+import (
+	"strconv"
+
+	"dnslb/internal/core"
+	"dnslb/internal/metrics"
+)
+
+// Metric series exposed by an instrumented Server (Config.Metrics).
+// Naming follows DESIGN.md §10: dnslb_<subsystem>_<quantity>_<unit>,
+// with low-cardinality labels only (server index, policy name, outcome,
+// class). Everything the hot path already counts — the sharded serve
+// counters, the policy's atomic decision counters, the state's
+// transition counters — is exported through Func series read at scrape
+// time, so enabling exposition adds zero work per query for those. The
+// only new per-query work is the two histograms (latency, returned
+// TTL), whose updates are a bucket increment plus a sharded sum CAS.
+
+// queryDurationBuckets covers the serve path from ~5µs (decode+schedule
+// +encode on loopback) up to 50ms (a struggling server); seconds.
+var queryDurationBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2,
+}
+
+// ttlBuckets covers the adaptive-TTL range: the paper's TTL/i values
+// run from a few seconds for hot domains on slow servers up past the
+// 240 s constant-TTL baseline; seconds.
+var ttlBuckets = []float64{1, 5, 15, 30, 60, 120, 240, 480, 960, 1920}
+
+// serverMetrics holds the handles the serve path updates directly.
+type serverMetrics struct {
+	latency *metrics.Histogram
+	ttl     *metrics.Histogram
+
+	reportOK  *metrics.Counter
+	reportErr *metrics.Counter
+}
+
+// newServerMetrics registers the server's series on reg and returns
+// the hot-path handles. Called once from New, before any serving.
+func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
+	m := &serverMetrics{}
+
+	// DNS front end: query totals by outcome, pulled from the sharded
+	// serve counters the handlers already maintain.
+	reg.NewCounterFunc("dnslb_dns_queries_total",
+		"DNS queries received, before any classification.",
+		nil, s.statsTotal(func(sh *statsShard) uint64 { return sh.queries.Load() }))
+	for _, oc := range []struct {
+		name string
+		load func(*statsShard) uint64
+	}{
+		{"answered", func(sh *statsShard) uint64 { return sh.answered.Load() }},
+		{"nxdomain", func(sh *statsShard) uint64 { return sh.nxdomain.Load() }},
+		{"formerr", func(sh *statsShard) uint64 { return sh.formerr.Load() }},
+		{"notimp", func(sh *statsShard) uint64 { return sh.notimp.Load() }},
+		{"servfail", func(sh *statsShard) uint64 { return sh.servfail.Load() }},
+		{"truncated", func(sh *statsShard) uint64 { return sh.truncated.Load() }},
+		{"ratelimited", func(sh *statsShard) uint64 { return sh.ratelimited.Load() }},
+	} {
+		reg.NewCounterFunc("dnslb_dns_responses_total",
+			"DNS responses by outcome (formerr counts malformed packets, ratelimited counts rate-limit drops).",
+			metrics.Labels{"outcome", oc.name}, s.statsTotal(oc.load))
+	}
+	m.latency = reg.NewHistogram("dnslb_dns_query_duration_seconds",
+		"Per-query serve latency (decode, schedule, encode), measured in each UDP worker.",
+		nil, queryDurationBuckets)
+	m.ttl = reg.NewHistogram("dnslb_dns_ttl_seconds",
+		"TTL values handed out with A answers, before rounding to the wire.",
+		nil, ttlBuckets)
+
+	// Scheduling policy: decision counters per server and class, plus
+	// no-server failures, from the policy's own atomic counters.
+	pol := s.policy
+	polLabel := pol.Name()
+	for i := 0; i < len(s.addrs); i++ {
+		i := i
+		reg.NewCounterFunc("dnslb_policy_decisions_total",
+			"Scheduling decisions that chose each Web server.",
+			metrics.Labels{"policy", polLabel, "server", strconv.Itoa(i)},
+			func() uint64 { return pol.ServerDecisions(i) })
+	}
+	for _, class := range []core.DomainClass{core.ClassNormal, core.ClassHot} {
+		class := class
+		reg.NewCounterFunc("dnslb_policy_decisions_class_total",
+			"Scheduling decisions by domain class.",
+			metrics.Labels{"policy", polLabel, "class", class.String()},
+			func() uint64 { return pol.ClassDecisions(class) })
+	}
+	reg.NewCounterFunc("dnslb_policy_no_server_errors_total",
+		"Schedule calls that failed because every server was down.",
+		metrics.Labels{"policy", polLabel},
+		func() uint64 { return pol.NoServerErrors() })
+
+	// Scheduler state: alarm/liveness standing and transition counts.
+	st := pol.State()
+	reg.NewCounterFunc("dnslb_state_alarm_transitions_total",
+		"Alarm flag flips across all servers (raise and clear each count once).",
+		nil, st.AlarmTransitions)
+	reg.NewCounterFunc("dnslb_state_down_transitions_total",
+		"Liveness flag flips across all servers (exclusion and re-admission each count once).",
+		nil, st.DownTransitions)
+	reg.NewGaugeFunc("dnslb_state_live_servers",
+		"Servers currently eligible for new mappings.",
+		nil, func() float64 { return float64(st.LiveServers()) })
+	reg.NewGaugeFunc("dnslb_state_hot_domains",
+		"Domains currently classified hot (weight above beta).",
+		nil, func() float64 { return float64(st.HotDomains()) })
+	for i := 0; i < len(s.addrs); i++ {
+		i := i
+		lbl := metrics.Labels{"server", strconv.Itoa(i)}
+		reg.NewGaugeFunc("dnslb_state_server_alarmed",
+			"1 while the server's alarm is raised.", lbl,
+			func() float64 { return boolGauge(st.Alarmed(i)) })
+		reg.NewGaugeFunc("dnslb_state_server_down",
+			"1 while the server is excluded as failed.", lbl,
+			func() float64 { return boolGauge(st.Down(i)) })
+	}
+
+	// Report protocol: accepted and rejected lines.
+	m.reportOK = reg.NewCounter("dnslb_report_lines_total",
+		"Load-report lines by result.", metrics.Labels{"status", "ok"})
+	m.reportErr = reg.NewCounter("dnslb_report_lines_total",
+		"Load-report lines by result.", metrics.Labels{"status", "error"})
+
+	return m
+}
+
+// statsTotal returns a scrape-time reader summing one counter across
+// the stats shards.
+func (s *Server) statsTotal(load func(*statsShard) uint64) func() uint64 {
+	return func() uint64 {
+		var t uint64
+		for i := range s.stats {
+			t += load(&s.stats[i])
+		}
+		return t
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,148 @@
+package dnsserver
+
+import (
+	"bytes"
+	"context"
+	"net/netip"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dnslb/internal/core"
+	"dnslb/internal/dnsclient"
+	"dnslb/internal/metrics"
+	"dnslb/internal/simcore"
+)
+
+// metricsServer is testServer with a registry attached.
+func metricsServer(t *testing.T, policyName string) (*Server, *metrics.Registry) {
+	t.Helper()
+	cluster, err := core.ScaledCluster(7, 50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := state.SetWeights(simcore.ZipfWeights(20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	policy, err := core.NewPolicy(core.PolicyConfig{
+		Name:  policyName,
+		State: state,
+		Rand:  simcore.NewStream(1, "server"),
+		Now:   func() float64 { return time.Since(start).Seconds() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netip.Addr, 7)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+	}
+	reg := metrics.NewRegistry()
+	srv, err := New(Config{
+		Zone:        "www.site.example",
+		ServerAddrs: addrs,
+		Policy:      policy,
+		Addr:        "127.0.0.1:0",
+		Metrics:     reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, reg
+}
+
+// TestServedQueriesMoveMetrics is the package-level end-to-end check:
+// real UDP queries must advance the query counter, the answered
+// outcome, the per-server decision counters, and both histograms.
+func TestServedQueriesMoveMetrics(t *testing.T) {
+	srv, reg := metricsServer(t, "DRR2-TTL/S_K")
+	r := &dnsclient.Resolver{Server: srv.Addr().String(), Timeout: 2 * time.Second}
+	const queries = 12
+	for i := 0; i < queries; i++ {
+		if _, err := r.LookupA(context.Background(), "www.site.example"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if n, err := metrics.CheckText(strings.NewReader(text)); err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, text)
+	} else if n == 0 {
+		t.Fatal("no samples")
+	}
+
+	if got := seriesValue(t, text, "dnslb_dns_queries_total"); got != queries {
+		t.Errorf("queries_total = %v, want %d", got, queries)
+	}
+	if got := seriesValue(t, text, `dnslb_dns_responses_total{outcome="answered"}`); got != queries {
+		t.Errorf("answered = %v, want %d", got, queries)
+	}
+	if got := seriesValue(t, text, "dnslb_dns_query_duration_seconds_count"); got != queries {
+		t.Errorf("latency observations = %v, want %d", got, queries)
+	}
+	if got := seriesValue(t, text, "dnslb_dns_ttl_seconds_count"); got != queries {
+		t.Errorf("ttl observations = %v, want %d", got, queries)
+	}
+	var decisions float64
+	for i := 0; i < 7; i++ {
+		decisions += seriesValue(t, text,
+			`dnslb_policy_decisions_total{policy="DRR2-TTL/S_K",server="`+string(rune('0'+i))+`"}`)
+	}
+	if decisions != queries {
+		t.Errorf("summed per-server decisions = %v, want %d", decisions, queries)
+	}
+	// Histogram sums must be positive and the TTL sum plausible (the
+	// adaptive TTL family never hands out sub-second leases here).
+	if got := seriesValue(t, text, "dnslb_dns_ttl_seconds_sum"); got < queries {
+		t.Errorf("ttl sum = %v, want >= %d", got, queries)
+	}
+	// +Inf bucket must equal the count for both histograms.
+	if got := seriesValue(t, text, `dnslb_dns_query_duration_seconds_bucket{le="+Inf"}`); got != queries {
+		t.Errorf("+Inf latency bucket = %v, want %d", got, queries)
+	}
+}
+
+// TestUninstrumentedServerServes pins the nil-registry path: a server
+// without metrics must serve identically.
+func TestUninstrumentedServerServes(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	if srv.metrics != nil {
+		t.Fatal("testServer should be uninstrumented")
+	}
+	r := resolverFor(t, srv)
+	if _, err := r.LookupA(context.Background(), "www.site.example"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seriesValue extracts one sample value from exposition text.
+func seriesValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("series %s has bad value %q: %v", series, rest, err)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found in:\n%s", series, text)
+	return 0
+}

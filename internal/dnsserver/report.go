@@ -112,8 +112,14 @@ func (rl *ReportListener) serve(conn net.Conn) {
 			continue
 		}
 		if err := rl.apply(line); err != nil {
+			if m := rl.srv.metrics; m != nil {
+				m.reportErr.Inc()
+			}
 			fmt.Fprintf(w, "ERR %v\n", err)
 		} else {
+			if m := rl.srv.metrics; m != nil {
+				m.reportOK.Inc()
+			}
 			fmt.Fprintln(w, "OK")
 		}
 		if err := w.Flush(); err != nil {

@@ -1,0 +1,74 @@
+// Package logging centralizes log/slog construction for the dnslb
+// commands and servers: one flag pair (-log-level, -log-format) shared
+// by every binary, plus a true discard logger for libraries whose
+// callers opted out of logging.
+//
+// Structured keys are part of the observability contract (DESIGN.md
+// §10): packages log with stable keys (err, server, domain, addr,
+// policy) so both the human-readable text format and the line-JSON
+// format stay machine-filterable.
+package logging
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Options carries the parsed logging flags; zero value means info-level
+// text logging.
+type Options struct {
+	// Level is one of "debug", "info", "warn", "error".
+	Level string
+	// Format is "text" or "json".
+	Format string
+}
+
+// AddFlags registers -log-level and -log-format on fs and returns the
+// Options they populate.
+func AddFlags(fs *flag.FlagSet) *Options {
+	o := &Options{}
+	fs.StringVar(&o.Level, "log-level", "info", "log level: debug, info, warn, error")
+	fs.StringVar(&o.Format, "log-format", "text", "log format: text, json")
+	return o
+}
+
+// New builds a slog.Logger writing to w per the options.
+func (o *Options) New(w io.Writer) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(o.Level) {
+	case "", "info":
+		level = slog.LevelInfo
+	case "debug":
+		level = slog.LevelDebug
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("logging: unknown level %q (want debug, info, warn, error)", o.Level)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(o.Format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("logging: unknown format %q (want text, json)", o.Format)
+	}
+}
+
+// Discard returns a logger that drops every record without formatting
+// it. (slog.DiscardHandler needs go 1.24; this repo's floor is 1.22.)
+func Discard() *slog.Logger { return slog.New(discardHandler{}) }
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

@@ -1,0 +1,71 @@
+package logging
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestAddFlagsDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.Level != "info" || o.Format != "text" {
+		t.Errorf("defaults = %+v, want info/text", o)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var b strings.Builder
+	log, err := (&Options{Level: "warn", Format: "text"}).New(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept", "server", 3)
+	out := b.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("info line not filtered: %q", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "server=3") {
+		t.Errorf("warn line missing or unstructured: %q", out)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var b strings.Builder
+	log, err := (&Options{Level: "debug", Format: "json"}).New(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hello", "domain", 7)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("not JSON: %v (%q)", err, b.String())
+	}
+	if rec["msg"] != "hello" || rec["domain"] != float64(7) {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	if _, err := (&Options{Level: "loud"}).New(nil); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := (&Options{Format: "xml"}).New(nil); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	log := Discard()
+	// Must not panic and must report disabled at every level.
+	log.Error("nothing")
+	if log.Enabled(context.Background(), 0) {
+		t.Error("discard logger claims to be enabled")
+	}
+}

@@ -1,0 +1,160 @@
+// Package metrics is a dependency-free metrics layer for the live
+// serving path: counters, gauges, and fixed-bucket histograms backed by
+// atomics, collected in a Registry that renders the Prometheus text
+// exposition format (version 0.0.4).
+//
+// The update paths are allocation-free and lock-free. Counters and
+// histogram sums are sharded across cache-line-padded slots (the same
+// pattern as core.Policy's TTL accumulator) so parallel writers on the
+// query hot path do not bounce a single cache line between cores; hot
+// callers that already know a cheap shard hint (a worker index, a
+// source-address hash) pass it through the *Hint variants, everything
+// else uses the plain methods on shard 0.
+//
+// Reads (Value, Registry.WritePrometheus) sum the shards; a read
+// concurrent with writers may miss in-flight updates but every total is
+// monotone and exact once writers quiesce — the same contract as the
+// scheduler's decision counters.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// shards is the number of independently updated slots per sharded
+// metric. Eight 64-byte-padded slots cover the worker counts the serve
+// path runs with while keeping per-metric footprint small.
+const shards = 8
+
+// pad64 is one atomic 64-bit slot padded to a full cache line so
+// adjacent shards never share a line.
+type pad64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// addFloatBits atomically accumulates v into a float64 stored as bits.
+func addFloatBits(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	shards [shards]pad64
+}
+
+// Add increments the counter by delta on shard 0.
+func (c *Counter) Add(delta uint64) { c.shards[0].v.Add(delta) }
+
+// Inc increments the counter by one on shard 0.
+func (c *Counter) Inc() { c.Add(1) }
+
+// AddHint increments the counter by delta on the shard selected by
+// hint — callers on parallel hot paths pass a per-worker or per-source
+// hint so concurrent increments land on distinct cache lines.
+func (c *Counter) AddHint(hint uint32, delta uint64) {
+	c.shards[hint%shards].v.Add(delta)
+}
+
+// IncHint increments the counter by one on the shard selected by hint.
+func (c *Counter) IncHint(hint uint32) { c.AddHint(hint, 1) }
+
+// Value returns the counter total across shards.
+func (c *Counter) Value() uint64 {
+	var t uint64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// Gauge is a value that can go up and down, stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add accumulates delta (which may be negative).
+func (g *Gauge) Add(delta float64) { addFloatBits(&g.bits, delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf bucket, plus a sharded running sum. Bucket counters are plain
+// atomics (distinct buckets are distinct words); the sum is sharded
+// because every observation touches it.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, +Inf excluded
+	buckets []atomic.Uint64
+	sum     [shards]pad64 // float64 bits per shard
+}
+
+// newHistogram builds a histogram over the given strictly increasing
+// upper bounds (callers validate via the Registry).
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		bounds:  b,
+		buckets: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// Observe records one observation on shard 0.
+func (h *Histogram) Observe(v float64) { h.ObserveHint(0, v) }
+
+// ObserveHint records one observation, accumulating the sum on the
+// shard selected by hint. The bucket scan is linear: exposition-grade
+// histograms have ~10 buckets, where the scan beats binary search and
+// branch-predicts perfectly for concentrated distributions.
+func (h *Histogram) ObserveHint(hint uint32, v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	addFloatBits(&h.sum[hint%shards].v, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var t uint64
+	for i := range h.buckets {
+		t += h.buckets[i].Load()
+	}
+	return t
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	var t float64
+	for i := range h.sum {
+		t += math.Float64frombits(h.sum[i].v.Load())
+	}
+	return t
+}
+
+// Buckets returns the per-bucket upper bounds and cumulative counts,
+// Prometheus-style: counts[i] is the number of observations <=
+// bounds[i], with the final element the +Inf bucket (== Count up to
+// in-flight updates).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64) {
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]uint64, len(h.buckets))
+	var run uint64
+	for i := range h.buckets {
+		run += h.buckets[i].Load()
+		cumulative[i] = run
+	}
+	return bounds, cumulative
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CheckText validates a Prometheus text-exposition stream line by line:
+// comment structure, metric/label-name syntax, label-value quoting, and
+// sample values. It returns the number of sample lines checked, or an
+// error naming the first offending line. Tests use it to assert that
+// /metrics output is well-formed without pinning exact counter values.
+func CheckText(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return samples, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := checkSample(line); err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	return samples, nil
+}
+
+func checkComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return fmt.Errorf("malformed comment %q", line)
+	}
+	if !validName(fields[2]) {
+		return fmt.Errorf("comment names invalid metric %q", fields[2])
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("TYPE comment %q missing type", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+func checkSample(line string) error {
+	rest := line
+	// Metric name runs to '{' or ' '.
+	end := strings.IndexAny(rest, "{ ")
+	if end <= 0 {
+		return fmt.Errorf("no metric name in %q", line)
+	}
+	if !validName(rest[:end]) {
+		return fmt.Errorf("invalid metric name %q", rest[:end])
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		close := strings.LastIndexByte(rest, '}')
+		if close < 0 {
+			return fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := checkLabels(rest[1:close]); err != nil {
+			return fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	// Value, optionally followed by a timestamp.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	if !validSampleValue(fields[0]) {
+		return fmt.Errorf("bad sample value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return nil
+}
+
+func validSampleValue(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+func checkLabels(body string) error {
+	if body == "" {
+		return nil
+	}
+	for _, pair := range splitLabelPairs(body) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || !validName(k) || strings.Contains(k, ":") {
+			return fmt.Errorf("bad label pair %q", pair)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("unquoted label value %q", v)
+		}
+	}
+	return nil
+}
+
+// splitLabelPairs splits k="v",k2="v2" on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var (
+		pairs   []string
+		start   int
+		inQuote bool
+	)
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip escaped char
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				pairs = append(pairs, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(pairs, body[start:])
+}

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"strings"
 	"time"
+
+	"dnslb/internal/logging"
 )
 
 // Common Log Format import: convert a real Web server access log into
@@ -31,11 +34,17 @@ type CLFOptions struct {
 	// SessionTimeout is the idle period after which a host's next
 	// request opens a new session (default 30 min).
 	SessionTimeout time.Duration
+	// Logger receives a debug record per skipped line and one warning
+	// summarizing the skips. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (o *CLFOptions) setDefaults() {
 	if o.Domains <= 0 {
 		o.Domains = 20
+	}
+	if o.Logger == nil {
+		o.Logger = logging.Discard()
 	}
 	if o.PageGap <= 0 {
 		o.PageGap = time.Second
@@ -86,6 +95,8 @@ func ParseCommonLog(r io.Reader, opts CLFOptions) ([]Record, error) {
 		t0      time.Time
 		haveT0  bool
 		parsed  int
+		skipped int
+		lineNo  int
 	)
 	flush := func(host string, st *hostState) {
 		if st.pageHits == 0 {
@@ -102,8 +113,13 @@ func ParseCommonLog(r io.Reader, opts CLFOptions) ([]Record, error) {
 		st.pageHits = 0
 	}
 	for sc.Scan() {
+		lineNo++
 		host, ts, ok := parseCLFLine(sc.Text())
 		if !ok {
+			if line := strings.TrimSpace(sc.Text()); line != "" && !strings.HasPrefix(line, "#") {
+				skipped++
+				opts.Logger.Debug("skipping unparsable access-log line", "line", lineNo)
+			}
 			continue
 		}
 		parsed++
@@ -133,6 +149,10 @@ func ParseCommonLog(r io.Reader, opts CLFOptions) ([]Record, error) {
 	}
 	if parsed == 0 {
 		return nil, errors.New("trace: no parsable Common Log Format lines")
+	}
+	if skipped > 0 {
+		opts.Logger.Warn("skipped unparsable access-log lines",
+			"skipped", skipped, "parsed", parsed)
 	}
 	for host, st := range hosts {
 		flush(host, st)
