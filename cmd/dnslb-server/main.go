@@ -13,6 +13,17 @@
 // snapshot to stderr; -log-level/-log-format control the structured
 // logs; -pprof serves net/http/pprof.
 //
+// Operations: -config reads the same settings from a flag-per-line
+// file, and SIGHUP re-reads it to apply server-set changes with zero
+// downtime — new addresses join, removed addresses drain until their
+// outstanding TTLs expire, changed capacities apply in place.
+// -checkpoint persists the learned soft state (domain weights,
+// estimator windows, alarm/liveness standing) across restarts; on
+// SIGINT/SIGTERM the server drains in-flight queries within
+// -shutdown-timeout and flushes a final checkpoint. Backends may also
+// self-register and retire through the report socket's JOIN and DRAIN
+// verbs (see internal/backend).
+//
 // Example:
 //
 //	dnslb-server -zone www.site.example -addr 127.0.0.1:5353 \
@@ -21,9 +32,11 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math/rand/v2"
 	"net"
 	"net/http"
@@ -81,10 +94,20 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		udpWorkers  = fs.Int("udp-workers", 0, "parallel UDP serve goroutines (0 = GOMAXPROCS)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = disabled)")
+		configPath  = fs.String("config", "", "flag-per-line configuration file; SIGHUP re-reads it and applies server-set changes")
+		ckptPath    = fs.String("checkpoint", "", "state checkpoint file: restored on startup, saved periodically and on shutdown (empty = disabled)")
+		ckptIv      = fs.Duration("checkpoint-interval", time.Minute, "how often to save the checkpoint")
+		ckptMaxAge  = fs.Duration("checkpoint-max-age", 24*time.Hour, "reject checkpoints older than this on restore (0 = no age limit)")
+		shutdownTO  = fs.Duration("shutdown-timeout", 5*time.Second, "deadline for draining in-flight queries at shutdown")
 		logOpts     = logging.AddFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *configPath != "" {
+		if err := applyConfigFile(fs, *configPath); err != nil {
+			return err
+		}
 	}
 	if *servers == "" {
 		return fmt.Errorf("-servers is required")
@@ -136,6 +159,20 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 	srv, err := dnslb.NewDNSServer(cfg)
 	if err != nil {
 		return err
+	}
+	if *livenessK > 0 {
+		monitor, err := dnslb.NewLivenessMonitor(srv, *livenessIv, *livenessK)
+		if err != nil {
+			return err
+		}
+		defer monitor.Close()
+		logger.Info("liveness enabled", "k", *livenessK, "interval", *livenessIv)
+	}
+	// Warm-start from the checkpoint before serving (and after the
+	// liveness monitor attaches, so restored down flags clear on the
+	// backend's next report). Any problem means a clean cold start.
+	if *ckptPath != "" {
+		restoreCheckpoint(srv, *ckptPath, *ckptMaxAge, logger)
 	}
 	if err := srv.Start(); err != nil {
 		return err
@@ -206,16 +243,35 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 	}
 	defer reporter.Close()
 	logger.Info("load reports enabled", "addr", reporter.Addr().String(),
-		"protocol", "ALIVE/ALARM/HITS/ROLL")
+		"protocol", "ALIVE/ALARM/HITS/ROLL/JOIN/DRAIN")
 
-	if *livenessK > 0 {
-		monitor, err := dnslb.NewLivenessMonitor(srv, *livenessIv, *livenessK)
+	var ckpt *dnslb.Checkpointer
+	if *ckptPath != "" {
+		ckpt, err = dnslb.NewCheckpointer(srv, *ckptPath, *ckptIv)
 		if err != nil {
 			return err
 		}
-		defer monitor.Close()
-		logger.Info("liveness enabled", "k", *livenessK, "interval", *livenessIv)
+		defer ckpt.Close()
+		logger.Info("checkpointing enabled", "path", *ckptPath, "interval", *ckptIv)
 	}
+
+	// SIGHUP: re-read the config file and apply the server set (joins,
+	// graceful drains, capacity changes) with zero downtime. Without
+	// -config there is nothing to re-read.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if *configPath == "" {
+				logger.Warn("SIGHUP ignored: no -config file to reload")
+				continue
+			}
+			if err := reloadConfig(fs, *configPath, srv, logger); err != nil {
+				logger.Warn("config reload failed", "path", *configPath, "err", err)
+			}
+		}
+	}()
 
 	if started != nil {
 		started(boundAddrs{
@@ -225,10 +281,46 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		})
 	}
 	<-stop
+	// Graceful shutdown: stop accepting, drain in-flight queries within
+	// the deadline, then flush one final checkpoint so the learned
+	// state survives the restart.
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTO)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Warn("shutdown drain incomplete", "err", err)
+	}
+	if ckpt != nil {
+		if err := ckpt.Close(); err != nil {
+			logger.Warn("final checkpoint failed", "path", *ckptPath, "err", err)
+		} else {
+			logger.Info("final checkpoint written", "path", *ckptPath)
+		}
+	}
 	st := srv.Stats()
-	logger.Info("shutting down", "queries", st.Queries, "answered", st.Answered,
+	logger.Info("shutdown complete", "queries", st.Queries, "answered", st.Answered,
 		"servfail", st.ServFail, "ratelimited", st.RateLimited)
 	return nil
+}
+
+// restoreCheckpoint warm-starts srv from a checkpoint file. Every
+// failure mode — missing, unreadable, corrupt, stale, or mismatched
+// with the running configuration — logs and leaves the server in its
+// cold-start state; a checkpoint is advisory, never required.
+func restoreCheckpoint(srv *dnslb.DNSServer, path string, maxAge time.Duration, logger *slog.Logger) {
+	cp, err := dnslb.LoadCheckpoint(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		logger.Info("no checkpoint; cold start", "path", path)
+	case err != nil:
+		logger.Warn("checkpoint unreadable; cold start", "path", path, "err", err)
+	default:
+		if err := srv.RestoreCheckpoint(cp, maxAge); err != nil {
+			logger.Warn("checkpoint rejected; cold start", "path", path, "err", err)
+		} else {
+			logger.Info("checkpoint restored", "path", path,
+				"saved_at", cp.SavedAt.Format(time.RFC3339))
+		}
+	}
 }
 
 // parseServers parses the address and capacity lists. Capacities

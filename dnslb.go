@@ -64,6 +64,9 @@ type (
 	TTLVariant = core.TTLVariant
 	// Estimator estimates hidden load weights from server reports.
 	Estimator = core.Estimator
+	// EstimatorState is an Estimator's serializable soft state, carried
+	// inside a Checkpoint.
+	EstimatorState = core.EstimatorState
 	// DomainClass is the two-tier domain classification.
 	DomainClass = core.DomainClass
 )
@@ -114,6 +117,9 @@ type (
 	// FaultEvent is one scheduled crash or recovery of a simulated
 	// server (SimConfig.Faults).
 	FaultEvent = sim.FaultEvent
+	// DrainEvent is one scheduled graceful retirement of a simulated
+	// server (SimConfig.Drains).
+	DrainEvent = sim.DrainEvent
 )
 
 // Simulation entry points.
@@ -198,6 +204,15 @@ type (
 	// LivenessMonitor excludes backends that stop reporting from the
 	// DNS scheduler and re-admits them on their next report.
 	LivenessMonitor = dnsserver.LivenessMonitor
+	// Checkpoint is the serialized soft state of a DNSServer: learned
+	// domain weights, estimator windows, alarm/down/draining standing,
+	// and selector cursors.
+	Checkpoint = dnsserver.Checkpoint
+	// ServerCheckpoint is one server slot's standing inside a Checkpoint.
+	ServerCheckpoint = dnsserver.ServerCheckpoint
+	// Checkpointer periodically saves a DNSServer's checkpoint to a file
+	// and flushes a final one on Close.
+	Checkpointer = dnsserver.Checkpointer
 )
 
 // Observability types (see internal/metrics and internal/logging).
@@ -243,4 +258,9 @@ var (
 	// NewLivenessMonitor attaches k-missed-report failure detection to
 	// a DNS server.
 	NewLivenessMonitor = dnsserver.NewLivenessMonitor
+	// NewCheckpointer starts periodic state checkpointing of a server.
+	NewCheckpointer = dnsserver.NewCheckpointer
+	// LoadCheckpoint reads a checkpoint file written by WriteCheckpoint
+	// or a Checkpointer.
+	LoadCheckpoint = dnsserver.LoadCheckpoint
 )

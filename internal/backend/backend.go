@@ -5,6 +5,12 @@
 // the agent measures busy-time utilization per interval and pushes
 // ALARM / HITS / ROLL lines to the DNS load-report socket, closing the
 // paper's asynchronous feedback loop over real sockets.
+//
+// With AdvertiseAddr set, the backend also manages its own cluster
+// membership: it announces itself to the DNS with a JOIN line every
+// time the report socket connects (learning its slot index from the
+// reply), and with RetireOnClose it sends a DRAIN on shutdown so the
+// DNS drains it gracefully instead of waiting for the liveness timeout.
 package backend
 
 import (
@@ -15,8 +21,11 @@ import (
 	"math/rand/v2"
 	"net"
 	"net/http"
+	"net/netip"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnslb/internal/logging"
@@ -33,8 +42,20 @@ type Config struct {
 	// disables reporting (the agent still measures locally).
 	ReportAddr string
 	// ServerIndex is this server's index in the DNS scheduler's
-	// cluster, used in ALARM lines.
+	// cluster, used in ALARM lines. Ignored when AdvertiseAddr is set —
+	// the index is then assigned by the DNS in the JOIN reply.
 	ServerIndex int
+	// AdvertiseAddr optionally enables self-registration: the backend's
+	// own Web-facing IPv4 address, announced with a JOIN line each time
+	// the report socket connects (idempotent — a reconnect or DNS
+	// restart just re-registers the same address). Until the first JOIN
+	// succeeds, the agent has no slot index and skips index-bearing
+	// lines (ALIVE, ALARM); HITS/ROLL still flow.
+	AdvertiseAddr string
+	// RetireOnClose sends a DRAIN for this backend's slot on Close, so
+	// the DNS starts a graceful drain instead of waiting out the
+	// liveness timeout. Best effort: a dead report socket just logs.
+	RetireOnClose bool
 	// Domains is the number of connected domains for per-domain hit
 	// accounting (HITS lines).
 	Domains int
@@ -82,6 +103,11 @@ type Server struct {
 	domainHits []float64
 	totalHits  uint64
 	alarmed    bool
+
+	// idx is the slot index used in index-bearing report lines: the
+	// configured ServerIndex, or (with AdvertiseAddr) the index the DNS
+	// assigned in the last JOIN reply; -1 until the first JOIN succeeds.
+	idx atomic.Int64
 
 	httpSrv  *http.Server
 	listener net.Listener
@@ -132,6 +158,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("backend: reconnect backoff max %v below min %v",
 			cfg.ReconnectBackoffMax, cfg.ReconnectBackoffMin)
 	}
+	if cfg.AdvertiseAddr != "" {
+		a, err := netip.ParseAddr(cfg.AdvertiseAddr)
+		if err != nil || !a.Is4() {
+			return nil, fmt.Errorf("backend: advertise address %q must be a literal IPv4 address", cfg.AdvertiseAddr)
+		}
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = logging.Discard()
@@ -142,6 +174,11 @@ func New(cfg Config) (*Server, error) {
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
 		logger:     logger,
+	}
+	if cfg.AdvertiseAddr != "" {
+		s.idx.Store(-1)
+	} else {
+		s.idx.Store(int64(cfg.ServerIndex))
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.metrics = &agentMetrics{
@@ -197,8 +234,10 @@ func (s *Server) Start() error {
 // Addr returns the bound address (valid after Start).
 func (s *Server) Addr() net.Addr { return s.listener.Addr() }
 
-// Close stops the server and the agent. Closing a server that was
-// never started is a no-op.
+// Close stops the server and the agent. With RetireOnClose, a DRAIN
+// for this backend's slot is sent first (best effort), so the DNS
+// drains the server gracefully. Closing a server that was never
+// started is a no-op.
 func (s *Server) Close() error {
 	select {
 	case <-s.stop:
@@ -211,6 +250,9 @@ func (s *Server) Close() error {
 	}
 	err := s.httpSrv.Close()
 	<-s.done
+	if s.cfg.RetireOnClose && s.cfg.ReportAddr != "" {
+		s.retire()
+	}
 	s.reportMu.Lock()
 	if s.reportC != nil {
 		_ = s.reportC.Close()
@@ -218,6 +260,38 @@ func (s *Server) Close() error {
 	}
 	s.reportMu.Unlock()
 	return err
+}
+
+// ServerIndex returns the slot index this backend reports under: the
+// configured index, or the one assigned by the DNS when AdvertiseAddr
+// is set (-1 before the first successful JOIN).
+func (s *Server) ServerIndex() int { return int(s.idx.Load()) }
+
+// retire asks the DNS to drain this backend's slot, reusing the live
+// report connection or dialing one last time. Failures only log: the
+// liveness monitor is the fallback when the graceful path is gone.
+func (s *Server) retire() {
+	idx := s.ServerIndex()
+	if idx < 0 {
+		return // never joined; nothing to drain
+	}
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
+	conn := s.reportC
+	if conn == nil {
+		c, err := net.DialTimeout("tcp", s.cfg.ReportAddr, 2*time.Second)
+		if err != nil {
+			s.logger.Warn("retire dial failed; relying on liveness timeout", "err", err, "server", idx)
+			return
+		}
+		s.reportC = c
+		conn = c
+	}
+	if err := sendLines(conn, []string{fmt.Sprintf("DRAIN %d", idx)}); err != nil {
+		s.logger.Warn("retire failed; relying on liveness timeout", "err", err, "server", idx)
+		return
+	}
+	s.logger.Info("retired from DNS membership", "server", idx)
 }
 
 // handle serves one request, charging its service time to the queue.
@@ -367,14 +441,20 @@ func (s *Server) agentLoop() {
 				continue
 			}
 			// Every cycle opens with a heartbeat so the DNS liveness
-			// monitor sees lightly loaded backends too.
-			lines := []string{fmt.Sprintf("ALIVE %d", s.cfg.ServerIndex)}
-			if flipped {
-				flag := 0
-				if s.Alarmed() {
-					flag = 1
+			// monitor sees lightly loaded backends too. Before the first
+			// JOIN assigns an index, the index-bearing lines are skipped
+			// (the connect-time JOIN itself proves liveness, and the
+			// reconnect resync delivers the current alarm state).
+			var lines []string
+			if idx := s.ServerIndex(); idx >= 0 {
+				lines = append(lines, fmt.Sprintf("ALIVE %d", idx))
+				if flipped {
+					flag := 0
+					if s.Alarmed() {
+						flag = 1
+					}
+					lines = append(lines, fmt.Sprintf("ALARM %d %d", idx, flag))
 				}
-				lines = append(lines, fmt.Sprintf("ALARM %d %d", s.cfg.ServerIndex, flag))
 			}
 			for d, h := range hits {
 				if h > 0 {
@@ -386,7 +466,7 @@ func (s *Server) agentLoop() {
 				if s.metrics != nil {
 					s.metrics.reportsErr.Inc()
 				}
-				s.logger.Warn("report failed", "err", err, "server", s.cfg.ServerIndex)
+				s.logger.Warn("report failed", "err", err, "server", s.ServerIndex())
 			} else if s.metrics != nil {
 				s.metrics.reportsOK.Inc()
 			}
@@ -412,21 +492,36 @@ func (s *Server) report(lines []string) error {
 				s.bumpBackoffLocked()
 				return err
 			}
+			// Self-registration rides every (re)connect: idempotent on
+			// the DNS side, it re-admits this backend after a drain or a
+			// DNS restart and keeps the slot index current.
+			if s.cfg.AdvertiseAddr != "" {
+				idx, err := joinOver(conn, s.cfg.AdvertiseAddr, s.cfg.Capacity)
+				if err != nil {
+					_ = conn.Close()
+					s.bumpBackoffLocked()
+					return fmt.Errorf("backend: join: %w", err)
+				}
+				s.idx.Store(int64(idx))
+				s.logger.Info("joined DNS membership", "server", idx, "addr", s.cfg.AdvertiseAddr)
+			}
 			s.reportC = conn
 			s.dialBackoff = 0
 			s.nextDial = time.Time{}
 			// Resync: the DNS side may have missed an alarm transition
 			// (or marked us down) while the socket was broken.
-			flag := 0
-			if s.Alarmed() {
-				flag = 1
+			if idx := s.ServerIndex(); idx >= 0 {
+				flag := 0
+				if s.Alarmed() {
+					flag = 1
+				}
+				lines = append([]string{fmt.Sprintf("ALARM %d %d", idx, flag)}, lines...)
+				if s.metrics != nil {
+					s.metrics.resyncs.Inc()
+				}
+				s.logger.Info("report socket connected, alarm state resynced",
+					"server", idx, "alarmed", flag == 1)
 			}
-			lines = append([]string{fmt.Sprintf("ALARM %d %d", s.cfg.ServerIndex, flag)}, lines...)
-			if s.metrics != nil {
-				s.metrics.resyncs.Inc()
-			}
-			s.logger.Info("report socket connected, alarm state resynced",
-				"server", s.cfg.ServerIndex, "alarmed", flag == 1)
 		}
 		if err := sendLines(s.reportC, lines); err != nil {
 			_ = s.reportC.Close()
@@ -456,6 +551,30 @@ func (s *Server) bumpBackoffLocked() {
 	}
 	jittered := time.Duration(float64(s.dialBackoff) * (0.5 + rand.Float64()))
 	s.nextDial = time.Now().Add(jittered)
+}
+
+// joinOver registers the backend over an already-dialed report
+// connection and returns the slot index from the "OK <index>" reply.
+// At most one reply is ever in flight on the report protocol, so the
+// transient reader here cannot swallow bytes meant for a later read.
+func joinOver(conn net.Conn, addr string, capacity float64) (int, error) {
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := fmt.Fprintf(conn, "JOIN %s %g\n", addr, capacity); err != nil {
+		return 0, err
+	}
+	resp, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(resp)
+	if len(fields) != 2 || fields[0] != "OK" {
+		return 0, fmt.Errorf("join rejected: %q", strings.TrimSpace(resp))
+	}
+	idx, err := strconv.Atoi(fields[1])
+	if err != nil || idx < 0 {
+		return 0, fmt.Errorf("join reply has bad index: %q", strings.TrimSpace(resp))
+	}
+	return idx, nil
 }
 
 func sendLines(conn net.Conn, lines []string) error {

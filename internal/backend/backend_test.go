@@ -116,6 +116,12 @@ func TestUtilizationTracksLoad(t *testing.T) {
 
 // startDNS builds a DNS server + report listener for integration.
 func startDNS(t *testing.T) (*dnsserver.Server, *dnsserver.ReportListener) {
+	srv, rl, _ := startDNSState(t)
+	return srv, rl
+}
+
+// startDNSState also exposes the scheduler state behind the DNS.
+func startDNSState(t *testing.T) (*dnsserver.Server, *dnsserver.ReportListener, *core.State) {
 	t.Helper()
 	cluster, err := core.NewCluster([]float64{100, 50})
 	if err != nil {
@@ -154,7 +160,7 @@ func startDNS(t *testing.T) (*dnsserver.Server, *dnsserver.ReportListener) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = rl.Close() })
-	return srv, rl
+	return srv, rl, state
 }
 
 func TestAgentReportsAlarmToDNS(t *testing.T) {
@@ -331,6 +337,52 @@ func TestAgentSurvivesReportOutage(t *testing.T) {
 	waitFor("alarm state not resynced after reconnect", func() bool {
 		return srv.Alarmed(1)
 	})
+}
+
+func TestSelfRegistrationAndRetire(t *testing.T) {
+	_, rl, state := startDNSState(t)
+
+	s := startBackend(t, Config{
+		Capacity:            500,
+		Domains:             4,
+		Simulate:            true,
+		ReportAddr:          rl.Addr().String(),
+		AdvertiseAddr:       "10.7.0.50",
+		RetireOnClose:       true,
+		UtilizationInterval: 25 * time.Millisecond,
+	})
+	if got := s.ServerIndex(); got != -1 {
+		t.Fatalf("pre-join ServerIndex = %d, want -1", got)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for s.ServerIndex() < 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	idx := s.ServerIndex()
+	if idx != 2 {
+		t.Fatalf("joined index = %d, want fresh slot 2", idx)
+	}
+	if !state.Member(idx) {
+		t.Fatal("joined backend not a cluster member")
+	}
+
+	// Graceful retirement: Close sends DRAIN, the DNS starts draining.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !state.Draining(idx) && state.Member(idx) {
+		t.Error("closed backend neither draining nor removed")
+	}
+}
+
+func TestAdvertiseValidation(t *testing.T) {
+	if _, err := New(Config{Capacity: 10, Domains: 1, AdvertiseAddr: "not-an-ip"}); err == nil {
+		t.Error("bad advertise address should error")
+	}
+	if _, err := New(Config{Capacity: 10, Domains: 1, AdvertiseAddr: "2001:db8::1"}); err == nil {
+		t.Error("IPv6 advertise address should error")
+	}
 }
 
 func TestCloseIdempotent(t *testing.T) {

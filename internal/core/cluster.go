@@ -58,6 +58,24 @@ func MustCluster(capacities []float64) *Cluster {
 	return c
 }
 
+// withCapacity returns a new cluster with the capacity of slot i
+// changed, or with a new slot appended when i is -1. It bypasses the
+// sorted-order validation of NewCluster: dynamic membership changes
+// legitimately produce unsorted capacity vectors, and the scheduler
+// normalizes relative capacities through Snapshot.Alpha/Rho rather
+// than positionally (C_1/C_N). Only State's membership mutators call
+// it, with capacity already validated positive finite.
+func (c *Cluster) withCapacity(i int, capacity float64) *Cluster {
+	cs := make([]float64, len(c.capacities), len(c.capacities)+1)
+	copy(cs, c.capacities)
+	if i < 0 {
+		cs = append(cs, capacity)
+	} else {
+		cs[i] = capacity
+	}
+	return &Cluster{capacities: cs}
+}
+
 // N returns the number of servers.
 func (c *Cluster) N() int { return len(c.capacities) }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Estimator computes the hidden load weight of each connected domain
@@ -98,4 +99,50 @@ func (e *Estimator) Rates() []float64 {
 	out := make([]float64, e.domains)
 	copy(out, e.rates)
 	return out
+}
+
+// EstimatorState is the serializable internal state of an Estimator:
+// everything needed to resume hidden-load estimation after a DNS
+// restart instead of resetting the weights to uniform.
+type EstimatorState struct {
+	Alpha  float64   `json:"alpha"`
+	Counts []float64 `json:"counts"`
+	Rates  []float64 `json:"rates"`
+	Rolls  int       `json:"rolls"`
+}
+
+// State captures the estimator's current internal state for a
+// checkpoint.
+func (e *Estimator) State() EstimatorState {
+	return EstimatorState{
+		Alpha:  e.alpha,
+		Counts: append([]float64(nil), e.counts...),
+		Rates:  append([]float64(nil), e.rates...),
+		Rolls:  e.rolls,
+	}
+}
+
+// Restore replaces the estimator's internal state with a checkpointed
+// one. The checkpoint must match the estimator's domain count and
+// contain only finite non-negative values; on error the estimator is
+// left unchanged (cold-start behavior).
+func (e *Estimator) Restore(st EstimatorState) error {
+	if len(st.Counts) != e.domains || len(st.Rates) != e.domains {
+		return fmt.Errorf("core: estimator state has %d/%d domains, want %d",
+			len(st.Counts), len(st.Rates), e.domains)
+	}
+	if st.Rolls < 0 {
+		return fmt.Errorf("core: estimator state has negative roll count %d", st.Rolls)
+	}
+	for j := 0; j < e.domains; j++ {
+		for _, v := range [2]float64{st.Counts[j], st.Rates[j]} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: estimator state domain %d is %v, want non-negative finite", j, v)
+			}
+		}
+	}
+	copy(e.counts, st.Counts)
+	copy(e.rates, st.Rates)
+	e.rolls = st.Rolls
+	return nil
 }

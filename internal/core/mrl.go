@@ -52,7 +52,7 @@ func (m *mrlSelector) Select(sn *Snapshot, domain int) int {
 		if !sn.available(i) {
 			continue
 		}
-		score := residual[i] / sn.Cluster().Alpha(i)
+		score := residual[i] / sn.Alpha(i)
 		if best == -1 || score < bestScore {
 			best, bestScore = i, score
 		}

@@ -35,7 +35,11 @@ type Policy struct {
 	state    *State
 
 	decisions atomic.Uint64
-	perServer []atomic.Uint64
+	// perServer points at an immutable slice of counter pointers; it is
+	// grown copy-on-write when AddServer extends the cluster past the
+	// slots allocated at creation, so Schedule never indexes out of
+	// range after a membership change.
+	perServer atomic.Pointer[[]*atomic.Uint64]
 	perClass  [2]atomic.Uint64 // indexed by class - ClassNormal
 	noServers atomic.Uint64
 	sumTTL    [ttlAccShards]ttlAccShard
@@ -69,15 +73,40 @@ func NewPolicyFromParts(name string, sel Selector, ttl *TTLPolicy, st *State) (*
 		return nil, errors.New("core: selector, ttl policy and state are all required")
 	}
 	p := &Policy{
-		name:      name,
-		selector:  sel,
-		ttl:       ttl,
-		state:     st,
-		perServer: make([]atomic.Uint64, st.Cluster().N()),
+		name:     name,
+		selector: sel,
+		ttl:      ttl,
+		state:    st,
 	}
+	per := make([]*atomic.Uint64, st.Cluster().N())
+	for i := range per {
+		per[i] = new(atomic.Uint64)
+	}
+	p.perServer.Store(&per)
 	p.minTTL.Store(math.Float64bits(math.Inf(1)))
 	p.maxTTL.Store(math.Float64bits(math.Inf(-1)))
 	return p, nil
+}
+
+// serverCounter returns the decision counter for server i, growing the
+// counter slice copy-on-write when a dynamically added server exceeds
+// the allocated slots. The individual counters are shared between the
+// old and new slices, so no count is ever lost to a race.
+func (p *Policy) serverCounter(i int) *atomic.Uint64 {
+	for {
+		cur := p.perServer.Load()
+		if i < len(*cur) {
+			return (*cur)[i]
+		}
+		next := make([]*atomic.Uint64, i+1)
+		copy(next, *cur)
+		for j := len(*cur); j <= i; j++ {
+			next[j] = new(atomic.Uint64)
+		}
+		if p.perServer.CompareAndSwap(cur, &next) {
+			return next[i]
+		}
+	}
 }
 
 // Name returns the policy's catalog name.
@@ -108,7 +137,7 @@ func (p *Policy) Schedule(domain int) (Decision, error) {
 	}
 	ttl := p.ttl.TTL(sn, domain, server)
 	p.decisions.Add(1)
-	p.perServer[server].Add(1)
+	p.serverCounter(server).Add(1)
 	p.perClass[sn.Class(domain)-ClassNormal].Add(1)
 	addFloat(&p.sumTTL[server%ttlAccShards].bits, ttl)
 	for {
@@ -133,10 +162,11 @@ func (p *Policy) Decisions() uint64 { return p.decisions.Load() }
 // ServerDecisions returns the number of decisions that chose server i,
 // or 0 for an out-of-range index.
 func (p *Policy) ServerDecisions(i int) uint64 {
-	if i < 0 || i >= len(p.perServer) {
+	per := *p.perServer.Load()
+	if i < 0 || i >= len(per) {
 		return 0
 	}
-	return p.perServer[i].Load()
+	return per[i].Load()
 }
 
 // ClassDecisions returns the number of decisions made for domains of
@@ -146,6 +176,34 @@ func (p *Policy) ClassDecisions(c DomainClass) uint64 {
 		return 0
 	}
 	return p.perClass[c-ClassNormal].Load()
+}
+
+// cursorCarrier is implemented by selectors whose only state is a set
+// of round-robin rotation cursors; it lets a checkpoint capture and
+// restore scheduling position across a DNS restart. Ledger selectors
+// (DAL, MRL, WRR) intentionally do not implement it: their accumulated
+// loads are time-coupled and rebuild naturally within one TTL window.
+type cursorCarrier interface {
+	cursors() []int64
+	restoreCursors([]int64) bool
+}
+
+// Cursors returns the selector's rotation cursors for checkpointing,
+// or nil when the selector carries no restorable cursor state.
+func (p *Policy) Cursors() []int64 {
+	if c, ok := p.selector.(cursorCarrier); ok {
+		return c.cursors()
+	}
+	return nil
+}
+
+// RestoreCursors reinstates rotation cursors captured by Cursors. It
+// reports whether the selector accepted them; a selector without
+// cursor state, or a cursor vector of the wrong shape, is refused
+// (the selector then simply starts its rotation fresh).
+func (p *Policy) RestoreCursors(cursors []int64) bool {
+	c, ok := p.selector.(cursorCarrier)
+	return ok && c.restoreCursors(cursors)
 }
 
 // NoServerErrors returns how many Schedule calls failed with
@@ -172,9 +230,10 @@ type Stats struct {
 // counters are exact but may be mutually out of step by the handful of
 // decisions being applied, and they agree once the callers quiesce.
 func (p *Policy) Stats() Stats {
-	per := make([]uint64, len(p.perServer))
-	for i := range p.perServer {
-		per[i] = p.perServer[i].Load()
+	counters := *p.perServer.Load()
+	per := make([]uint64, len(counters))
+	for i := range counters {
+		per[i] = counters[i].Load()
 	}
 	pc := make(map[DomainClass]uint64, 2)
 	for c := ClassNormal; c <= ClassHot; c++ {

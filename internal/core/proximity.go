@@ -128,6 +128,18 @@ func (p *proximitySelector) Name() string {
 	return fmt.Sprintf("Geo(%s,%.2f)", p.inner.Name(), p.preference)
 }
 
+func (p *proximitySelector) cursors() []int64 {
+	if c, ok := p.inner.(cursorCarrier); ok {
+		return c.cursors()
+	}
+	return nil
+}
+
+func (p *proximitySelector) restoreCursors(cs []int64) bool {
+	c, ok := p.inner.(cursorCarrier)
+	return ok && c.restoreCursors(cs)
+}
+
 func (p *proximitySelector) Select(sn *Snapshot, domain int) int {
 	usePref := p.preference >= 1
 	if !usePref && p.preference > 0 {

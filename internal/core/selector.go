@@ -59,6 +59,16 @@ func (r *rrSelector) Select(sn *Snapshot, _ int) int {
 	return -1
 }
 
+func (r *rrSelector) cursors() []int64 { return []int64{r.last.Load()} }
+
+func (r *rrSelector) restoreCursors(c []int64) bool {
+	if len(c) != 1 {
+		return false
+	}
+	r.last.Store(c[0])
+	return true
+}
+
 // rr2Selector implements the two-tier round-robin policy (RR2): the
 // domains are partitioned into a normal and a hot class, and each
 // class round-robins independently so that consecutive requests from
@@ -91,6 +101,19 @@ func (r *rr2Selector) Select(sn *Snapshot, domain int) int {
 	return -1
 }
 
+func (r *rr2Selector) cursors() []int64 {
+	return []int64{r.last[0].Load(), r.last[1].Load()}
+}
+
+func (r *rr2Selector) restoreCursors(c []int64) bool {
+	if len(c) != 2 {
+		return false
+	}
+	r.last[0].Store(c[0])
+	r.last[1].Store(c[1])
+	return true
+}
+
 // prrSelector implements probabilistic round robin (PRR): starting
 // from the successor of the last chosen server, candidate S_i is
 // accepted with probability α_i (its relative capacity), otherwise the
@@ -117,6 +140,16 @@ func (p *prrSelector) Select(sn *Snapshot, _ int) int {
 		p.last.Store(int64(i))
 	}
 	return i
+}
+
+func (p *prrSelector) cursors() []int64 { return []int64{p.last.Load()} }
+
+func (p *prrSelector) restoreCursors(c []int64) bool {
+	if len(c) != 1 {
+		return false
+	}
+	p.last.Store(c[0])
+	return true
 }
 
 // prr2Selector is PRR with the RR2 two-tier class structure: one
@@ -146,6 +179,19 @@ func (p *prr2Selector) Select(sn *Snapshot, domain int) int {
 	return i
 }
 
+func (p *prr2Selector) cursors() []int64 {
+	return []int64{p.last[0].Load(), p.last[1].Load()}
+}
+
+func (p *prr2Selector) restoreCursors(c []int64) bool {
+	if len(c) != 2 {
+		return false
+	}
+	p.last[0].Store(c[0])
+	p.last[1].Store(c[1])
+	return true
+}
+
 // probScan performs the paper's probabilistic scan: starting after
 // `last`, accept server i with probability α_i; skip alarmed and down
 // servers outright. The scan is bounded: after two full unavailing
@@ -159,7 +205,7 @@ func probScan(sn *Snapshot, last int, rng Rand) int {
 		if !sn.available(i) {
 			continue
 		}
-		if rng.Float64() <= sn.Cluster().Alpha(i) {
+		if rng.Float64() <= sn.Alpha(i) {
 			return i
 		}
 	}
@@ -234,7 +280,7 @@ func (d *dalSelector) Select(sn *Snapshot, domain int) int {
 		if !sn.available(i) {
 			continue
 		}
-		score := d.load[i] / sn.Cluster().Alpha(i)
+		score := d.load[i] / sn.Alpha(i)
 		if best == -1 || score < bestScore {
 			best, bestScore = i, score
 		}

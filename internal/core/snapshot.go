@@ -2,8 +2,8 @@ package core
 
 // Snapshot is an immutable, internally consistent view of the
 // scheduler state: the cluster, the hidden-load weight estimates, the
-// derived two-tier class partition, and the per-server alarm and
-// liveness flags, all frozen at one instant.
+// derived two-tier class partition, and the per-server alarm,
+// liveness, and membership flags, all frozen at one instant.
 //
 // Snapshots are built copy-on-write by State's mutators and published
 // atomically; once obtained from State.Snapshot they are safe for
@@ -11,6 +11,16 @@ package core
 // (Policy.Schedule) loads one snapshot per decision so that the
 // selector and the TTL policy agree on what the cluster looked like,
 // with no lock on the read side.
+//
+// Server lifecycle: a slot is a *member* from AddServer (or initial
+// construction) until RemoveServer retires it. Slot indices are
+// stable for the life of a State — removal never renumbers the
+// surviving servers, so externally held indices (load reports, DNS
+// address tables) stay valid across membership churn. A member can be
+// *draining* (no new mappings, but still resolvable while cached
+// mappings point at it — the paper's hidden-load window), *down*
+// (failed), or *alarmed* (overloaded); a retired slot is none of
+// these and is never scheduled again unless reinstated.
 type Snapshot struct {
 	cluster *Cluster
 	beta    float64 // class threshold; hot iff weight > beta
@@ -23,11 +33,23 @@ type Snapshot struct {
 	hotN    int           // cached hot-class size (avoids O(K) scans)
 
 	alarmed  []bool
-	nAlarmed int
+	down     []bool
+	member   []bool // false = retired slot (removed from the cluster)
+	draining []bool // member, no new mappings, TTL window running
 
-	down         []bool
-	nDown        int
-	nAlarmedLive int // servers both alarmed and not down
+	// Derived membership counts, recomputed by recount() on every
+	// flag mutation (control-plane rate, never on the query path).
+	nAlarmed  int // alarmed members
+	nDown     int // down members
+	nMember   int
+	nEligible int // member && !down && !draining
+	nAlarmedE int // eligible && alarmed
+
+	// cMax/cMin are the extreme member capacities, the normalization
+	// for the relative capacities α_i and the power ratio ρ. For a
+	// statically built (sorted) cluster they equal C_1 and C_N, so
+	// Snapshot.Alpha/Rho match Cluster.Alpha/Rho exactly.
+	cMax, cMin float64
 
 	// version increments whenever weights, β, or cluster membership
 	// change, letting TTL policies cache their calibration until the
@@ -36,13 +58,16 @@ type Snapshot struct {
 }
 
 // clone returns a deep copy of the snapshot for copy-on-write
-// mutation. The cluster is shared: it is immutable after construction.
+// mutation. The cluster is shared: it is immutable after construction
+// (membership mutators that change capacities install a new one).
 func (sn *Snapshot) clone() *Snapshot {
 	next := *sn
 	next.weights = append([]float64(nil), sn.weights...)
 	next.classes = append([]DomainClass(nil), sn.classes...)
 	next.alarmed = append([]bool(nil), sn.alarmed...)
 	next.down = append([]bool(nil), sn.down...)
+	next.member = append([]bool(nil), sn.member...)
+	next.draining = append([]bool(nil), sn.draining...)
 	return &next
 }
 
@@ -86,7 +111,42 @@ func (sn *Snapshot) reclassify() {
 	}
 }
 
-// Cluster returns the server cluster.
+// recount recomputes the membership-derived counts and the capacity
+// extremes of a snapshot under construction. Mutators call it after
+// changing any alarm/down/member/draining flag or the cluster; it is
+// O(N) but runs only at control-plane rate.
+func (sn *Snapshot) recount() {
+	sn.nAlarmed, sn.nDown, sn.nMember, sn.nEligible, sn.nAlarmedE = 0, 0, 0, 0, 0
+	sn.cMax, sn.cMin = 0, 0
+	for i := range sn.member {
+		if !sn.member[i] {
+			continue
+		}
+		sn.nMember++
+		c := sn.cluster.Capacity(i)
+		if sn.cMax == 0 || c > sn.cMax {
+			sn.cMax = c
+		}
+		if sn.cMin == 0 || c < sn.cMin {
+			sn.cMin = c
+		}
+		if sn.alarmed[i] {
+			sn.nAlarmed++
+		}
+		if sn.down[i] {
+			sn.nDown++
+		}
+		if !sn.down[i] && !sn.draining[i] {
+			sn.nEligible++
+			if sn.alarmed[i] {
+				sn.nAlarmedE++
+			}
+		}
+	}
+}
+
+// Cluster returns the server cluster. N() counts slots, including
+// retired ones; see Member for slot standing.
 func (sn *Snapshot) Cluster() *Cluster { return sn.cluster }
 
 // Domains returns the number of connected domains.
@@ -127,31 +187,74 @@ func (sn *Snapshot) ClassMeanWeight(c DomainClass) float64 {
 // The count is computed once per reclassification, not per call.
 func (sn *Snapshot) HotDomains() int { return sn.hotN }
 
+// Alpha returns the relative capacity α_i = C_i / C_max of server i,
+// normalized over the member servers so that dynamically added
+// capacity re-scales the whole vector. For a statically built cluster
+// it equals Cluster.Alpha.
+func (sn *Snapshot) Alpha(i int) float64 {
+	if sn.cMax <= 0 {
+		return 1
+	}
+	return sn.cluster.Capacity(i) / sn.cMax
+}
+
+// Rho returns the processor power ratio ρ = C_max / C_min over the
+// member servers.
+func (sn *Snapshot) Rho() float64 {
+	if sn.cMin <= 0 {
+		return 1
+	}
+	return sn.cMax / sn.cMin
+}
+
 // Alarmed reports whether server i has declared itself critically
 // loaded.
 func (sn *Snapshot) Alarmed(i int) bool { return sn.alarmed[i] }
 
-// AllAlarmed reports whether every server is currently alarmed, in
-// which case selectors ignore alarms (there is no better candidate).
-func (sn *Snapshot) AllAlarmed() bool { return sn.nAlarmed == len(sn.alarmed) }
+// AllAlarmed reports whether every member server is currently alarmed,
+// in which case selectors ignore alarms (there is no better
+// candidate).
+func (sn *Snapshot) AllAlarmed() bool { return sn.nAlarmed == sn.nMember }
 
 // Down reports whether server i is currently marked failed.
 func (sn *Snapshot) Down(i int) bool { return sn.down[i] }
 
-// AllDown reports whether no server is live; Schedule then returns
-// ErrNoServers.
-func (sn *Snapshot) AllDown() bool { return sn.nDown == len(sn.down) }
+// AllDown reports whether no member server is live; Schedule then
+// returns ErrNoServers.
+func (sn *Snapshot) AllDown() bool { return sn.nDown == sn.nMember }
 
-// LiveServers returns the number of servers not marked down.
-func (sn *Snapshot) LiveServers() int { return len(sn.down) - sn.nDown }
+// LiveServers returns the number of member servers not marked down.
+func (sn *Snapshot) LiveServers() int { return sn.nMember - sn.nDown }
+
+// Member reports whether slot i currently belongs to the cluster.
+// Retired slots keep their index (indices are stable across
+// membership churn) but are never scheduled.
+func (sn *Snapshot) Member(i int) bool {
+	return i >= 0 && i < len(sn.member) && sn.member[i]
+}
+
+// Draining reports whether server i is draining: a member that
+// receives no new mappings while the hidden-load window of its
+// outstanding TTLs runs out.
+func (sn *Snapshot) Draining(i int) bool {
+	return i >= 0 && i < len(sn.draining) && sn.draining[i]
+}
+
+// MemberServers returns the number of non-retired slots.
+func (sn *Snapshot) MemberServers() int { return sn.nMember }
+
+// EligibleServers returns the number of servers a selector may pick
+// from before alarms are considered: member, not down, not draining.
+func (sn *Snapshot) EligibleServers() int { return sn.nEligible }
 
 // available reports whether server i should be considered by a
-// selector: live and not alarmed — unless every live server is
-// alarmed, in which case alarms are ignored (there is no better
-// candidate). A down server is never available.
+// selector: a member, live, not draining, and not alarmed — unless
+// every eligible server is alarmed, in which case alarms are ignored
+// (there is no better candidate). Retired, down, and draining servers
+// are never available.
 func (sn *Snapshot) available(i int) bool {
-	if sn.down[i] {
+	if !sn.member[i] || sn.down[i] || sn.draining[i] {
 		return false
 	}
-	return !sn.alarmed[i] || sn.nAlarmedLive == len(sn.down)-sn.nDown
+	return !sn.alarmed[i] || sn.nAlarmedE == sn.nEligible
 }

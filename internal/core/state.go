@@ -41,12 +41,16 @@ var ErrNoServers = errors.New("core: no server available")
 // State is the information the DNS scheduler works from: the server
 // cluster, the current estimate of each domain's hidden load weight,
 // the two-tier class partition derived from those weights, the
-// per-server alarm flags raised by the feedback mechanism, and the
-// per-server liveness flags maintained by failure detection.
+// per-server alarm flags raised by the feedback mechanism, the
+// per-server liveness flags maintained by failure detection, and the
+// membership lifecycle (member / draining / retired) driven by
+// operator reconfiguration.
 //
 // State is mutated by the estimator (SetWeights), by server alarm
-// signals (SetAlarm), and by the liveness machinery (SetDown);
-// selectors and TTL policies read it on every address request.
+// signals (SetAlarm), by the liveness machinery (SetDown), and by
+// reconfiguration (AddServer, SetCapacity, DrainServer,
+// ReinstateServer, RemoveServer); selectors and TTL policies read it
+// on every address request.
 //
 // Concurrency: State publishes an immutable Snapshot through an atomic
 // pointer. Readers (including Policy.Schedule) never block and may run
@@ -56,10 +60,10 @@ var ErrNoServers = errors.New("core: no server available")
 // internally consistent state; it does not observe later mutations.
 //
 // Alarms and liveness are distinct: an alarmed server is overloaded
-// but serving (it is skipped unless every live server is alarmed),
+// but serving (it is skipped unless every eligible server is alarmed),
 // while a down server is gone and never eligible. Membership changes
-// (SetDown) bump the state version so TTL policies recalibrate against
-// the surviving cluster.
+// (SetDown and the reconfiguration mutators) bump the state version so
+// TTL policies recalibrate against the surviving cluster.
 type State struct {
 	mu   sync.Mutex // serializes mutators; readers never take it
 	snap atomic.Pointer[Snapshot]
@@ -74,7 +78,7 @@ type State struct {
 // NewState creates scheduler state for the given cluster and number of
 // connected domains. The class threshold defaults to the paper's
 // β = 1/K. Initial weights are uniform; call SetWeights once estimates
-// are available.
+// are available. Every server starts as an active member.
 func NewState(cluster *Cluster, domains int) (*State, error) {
 	if cluster == nil {
 		return nil, errors.New("core: nil cluster")
@@ -83,16 +87,22 @@ func NewState(cluster *Cluster, domains int) (*State, error) {
 		return nil, errors.New("core: need at least one domain")
 	}
 	sn := &Snapshot{
-		cluster: cluster,
-		beta:    1 / float64(domains),
-		weights: make([]float64, domains),
-		alarmed: make([]bool, cluster.N()),
-		down:    make([]bool, cluster.N()),
+		cluster:  cluster,
+		beta:     1 / float64(domains),
+		weights:  make([]float64, domains),
+		alarmed:  make([]bool, cluster.N()),
+		down:     make([]bool, cluster.N()),
+		member:   make([]bool, cluster.N()),
+		draining: make([]bool, cluster.N()),
 	}
 	for i := range sn.weights {
 		sn.weights[i] = 1 / float64(domains)
 	}
+	for i := range sn.member {
+		sn.member[i] = true
+	}
 	sn.reclassify()
+	sn.recount()
 	s := &State{}
 	s.snap.Store(sn)
 	return s, nil
@@ -180,7 +190,8 @@ func (s *State) HotDomains() int { return s.Snapshot().HotDomains() }
 // SetAlarm records an alarm (overloaded) or normal signal from server
 // i. An out-of-range index is an error: it means a misconfigured or
 // misbehaving reporter, which the caller should surface rather than
-// silently drop.
+// silently drop. Alarm signals for retired slots are ignored (a
+// straggler report from a server already removed is not an error).
 func (s *State) SetAlarm(i int, alarmed bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -188,19 +199,12 @@ func (s *State) SetAlarm(i int, alarmed bool) error {
 	if i < 0 || i >= len(cur.alarmed) {
 		return fmt.Errorf("core: alarm for server %d out of range [0,%d)", i, len(cur.alarmed))
 	}
-	if cur.alarmed[i] == alarmed {
+	if !cur.member[i] || cur.alarmed[i] == alarmed {
 		return nil
 	}
 	next := cur.clone()
 	next.alarmed[i] = alarmed
-	delta := -1
-	if alarmed {
-		delta = 1
-	}
-	next.nAlarmed += delta
-	if !next.down[i] {
-		next.nAlarmedLive += delta
-	}
+	next.recount()
 	s.snap.Store(next)
 	s.alarmFlips.Add(1)
 	return nil
@@ -218,14 +222,16 @@ func (s *State) DownTransitions() uint64 { return s.downFlips.Load() }
 // loaded.
 func (s *State) Alarmed(i int) bool { return s.Snapshot().Alarmed(i) }
 
-// AllAlarmed reports whether every server is currently alarmed, in
-// which case selectors ignore alarms (there is no better candidate).
+// AllAlarmed reports whether every member server is currently alarmed,
+// in which case selectors ignore alarms (there is no better
+// candidate).
 func (s *State) AllAlarmed() bool { return s.Snapshot().AllAlarmed() }
 
 // SetDown marks server i as failed (down=true) or recovered. A down
 // server is excluded from every selector regardless of alarms; a
 // membership change bumps the state version so TTL policies
-// recalibrate against the surviving cluster.
+// recalibrate against the surviving cluster. Liveness signals for
+// retired slots are ignored.
 func (s *State) SetDown(i int, down bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -233,22 +239,12 @@ func (s *State) SetDown(i int, down bool) error {
 	if i < 0 || i >= len(cur.down) {
 		return fmt.Errorf("core: liveness for server %d out of range [0,%d)", i, len(cur.down))
 	}
-	if cur.down[i] == down {
+	if !cur.member[i] || cur.down[i] == down {
 		return nil
 	}
 	next := cur.clone()
 	next.down[i] = down
-	if down {
-		next.nDown++
-		if next.alarmed[i] {
-			next.nAlarmedLive--
-		}
-	} else {
-		next.nDown--
-		if next.alarmed[i] {
-			next.nAlarmedLive++
-		}
-	}
+	next.recount()
 	next.version++
 	s.snap.Store(next)
 	s.downFlips.Add(1)
@@ -258,12 +254,147 @@ func (s *State) SetDown(i int, down bool) error {
 // Down reports whether server i is currently marked failed.
 func (s *State) Down(i int) bool { return s.Snapshot().Down(i) }
 
-// AllDown reports whether no server is live; Schedule then returns
-// ErrNoServers.
+// AllDown reports whether no member server is live; Schedule then
+// returns ErrNoServers.
 func (s *State) AllDown() bool { return s.Snapshot().AllDown() }
 
-// LiveServers returns the number of servers not marked down.
+// LiveServers returns the number of member servers not marked down.
 func (s *State) LiveServers() int { return s.Snapshot().LiveServers() }
+
+// Member reports whether slot i is currently a cluster member.
+func (s *State) Member(i int) bool { return s.Snapshot().Member(i) }
+
+// Draining reports whether server i is draining.
+func (s *State) Draining(i int) bool { return s.Snapshot().Draining(i) }
+
+// MemberServers returns the number of non-retired slots.
+func (s *State) MemberServers() int { return s.Snapshot().MemberServers() }
+
+// AddServer appends a new server slot with the given capacity and
+// returns its index. The new server is an active member immediately:
+// selectors may pick it on the very next decision. The capacity may
+// violate the sorted order required of statically built clusters —
+// relative capacities are renormalized against the member maximum.
+func (s *State) AddServer(capacity float64) (int, error) {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return 0, fmt.Errorf("core: capacity %v, want positive finite", capacity)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	next := cur.clone()
+	next.cluster = cur.cluster.withCapacity(-1, capacity)
+	next.alarmed = append(next.alarmed, false)
+	next.down = append(next.down, false)
+	next.member = append(next.member, true)
+	next.draining = append(next.draining, false)
+	next.recount()
+	next.version++
+	s.snap.Store(next)
+	return len(next.member) - 1, nil
+}
+
+// SetCapacity changes the absolute capacity of member server i,
+// renormalizing the relative capacity vector and recalibrating TTLs
+// via the version bump.
+func (s *State) SetCapacity(i int, capacity float64) error {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return fmt.Errorf("core: capacity %v, want positive finite", capacity)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	if i < 0 || i >= len(cur.member) || !cur.member[i] {
+		return fmt.Errorf("core: capacity change for non-member server %d", i)
+	}
+	if cur.cluster.Capacity(i) == capacity {
+		return nil
+	}
+	next := cur.clone()
+	next.cluster = cur.cluster.withCapacity(i, capacity)
+	next.recount()
+	next.version++
+	s.snap.Store(next)
+	return nil
+}
+
+// DrainServer puts member server i into the draining state: selectors
+// stop handing out new mappings to it immediately, but it remains a
+// member (and should stay resolvable / serving) until the hidden-load
+// window of its outstanding TTLs has expired, at which point the
+// caller retires it with RemoveServer. Draining an already-draining
+// server is a no-op.
+func (s *State) DrainServer(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	if i < 0 || i >= len(cur.member) || !cur.member[i] {
+		return fmt.Errorf("core: drain of non-member server %d", i)
+	}
+	if cur.draining[i] {
+		return nil
+	}
+	next := cur.clone()
+	next.draining[i] = true
+	next.recount()
+	next.version++
+	s.snap.Store(next)
+	return nil
+}
+
+// ReinstateServer cancels a drain or revives a retired slot at the
+// given capacity, returning it to full membership with cleared alarm
+// and down flags. It is how a re-JOINing server reclaims its old
+// index.
+func (s *State) ReinstateServer(i int, capacity float64) error {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		return fmt.Errorf("core: capacity %v, want positive finite", capacity)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	if i < 0 || i >= len(cur.member) {
+		return fmt.Errorf("core: reinstate of server %d out of range [0,%d)", i, len(cur.member))
+	}
+	next := cur.clone()
+	next.member[i] = true
+	next.draining[i] = false
+	next.alarmed[i] = false
+	next.down[i] = false
+	if cur.cluster.Capacity(i) != capacity {
+		next.cluster = cur.cluster.withCapacity(i, capacity)
+	}
+	next.recount()
+	next.version++
+	s.snap.Store(next)
+	return nil
+}
+
+// RemoveServer retires slot i: it is no longer a member, is never
+// scheduled, and its alarm/down/draining flags are cleared. The slot
+// index remains reserved (indices are stable) and may be revived by
+// ReinstateServer. Removing the last member is an error — the
+// scheduler must always have at least one slot to hand out.
+func (s *State) RemoveServer(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.snap.Load()
+	if i < 0 || i >= len(cur.member) || !cur.member[i] {
+		return fmt.Errorf("core: removal of non-member server %d", i)
+	}
+	if cur.nMember == 1 {
+		return fmt.Errorf("core: cannot remove server %d: it is the last member", i)
+	}
+	next := cur.clone()
+	next.member[i] = false
+	next.draining[i] = false
+	next.alarmed[i] = false
+	next.down[i] = false
+	next.recount()
+	next.version++
+	s.snap.Store(next)
+	return nil
+}
 
 // available reports whether server i should be considered by a
 // selector under the current snapshot; see Snapshot.available.

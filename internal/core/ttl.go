@@ -215,7 +215,7 @@ func (p *TTLPolicy) serverFactor(sn *Snapshot, server int) float64 {
 	if !p.variant.ServerAware {
 		return 1
 	}
-	return sn.Cluster().Alpha(server) * sn.Cluster().Rho()
+	return sn.Alpha(server) * sn.Rho()
 }
 
 // TTL returns the time-to-live in seconds for an address mapping of
@@ -281,17 +281,17 @@ func calibrateBase(sn *Snapshot, variant TTLVariant, factors []float64, constTTL
 	}
 	meanInvS := 1.0
 	if variant.ServerAware {
-		// Average over live servers only: a crashed server receives no
-		// mappings, so counting it would miscalibrate the request rate of
-		// the surviving cluster until it recovers.
+		// Average over servers that can actually receive mappings: a
+		// crashed, draining, or retired server gets none, so counting it
+		// would miscalibrate the request rate of the surviving cluster.
 		var sum float64
 		live := 0
 		n := sn.Cluster().N()
 		for i := 0; i < n; i++ {
-			if sn.Down(i) {
+			if !sn.Member(i) || sn.Down(i) || sn.Draining(i) {
 				continue
 			}
-			sum += 1 / (sn.Cluster().Alpha(i) * sn.Cluster().Rho())
+			sum += 1 / (sn.Alpha(i) * sn.Rho())
 			live++
 		}
 		if live > 0 {

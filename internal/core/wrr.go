@@ -40,7 +40,7 @@ func (w *wrrSelector) Select(sn *Snapshot, _ int) int {
 		if !sn.available(i) {
 			continue
 		}
-		weight := sn.Cluster().Alpha(i)
+		weight := sn.Alpha(i)
 		w.current[i] += weight
 		total += weight
 		if best == -1 || w.current[i] > w.current[best] {

@@ -1,0 +1,317 @@
+package dnsserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"dnslb/internal/core"
+)
+
+// Checkpoint/restore: the DNS's soft state — the hidden-load weight
+// estimates it learned from server reports, the alarm/down/draining
+// standing of every slot, and the selectors' rotation cursors — is
+// periodically serialized to a JSON file and restored on startup, so a
+// restart does not reset the domain weights to uniform (which would
+// hand hot domains long TTLs until the estimator relearns).
+//
+// A checkpoint is advisory, never authoritative: restore validates it
+// against the running configuration (format version, zone, policy,
+// domain count, staleness) and falls back to a clean cold start on any
+// mismatch. Server state is matched by address, not index, so a config
+// change between save and restore degrades gracefully — unmatched
+// servers just start cold.
+
+// checkpointVersion is the on-disk format version; bump on any
+// incompatible change to the Checkpoint schema.
+const checkpointVersion = 1
+
+// Checkpoint is the serialized soft state of a Server.
+type Checkpoint struct {
+	Version   int       `json:"version"`
+	SavedAt   time.Time `json:"saved_at"`
+	Zone      string    `json:"zone"`
+	Policy    string    `json:"policy"`
+	Domains   int       `json:"domains"`
+	Weights   []float64 `json:"weights"`
+	Estimator core.EstimatorState
+	Cursors   []int64            `json:"cursors,omitempty"`
+	Servers   []ServerCheckpoint `json:"servers"`
+}
+
+// ServerCheckpoint is one slot's membership and feedback standing.
+// Retired slots are serialized too (Member=false) so a re-JOIN after
+// restart can reclaim the same index.
+type ServerCheckpoint struct {
+	Addr      string    `json:"addr"`
+	Capacity  float64   `json:"capacity"`
+	Member    bool      `json:"member"`
+	Draining  bool      `json:"draining"`
+	Alarmed   bool      `json:"alarmed"`
+	Down      bool      `json:"down"`
+	ExpiresAt time.Time `json:"expires_at,omitempty"` // hidden-load window end
+}
+
+// Checkpoint captures the server's current soft state.
+func (s *Server) Checkpoint() *Checkpoint {
+	st := s.policy.State()
+	sn := st.Snapshot()
+	addrs := s.serverAddrs()
+	cp := &Checkpoint{
+		Version: checkpointVersion,
+		SavedAt: time.Now(),
+		Zone:    s.zone,
+		Policy:  s.policy.Name(),
+		Domains: sn.Domains(),
+		Weights: sn.Weights(),
+		Cursors: s.policy.Cursors(),
+		Servers: make([]ServerCheckpoint, len(addrs)),
+	}
+	s.estMu.Lock()
+	cp.Estimator = s.est.State()
+	s.estMu.Unlock()
+	for i, a := range addrs {
+		cp.Servers[i] = ServerCheckpoint{
+			Addr:      a.String(),
+			Capacity:  sn.Cluster().Capacity(i),
+			Member:    sn.Member(i),
+			Draining:  sn.Draining(i),
+			Alarmed:   sn.Alarmed(i),
+			Down:      sn.Down(i),
+			ExpiresAt: s.MappingExpiry(i),
+		}
+	}
+	return cp
+}
+
+// WriteCheckpoint atomically serializes the current soft state to
+// path (write to a temp file in the same directory, then rename).
+func (s *Server) WriteCheckpoint(path string) error {
+	cp := s.Checkpoint()
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		s.ckptErrs.Add(1)
+		return fmt.Errorf("dnsserver: encode checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		s.ckptErrs.Add(1)
+		return fmt.Errorf("dnsserver: checkpoint temp file: %w", err)
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		_ = os.Remove(tmp.Name())
+		s.ckptErrs.Add(1)
+		return fmt.Errorf("dnsserver: write checkpoint: %w", errors.Join(werr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		s.ckptErrs.Add(1)
+		return fmt.Errorf("dnsserver: install checkpoint: %w", err)
+	}
+	s.ckptSaves.Add(1)
+	return nil
+}
+
+// LoadCheckpoint reads and decodes a checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("dnsserver: corrupt checkpoint %s: %w", path, err)
+	}
+	return &cp, nil
+}
+
+// RestoreCheckpoint applies a checkpoint's soft state to the server.
+// It validates everything before mutating anything, so a rejected
+// checkpoint leaves the server in its cold-start state:
+//
+//   - the format version must match;
+//   - zone, policy name, and domain count must match the running
+//     configuration;
+//   - the checkpoint must be younger than maxAge (0 disables the check).
+//
+// Server standing is matched by address: slots whose address appears
+// in the current table get their alarm/down flags and (for a slot that
+// was draining) a resumed drain with the persisted hidden-load window;
+// checkpointed servers unknown to the current config are skipped with
+// a log line (the config is authoritative for membership).
+//
+// Call before Start, after the liveness monitor (if any) is attached.
+func (s *Server) RestoreCheckpoint(cp *Checkpoint, maxAge time.Duration) error {
+	if cp == nil {
+		return errors.New("dnsserver: nil checkpoint")
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("dnsserver: checkpoint format v%d, want v%d", cp.Version, checkpointVersion)
+	}
+	if cp.Zone != s.zone {
+		return fmt.Errorf("dnsserver: checkpoint for zone %q, serving %q", cp.Zone, s.zone)
+	}
+	if cp.Policy != s.policy.Name() {
+		return fmt.Errorf("dnsserver: checkpoint for policy %q, running %q", cp.Policy, s.policy.Name())
+	}
+	st := s.policy.State()
+	if cp.Domains != st.Domains() {
+		return fmt.Errorf("dnsserver: checkpoint has %d domains, state has %d", cp.Domains, st.Domains())
+	}
+	if maxAge > 0 {
+		age := time.Since(cp.SavedAt)
+		if age > maxAge {
+			return fmt.Errorf("dnsserver: checkpoint is %v old, max %v", age.Round(time.Second), maxAge)
+		}
+		if age < -maxAge {
+			return fmt.Errorf("dnsserver: checkpoint from the future (%v)", cp.SavedAt)
+		}
+	}
+	if len(cp.Weights) != cp.Domains {
+		return fmt.Errorf("dnsserver: checkpoint has %d weights for %d domains", len(cp.Weights), cp.Domains)
+	}
+
+	// Validation done — apply. Estimator first (it re-derives weights on
+	// the next roll); a shape mismatch here still leaves weights cold.
+	s.estMu.Lock()
+	estErr := s.est.Restore(cp.Estimator)
+	s.estMu.Unlock()
+	if estErr != nil {
+		return fmt.Errorf("dnsserver: checkpoint estimator: %w", estErr)
+	}
+	if err := st.SetWeights(cp.Weights); err != nil {
+		return fmt.Errorf("dnsserver: checkpoint weights: %w", err)
+	}
+	if cp.Cursors != nil && !s.policy.RestoreCursors(cp.Cursors) {
+		s.logger.Warn("checkpoint cursors not restorable; selector starts fresh",
+			"cursors", len(cp.Cursors))
+	}
+
+	byAddr := make(map[netip.Addr]int, s.Servers())
+	for i, a := range s.serverAddrs() {
+		byAddr[a] = i
+	}
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	for _, scp := range cp.Servers {
+		addr, err := netip.ParseAddr(scp.Addr)
+		if err != nil {
+			s.logger.Warn("checkpoint server has bad address; skipped", "addr", scp.Addr)
+			continue
+		}
+		i, ok := byAddr[addr]
+		if !ok || !st.Member(i) {
+			if scp.Member {
+				s.logger.Info("checkpoint server not in current config; starting cold", "addr", scp.Addr)
+			}
+			continue
+		}
+		if !scp.Member {
+			continue // was retired at save time; current config revived it
+		}
+		if scp.Alarmed {
+			_ = st.SetAlarm(i, true)
+		}
+		if scp.Down {
+			_ = st.SetDown(i, true)
+			// Mirror the flag into the liveness monitor so the backend's
+			// next report clears it (Touch only re-admits backends the
+			// monitor itself marked down).
+			s.livenessMu.Lock()
+			m := s.liveness
+			s.livenessMu.Unlock()
+			if m != nil {
+				m.noteRestoredDown(i)
+			}
+		}
+		if scp.Draining {
+			// Resume the drain with the persisted hidden-load window:
+			// mappings handed out before the restart are still cached
+			// downstream until ExpiresAt.
+			if exp := scp.ExpiresAt; exp.After(time.Now()) {
+				slot := s.expirySlot(i)
+				if ns := exp.UnixNano(); ns > slot.Load() {
+					slot.Store(ns)
+				}
+			}
+			if _, err := s.drainLocked(i); err != nil {
+				s.logger.Warn("checkpoint drain not resumable", "server", i, "err", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Checkpointer periodically writes a server's checkpoint to a file and
+// flushes one final checkpoint on Close — the shutdown path's state
+// save.
+type Checkpointer struct {
+	srv  *Server
+	path string
+
+	once sync.Once
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCheckpointer starts periodic checkpointing of srv to path every
+// interval.
+func NewCheckpointer(srv *Server, path string, interval time.Duration) (*Checkpointer, error) {
+	if srv == nil {
+		return nil, errors.New("dnsserver: checkpointer needs a server")
+	}
+	if path == "" {
+		return nil, errors.New("dnsserver: checkpointer needs a path")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("dnsserver: checkpoint interval %v must be positive", interval)
+	}
+	c := &Checkpointer{
+		srv:  srv,
+		path: path,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go c.loop(interval)
+	return c, nil
+}
+
+func (c *Checkpointer) loop(interval time.Duration) {
+	defer close(c.done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			if err := c.srv.WriteCheckpoint(c.path); err != nil {
+				c.srv.logger.Warn("periodic checkpoint failed", "path", c.path, "err", err)
+			}
+		}
+	}
+}
+
+// Close stops the periodic saver and writes one final checkpoint.
+func (c *Checkpointer) Close() error {
+	var err error
+	c.once.Do(func() {
+		close(c.stop)
+		<-c.done
+		err = c.srv.WriteCheckpoint(c.path)
+	})
+	return err
+}
+
+// CheckpointSaves returns how many checkpoints were written
+// successfully; CheckpointErrors how many writes failed.
+func (s *Server) CheckpointSaves() uint64  { return s.ckptSaves.Load() }
+func (s *Server) CheckpointErrors() uint64 { return s.ckptErrs.Load() }

@@ -19,6 +19,7 @@
 package dnsserver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -26,6 +27,7 @@ import (
 	"net"
 	"net/netip"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,8 +78,12 @@ type Config struct {
 
 // Server is the authoritative DNS front end.
 type Server struct {
-	zone  string
-	addrs []netip.Addr
+	zone string
+	// addrs points at the immutable per-slot address table,
+	// index-aligned with the policy's cluster; Join replaces it
+	// copy-on-write so the query path reads it with one atomic load.
+	// Retired slots keep their last address (re-JOIN matching).
+	addrs atomic.Pointer[[]netip.Addr]
 
 	policy *core.Policy
 
@@ -101,6 +107,30 @@ type Server struct {
 
 	livenessMu sync.Mutex
 	liveness   *LivenessMonitor
+
+	// expiry tracks, per server slot, the latest instant at which a
+	// mapping handed out to that server can still sit in a resolver
+	// cache (CAS-max of decision time + TTL, unix nanoseconds). It is
+	// the paper's hidden-load window, and the graceful-drain deadline.
+	expiry atomic.Pointer[[]*atomic.Int64]
+
+	// reconfigMu serializes membership changes (Join, Drain,
+	// Reconfigure, checkpoint restore) against each other; the query
+	// path never takes it.
+	reconfigMu  sync.Mutex
+	drainTimers map[int]*time.Timer
+
+	// Reconfiguration and robustness counters; exported as metric
+	// series when instrumented but always maintained, so uninstrumented
+	// servers (and tests) can observe them too.
+	panics     atomic.Uint64
+	joins      atomic.Uint64
+	drains     atomic.Uint64
+	removals   atomic.Uint64
+	reloads    atomic.Uint64
+	reloadErrs atomic.Uint64
+	ckptSaves  atomic.Uint64
+	ckptErrs   atomic.Uint64
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -188,23 +218,83 @@ func New(cfg Config) (*Server, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Server{
-		zone:       dnswire.CanonicalName(cfg.Zone),
-		addrs:      append([]netip.Addr(nil), cfg.ServerAddrs...),
-		policy:     cfg.Policy,
-		est:        est,
-		mapper:     mapper,
-		logger:     logger,
-		listenAddr: cfg.Addr,
-		limiter:    cfg.RateLimit,
-		udpWorkers: workers,
-		registry:   cfg.Metrics,
-		conns:      make(map[net.Conn]struct{}),
-		closed:     make(chan struct{}),
+		zone:        dnswire.CanonicalName(cfg.Zone),
+		policy:      cfg.Policy,
+		est:         est,
+		mapper:      mapper,
+		logger:      logger,
+		listenAddr:  cfg.Addr,
+		limiter:     cfg.RateLimit,
+		udpWorkers:  workers,
+		registry:    cfg.Metrics,
+		conns:       make(map[net.Conn]struct{}),
+		drainTimers: make(map[int]*time.Timer),
+		closed:      make(chan struct{}),
 	}
+	addrs := append([]netip.Addr(nil), cfg.ServerAddrs...)
+	s.addrs.Store(&addrs)
+	exp := make([]*atomic.Int64, n)
+	for i := range exp {
+		exp[i] = new(atomic.Int64)
+	}
+	s.expiry.Store(&exp)
 	if cfg.Metrics != nil {
 		s.metrics = newServerMetrics(cfg.Metrics, s)
 	}
 	return s, nil
+}
+
+// serverAddrs returns the current immutable address table.
+func (s *Server) serverAddrs() []netip.Addr { return *s.addrs.Load() }
+
+// expirySlot returns the outstanding-TTL tracker for server i, growing
+// the slot table copy-on-write when a dynamically joined server
+// exceeds the allocated slots; the individual atomics are shared
+// between old and new tables, so no update is lost to a race.
+func (s *Server) expirySlot(i int) *atomic.Int64 {
+	for {
+		cur := s.expiry.Load()
+		if i < len(*cur) {
+			return (*cur)[i]
+		}
+		next := make([]*atomic.Int64, i+1)
+		copy(next, *cur)
+		for j := len(*cur); j <= i; j++ {
+			next[j] = new(atomic.Int64)
+		}
+		if s.expiry.CompareAndSwap(cur, &next) {
+			return next[i]
+		}
+	}
+}
+
+// noteMapping records that a mapping with the given TTL was just
+// handed out for server i: the hidden-load window of that server now
+// extends to at least now+TTL. Lock-free CAS-max on the slot.
+func (s *Server) noteMapping(server int, ttlSeconds float64) {
+	exp := time.Now().Add(time.Duration(ttlSeconds * float64(time.Second))).UnixNano()
+	slot := s.expirySlot(server)
+	for {
+		old := slot.Load()
+		if exp <= old || slot.CompareAndSwap(old, exp) {
+			return
+		}
+	}
+}
+
+// MappingExpiry returns the latest instant at which a mapping handed
+// to server i can still be cached downstream (zero time if none was
+// ever handed out) — the earliest moment a drain of i may complete.
+func (s *Server) MappingExpiry(i int) time.Time {
+	cur := *s.expiry.Load()
+	if i < 0 || i >= len(cur) {
+		return time.Time{}
+	}
+	ns := cur[i].Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // Start binds the UDP socket and TCP listener and begins serving with
@@ -242,7 +332,9 @@ func (s *Server) addrOrDefault() string {
 // Addr returns the bound UDP address (valid after Start).
 func (s *Server) Addr() net.Addr { return s.udp.LocalAddr() }
 
-// Close stops serving and waits for the serve loops to exit.
+// Close stops serving immediately and waits for the serve loops to
+// exit; in-flight exchanges may be cut off. For a drain-then-stop, use
+// Shutdown.
 func (s *Server) Close() error {
 	select {
 	case <-s.closed:
@@ -250,6 +342,7 @@ func (s *Server) Close() error {
 	default:
 	}
 	close(s.closed)
+	s.cancelDrainTimers()
 	var first error
 	if s.udp != nil {
 		first = s.udp.Close()
@@ -268,6 +361,66 @@ func (s *Server) Close() error {
 	s.connsMu.Unlock()
 	s.wg.Wait()
 	return first
+}
+
+// Shutdown stops the server gracefully: new work is refused, but
+// queries already read from the sockets are answered before the serve
+// loops exit. The UDP socket stays open (writable) until every worker
+// has finished its in-flight response; TCP stops accepting at once and
+// each open connection completes its current exchange. When ctx
+// expires first, the remaining work is cut off as in Close and ctx's
+// error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	s.cancelDrainTimers()
+	// Unblock the UDP readers without closing the socket: a worker
+	// blocked in read observes the deadline error, sees closed, and
+	// exits; a worker mid-response can still write it.
+	if s.udp != nil {
+		_ = s.udp.SetReadDeadline(time.Now())
+	}
+	var first error
+	if s.tcp != nil {
+		first = s.tcp.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if first == nil {
+			first = ctx.Err()
+		}
+		s.connsMu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.connsMu.Unlock()
+	}
+	if s.udp != nil {
+		_ = s.udp.Close()
+	}
+	<-done
+	return first
+}
+
+// cancelDrainTimers stops every pending drain-completion timer; used
+// on shutdown so no removal fires into a closing server.
+func (s *Server) cancelDrainTimers() {
+	s.reconfigMu.Lock()
+	for i, t := range s.drainTimers {
+		t.Stop()
+		delete(s.drainTimers, i)
+	}
+	s.reconfigMu.Unlock()
 }
 
 // Stats returns a snapshot of the serve counters, summed across the
@@ -289,8 +442,13 @@ func (s *Server) Stats() ServerStats {
 	return out
 }
 
-// Servers returns the cluster size of the scheduling policy.
-func (s *Server) Servers() int { return len(s.addrs) }
+// Servers returns the number of server slots (including retired ones;
+// see the policy state's Member for slot standing).
+func (s *Server) Servers() int { return len(s.serverAddrs()) }
+
+// Panics returns how many query-handler panics were recovered since
+// start; each one is also logged and counted in dnslb_dns_panics_total.
+func (s *Server) Panics() uint64 { return s.panics.Load() }
 
 // SetAlarm relays a Web server's alarm/normal signal to the scheduler.
 // An out-of-range index is reported back, so remote reporters learn
@@ -373,6 +531,56 @@ var packPool = sync.Pool{
 	},
 }
 
+// Read/accept error backoff: persistent socket errors (ENOBUFS, EMFILE)
+// would otherwise hot-spin the serve loop and flood the log. The delay
+// doubles per consecutive failure up to the cap and resets to zero on
+// the first success.
+const (
+	errBackoffMin = time.Millisecond
+	errBackoffMax = time.Second
+)
+
+// nextBackoff returns the delay to sleep after a serve-loop error and
+// the successor backoff value.
+func nextBackoff(cur time.Duration) (sleep, next time.Duration) {
+	if cur <= 0 {
+		return errBackoffMin, 2 * errBackoffMin
+	}
+	if cur > errBackoffMax {
+		return errBackoffMax, errBackoffMax
+	}
+	return cur, cur * 2
+}
+
+// sleepOrClosed sleeps for d, returning early (true) when the server
+// is shutting down.
+func (s *Server) sleepOrClosed(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.closed:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// safeHandle is handle behind a panic recovery: a bug in the query
+// path must not kill the serve worker. The panic is logged with its
+// stack, counted, and the query dropped (the client retries; losing
+// one datagram is the UDP failure model anyway).
+func (s *Server) safeHandle(wire []byte, from netip.Addr, maxSize int, dst []byte) (resp []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.logger.Error("panic in query handler",
+				"panic", r, "raddr", from, "stack", string(debug.Stack()))
+			resp = nil
+		}
+	}()
+	return s.handle(wire, from, maxSize, dst)
+}
+
 // serveUDP is one of UDPWorkers identical reader/responder loops over
 // the shared socket. The kernel distributes datagrams across blocked
 // readers; each worker owns its read buffer, so the loops never touch
@@ -385,6 +593,7 @@ func (s *Server) serveUDP(worker int) {
 	buf := make([]byte, 65535)
 	m := s.metrics
 	hint := uint32(worker)
+	var backoff time.Duration
 	for {
 		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
 		if err != nil {
@@ -393,15 +602,21 @@ func (s *Server) serveUDP(worker int) {
 				return
 			default:
 				s.logger.Warn("udp read failed", "err", err, "worker", worker)
+				var sleep time.Duration
+				sleep, backoff = nextBackoff(backoff)
+				if s.sleepOrClosed(sleep) {
+					return
+				}
 				continue
 			}
 		}
+		backoff = 0
 		var start time.Time
 		if m != nil {
 			start = time.Now()
 		}
 		bp := packPool.Get().(*[]byte)
-		resp := s.handle(buf[:n], raddr.Addr(), dnswire.MaxUDPPayload, (*bp)[:0])
+		resp := s.safeHandle(buf[:n], raddr.Addr(), dnswire.MaxUDPPayload, (*bp)[:0])
 		if resp != nil {
 			if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
 				s.logger.Warn("udp write failed", "err", err, "worker", worker, "raddr", raddr)
@@ -419,6 +634,7 @@ func (s *Server) serveUDP(worker int) {
 
 func (s *Server) serveTCP() {
 	defer s.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := s.tcp.Accept()
 		if err != nil {
@@ -427,9 +643,15 @@ func (s *Server) serveTCP() {
 				return
 			default:
 				s.logger.Warn("tcp accept failed", "err", err)
+				var sleep time.Duration
+				sleep, backoff = nextBackoff(backoff)
+				if s.sleepOrClosed(sleep) {
+					return
+				}
 				continue
 			}
 		}
+		backoff = 0
 		s.connsMu.Lock()
 		s.conns[conn] = struct{}{}
 		s.connsMu.Unlock()
@@ -458,6 +680,13 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 	}
 	lenBuf := make([]byte, 2)
 	for {
+		// A graceful shutdown lets the current exchange finish but takes
+		// no further messages from the connection.
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
 		if err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout)); err != nil {
 			return
 		}
@@ -469,7 +698,7 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		if _, err := readFull(conn, msg); err != nil {
 			return
 		}
-		resp := s.handle(msg, raddr, math.MaxUint16, nil)
+		resp := s.safeHandle(msg, raddr, math.MaxUint16, nil)
 		if resp == nil {
 			return
 		}
@@ -577,12 +806,13 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) [
 		if s.metrics != nil {
 			s.metrics.ttl.ObserveHint(idx, d.TTL)
 		}
+		s.noteMapping(d.Server, d.TTL)
 		resp.Answers = []dnswire.ResourceRecord{{
 			Name:  s.zone,
 			Type:  dnswire.TypeA,
 			Class: dnswire.ClassIN,
 			TTL:   ttl,
-			Data:  dnswire.A{Addr: s.addrs[d.Server]},
+			Data:  dnswire.A{Addr: s.serverAddrs()[d.Server]},
 		}}
 		if hasECS {
 			echo := ecs

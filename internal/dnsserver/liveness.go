@@ -29,7 +29,15 @@ type LivenessMonitor struct {
 	lastSeen []time.Time
 	down     []bool
 
-	exclusions []*metrics.Counter // per server; nil when uninstrumented
+	// exclusions holds the per-server exclusion counters (nil elements
+	// when uninstrumented); read under mu, grown by Grow.
+	exclusions []*metrics.Counter
+
+	// growMu serializes Grow calls so metric registration (which must
+	// happen outside mu — the gauge read functions take mu under the
+	// registry's lock at scrape time) is never attempted twice for the
+	// same slot.
+	growMu sync.Mutex
 
 	stop chan struct{}
 	done chan struct{}
@@ -102,6 +110,75 @@ func (m *LivenessMonitor) Touch(server int) {
 	}
 }
 
+// Grow extends the monitor to cover n backends, giving each new slot a
+// full grace period of k intervals — a freshly joined server is not
+// marked down before it had a chance to report. Shrinking is not
+// supported (slot indices are stable); n at or below the current size
+// is a no-op.
+//
+// Metric series for the new slots are registered outside the state
+// lock: the registry calls the gauge read functions (which take m.mu)
+// under its own lock at scrape time, so registering under m.mu would
+// invert that order.
+func (m *LivenessMonitor) Grow(n int) {
+	m.growMu.Lock()
+	defer m.growMu.Unlock()
+	m.mu.Lock()
+	start := len(m.lastSeen)
+	m.mu.Unlock()
+	if n <= start {
+		return
+	}
+	var counters []*metrics.Counter
+	if reg := m.srv.registry; reg != nil {
+		counters = make([]*metrics.Counter, 0, n-start)
+		for i := start; i < n; i++ {
+			i := i
+			lbl := metrics.Labels{"server", strconv.Itoa(i)}
+			counters = append(counters, reg.NewCounter("dnslb_liveness_exclusions_total",
+				"Backends marked down after k missed report intervals.", lbl))
+			reg.NewGaugeFunc("dnslb_liveness_report_age_seconds",
+				"Seconds since the backend last proved it was alive (heartbeat gap).", lbl,
+				func() float64 {
+					m.mu.Lock()
+					var last time.Time
+					if i < len(m.lastSeen) {
+						last = m.lastSeen[i]
+					}
+					m.mu.Unlock()
+					if last.IsZero() {
+						return 0
+					}
+					return time.Since(last).Seconds()
+				})
+		}
+	}
+	now := time.Now()
+	m.mu.Lock()
+	for i := start; i < n; i++ {
+		m.lastSeen = append(m.lastSeen, now)
+		m.down = append(m.down, false)
+	}
+	if counters != nil {
+		// Instrumented: keep exclusions index-aligned with lastSeen.
+		m.exclusions = append(m.exclusions, counters...)
+	}
+	m.mu.Unlock()
+}
+
+// noteRestoredDown marks server i down in the monitor's own view, used
+// when a checkpoint restore re-applies a down flag: Touch clears the
+// scheduler's down flag only when the monitor itself considers the
+// backend down, so without this the restored exclusion would outlive
+// the backend's recovery.
+func (m *LivenessMonitor) noteRestoredDown(server int) {
+	m.mu.Lock()
+	if server >= 0 && server < len(m.down) {
+		m.down[server] = true
+	}
+	m.mu.Unlock()
+}
+
 // Down reports whether the monitor currently considers the backend
 // failed.
 func (m *LivenessMonitor) Down(server int) bool {
@@ -143,18 +220,22 @@ func (m *LivenessMonitor) loop() {
 func (m *LivenessMonitor) check(now time.Time) {
 	deadline := time.Duration(m.k) * m.interval
 	var newlyDown []int
+	var counters []*metrics.Counter
 	m.mu.Lock()
 	for i := range m.lastSeen {
 		if !m.down[i] && now.Sub(m.lastSeen[i]) > deadline {
 			m.down[i] = true
 			newlyDown = append(newlyDown, i)
+			if i < len(m.exclusions) && m.exclusions[i] != nil {
+				counters = append(counters, m.exclusions[i])
+			}
 		}
 	}
 	m.mu.Unlock()
+	for _, c := range counters {
+		c.Inc()
+	}
 	for _, i := range newlyDown {
-		if m.exclusions != nil {
-			m.exclusions[i].Inc()
-		}
 		_ = m.srv.SetDown(i, true)
 	}
 }

@@ -2,6 +2,7 @@ package dnsserver
 
 import (
 	"strconv"
+	"sync"
 
 	"dnslb/internal/core"
 	"dnslb/internal/metrics"
@@ -16,6 +17,11 @@ import (
 // time, so enabling exposition adds zero work per query for those. The
 // only new per-query work is the two histograms (latency, returned
 // TTL), whose updates are a bucket increment plus a sharded sum CAS.
+//
+// Per-server series are registered through ensureServerSeries so a
+// server joined at runtime (JOIN verb, SIGHUP reload) gets its series
+// on admission; the registry refuses duplicate registration, so the
+// registered count is tracked under a mutex.
 
 // queryDurationBuckets covers the serve path from ~5µs (decode+schedule
 // +encode on loopback) up to 50ms (a struggling server); seconds.
@@ -30,17 +36,23 @@ var ttlBuckets = []float64{1, 5, 15, 30, 60, 120, 240, 480, 960, 1920}
 
 // serverMetrics holds the handles the serve path updates directly.
 type serverMetrics struct {
+	reg *metrics.Registry
+	srv *Server
+
 	latency *metrics.Histogram
 	ttl     *metrics.Histogram
 
 	reportOK  *metrics.Counter
 	reportErr *metrics.Counter
+
+	mu          sync.Mutex
+	serverSlots int // per-server series registered for slots [0, serverSlots)
 }
 
 // newServerMetrics registers the server's series on reg and returns
 // the hot-path handles. Called once from New, before any serving.
 func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
-	m := &serverMetrics{}
+	m := &serverMetrics{reg: reg, srv: s}
 
 	// DNS front end: query totals by outcome, pulled from the sharded
 	// serve counters the handlers already maintain.
@@ -69,18 +81,15 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	m.ttl = reg.NewHistogram("dnslb_dns_ttl_seconds",
 		"TTL values handed out with A answers, before rounding to the wire.",
 		nil, ttlBuckets)
+	reg.NewCounterFunc("dnslb_dns_panics_total",
+		"Query-handler panics recovered by the serve workers.",
+		nil, s.panics.Load)
 
-	// Scheduling policy: decision counters per server and class, plus
-	// no-server failures, from the policy's own atomic counters.
+	// Scheduling policy: class-level decision counters and no-server
+	// failures from the policy's own atomics (per-server decisions are
+	// registered in ensureServerSeries).
 	pol := s.policy
 	polLabel := pol.Name()
-	for i := 0; i < len(s.addrs); i++ {
-		i := i
-		reg.NewCounterFunc("dnslb_policy_decisions_total",
-			"Scheduling decisions that chose each Web server.",
-			metrics.Labels{"policy", polLabel, "server", strconv.Itoa(i)},
-			func() uint64 { return pol.ServerDecisions(i) })
-	}
 	for _, class := range []core.DomainClass{core.ClassNormal, core.ClassHot} {
 		class := class
 		reg.NewCounterFunc("dnslb_policy_decisions_class_total",
@@ -107,16 +116,32 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	reg.NewGaugeFunc("dnslb_state_hot_domains",
 		"Domains currently classified hot (weight above beta).",
 		nil, func() float64 { return float64(st.HotDomains()) })
-	for i := 0; i < len(s.addrs); i++ {
-		i := i
-		lbl := metrics.Labels{"server", strconv.Itoa(i)}
-		reg.NewGaugeFunc("dnslb_state_server_alarmed",
-			"1 while the server's alarm is raised.", lbl,
-			func() float64 { return boolGauge(st.Alarmed(i)) })
-		reg.NewGaugeFunc("dnslb_state_server_down",
-			"1 while the server is excluded as failed.", lbl,
-			func() float64 { return boolGauge(st.Down(i)) })
-	}
+
+	// Membership reconfiguration and checkpointing.
+	reg.NewCounterFunc("dnslb_reconfig_joins_total",
+		"Servers admitted (or re-admitted) through JOIN or config reload.",
+		nil, s.joins.Load)
+	reg.NewCounterFunc("dnslb_reconfig_drains_total",
+		"Graceful drains started through DRAIN or config reload.",
+		nil, s.drains.Load)
+	reg.NewCounterFunc("dnslb_reconfig_removals_total",
+		"Servers removed from membership after their drain window closed.",
+		nil, s.removals.Load)
+	reg.NewCounterFunc("dnslb_reconfig_reloads_total",
+		"Configuration reloads applied successfully.",
+		nil, s.reloads.Load)
+	reg.NewCounterFunc("dnslb_reconfig_reload_errors_total",
+		"Configuration reloads that failed validation or application.",
+		nil, s.reloadErrs.Load)
+	reg.NewGaugeFunc("dnslb_reconfig_member_servers",
+		"Server slots currently in membership (active or draining).",
+		nil, func() float64 { return float64(st.MemberServers()) })
+	reg.NewCounterFunc("dnslb_checkpoint_saves_total",
+		"State checkpoints written successfully.",
+		nil, s.ckptSaves.Load)
+	reg.NewCounterFunc("dnslb_checkpoint_errors_total",
+		"State checkpoint writes that failed.",
+		nil, s.ckptErrs.Load)
 
 	// Report protocol: accepted and rejected lines.
 	m.reportOK = reg.NewCounter("dnslb_report_lines_total",
@@ -124,7 +149,42 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	m.reportErr = reg.NewCounter("dnslb_report_lines_total",
 		"Load-report lines by result.", metrics.Labels{"status", "error"})
 
+	m.ensureServerSeries(s.Servers())
 	return m
+}
+
+// ensureServerSeries registers the per-server series for any slot in
+// [0, n) that does not have them yet. Idempotent; safe to call from
+// joinLocked when a fresh slot is admitted. The registry panics on
+// duplicate registration, so the already-registered count is the
+// guard.
+func (m *serverMetrics) ensureServerSeries(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= m.serverSlots {
+		return
+	}
+	pol := m.srv.policy
+	polLabel := pol.Name()
+	st := pol.State()
+	for i := m.serverSlots; i < n; i++ {
+		i := i
+		m.reg.NewCounterFunc("dnslb_policy_decisions_total",
+			"Scheduling decisions that chose each Web server.",
+			metrics.Labels{"policy", polLabel, "server", strconv.Itoa(i)},
+			func() uint64 { return pol.ServerDecisions(i) })
+		lbl := metrics.Labels{"server", strconv.Itoa(i)}
+		m.reg.NewGaugeFunc("dnslb_state_server_alarmed",
+			"1 while the server's alarm is raised.", lbl,
+			func() float64 { return boolGauge(st.Alarmed(i)) })
+		m.reg.NewGaugeFunc("dnslb_state_server_down",
+			"1 while the server is excluded as failed.", lbl,
+			func() float64 { return boolGauge(st.Down(i)) })
+		m.reg.NewGaugeFunc("dnslb_state_server_draining",
+			"1 while the server is draining (no new mappings, hidden-load window still open).", lbl,
+			func() float64 { return boolGauge(st.Draining(i)) })
+	}
+	m.serverSlots = n
 }
 
 // statsTotal returns a scrape-time reader summing one counter across

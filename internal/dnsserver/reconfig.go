@@ -1,0 +1,240 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Zero-downtime reconfiguration: the server set can change while the
+// DNS keeps answering. Join adds (or revives) a server slot, Drain
+// retires one gracefully, and Reconfigure diffs a whole desired server
+// set against the current membership. All three serialize on
+// reconfigMu; the query path never blocks on any of them — it reads
+// the atomically published address table and state snapshot.
+//
+// Graceful drain follows the paper's hidden-load model: every mapping
+// the DNS hands out pins load to its server for the TTL, so a server
+// cannot simply vanish — the policy stops scheduling it immediately
+// (core.State.DrainServer), but the slot stays resolvable and serving
+// until the largest outstanding TTL it was handed has expired
+// (MappingExpiry), and only then is it removed from membership.
+
+// Join adds a Web server with the given IPv4 address and capacity to
+// the cluster, returning its slot index. Join is idempotent and
+// address-keyed:
+//
+//   - an active member with the same address has its capacity updated
+//     and keeps its index (duplicate JOIN);
+//   - a draining or retired slot with the same address is reinstated
+//     at that index with cleared alarm/down flags (a re-JOIN cancels
+//     the drain: outstanding mappings to it are valid again);
+//   - an unknown address gets a fresh slot, schedulable immediately.
+func (s *Server) Join(addr netip.Addr, capacity float64) (int, error) {
+	if !addr.Is4() {
+		return 0, fmt.Errorf("dnsserver: join address %v must be IPv4", addr)
+	}
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	return s.joinLocked(addr, capacity)
+}
+
+func (s *Server) joinLocked(addr netip.Addr, capacity float64) (int, error) {
+	st := s.policy.State()
+	cur := s.serverAddrs()
+	for i, a := range cur {
+		if a != addr {
+			continue
+		}
+		if st.Member(i) && !st.Draining(i) {
+			if err := st.SetCapacity(i, capacity); err != nil {
+				return 0, err
+			}
+			return i, nil
+		}
+		if t, ok := s.drainTimers[i]; ok {
+			t.Stop()
+			delete(s.drainTimers, i)
+		}
+		if err := st.ReinstateServer(i, capacity); err != nil {
+			return 0, err
+		}
+		s.joins.Add(1)
+		s.noteJoin(i)
+		s.logger.Info("server rejoined", "server", i, "addr", addr, "capacity", capacity)
+		return i, nil
+	}
+	// Fresh slot. Publish the address table and the expiry slot first:
+	// the instant AddServer publishes membership, a concurrent Schedule
+	// may pick the new index, and the query path must find its address.
+	idx := len(cur)
+	next := make([]netip.Addr, idx+1)
+	copy(next, cur)
+	next[idx] = addr
+	s.addrs.Store(&next)
+	s.expirySlot(idx)
+	got, err := st.AddServer(capacity)
+	if err != nil {
+		s.addrs.Store(&cur)
+		return 0, err
+	}
+	if got != idx {
+		// Slots and addresses are maintained in lockstep under
+		// reconfigMu; a mismatch means that invariant broke.
+		s.addrs.Store(&cur)
+		return 0, fmt.Errorf("dnsserver: slot %d for address table of %d entries", got, idx)
+	}
+	s.joins.Add(1)
+	s.noteJoin(idx)
+	if s.metrics != nil {
+		s.metrics.ensureServerSeries(idx + 1)
+	}
+	s.logger.Info("server joined", "server", idx, "addr", addr, "capacity", capacity)
+	return idx, nil
+}
+
+// noteJoin grows and touches the liveness monitor for a joined slot so
+// the fresh server starts with a full reporting grace period.
+func (s *Server) noteJoin(i int) {
+	s.livenessMu.Lock()
+	m := s.liveness
+	s.livenessMu.Unlock()
+	if m != nil {
+		m.Grow(i + 1)
+		m.Touch(i)
+	}
+}
+
+// Drain gracefully retires server i: the scheduler stops handing out
+// new mappings to it at once, and the slot is removed from membership
+// when the hidden-load window of its outstanding TTLs has run out. The
+// returned time is the earliest instant the removal can happen.
+// Draining a server that is already draining just returns the pending
+// deadline. The last remaining active server cannot be drained.
+func (s *Server) Drain(i int) (time.Time, error) {
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	return s.drainLocked(i)
+}
+
+func (s *Server) drainLocked(i int) (time.Time, error) {
+	st := s.policy.State()
+	if i < 0 || i >= s.Servers() || !st.Member(i) {
+		return time.Time{}, fmt.Errorf("dnsserver: drain of non-member server %d", i)
+	}
+	if st.Draining(i) {
+		return s.drainDeadline(i), nil
+	}
+	if !st.Down(i) && st.Snapshot().EligibleServers() <= 1 {
+		return time.Time{}, fmt.Errorf("dnsserver: refusing to drain server %d: it is the last schedulable server", i)
+	}
+	if err := st.DrainServer(i); err != nil {
+		return time.Time{}, err
+	}
+	s.drains.Add(1)
+	deadline := s.drainDeadline(i)
+	s.armDrainTimer(i, deadline)
+	s.logger.Info("server draining", "server", i, "until", deadline)
+	return deadline, nil
+}
+
+// drainDeadline computes when server i's hidden-load window closes:
+// the largest outstanding mapping expiry, but never before now.
+func (s *Server) drainDeadline(i int) time.Time {
+	now := time.Now()
+	if exp := s.MappingExpiry(i); exp.After(now) {
+		return exp
+	}
+	return now
+}
+
+// armDrainTimer (re)schedules the drain-completion check for server i.
+// Caller holds reconfigMu.
+func (s *Server) armDrainTimer(i int, deadline time.Time) {
+	if t, ok := s.drainTimers[i]; ok {
+		t.Stop()
+	}
+	s.drainTimers[i] = time.AfterFunc(time.Until(deadline), func() { s.completeDrain(i) })
+}
+
+// completeDrain retires server i once its drain window has closed. A
+// decision in flight when the drain started may have extended the
+// window after the deadline was computed; in that case the timer is
+// re-armed instead of removing a still-referenced server.
+func (s *Server) completeDrain(i int) {
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
+	st := s.policy.State()
+	if !st.Member(i) || !st.Draining(i) {
+		delete(s.drainTimers, i) // reinstated or already gone
+		return
+	}
+	if exp := s.MappingExpiry(i); exp.After(time.Now()) {
+		s.armDrainTimer(i, exp)
+		return
+	}
+	delete(s.drainTimers, i)
+	if err := st.RemoveServer(i); err != nil {
+		s.logger.Warn("drain completion could not remove server", "server", i, "err", err)
+		return
+	}
+	s.removals.Add(1)
+	s.logger.Info("server removed after drain", "server", i)
+}
+
+// Reconfigure diffs the desired server set against the current
+// membership and applies it: unknown addresses join, known addresses
+// have their capacity updated, and active members absent from the
+// desired set are drained. It is the SIGHUP reload entry point. The
+// first error aborts the remaining changes and is returned; changes
+// already applied stay applied (the next reload converges).
+func (s *Server) Reconfigure(addrs []netip.Addr, capacities []float64) error {
+	if len(addrs) == 0 {
+		return errors.New("dnsserver: reconfigure needs at least one server")
+	}
+	if len(addrs) != len(capacities) {
+		return fmt.Errorf("dnsserver: %d addresses for %d capacities", len(addrs), len(capacities))
+	}
+	desired := make(map[netip.Addr]bool, len(addrs))
+	for _, a := range addrs {
+		if !a.Is4() {
+			return fmt.Errorf("dnsserver: server address %v must be IPv4", a)
+		}
+		if desired[a] {
+			return fmt.Errorf("dnsserver: duplicate server address %v", a)
+		}
+		desired[a] = true
+	}
+	s.reconfigMu.Lock()
+	defer s.reconfigMu.Unlock()
+	// Joins before drains: the incoming capacity must be schedulable
+	// before the outgoing servers stop taking mappings, or a reload
+	// that replaces the whole set could hit the last-server guard.
+	for k, a := range addrs {
+		if _, err := s.joinLocked(a, capacities[k]); err != nil {
+			s.reloadErrs.Add(1)
+			return fmt.Errorf("dnsserver: reconfigure join %v: %w", a, err)
+		}
+	}
+	st := s.policy.State()
+	for i, a := range s.serverAddrs() {
+		if desired[a] || !st.Member(i) || st.Draining(i) {
+			continue
+		}
+		if _, err := s.drainLocked(i); err != nil {
+			s.reloadErrs.Add(1)
+			return fmt.Errorf("dnsserver: reconfigure drain %d (%v): %w", i, a, err)
+		}
+	}
+	s.reloads.Add(1)
+	return nil
+}
+
+// Reloads returns how many Reconfigure calls completed successfully.
+func (s *Server) Reloads() uint64 { return s.reloads.Load() }

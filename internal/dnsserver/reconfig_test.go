@@ -1,0 +1,653 @@
+package dnsserver
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dnslb/internal/core"
+	"dnslb/internal/simcore"
+)
+
+// smallServer starts a server over a 3-node homogeneous cluster with a
+// TTL policy whose drain windows are short enough for lifecycle tests.
+func smallServer(t *testing.T, policyName string) (*Server, *core.State) {
+	t.Helper()
+	cluster, err := core.ScaledCluster(3, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	policy, err := core.NewPolicy(core.PolicyConfig{
+		Name:  policyName,
+		State: state,
+		Rand:  simcore.NewStream(1, "reconfig"),
+		Now:   func() float64 { return time.Since(start).Seconds() },
+		// One-second TTLs keep the drain windows short enough to wait
+		// out in the lifecycle tests.
+		ConstantTTL: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netip.Addr, 3)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{10, 1, 0, byte(i + 1)})
+	}
+	srv, err := New(Config{
+		Zone:        "www.site.example",
+		ServerAddrs: addrs,
+		Policy:      policy,
+		Addr:        "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, state
+}
+
+func TestJoinAddsSchedulableServer(t *testing.T) {
+	srv, state := smallServer(t, "RR")
+
+	newAddr := netip.AddrFrom4([4]byte{10, 1, 0, 99})
+	idx, err := srv.Join(newAddr, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 3 {
+		t.Fatalf("join index = %d, want 3", idx)
+	}
+	if srv.Servers() != 4 {
+		t.Fatalf("Servers() = %d, want 4", srv.Servers())
+	}
+	if !state.Member(3) {
+		t.Error("joined server not a member")
+	}
+
+	// The joined server must actually receive queries.
+	r := resolverFor(t, srv)
+	ctx := context.Background()
+	sawNew := false
+	for i := 0; i < 40 && !sawNew; i++ {
+		answers, err := r.LookupA(ctx, "www.site.example")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(answers) == 1 && answers[0].Addr == newAddr {
+			sawNew = true
+		}
+	}
+	if !sawNew {
+		t.Error("joined server never scheduled over 40 RR queries")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	srv, _ := smallServer(t, "RR")
+
+	if _, err := srv.Join(netip.MustParseAddr("2001:db8::1"), 500); err == nil {
+		t.Error("IPv6 join should be rejected")
+	}
+	if _, err := srv.Join(netip.AddrFrom4([4]byte{10, 1, 0, 50}), -1); err == nil {
+		t.Error("negative capacity should be rejected")
+	}
+	if srv.Servers() != 3 {
+		t.Fatalf("failed joins must not grow the address table, Servers() = %d", srv.Servers())
+	}
+}
+
+func TestDuplicateJoinUpdatesCapacity(t *testing.T) {
+	srv, state := smallServer(t, "RR")
+
+	idx, err := srv.Join(netip.AddrFrom4([4]byte{10, 1, 0, 2}), 750)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("duplicate join index = %d, want existing slot 1", idx)
+	}
+	if srv.Servers() != 3 {
+		t.Fatalf("duplicate join grew the table to %d slots", srv.Servers())
+	}
+	if got := state.Cluster().Capacity(1); got != 750 {
+		t.Fatalf("capacity after duplicate join = %v, want 750", got)
+	}
+}
+
+func TestDrainValidation(t *testing.T) {
+	srv, state := smallServer(t, "RR")
+
+	if _, err := srv.Drain(-1); err == nil {
+		t.Error("negative index should be rejected")
+	}
+	if _, err := srv.Drain(3); err == nil {
+		t.Error("out-of-range index should be rejected")
+	}
+
+	// Draining a down server is allowed (it holds no hidden load), but
+	// the last schedulable server is protected.
+	if err := state.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := state.SetDown(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Drain(2); err == nil {
+		t.Error("last schedulable server must not drain")
+	}
+	if _, err := srv.Drain(0); err != nil {
+		t.Errorf("draining a down server should work: %v", err)
+	}
+}
+
+func TestDrainStopsNewMappingsAndRemoves(t *testing.T) {
+	srv, state := smallServer(t, "RR")
+	r := resolverFor(t, srv)
+	ctx := context.Background()
+
+	// Hand out at least one mapping to every server so server 1 has an
+	// open hidden-load window.
+	for i := 0; i < 9; i++ {
+		if _, err := r.LookupA(ctx, "www.site.example"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.MappingExpiry(1).IsZero() {
+		t.Fatal("server 1 never received a mapping")
+	}
+
+	deadline, err := srv.Drain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := srv.MappingExpiry(1); !deadline.Equal(want) {
+		t.Errorf("drain deadline = %v, want mapping expiry %v", deadline, want)
+	}
+	if !state.Draining(1) {
+		t.Error("server 1 not draining")
+	}
+
+	// Idempotent: a second drain returns the same pending deadline.
+	again, err := srv.Drain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Equal(deadline) {
+		t.Errorf("repeat drain deadline = %v, want %v", again, deadline)
+	}
+
+	// No new mappings reach the draining server, but it stays a member
+	// (resolvable, still serving its cached clients) until the deadline.
+	drained := netip.AddrFrom4([4]byte{10, 1, 0, 2})
+	for i := 0; i < 20; i++ {
+		answers, err := r.LookupA(ctx, "www.site.example")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(answers) == 1 && answers[0].Addr == drained {
+			t.Fatal("draining server received a new mapping")
+		}
+	}
+	if !state.Member(1) {
+		t.Error("draining server removed before its hidden-load window closed")
+	}
+
+	// After the window closes the drain timer retires the slot.
+	wait := time.Until(deadline) + 2*time.Second
+	deadlineCh := time.After(wait)
+	for state.Member(1) {
+		select {
+		case <-deadlineCh:
+			t.Fatalf("server 1 still a member %v after its drain window", wait)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if state.Draining(1) {
+		t.Error("removed server still flagged draining")
+	}
+}
+
+func TestRejoinCancelsDrain(t *testing.T) {
+	srv, state := smallServer(t, "RR")
+
+	// Open a wide hidden-load window so the drain cannot complete
+	// mid-test, then cancel it by re-joining the same address.
+	srv.noteMapping(1, 3600)
+	if _, err := srv.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	if !state.Draining(1) {
+		t.Fatal("server 1 not draining")
+	}
+	idx, err := srv.Join(netip.AddrFrom4([4]byte{10, 1, 0, 2}), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("re-join index = %d, want 1", idx)
+	}
+	if state.Draining(1) || !state.Member(1) {
+		t.Error("re-join did not cancel the drain")
+	}
+	srv.reconfigMu.Lock()
+	_, pending := srv.drainTimers[1]
+	srv.reconfigMu.Unlock()
+	if pending {
+		t.Error("drain timer still armed after re-join")
+	}
+}
+
+func TestReconfigureSwapsServerSet(t *testing.T) {
+	srv, state := smallServer(t, "RR")
+
+	// Desired set: keep 10.1.0.1 and 10.1.0.3, drop 10.1.0.2, add
+	// 10.1.0.77.
+	desired := []netip.Addr{
+		netip.AddrFrom4([4]byte{10, 1, 0, 1}),
+		netip.AddrFrom4([4]byte{10, 1, 0, 3}),
+		netip.AddrFrom4([4]byte{10, 1, 0, 77}),
+	}
+	if err := srv.Reconfigure(desired, []float64{500, 500, 250}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Reloads() != 1 {
+		t.Errorf("Reloads() = %d, want 1", srv.Reloads())
+	}
+	if !state.Draining(1) && state.Member(1) {
+		t.Error("dropped server neither draining nor removed")
+	}
+	if srv.Servers() != 4 || !state.Member(3) {
+		t.Error("added server not admitted")
+	}
+	if got := state.Cluster().Capacity(3); got != 250 {
+		t.Errorf("added server capacity = %v, want 250", got)
+	}
+
+	// Validation failures leave membership untouched.
+	for _, tc := range []struct {
+		name  string
+		addrs []netip.Addr
+		caps  []float64
+	}{
+		{"empty", nil, nil},
+		{"length mismatch", desired, []float64{500}},
+		{"ipv6", []netip.Addr{netip.MustParseAddr("2001:db8::1")}, []float64{500}},
+		{"duplicate", []netip.Addr{desired[0], desired[0]}, []float64{500, 500}},
+	} {
+		if err := srv.Reconfigure(tc.addrs, tc.caps); err == nil {
+			t.Errorf("%s: Reconfigure accepted invalid input", tc.name)
+		}
+	}
+}
+
+// TestReloadUnderLoad is the zero-downtime acceptance test at package
+// level: queries hammer the server from several goroutines while the
+// server set is reconfigured (one server replaced by another); no query
+// may fail, and no answer may point at a server that was never in
+// either configuration. Run with -race this also exercises the
+// lock-free address/snapshot publication.
+func TestReloadUnderLoad(t *testing.T) {
+	srv, _ := smallServer(t, "RR")
+
+	oldAddr := netip.AddrFrom4([4]byte{10, 1, 0, 2})
+	newAddr := netip.AddrFrom4([4]byte{10, 1, 0, 42})
+	valid := map[netip.Addr]bool{
+		netip.AddrFrom4([4]byte{10, 1, 0, 1}): true,
+		oldAddr:                               true,
+		netip.AddrFrom4([4]byte{10, 1, 0, 3}): true,
+		newAddr:                               true,
+	}
+
+	const workers = 4
+	stop := make(chan struct{})
+	errCh := make(chan error, workers)
+	var drainStarted sync.WaitGroup
+	drainStarted.Add(1)
+	var afterMu sync.Mutex
+	mappedOldAfterDrain := 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := resolverFor(t, srv)
+			ctx := context.Background()
+			drained := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				answers, err := r.LookupA(ctx, "www.site.example")
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+				if len(answers) != 1 {
+					errCh <- fmt.Errorf("worker %d: %d answers", w, len(answers))
+					return
+				}
+				if !valid[answers[0].Addr] {
+					errCh <- fmt.Errorf("worker %d: answer %v not in any config", w, answers[0].Addr)
+					return
+				}
+				if !drained {
+					select {
+					case <-waitDone(&drainStarted):
+						drained = true
+					default:
+					}
+				} else if answers[0].Addr == oldAddr {
+					afterMu.Lock()
+					mappedOldAfterDrain++
+					afterMu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	// Let the load build, then swap 10.1.0.2 for 10.1.0.42 mid-flight.
+	time.Sleep(50 * time.Millisecond)
+	desired := []netip.Addr{
+		netip.AddrFrom4([4]byte{10, 1, 0, 1}),
+		netip.AddrFrom4([4]byte{10, 1, 0, 3}),
+		newAddr,
+	}
+	if err := srv.Reconfigure(desired, []float64{500, 500, 500}); err != nil {
+		t.Fatal(err)
+	}
+	drainStarted.Done()
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	afterMu.Lock()
+	defer afterMu.Unlock()
+	if mappedOldAfterDrain > 0 {
+		t.Errorf("%d mappings handed to the drained server after Reconfigure returned", mappedOldAfterDrain)
+	}
+}
+
+// waitDone adapts a WaitGroup to a selectable channel.
+func waitDone(wg *sync.WaitGroup) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return ch
+}
+
+func TestReportJoinDrainVerbs(t *testing.T) {
+	srv, state := smallServer(t, "RR")
+	rl := startReportListener(t, srv)
+	addr := rl.Addr().String()
+
+	resp := sendReports(t, addr, "JOIN 10.1.0.200 500")
+	if resp[0] != "OK 3\n" {
+		t.Fatalf("JOIN response = %q, want \"OK 3\\n\"", resp[0])
+	}
+	if !state.Member(3) {
+		t.Error("JOIN did not admit the server")
+	}
+
+	// Open a window, then DRAIN over the wire.
+	srv.noteMapping(3, 3600)
+	resp = sendReports(t, addr, "DRAIN 3")
+	if resp[0] != "OK\n" {
+		t.Fatalf("DRAIN response = %q", resp[0])
+	}
+	if !state.Draining(3) {
+		t.Error("DRAIN did not start draining")
+	}
+
+	// Error paths answer ERR and change nothing.
+	for _, tc := range []struct{ line, why string }{
+		{"JOIN 10.1.0.201", "missing capacity"},
+		{"JOIN not-an-ip 500", "bad address"},
+		{"JOIN 2001:db8::1 500", "IPv6 address"},
+		{"JOIN 10.1.0.202 0", "zero capacity"},
+		{"DRAIN", "missing index"},
+		{"DRAIN x", "bad index"},
+		{"DRAIN 17", "out of range"},
+	} {
+		resp := sendReports(t, addr, tc.line)
+		if !strings.HasPrefix(resp[0], "ERR ") {
+			t.Errorf("%s (%s): response = %q, want ERR", tc.line, tc.why, resp[0])
+		}
+	}
+	if srv.Servers() != 4 {
+		t.Errorf("failed verbs changed the server table to %d slots", srv.Servers())
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	srv, state := smallServer(t, "PRR-TTL/1")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+
+	// Build up non-trivial soft state: weights, an alarm, a drain with
+	// an open window.
+	srv.RecordHits(2, 900)
+	srv.RecordHits(0, 100)
+	if err := srv.RollEstimates(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SetAlarm(0, true); err != nil {
+		t.Fatal(err)
+	}
+	srv.noteMapping(1, 3600)
+	if _, err := srv.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WriteCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	if srv.CheckpointSaves() != 1 {
+		t.Errorf("CheckpointSaves() = %d, want 1", srv.CheckpointSaves())
+	}
+	wantWeights := state.Weights()
+	wantExpiry := srv.MappingExpiry(1)
+
+	// A fresh server with the same shape restores everything.
+	srv2, state2 := smallServer(t, "PRR-TTL/1")
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.RestoreCheckpoint(cp, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range state2.Weights() {
+		if diff := w - wantWeights[j]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("restored weight[%d] = %v, want %v", j, w, wantWeights[j])
+		}
+	}
+	if !state2.Alarmed(0) {
+		t.Error("alarm not restored")
+	}
+	if !state2.Draining(1) {
+		t.Error("drain not resumed")
+	}
+	if got := srv2.MappingExpiry(1); !got.Equal(wantExpiry) {
+		t.Errorf("restored hidden-load window = %v, want %v", got, wantExpiry)
+	}
+}
+
+func TestCheckpointRejection(t *testing.T) {
+	srv, _ := smallServer(t, "RR")
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := srv.WriteCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt file.
+	if err := os.WriteFile(path, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); err == nil {
+		t.Error("corrupt checkpoint loaded without error")
+	}
+
+	fresh := func() *Checkpoint { return srv.Checkpoint() }
+
+	// Wrong version.
+	cp := fresh()
+	cp.Version = 99
+	if err := srv.RestoreCheckpoint(cp, 0); err == nil {
+		t.Error("wrong-version checkpoint accepted")
+	}
+	// Wrong zone.
+	cp = fresh()
+	cp.Zone = "other.example."
+	if err := srv.RestoreCheckpoint(cp, 0); err == nil {
+		t.Error("wrong-zone checkpoint accepted")
+	}
+	// Wrong policy.
+	cp = fresh()
+	cp.Policy = "TTL/2"
+	if err := srv.RestoreCheckpoint(cp, 0); err == nil {
+		t.Error("wrong-policy checkpoint accepted")
+	}
+	// Stale.
+	cp = fresh()
+	cp.SavedAt = time.Now().Add(-2 * time.Hour)
+	if err := srv.RestoreCheckpoint(cp, time.Hour); err == nil {
+		t.Error("stale checkpoint accepted")
+	}
+	// Estimator shape mismatch.
+	cp = fresh()
+	cp.Estimator.Rates = cp.Estimator.Rates[:1]
+	if err := srv.RestoreCheckpoint(cp, 0); err == nil {
+		t.Error("malformed estimator state accepted")
+	}
+}
+
+func TestCheckpointerPeriodicAndFinal(t *testing.T) {
+	srv, _ := smallServer(t, "RR")
+	path := filepath.Join(t.TempDir(), "state.json")
+
+	c, err := NewCheckpointer(srv, path, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for srv.CheckpointSaves() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no periodic checkpoint within 2s")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	saves := srv.CheckpointSaves()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.CheckpointSaves() <= saves {
+		t.Error("Close did not flush a final checkpoint")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+	// Close is idempotent.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicRecoveryInHandler(t *testing.T) {
+	cluster, err := core.ScaledCluster(3, 0, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := core.NewPolicy(core.PolicyConfig{Name: "RR", State: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []netip.Addr{
+		netip.AddrFrom4([4]byte{10, 1, 0, 1}),
+		netip.AddrFrom4([4]byte{10, 1, 0, 2}),
+		netip.AddrFrom4([4]byte{10, 1, 0, 3}),
+	}
+	boom := 2 // panic on the first two queries, then behave
+	srv, err := New(Config{
+		Zone:        "www.site.example",
+		ServerAddrs: addrs,
+		Policy:      policy,
+		Addr:        "127.0.0.1:0",
+		Mapper: func(addr netip.Addr) int {
+			if boom > 0 {
+				boom--
+				panic("mapper exploded")
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	r := resolverFor(t, srv)
+	r.Timeout = 200 * time.Millisecond
+	ctx := context.Background()
+	// The panicking queries are dropped (timeout), but the workers
+	// survive and the next query is answered.
+	var answered bool
+	for i := 0; i < 10 && !answered; i++ {
+		if answers, err := r.LookupA(ctx, "www.site.example"); err == nil && len(answers) == 1 {
+			answered = true
+		}
+	}
+	if !answered {
+		t.Fatal("server never recovered after handler panics")
+	}
+	if srv.Panics() == 0 {
+		t.Error("Panics() = 0, want > 0")
+	}
+}
+
+func TestShutdownGraceful(t *testing.T) {
+	srv, _ := smallServer(t, "RR")
+	r := resolverFor(t, srv)
+	if _, err := r.LookupA(context.Background(), "www.site.example"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	// Idempotent with Close (Cleanup runs it again).
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"net/netip"
 	"strconv"
 	"strings"
 	"sync"
@@ -18,10 +19,15 @@ import (
 //	ALARM <serverIndex> <0|1>\n        alarm / normal signal
 //	HITS <domainIndex> <count>\n       per-domain hits since last report
 //	ROLL <intervalSeconds>\n           close an estimation interval
+//	JOIN <ipv4> <capacity>\n           self-register (answered "OK <index>")
+//	DRAIN <serverIndex>\n              gracefully retire a server
 //
-// Each accepted line is answered with "OK\n", errors with "ERR <msg>\n".
-// ALIVE and ALARM also feed the server's liveness monitor when one is
-// attached (see LivenessMonitor).
+// Each accepted line is answered with "OK\n" ("OK <index>\n" for JOIN),
+// errors with "ERR <msg>\n". ALIVE and ALARM also feed the server's
+// liveness monitor when one is attached (see LivenessMonitor). JOIN and
+// DRAIN are the dynamic-membership verbs: a backend can admit itself on
+// startup and retire itself on shutdown without an operator config
+// reload.
 type ReportListener struct {
 	srv *Server
 	ln  net.Listener
@@ -111,7 +117,7 @@ func (rl *ReportListener) serve(conn net.Conn) {
 		if line == "" {
 			continue
 		}
-		if err := rl.apply(line); err != nil {
+		if reply, err := rl.apply(line); err != nil {
 			if m := rl.srv.metrics; m != nil {
 				m.reportErr.Inc()
 			}
@@ -120,7 +126,11 @@ func (rl *ReportListener) serve(conn net.Conn) {
 			if m := rl.srv.metrics; m != nil {
 				m.reportOK.Inc()
 			}
-			fmt.Fprintln(w, "OK")
+			if reply == "" {
+				fmt.Fprintln(w, "OK")
+			} else {
+				fmt.Fprintln(w, "OK "+reply)
+			}
 		}
 		if err := w.Flush(); err != nil {
 			return
@@ -134,65 +144,96 @@ func (rl *ReportListener) serve(conn net.Conn) {
 	}
 }
 
-// apply parses and executes one report line.
-func (rl *ReportListener) apply(line string) error {
+// apply parses and executes one report line, returning the reply
+// payload to append after "OK" (usually empty).
+func (rl *ReportListener) apply(line string) (string, error) {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	switch cmd {
 	case "ALIVE":
 		if len(fields) != 2 {
-			return fmt.Errorf("ALIVE wants 1 arg, got %d", len(fields)-1)
+			return "", fmt.Errorf("ALIVE wants 1 arg, got %d", len(fields)-1)
 		}
 		server, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return fmt.Errorf("bad server index %q", fields[1])
+			return "", fmt.Errorf("bad server index %q", fields[1])
 		}
 		if server < 0 || server >= rl.srv.Servers() {
-			return fmt.Errorf("server index %d out of range [0,%d)", server, rl.srv.Servers())
+			return "", fmt.Errorf("server index %d out of range [0,%d)", server, rl.srv.Servers())
 		}
 		rl.srv.touchLiveness(server)
-		return nil
+		return "", nil
 	case "ALARM":
 		if len(fields) != 3 {
-			return fmt.Errorf("ALARM wants 2 args, got %d", len(fields)-1)
+			return "", fmt.Errorf("ALARM wants 2 args, got %d", len(fields)-1)
 		}
 		server, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return fmt.Errorf("bad server index %q", fields[1])
+			return "", fmt.Errorf("bad server index %q", fields[1])
 		}
 		on, err := strconv.Atoi(fields[2])
 		if err != nil || (on != 0 && on != 1) {
-			return fmt.Errorf("bad alarm flag %q", fields[2])
+			return "", fmt.Errorf("bad alarm flag %q", fields[2])
 		}
 		if err := rl.srv.SetAlarm(server, on == 1); err != nil {
-			return err
+			return "", err
 		}
 		rl.srv.touchLiveness(server)
-		return nil
+		return "", nil
 	case "HITS":
 		if len(fields) != 3 {
-			return fmt.Errorf("HITS wants 2 args, got %d", len(fields)-1)
+			return "", fmt.Errorf("HITS wants 2 args, got %d", len(fields)-1)
 		}
 		domain, err := strconv.Atoi(fields[1])
 		if err != nil {
-			return fmt.Errorf("bad domain index %q", fields[1])
+			return "", fmt.Errorf("bad domain index %q", fields[1])
 		}
 		count, err := strconv.ParseFloat(fields[2], 64)
 		if err != nil || count < 0 {
-			return fmt.Errorf("bad hit count %q", fields[2])
+			return "", fmt.Errorf("bad hit count %q", fields[2])
 		}
 		rl.srv.RecordHits(domain, count)
-		return nil
+		return "", nil
 	case "ROLL":
 		if len(fields) != 2 {
-			return fmt.Errorf("ROLL wants 1 arg, got %d", len(fields)-1)
+			return "", fmt.Errorf("ROLL wants 1 arg, got %d", len(fields)-1)
 		}
 		interval, err := strconv.ParseFloat(fields[1], 64)
 		if err != nil || interval <= 0 {
-			return fmt.Errorf("bad interval %q", fields[1])
+			return "", fmt.Errorf("bad interval %q", fields[1])
 		}
-		return rl.srv.RollEstimates(interval)
+		return "", rl.srv.RollEstimates(interval)
+	case "JOIN":
+		if len(fields) != 3 {
+			return "", fmt.Errorf("JOIN wants 2 args, got %d", len(fields)-1)
+		}
+		addr, err := netip.ParseAddr(fields[1])
+		if err != nil {
+			return "", fmt.Errorf("bad server address %q", fields[1])
+		}
+		capacity, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return "", fmt.Errorf("bad capacity %q", fields[2])
+		}
+		idx, err := rl.srv.Join(addr, capacity)
+		if err != nil {
+			return "", err
+		}
+		rl.srv.touchLiveness(idx)
+		return strconv.Itoa(idx), nil
+	case "DRAIN":
+		if len(fields) != 2 {
+			return "", fmt.Errorf("DRAIN wants 1 arg, got %d", len(fields)-1)
+		}
+		server, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return "", fmt.Errorf("bad server index %q", fields[1])
+		}
+		if _, err := rl.srv.Drain(server); err != nil {
+			return "", err
+		}
+		return "", nil
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		return "", fmt.Errorf("unknown command %q", cmd)
 	}
 }

@@ -80,6 +80,14 @@ type Config struct {
 	// (failure extension; only meaningful when OracleWeights is false).
 	ReportLossProb float64
 
+	// Drains schedules graceful server retirements (zero-downtime
+	// reconfiguration extension): at its event time the server stops
+	// receiving new mappings but keeps serving the hidden load its
+	// cached mappings still pin to it; once the largest outstanding TTL
+	// expires it leaves membership. This is the simulated counterpart
+	// of the live DRAIN path (internal/dnsserver).
+	Drains []DrainEvent
+
 	// GeoPreference enables the proximity extension: with probability
 	// GeoPreference the DNS answers with the nearest available server
 	// (by the synthetic ring geography) instead of the discipline's
@@ -103,6 +111,13 @@ type FaultEvent struct {
 	Time   float64
 	Server int
 	Down   bool
+}
+
+// DrainEvent is one graceful retirement of one server at a fixed
+// virtual time.
+type DrainEvent struct {
+	Time   float64
+	Server int
 }
 
 // Outage returns the crash/recover event pair for one server failing
@@ -181,6 +196,14 @@ func (c Config) Validate() error {
 		}
 		if ev.Server < 0 || ev.Server >= c.Servers {
 			return fmt.Errorf("sim: fault event %d targets server %d, cluster has %d", i, ev.Server, c.Servers)
+		}
+	}
+	for i, ev := range c.Drains {
+		if ev.Time < 0 {
+			return fmt.Errorf("sim: drain event %d at negative time %v", i, ev.Time)
+		}
+		if ev.Server < 0 || ev.Server >= c.Servers {
+			return fmt.Errorf("sim: drain event %d targets server %d, cluster has %d", i, ev.Server, c.Servers)
 		}
 	}
 	return nil

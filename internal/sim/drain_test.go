@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+)
+
+// drainCfg is a short run that gracefully retires server 0 at the
+// given virtual time.
+func drainCfg(policy string, at float64) Config {
+	cfg := DefaultConfig(policy)
+	cfg.Duration = 1800
+	cfg.Warmup = 100
+	cfg.Drains = []DrainEvent{{Time: at, Server: 0}}
+	return cfg
+}
+
+func TestDrainValidation(t *testing.T) {
+	cfg := DefaultConfig("RR")
+	cfg.Drains = []DrainEvent{{Time: -1, Server: 0}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative drain time should error")
+	}
+	cfg.Drains = []DrainEvent{{Time: 10, Server: 7}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("out-of-range drain server should error")
+	}
+}
+
+func TestDrainStopsNewMappingsKeepsHiddenLoad(t *testing.T) {
+	// Retire server 0 mid-run: from that moment the scheduler must
+	// never choose it again, yet the mappings cached before the drain
+	// keep sending it traffic until their TTLs lapse — the hidden-load
+	// window the drain waits out. A graceful drain is not a crash:
+	// nothing counts as dead-server loss. TTL 900 guarantees every
+	// pre-drain mapping is still alive at t=600, so the window is open
+	// whenever server 0 was ever chosen (a TTL shorter than the time
+	// since its last mapping would close the window instantly — the
+	// correct degenerate case TestDrainAtStartRetiresWithoutDecisions
+	// covers).
+	for _, policy := range []string{"DRR2-TTL/S_K", "RR2"} {
+		cfg := drainCfg(policy, 600)
+		cfg.ConstantTTL = 900
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.PostDrainMappings != 0 {
+			t.Errorf("%s: %d new mappings handed to the draining server", policy, res.PostDrainMappings)
+		}
+		if res.DrainedServerHits == 0 {
+			t.Errorf("%s: no hidden load reached the draining server", policy)
+		}
+		if res.DeadServerHits != 0 {
+			t.Errorf("%s: graceful drain counted %d dead-server hits", policy, res.DeadServerHits)
+		}
+		if res.Sched.PerServer[0] == 0 {
+			t.Errorf("%s: expected pre-drain decisions to server 0", policy)
+		}
+		if res.PostRemovalHits == 0 && res.LostPages != 0 {
+			t.Errorf("%s: %d pages lost without any post-removal traffic", policy, res.LostPages)
+		}
+	}
+}
+
+func TestDrainAtStartRetiresWithoutDecisions(t *testing.T) {
+	// Draining before any mapping exists closes the window instantly:
+	// the server retires on the spot, gets zero decisions, serves
+	// nothing, and loses nothing.
+	res, err := Run(drainCfg("DRR2-TTL/S_K", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sched.PerServer[0] != 0 {
+		t.Errorf("%d decisions routed to a server drained at t=0", res.Sched.PerServer[0])
+	}
+	if res.DrainedServerHits != 0 || res.PostRemovalHits != 0 || res.LostPages != 0 {
+		t.Errorf("instant retirement reported traffic: %+v", res)
+	}
+	if res.MeanServerUtil[0] != 0 {
+		t.Errorf("retired server utilization = %v, want 0", res.MeanServerUtil[0])
+	}
+}
+
+func TestDrainRunDeterminism(t *testing.T) {
+	cfg := drainCfg("DRR2-TTL/S_K", 400)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DrainedServerHits != b.DrainedServerHits || a.PostRemovalHits != b.PostRemovalHits ||
+		a.LostPages != b.LostPages || a.TotalHits != b.TotalHits {
+		t.Error("drain runs must stay deterministic for a fixed seed")
+	}
+}

@@ -70,6 +70,19 @@ type Result struct {
 	// LostReports counts hidden-load reports dropped by the
 	// report-loss fault model.
 	LostReports uint64
+
+	// DrainedServerHits counts hits served by a draining server — the
+	// hidden load its pre-drain cached mappings kept directing at it
+	// while the drain window was open.
+	DrainedServerHits uint64
+	// PostDrainMappings counts scheduler decisions that chose a
+	// draining or removed server; it must be zero when the policy
+	// honours membership.
+	PostDrainMappings uint64
+	// PostRemovalHits counts hits addressed to a server after it left
+	// membership — sessions outliving the drain window. Those pages
+	// are lost (the machine is gone).
+	PostRemovalHits uint64
 }
 
 // ProbMaxUnder returns the fraction of measurement windows in which
@@ -192,9 +205,23 @@ func Run(cfg Config) (*Result, error) {
 	var drainSum float64
 	var drainN int
 
+	// Graceful-retirement model: draining servers keep serving their
+	// hidden load but take no new mappings; lastExpiry tracks each
+	// server's largest outstanding TTL — the drain window's end.
+	drainingNow := make([]bool, cfg.Servers)
+	removedNow := make([]bool, cfg.Servers)
+	lastExpiry := make([]float64, cfg.Servers)
+
 	deliver := func(domain, server, hits int) {
 		if server < 0 {
 			// The session could not be resolved: the page is lost.
+			res.LostPages++
+			return
+		}
+		if removedNow[server] {
+			// A session outlived the drain window and is still pinned to
+			// a retired server: its traffic is lost.
+			res.PostRemovalHits += uint64(hits)
 			res.LostPages++
 			return
 		}
@@ -204,6 +231,9 @@ func Run(cfg Config) (*Result, error) {
 			res.DeadServerHits += uint64(hits)
 			res.LostPages++
 			return
+		}
+		if drainingNow[server] {
+			res.DrainedServerHits += uint64(hits)
 		}
 		if drainPending[server] {
 			drainPending[server] = false
@@ -237,7 +267,15 @@ func Run(cfg Config) (*Result, error) {
 			return 0
 		}
 		res.AddressRequests++
-		caches[domain].Store(now, d.Server, d.TTL)
+		// The NS-applied TTL (after any non-cooperative clamp) bounds
+		// how long this mapping can pin traffic to the chosen server.
+		effective := caches[domain].Store(now, d.Server, d.TTL)
+		if exp := now + effective; effective > 0 && exp > lastExpiry[d.Server] {
+			lastExpiry[d.Server] = exp
+		}
+		if drainingNow[d.Server] || removedNow[d.Server] {
+			res.PostDrainMappings++
+		}
 		return d.Server
 	}
 
@@ -266,10 +304,10 @@ func Run(cfg Config) (*Result, error) {
 		measuring := now > cfg.Warmup
 		for i, sv := range servers {
 			u := sv.CloseWindow(now)
-			if downNow[i] {
-				// A dead server serves nothing and signals nothing; its
-				// residual backlog drain is not a utilization observation
-				// (the metric window averages it as zero).
+			if downNow[i] || removedNow[i] {
+				// A dead or retired server serves nothing and signals
+				// nothing; its residual backlog drain is not a utilization
+				// observation (the metric window averages it as zero).
 				continue
 			}
 			if cfg.AlarmThreshold > 0 {
@@ -331,6 +369,42 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	// Graceful drains: at its event time the server leaves the
+	// scheduler's eligible set but stays a member — its pre-drain
+	// cached mappings keep sending traffic until the largest
+	// outstanding TTL expires (lastExpiry, frozen once the drain
+	// starts because no new mappings reach a draining server). Only
+	// then does the slot leave membership. Mirrors the live DRAIN path.
+	for _, ev := range cfg.Drains {
+		ev := ev
+		engine.ScheduleAt(ev.Time, func() {
+			if drainingNow[ev.Server] || removedNow[ev.Server] {
+				return
+			}
+			if err := state.DrainServer(ev.Server); err != nil {
+				if scheduleErr == nil {
+					scheduleErr = fmt.Errorf("drain server %d: %w", ev.Server, err)
+				}
+				return
+			}
+			drainingNow[ev.Server] = true
+			wait := lastExpiry[ev.Server] - engine.Now()
+			if wait < 0 {
+				wait = 0
+			}
+			engine.Schedule(wait, func() {
+				if err := state.RemoveServer(ev.Server); err != nil {
+					if scheduleErr == nil {
+						scheduleErr = fmt.Errorf("remove server %d: %w", ev.Server, err)
+					}
+					return
+				}
+				drainingNow[ev.Server] = false
+				removedNow[ev.Server] = true
+			})
+		})
+	}
+
 	// Dynamic hidden-load estimation, when enabled. The report-loss
 	// fault model drops a server's whole interval report with
 	// probability ReportLossProb; dead servers report nothing.
@@ -340,7 +414,9 @@ func Run(cfg Config) (*Result, error) {
 		collect = func() {
 			for i, sv := range servers {
 				hits := sv.TakeDomainHits()
-				if downNow[i] {
+				if downNow[i] || removedNow[i] {
+					// Dead and retired servers report nothing (draining
+					// ones still do — they are alive and serving).
 					continue
 				}
 				if cfg.ReportLossProb > 0 && lossStream.Float64() < cfg.ReportLossProb {
