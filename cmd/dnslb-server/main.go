@@ -87,6 +87,10 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		servers     = fs.String("servers", "", "comma-separated Web server IPv4 addresses (required)")
 		capacities  = fs.String("capacities", "", "comma-separated capacities in hits/s (default: equal)")
 		domains     = fs.Int("domains", 20, "connected domains for source classification")
+		estAlpha    = fs.Float64("estimator-alpha", dnslb.DefaultEstimatorAlpha, "EWMA weight of the newest hidden-load collection interval, in (0,1]")
+		geoPref     = fs.Float64("geo-preference", 0, "probability of answering with the nearest server instead of the policy's choice (0 = disabled)")
+		geoBaseMS   = fs.Float64("geo-base-ms", 0, "base latency of the synthetic ring geography in ms (0 = default)")
+		geoSpanMS   = fs.Float64("geo-span-ms", 0, "latency span of the synthetic ring geography in ms (0 = default)")
 		qps         = fs.Float64("qps", 0, "per-source query rate limit (0 = unlimited)")
 		burst       = fs.Float64("burst", 10, "per-source burst allowance when -qps is set")
 		livenessK   = fs.Int("liveness-k", 3, "missed report intervals before a backend is marked down (0 = disable liveness)")
@@ -131,12 +135,24 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 	}
 	rng := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
 	start := time.Now()
-	pol, err := dnslb.NewPolicy(dnslb.PolicyConfig{
+	polCfg := dnslb.PolicyConfig{
 		Name:  *policy,
 		State: state,
 		Rand:  rng,
 		Now:   func() float64 { return time.Since(start).Seconds() },
-	})
+	}
+	// Proximity steering uses the same ring-geography helper the
+	// simulator does, so both paths derive identical latency matrices
+	// from identical knobs.
+	prox, err := dnslb.RingProximityConfig(*domains, len(addrs), *geoPref, *geoBaseMS, *geoSpanMS)
+	if err != nil {
+		return err
+	}
+	if prox != nil {
+		polCfg.Proximity = prox
+		logger.Info("proximity steering enabled", "preference", *geoPref)
+	}
+	pol, err := dnslb.NewPolicy(polCfg)
 	if err != nil {
 		return err
 	}
@@ -145,13 +161,14 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 	// an HTTP exposition endpoint.
 	registry := dnslb.NewMetricsRegistry()
 	cfg := dnslb.DNSServerConfig{
-		Zone:        *zone,
-		ServerAddrs: addrs,
-		Policy:      pol,
-		Addr:        *addr,
-		Logger:      logger,
-		UDPWorkers:  *udpWorkers,
-		Metrics:     registry,
+		Zone:           *zone,
+		ServerAddrs:    addrs,
+		Policy:         pol,
+		Addr:           *addr,
+		Logger:         logger,
+		UDPWorkers:     *udpWorkers,
+		EstimatorAlpha: *estAlpha,
+		Metrics:        registry,
 	}
 	if *qps > 0 {
 		cfg.RateLimit = dnslb.NewRateLimiter(*qps, *burst)

@@ -32,6 +32,7 @@ import (
 	"dnslb/internal/core"
 	"dnslb/internal/dnsclient"
 	"dnslb/internal/dnsserver"
+	"dnslb/internal/engine"
 	"dnslb/internal/experiments"
 	"dnslb/internal/logging"
 	"dnslb/internal/metrics"
@@ -69,6 +70,11 @@ type (
 	EstimatorState = core.EstimatorState
 	// DomainClass is the two-tier domain classification.
 	DomainClass = core.DomainClass
+	// ProximityConfig enables GeoDNS-style proximity steering on a
+	// policy (PolicyConfig.Proximity).
+	ProximityConfig = core.ProximityConfig
+	// LatencyMatrix is a domain×server network latency map.
+	LatencyMatrix = core.LatencyMatrix
 )
 
 // Domain classes.
@@ -79,6 +85,12 @@ const (
 
 // DefaultConstantTTL is the paper's 240-second baseline TTL.
 const DefaultConstantTTL = core.DefaultConstantTTL
+
+// DefaultEstimatorAlpha is the hidden-load estimator's default EWMA
+// weight for the newest collection interval — shared by the simulator
+// configuration and the live DNS server so both paths smooth
+// identically unless explicitly tuned.
+const DefaultEstimatorAlpha = core.DefaultEstimatorAlpha
 
 // Scheduling constructors and helpers.
 var (
@@ -98,6 +110,38 @@ var (
 	NewState = core.NewState
 	// NewEstimator creates a hidden-load estimator.
 	NewEstimator = core.NewEstimator
+	// RingProximityConfig builds the synthetic ring-geography
+	// ProximityConfig both the simulator and the live server use for
+	// proximity steering (nil when preference is 0).
+	RingProximityConfig = core.RingProximityConfig
+)
+
+// Unified scheduling engine (see internal/engine): the per-query
+// decision lifecycle — membership/drain filtering, policy selection,
+// TTL assignment, the outstanding-mapping ledger, estimator feedback —
+// shared verbatim by the simulator and the live DNS server. The two
+// environment seams are the Clock and the policy's Rand stream; the
+// conformance suite in internal/engine holds both paths to
+// bit-identical decisions.
+type (
+	// Engine owns one scheduling decision lifecycle.
+	Engine = engine.Engine
+	// EngineConfig wires a policy, clock, and optional estimator into
+	// an Engine.
+	EngineConfig = engine.Config
+	// EngineClock supplies the engine's notion of current time in
+	// seconds (virtual in the simulator, wall time live).
+	EngineClock = engine.Clock
+	// WallClock is the live path's EngineClock.
+	WallClock = engine.WallClock
+)
+
+// Engine entry points.
+var (
+	// NewEngine builds a scheduling engine.
+	NewEngine = engine.New
+	// NewWallClock creates a wall-time clock with its epoch at now.
+	NewWallClock = engine.NewWallClock
 )
 
 // Simulation types.

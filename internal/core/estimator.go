@@ -23,6 +23,12 @@ type Estimator struct {
 	rolls   int
 }
 
+// DefaultEstimatorAlpha is the default EWMA weight of the newest
+// estimation interval, shared by the simulator's configuration
+// defaults and the live DNS server so both paths smooth hidden-load
+// reports identically unless explicitly tuned.
+const DefaultEstimatorAlpha = 0.5
+
 // NewEstimator creates an estimator for the given number of domains.
 // alpha is the EWMA weight given to the newest interval (1 = no
 // smoothing).

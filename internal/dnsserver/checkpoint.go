@@ -72,9 +72,9 @@ func (s *Server) Checkpoint() *Checkpoint {
 		Cursors: s.policy.Cursors(),
 		Servers: make([]ServerCheckpoint, len(addrs)),
 	}
-	s.estMu.Lock()
-	cp.Estimator = s.est.State()
-	s.estMu.Unlock()
+	if est, ok := s.eng.EstimatorState(); ok {
+		cp.Estimator = est
+	}
 	for i, a := range addrs {
 		cp.Servers[i] = ServerCheckpoint{
 			Addr:      a.String(),
@@ -181,11 +181,8 @@ func (s *Server) RestoreCheckpoint(cp *Checkpoint, maxAge time.Duration) error {
 
 	// Validation done — apply. Estimator first (it re-derives weights on
 	// the next roll); a shape mismatch here still leaves weights cold.
-	s.estMu.Lock()
-	estErr := s.est.Restore(cp.Estimator)
-	s.estMu.Unlock()
-	if estErr != nil {
-		return fmt.Errorf("dnsserver: checkpoint estimator: %w", estErr)
+	if err := s.eng.RestoreEstimator(cp.Estimator); err != nil {
+		return fmt.Errorf("dnsserver: checkpoint estimator: %w", err)
 	}
 	if err := st.SetWeights(cp.Weights); err != nil {
 		return fmt.Errorf("dnsserver: checkpoint weights: %w", err)
@@ -235,12 +232,10 @@ func (s *Server) RestoreCheckpoint(cp *Checkpoint, maxAge time.Duration) error {
 		if scp.Draining {
 			// Resume the drain with the persisted hidden-load window:
 			// mappings handed out before the restart are still cached
-			// downstream until ExpiresAt.
+			// downstream until ExpiresAt (NoteMapping is a CAS-max, so a
+			// shorter persisted window never shrinks a live one).
 			if exp := scp.ExpiresAt; exp.After(time.Now()) {
-				slot := s.expirySlot(i)
-				if ns := exp.UnixNano(); ns > slot.Load() {
-					slot.Store(ns)
-				}
+				s.eng.NoteMapping(i, s.clock.Seconds(exp))
 			}
 			if _, err := s.drainLocked(i); err != nil {
 				s.logger.Warn("checkpoint drain not resumable", "server", i, "err", err)

@@ -3,6 +3,14 @@
 // with the Web server chosen by the configured core policy and the TTL
 // the policy computed for the (client domain, server) pair.
 //
+// The server is a thin transport over the shared scheduling engine
+// (internal/engine): the engine owns the decision lifecycle —
+// membership/liveness/drain filtering, policy selection, TTL
+// assignment, the outstanding-mapping ledger, and the hidden-load
+// estimator feedback — under a wall clock, exactly as the simulator
+// runs it under virtual time. This package adds the wire: sockets,
+// parsing, packing, rate limiting and counters.
+//
 // The source "domain" of a query is derived from the querying name
 // server's address through a pluggable DomainMapper, defaulting to a
 // stable hash of the address prefix. Web servers feed the alarm and
@@ -12,28 +20,26 @@
 // The query path is lock-free: core.Policy and core.State are safe for
 // concurrent use (see core's concurrency contract), so the server runs
 // several UDP reader/responder goroutines over one shared socket, each
-// scheduling directly against the policy. Serve counters are sharded
+// scheduling directly against the engine. Serve counters are sharded
 // per source-address hash and response buffers are pooled, so the hot
 // path takes no server-level lock and makes no per-query allocations
 // beyond message decode.
 package dnsserver
 
 import (
-	"context"
 	"errors"
 	"fmt"
 	"log/slog"
-	"math"
 	"net"
 	"net/netip"
 	"runtime"
-	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dnslb/internal/core"
 	"dnslb/internal/dnswire"
+	"dnslb/internal/engine"
 	"dnslb/internal/logging"
 	"dnslb/internal/metrics"
 )
@@ -68,6 +74,12 @@ type Config struct {
 	// goroutines sharing the socket. Zero or negative defaults to
 	// runtime.GOMAXPROCS(0).
 	UDPWorkers int
+	// EstimatorAlpha is the EWMA weight the hidden-load estimator
+	// gives the newest collection interval, in (0,1]. Zero defaults to
+	// core.DefaultEstimatorAlpha — the same default the simulator's
+	// configuration uses, so both paths smooth identically unless
+	// explicitly tuned.
+	EstimatorAlpha float64
 	// Metrics optionally registers the server's observability series
 	// (queries by outcome, per-worker latency, returned-TTL histogram,
 	// policy decisions, alarm/liveness transitions) on the given
@@ -85,10 +97,13 @@ type Server struct {
 	// Retired slots keep their last address (re-JOIN matching).
 	addrs atomic.Pointer[[]netip.Addr]
 
+	// eng is the shared scheduling engine: policy selection, TTL
+	// assignment, the outstanding-mapping ledger and the estimator
+	// feedback loop all live there; clock translates between the
+	// engine's seconds and wall time.
+	eng    *engine.Engine
+	clock  *engine.WallClock
 	policy *core.Policy
-
-	estMu sync.Mutex
-	est   *core.Estimator
 
 	mapper     DomainMapper
 	logger     *slog.Logger
@@ -107,12 +122,6 @@ type Server struct {
 
 	livenessMu sync.Mutex
 	liveness   *LivenessMonitor
-
-	// expiry tracks, per server slot, the latest instant at which a
-	// mapping handed out to that server can still sit in a resolver
-	// cache (CAS-max of decision time + TTL, unix nanoseconds). It is
-	// the paper's hidden-load window, and the graceful-drain deadline.
-	expiry atomic.Pointer[[]*atomic.Int64]
 
 	// reconfigMu serializes membership changes (Join, Drain,
 	// Reconfigure, checkpoint restore) against each other; the query
@@ -209,7 +218,20 @@ func New(cfg Config) (*Server, error) {
 	if logger == nil {
 		logger = logging.Discard()
 	}
-	est, err := core.NewEstimator(cfg.Policy.State().Domains(), 0.5)
+	alpha := cfg.EstimatorAlpha
+	if alpha == 0 {
+		alpha = core.DefaultEstimatorAlpha
+	}
+	est, err := core.NewEstimator(cfg.Policy.State().Domains(), alpha)
+	if err != nil {
+		return nil, err
+	}
+	clock := engine.NewWallClock()
+	eng, err := engine.New(engine.Config{
+		Policy:    cfg.Policy,
+		Clock:     clock,
+		Estimator: est,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -219,8 +241,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		zone:        dnswire.CanonicalName(cfg.Zone),
+		eng:         eng,
+		clock:       clock,
 		policy:      cfg.Policy,
-		est:         est,
 		mapper:      mapper,
 		logger:      logger,
 		listenAddr:  cfg.Addr,
@@ -233,194 +256,37 @@ func New(cfg Config) (*Server, error) {
 	}
 	addrs := append([]netip.Addr(nil), cfg.ServerAddrs...)
 	s.addrs.Store(&addrs)
-	exp := make([]*atomic.Int64, n)
-	for i := range exp {
-		exp[i] = new(atomic.Int64)
-	}
-	s.expiry.Store(&exp)
 	if cfg.Metrics != nil {
 		s.metrics = newServerMetrics(cfg.Metrics, s)
 	}
 	return s, nil
 }
 
+// Engine returns the server's scheduling engine — the same decision
+// lifecycle the simulator drives under virtual time.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
 // serverAddrs returns the current immutable address table.
 func (s *Server) serverAddrs() []netip.Addr { return *s.addrs.Load() }
 
-// expirySlot returns the outstanding-TTL tracker for server i, growing
-// the slot table copy-on-write when a dynamically joined server
-// exceeds the allocated slots; the individual atomics are shared
-// between old and new tables, so no update is lost to a race.
-func (s *Server) expirySlot(i int) *atomic.Int64 {
-	for {
-		cur := s.expiry.Load()
-		if i < len(*cur) {
-			return (*cur)[i]
-		}
-		next := make([]*atomic.Int64, i+1)
-		copy(next, *cur)
-		for j := len(*cur); j <= i; j++ {
-			next[j] = new(atomic.Int64)
-		}
-		if s.expiry.CompareAndSwap(cur, &next) {
-			return next[i]
-		}
-	}
-}
-
 // noteMapping records that a mapping with the given TTL was just
 // handed out for server i: the hidden-load window of that server now
-// extends to at least now+TTL. Lock-free CAS-max on the slot.
+// extends to at least now+TTL (lock-free CAS-max in the engine's
+// ledger). The query path notes its own mappings inside Decide; this
+// is for externally handed-out mappings (tests, restores).
 func (s *Server) noteMapping(server int, ttlSeconds float64) {
-	exp := time.Now().Add(time.Duration(ttlSeconds * float64(time.Second))).UnixNano()
-	slot := s.expirySlot(server)
-	for {
-		old := slot.Load()
-		if exp <= old || slot.CompareAndSwap(old, exp) {
-			return
-		}
-	}
+	s.eng.NoteMapping(server, s.clock.Now()+ttlSeconds)
 }
 
 // MappingExpiry returns the latest instant at which a mapping handed
 // to server i can still be cached downstream (zero time if none was
 // ever handed out) — the earliest moment a drain of i may complete.
 func (s *Server) MappingExpiry(i int) time.Time {
-	cur := *s.expiry.Load()
-	if i < 0 || i >= len(cur) {
+	sec := s.eng.MappingExpiry(i)
+	if sec == 0 {
 		return time.Time{}
 	}
-	ns := cur[i].Load()
-	if ns == 0 {
-		return time.Time{}
-	}
-	return time.Unix(0, ns)
-}
-
-// Start binds the UDP socket and TCP listener and begins serving with
-// the configured number of parallel UDP workers.
-func (s *Server) Start() error {
-	uaddr, err := net.ResolveUDPAddr("udp", s.addrOrDefault())
-	if err != nil {
-		return fmt.Errorf("dnsserver: resolve: %w", err)
-	}
-	s.udp, err = net.ListenUDP("udp", uaddr)
-	if err != nil {
-		return fmt.Errorf("dnsserver: listen udp: %w", err)
-	}
-	s.tcp, err = net.Listen("tcp", s.udp.LocalAddr().String())
-	if err != nil {
-		_ = s.udp.Close()
-		return fmt.Errorf("dnsserver: listen tcp: %w", err)
-	}
-	s.wg.Add(s.udpWorkers + 1)
-	for i := 0; i < s.udpWorkers; i++ {
-		go s.serveUDP(i)
-	}
-	go s.serveTCP()
-	return nil
-}
-
-// configured listen address; stored via Config at New time.
-func (s *Server) addrOrDefault() string {
-	if s.listenAddr == "" {
-		return "127.0.0.1:0"
-	}
-	return s.listenAddr
-}
-
-// Addr returns the bound UDP address (valid after Start).
-func (s *Server) Addr() net.Addr { return s.udp.LocalAddr() }
-
-// Close stops serving immediately and waits for the serve loops to
-// exit; in-flight exchanges may be cut off. For a drain-then-stop, use
-// Shutdown.
-func (s *Server) Close() error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
-	}
-	close(s.closed)
-	s.cancelDrainTimers()
-	var first error
-	if s.udp != nil {
-		first = s.udp.Close()
-	}
-	if s.tcp != nil {
-		if err := s.tcp.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	// Closing the listener does not close accepted connections; do it
-	// explicitly so Close never waits out a TCP idle deadline.
-	s.connsMu.Lock()
-	for c := range s.conns {
-		_ = c.Close()
-	}
-	s.connsMu.Unlock()
-	s.wg.Wait()
-	return first
-}
-
-// Shutdown stops the server gracefully: new work is refused, but
-// queries already read from the sockets are answered before the serve
-// loops exit. The UDP socket stays open (writable) until every worker
-// has finished its in-flight response; TCP stops accepting at once and
-// each open connection completes its current exchange. When ctx
-// expires first, the remaining work is cut off as in Close and ctx's
-// error is returned.
-func (s *Server) Shutdown(ctx context.Context) error {
-	select {
-	case <-s.closed:
-		return nil
-	default:
-	}
-	close(s.closed)
-	s.cancelDrainTimers()
-	// Unblock the UDP readers without closing the socket: a worker
-	// blocked in read observes the deadline error, sees closed, and
-	// exits; a worker mid-response can still write it.
-	if s.udp != nil {
-		_ = s.udp.SetReadDeadline(time.Now())
-	}
-	var first error
-	if s.tcp != nil {
-		first = s.tcp.Close()
-	}
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-ctx.Done():
-		if first == nil {
-			first = ctx.Err()
-		}
-		s.connsMu.Lock()
-		for c := range s.conns {
-			_ = c.Close()
-		}
-		s.connsMu.Unlock()
-	}
-	if s.udp != nil {
-		_ = s.udp.Close()
-	}
-	<-done
-	return first
-}
-
-// cancelDrainTimers stops every pending drain-completion timer; used
-// on shutdown so no removal fires into a closing server.
-func (s *Server) cancelDrainTimers() {
-	s.reconfigMu.Lock()
-	for i, t := range s.drainTimers {
-		t.Stop()
-		delete(s.drainTimers, i)
-	}
-	s.reconfigMu.Unlock()
+	return s.clock.Time(sec)
 }
 
 // Stats returns a snapshot of the serve counters, summed across the
@@ -455,14 +321,14 @@ func (s *Server) Panics() uint64 { return s.panics.Load() }
 // about their misconfiguration instead of being silently ignored.
 // core.State synchronizes its own mutations; no server lock is taken.
 func (s *Server) SetAlarm(server int, alarmed bool) error {
-	return s.policy.State().SetAlarm(server, alarmed)
+	return s.eng.SetAlarm(server, alarmed)
 }
 
 // SetDown marks a Web server failed (down=true) or recovered in the
 // scheduler state: down servers receive no new mappings, and queries
 // are answered SERVFAIL only when every server is down.
 func (s *Server) SetDown(server int, down bool) error {
-	return s.policy.State().SetDown(server, down)
+	return s.eng.SetDown(server, down)
 }
 
 // Down reports whether the scheduler currently considers server i
@@ -504,384 +370,16 @@ func (s *Server) DomainWeight(domain int) float64 {
 
 // RecordHits feeds per-domain hit counts into the hidden-load
 // estimator (the server-side accounting the paper's DNS collects).
-// The estimator keeps mutable running sums, so it has its own lock —
-// off the query path entirely.
+// The estimator keeps mutable running sums, so the engine serializes
+// it behind its own lock — off the query path entirely.
 func (s *Server) RecordHits(domain int, hits float64) {
-	s.estMu.Lock()
-	defer s.estMu.Unlock()
-	s.est.Record(domain, hits)
+	s.eng.RecordHits(domain, hits)
 }
 
 // RollEstimates closes an estimation interval of the given length and
 // installs the resulting hidden-load weights into the scheduler state.
 func (s *Server) RollEstimates(intervalSeconds float64) error {
-	s.estMu.Lock()
-	defer s.estMu.Unlock()
-	s.est.Roll(intervalSeconds)
-	return s.policy.State().SetWeights(s.est.Weights())
-}
-
-// packPool recycles response buffers across queries; serve loops pack
-// into a pooled buffer via dnswire.AppendPack and return it after the
-// write, so steady-state encoding allocates nothing.
-var packPool = sync.Pool{
-	New: func() any {
-		b := make([]byte, 0, 2048)
-		return &b
-	},
-}
-
-// Read/accept error backoff: persistent socket errors (ENOBUFS, EMFILE)
-// would otherwise hot-spin the serve loop and flood the log. The delay
-// doubles per consecutive failure up to the cap and resets to zero on
-// the first success.
-const (
-	errBackoffMin = time.Millisecond
-	errBackoffMax = time.Second
-)
-
-// nextBackoff returns the delay to sleep after a serve-loop error and
-// the successor backoff value.
-func nextBackoff(cur time.Duration) (sleep, next time.Duration) {
-	if cur <= 0 {
-		return errBackoffMin, 2 * errBackoffMin
-	}
-	if cur > errBackoffMax {
-		return errBackoffMax, errBackoffMax
-	}
-	return cur, cur * 2
-}
-
-// sleepOrClosed sleeps for d, returning early (true) when the server
-// is shutting down.
-func (s *Server) sleepOrClosed(d time.Duration) bool {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-s.closed:
-		return true
-	case <-t.C:
-		return false
-	}
-}
-
-// safeHandle is handle behind a panic recovery: a bug in the query
-// path must not kill the serve worker. The panic is logged with its
-// stack, counted, and the query dropped (the client retries; losing
-// one datagram is the UDP failure model anyway).
-func (s *Server) safeHandle(wire []byte, from netip.Addr, maxSize int, dst []byte) (resp []byte) {
-	defer func() {
-		if r := recover(); r != nil {
-			s.panics.Add(1)
-			s.logger.Error("panic in query handler",
-				"panic", r, "raddr", from, "stack", string(debug.Stack()))
-			resp = nil
-		}
-	}()
-	return s.handle(wire, from, maxSize, dst)
-}
-
-// serveUDP is one of UDPWorkers identical reader/responder loops over
-// the shared socket. The kernel distributes datagrams across blocked
-// readers; each worker owns its read buffer, so the loops never touch
-// shared mutable server state. When instrumented, each worker times
-// its own queries and accumulates the latency histogram sum on its own
-// shard (the worker index is the hint), keeping the measurement as
-// contention-free as the serving.
-func (s *Server) serveUDP(worker int) {
-	defer s.wg.Done()
-	buf := make([]byte, 65535)
-	m := s.metrics
-	hint := uint32(worker)
-	var backoff time.Duration
-	for {
-		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
-		if err != nil {
-			select {
-			case <-s.closed:
-				return
-			default:
-				s.logger.Warn("udp read failed", "err", err, "worker", worker)
-				var sleep time.Duration
-				sleep, backoff = nextBackoff(backoff)
-				if s.sleepOrClosed(sleep) {
-					return
-				}
-				continue
-			}
-		}
-		backoff = 0
-		var start time.Time
-		if m != nil {
-			start = time.Now()
-		}
-		bp := packPool.Get().(*[]byte)
-		resp := s.safeHandle(buf[:n], raddr.Addr(), dnswire.MaxUDPPayload, (*bp)[:0])
-		if resp != nil {
-			if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
-				s.logger.Warn("udp write failed", "err", err, "worker", worker, "raddr", raddr)
-			}
-			if cap(resp) > cap(*bp) {
-				*bp = resp[:0] // keep the grown buffer
-			}
-		}
-		packPool.Put(bp)
-		if m != nil {
-			m.latency.ObserveHint(hint, time.Since(start).Seconds())
-		}
-	}
-}
-
-func (s *Server) serveTCP() {
-	defer s.wg.Done()
-	var backoff time.Duration
-	for {
-		conn, err := s.tcp.Accept()
-		if err != nil {
-			select {
-			case <-s.closed:
-				return
-			default:
-				s.logger.Warn("tcp accept failed", "err", err)
-				var sleep time.Duration
-				sleep, backoff = nextBackoff(backoff)
-				if s.sleepOrClosed(sleep) {
-					return
-				}
-				continue
-			}
-		}
-		backoff = 0
-		s.connsMu.Lock()
-		s.conns[conn] = struct{}{}
-		s.connsMu.Unlock()
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer func() {
-				_ = conn.Close()
-				s.connsMu.Lock()
-				delete(s.conns, conn)
-				s.connsMu.Unlock()
-			}()
-			s.serveTCPConn(conn)
-		}()
-	}
-}
-
-// tcpIdleTimeout bounds how long a TCP client may sit between
-// messages, so idle or slowloris connections cannot pin goroutines.
-const tcpIdleTimeout = 30 * time.Second
-
-func (s *Server) serveTCPConn(conn net.Conn) {
-	var raddr netip.Addr
-	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
-		raddr = ap.Addr()
-	}
-	lenBuf := make([]byte, 2)
-	for {
-		// A graceful shutdown lets the current exchange finish but takes
-		// no further messages from the connection.
-		select {
-		case <-s.closed:
-			return
-		default:
-		}
-		if err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout)); err != nil {
-			return
-		}
-		if _, err := readFull(conn, lenBuf); err != nil {
-			return
-		}
-		n := int(lenBuf[0])<<8 | int(lenBuf[1])
-		msg := make([]byte, n)
-		if _, err := readFull(conn, msg); err != nil {
-			return
-		}
-		resp := s.safeHandle(msg, raddr, math.MaxUint16, nil)
-		if resp == nil {
-			return
-		}
-		out := make([]byte, 2+len(resp))
-		out[0], out[1] = byte(len(resp)>>8), byte(len(resp))
-		copy(out[2:], resp)
-		if _, err := conn.Write(out); err != nil {
-			return
-		}
-	}
-}
-
-func readFull(conn net.Conn, buf []byte) (int, error) {
-	read := 0
-	for read < len(buf) {
-		n, err := conn.Read(buf[read:])
-		read += n
-		if err != nil {
-			return read, err
-		}
-	}
-	return read, nil
-}
-
-// handle processes one wire-format query and returns the wire-format
-// response (nil to drop), packed into dst's capacity when possible.
-// dst must be a zero-length slice (or nil to allocate). handle touches
-// no server-level lock: the policy and state are internally safe, and
-// counters go to the caller's stats shard.
-func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) []byte {
-	idx := s.statsIndex(from)
-	st := &s.stats[idx]
-	st.queries.Add(1)
-	query, err := dnswire.Unpack(wire)
-	if err != nil || len(query.Questions) == 0 {
-		st.formerr.Add(1)
-		if len(wire) < 2 {
-			return nil // cannot even echo an ID
-		}
-		resp := &dnswire.Message{Header: dnswire.Header{
-			ID:       uint16(wire[0])<<8 | uint16(wire[1]),
-			Response: true,
-			RCode:    dnswire.RCodeFormErr,
-		}}
-		return mustPack(resp, dst)
-	}
-	if query.Header.Response {
-		return nil // never answer responses
-	}
-	if s.limiter != nil && !s.limiter.Allow(from) {
-		st.ratelimited.Add(1)
-		resp := &dnswire.Message{Header: dnswire.Header{
-			ID:       query.Header.ID,
-			Response: true,
-			OpCode:   query.Header.OpCode,
-			RCode:    dnswire.RCodeRefused,
-		}}
-		return mustPack(resp, dst)
-	}
-	resp := &dnswire.Message{
-		Header: dnswire.Header{
-			ID:               query.Header.ID,
-			Response:         true,
-			OpCode:           query.Header.OpCode,
-			Authoritative:    true,
-			RecursionDesired: query.Header.RecursionDesired,
-		},
-		Questions: query.Questions[:1],
-	}
-	if query.Header.OpCode != dnswire.OpQuery {
-		resp.Header.RCode = dnswire.RCodeNotImp
-		st.notimp.Add(1)
-		return mustPack(resp, dst)
-	}
-	q := query.Questions[0]
-	name := dnswire.CanonicalName(q.Name)
-	if name != s.zone {
-		resp.Header.RCode = dnswire.RCodeNXDomain
-		resp.Authority = []dnswire.ResourceRecord{s.soa()}
-		st.nxdomain.Add(1)
-		return mustPack(resp, dst)
-	}
-	// RFC 7871 Client Subnet: when the resolver forwarded the client's
-	// network prefix, classify the originating domain from it instead
-	// of the resolver's own transport address, and echo the option with
-	// the scope we used.
-	clientAddr := from
-	ecs, hasECS := query.ClientSubnet()
-	if hasECS && ecs.Prefix.IsValid() {
-		clientAddr = ecs.Prefix.Addr()
-	}
-	switch q.Type {
-	case dnswire.TypeA, dnswire.TypeANY:
-		domain := s.mapper(clientAddr)
-		d, err := s.policy.Schedule(domain)
-		if err != nil {
-			resp.Header.RCode = dnswire.RCodeServFail
-			st.servfail.Add(1)
-			return mustPack(resp, dst)
-		}
-		ttl := uint32(math.Round(d.TTL))
-		if ttl == 0 {
-			ttl = 1
-		}
-		if s.metrics != nil {
-			s.metrics.ttl.ObserveHint(idx, d.TTL)
-		}
-		s.noteMapping(d.Server, d.TTL)
-		resp.Answers = []dnswire.ResourceRecord{{
-			Name:  s.zone,
-			Type:  dnswire.TypeA,
-			Class: dnswire.ClassIN,
-			TTL:   ttl,
-			Data:  dnswire.A{Addr: s.serverAddrs()[d.Server]},
-		}}
-		if hasECS {
-			echo := ecs
-			echo.ScopePrefixLen = uint8(ecs.Prefix.Bits())
-			if err := resp.SetClientSubnet(echo, dnswire.MaxUDPPayload); err != nil {
-				s.logger.Debug("ECS echo failed", "err", err, "raddr", from)
-			}
-		}
-		st.answered.Add(1)
-	case dnswire.TypeTXT:
-		// Debug visibility: the policy name and decision counters.
-		stats := s.policy.Stats()
-		resp.Answers = []dnswire.ResourceRecord{{
-			Name:  s.zone,
-			Type:  dnswire.TypeTXT,
-			Class: dnswire.ClassIN,
-			TTL:   0,
-			Data: dnswire.TXT{Strings: []string{
-				"policy=" + s.policy.Name(),
-				fmt.Sprintf("decisions=%d", stats.Decisions),
-			}},
-		}}
-		st.answered.Add(1)
-	default:
-		// Name exists but no data of this type: NOERROR + SOA.
-		resp.Authority = []dnswire.ResourceRecord{s.soa()}
-		st.answered.Add(1)
-	}
-	out := mustPack(resp, dst)
-	if len(out) > maxSize {
-		resp.Answers = nil
-		resp.Authority = nil
-		resp.Additional = nil
-		resp.Header.Truncated = true
-		st.truncated.Add(1)
-		out = mustPack(resp, out[:0])
-	}
-	return out
-}
-
-// soa returns the zone's SOA record, used in negative responses.
-func (s *Server) soa() dnswire.ResourceRecord {
-	return dnswire.ResourceRecord{
-		Name:  s.zone,
-		Type:  dnswire.TypeSOA,
-		Class: dnswire.ClassIN,
-		TTL:   60,
-		Data: dnswire.SOA{
-			MName:   "ns1." + s.zone,
-			RName:   "hostmaster." + s.zone,
-			Serial:  1,
-			Refresh: 3600,
-			Retry:   600,
-			Expire:  86400,
-			Minimum: 60,
-		},
-	}
-}
-
-// mustPack appends the encoded message to dst (a zero-length slice or
-// nil), returning nil on encode failure: responses are built from
-// validated parts, so a pack failure is a programming error, but in
-// production we drop the response instead of crashing.
-func mustPack(m *dnswire.Message, dst []byte) []byte {
-	out, err := m.AppendPack(dst)
-	if err != nil {
-		return nil
-	}
-	return out
+	return s.eng.RollEstimates(intervalSeconds)
 }
 
 // PrefixHashMapper maps a querying address to a domain index by

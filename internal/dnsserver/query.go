@@ -1,0 +1,192 @@
+package dnsserver
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"runtime/debug"
+
+	"dnslb/internal/dnswire"
+)
+
+// The query path: one wire-format message in, one out. Scheduling goes
+// through the engine's Decide — the same lifecycle (snapshot
+// filtering, selection, TTL, mapping ledger) the simulator drives —
+// and this file only adds DNS semantics around it: message validation,
+// rate limiting, ECS classification, record assembly and truncation.
+
+// safeHandle is handle behind a panic recovery: a bug in the query
+// path must not kill the serve worker. The panic is logged with its
+// stack, counted, and the query dropped (the client retries; losing
+// one datagram is the UDP failure model anyway).
+func (s *Server) safeHandle(wire []byte, from netip.Addr, maxSize int, dst []byte) (resp []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.logger.Error("panic in query handler",
+				"panic", r, "raddr", from, "stack", string(debug.Stack()))
+			resp = nil
+		}
+	}()
+	return s.handle(wire, from, maxSize, dst)
+}
+
+// handle processes one wire-format query and returns the wire-format
+// response (nil to drop), packed into dst's capacity when possible.
+// dst must be a zero-length slice (or nil to allocate). handle touches
+// no server-level lock: the engine and state are internally safe, and
+// counters go to the caller's stats shard.
+func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) []byte {
+	idx := s.statsIndex(from)
+	st := &s.stats[idx]
+	st.queries.Add(1)
+	query, err := dnswire.Unpack(wire)
+	if err != nil || len(query.Questions) == 0 {
+		st.formerr.Add(1)
+		if len(wire) < 2 {
+			return nil // cannot even echo an ID
+		}
+		resp := &dnswire.Message{Header: dnswire.Header{
+			ID:       uint16(wire[0])<<8 | uint16(wire[1]),
+			Response: true,
+			RCode:    dnswire.RCodeFormErr,
+		}}
+		return mustPack(resp, dst)
+	}
+	if query.Header.Response {
+		return nil // never answer responses
+	}
+	if s.limiter != nil && !s.limiter.Allow(from) {
+		st.ratelimited.Add(1)
+		resp := &dnswire.Message{Header: dnswire.Header{
+			ID:       query.Header.ID,
+			Response: true,
+			OpCode:   query.Header.OpCode,
+			RCode:    dnswire.RCodeRefused,
+		}}
+		return mustPack(resp, dst)
+	}
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               query.Header.ID,
+			Response:         true,
+			OpCode:           query.Header.OpCode,
+			Authoritative:    true,
+			RecursionDesired: query.Header.RecursionDesired,
+		},
+		Questions: query.Questions[:1],
+	}
+	if query.Header.OpCode != dnswire.OpQuery {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		st.notimp.Add(1)
+		return mustPack(resp, dst)
+	}
+	q := query.Questions[0]
+	name := dnswire.CanonicalName(q.Name)
+	if name != s.zone {
+		resp.Header.RCode = dnswire.RCodeNXDomain
+		resp.Authority = []dnswire.ResourceRecord{s.soa()}
+		st.nxdomain.Add(1)
+		return mustPack(resp, dst)
+	}
+	// RFC 7871 Client Subnet: when the resolver forwarded the client's
+	// network prefix, classify the originating domain from it instead
+	// of the resolver's own transport address, and echo the option with
+	// the scope we used.
+	clientAddr := from
+	ecs, hasECS := query.ClientSubnet()
+	if hasECS && ecs.Prefix.IsValid() {
+		clientAddr = ecs.Prefix.Addr()
+	}
+	switch q.Type {
+	case dnswire.TypeA, dnswire.TypeANY:
+		domain := s.mapper(clientAddr)
+		d, err := s.eng.Decide(domain)
+		if err != nil {
+			resp.Header.RCode = dnswire.RCodeServFail
+			st.servfail.Add(1)
+			return mustPack(resp, dst)
+		}
+		ttl := uint32(math.Round(d.TTL))
+		if ttl == 0 {
+			ttl = 1
+		}
+		if s.metrics != nil {
+			s.metrics.ttl.ObserveHint(idx, d.TTL)
+		}
+		resp.Answers = []dnswire.ResourceRecord{{
+			Name:  s.zone,
+			Type:  dnswire.TypeA,
+			Class: dnswire.ClassIN,
+			TTL:   ttl,
+			Data:  dnswire.A{Addr: s.serverAddrs()[d.Server]},
+		}}
+		if hasECS {
+			echo := ecs
+			echo.ScopePrefixLen = uint8(ecs.Prefix.Bits())
+			if err := resp.SetClientSubnet(echo, dnswire.MaxUDPPayload); err != nil {
+				s.logger.Debug("ECS echo failed", "err", err, "raddr", from)
+			}
+		}
+		st.answered.Add(1)
+	case dnswire.TypeTXT:
+		// Debug visibility: the policy name and decision counters.
+		stats := s.policy.Stats()
+		resp.Answers = []dnswire.ResourceRecord{{
+			Name:  s.zone,
+			Type:  dnswire.TypeTXT,
+			Class: dnswire.ClassIN,
+			TTL:   0,
+			Data: dnswire.TXT{Strings: []string{
+				"policy=" + s.policy.Name(),
+				fmt.Sprintf("decisions=%d", stats.Decisions),
+			}},
+		}}
+		st.answered.Add(1)
+	default:
+		// Name exists but no data of this type: NOERROR + SOA.
+		resp.Authority = []dnswire.ResourceRecord{s.soa()}
+		st.answered.Add(1)
+	}
+	out := mustPack(resp, dst)
+	if len(out) > maxSize {
+		resp.Answers = nil
+		resp.Authority = nil
+		resp.Additional = nil
+		resp.Header.Truncated = true
+		st.truncated.Add(1)
+		out = mustPack(resp, out[:0])
+	}
+	return out
+}
+
+// soa returns the zone's SOA record, used in negative responses.
+func (s *Server) soa() dnswire.ResourceRecord {
+	return dnswire.ResourceRecord{
+		Name:  s.zone,
+		Type:  dnswire.TypeSOA,
+		Class: dnswire.ClassIN,
+		TTL:   60,
+		Data: dnswire.SOA{
+			MName:   "ns1." + s.zone,
+			RName:   "hostmaster." + s.zone,
+			Serial:  1,
+			Refresh: 3600,
+			Retry:   600,
+			Expire:  86400,
+			Minimum: 60,
+		},
+	}
+}
+
+// mustPack appends the encoded message to dst (a zero-length slice or
+// nil), returning nil on encode failure: responses are built from
+// validated parts, so a pack failure is a programming error, but in
+// production we drop the response instead of crashing.
+func mustPack(m *dnswire.Message, dst []byte) []byte {
+	out, err := m.AppendPack(dst)
+	if err != nil {
+		return nil
+	}
+	return out
+}

@@ -65,15 +65,15 @@ func (s *Server) joinLocked(addr netip.Addr, capacity float64) (int, error) {
 		s.logger.Info("server rejoined", "server", i, "addr", addr, "capacity", capacity)
 		return i, nil
 	}
-	// Fresh slot. Publish the address table and the expiry slot first:
-	// the instant AddServer publishes membership, a concurrent Schedule
+	// Fresh slot. Publish the address table and the ledger slot first:
+	// the instant AddServer publishes membership, a concurrent Decide
 	// may pick the new index, and the query path must find its address.
 	idx := len(cur)
 	next := make([]netip.Addr, idx+1)
 	copy(next, cur)
 	next[idx] = addr
 	s.addrs.Store(&next)
-	s.expirySlot(idx)
+	s.eng.Ledger().Grow(idx + 1)
 	got, err := st.AddServer(capacity)
 	if err != nil {
 		s.addrs.Store(&cur)

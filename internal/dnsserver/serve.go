@@ -1,0 +1,329 @@
+package dnsserver
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnslb/internal/dnswire"
+)
+
+// Serve loops and lifecycle: socket binding, the parallel UDP
+// reader/responder workers, the TCP accept loop, and the two stop
+// paths (immediate Close, graceful Shutdown).
+
+// Start binds the UDP socket and TCP listener and begins serving with
+// the configured number of parallel UDP workers.
+func (s *Server) Start() error {
+	uaddr, err := net.ResolveUDPAddr("udp", s.addrOrDefault())
+	if err != nil {
+		return fmt.Errorf("dnsserver: resolve: %w", err)
+	}
+	s.udp, err = net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return fmt.Errorf("dnsserver: listen udp: %w", err)
+	}
+	s.tcp, err = net.Listen("tcp", s.udp.LocalAddr().String())
+	if err != nil {
+		_ = s.udp.Close()
+		return fmt.Errorf("dnsserver: listen tcp: %w", err)
+	}
+	s.wg.Add(s.udpWorkers + 1)
+	for i := 0; i < s.udpWorkers; i++ {
+		go s.serveUDP(i)
+	}
+	go s.serveTCP()
+	return nil
+}
+
+// configured listen address; stored via Config at New time.
+func (s *Server) addrOrDefault() string {
+	if s.listenAddr == "" {
+		return "127.0.0.1:0"
+	}
+	return s.listenAddr
+}
+
+// Addr returns the bound UDP address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.udp.LocalAddr() }
+
+// Close stops serving immediately and waits for the serve loops to
+// exit; in-flight exchanges may be cut off. For a drain-then-stop, use
+// Shutdown.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	s.cancelDrainTimers()
+	var first error
+	if s.udp != nil {
+		first = s.udp.Close()
+	}
+	if s.tcp != nil {
+		if err := s.tcp.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	// Closing the listener does not close accepted connections; do it
+	// explicitly so Close never waits out a TCP idle deadline.
+	s.connsMu.Lock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.connsMu.Unlock()
+	s.wg.Wait()
+	return first
+}
+
+// Shutdown stops the server gracefully: new work is refused, but
+// queries already read from the sockets are answered before the serve
+// loops exit. The UDP socket stays open (writable) until every worker
+// has finished its in-flight response; TCP stops accepting at once and
+// each open connection completes its current exchange. When ctx
+// expires first, the remaining work is cut off as in Close and ctx's
+// error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	s.cancelDrainTimers()
+	// Unblock the UDP readers without closing the socket: a worker
+	// blocked in read observes the deadline error, sees closed, and
+	// exits; a worker mid-response can still write it.
+	if s.udp != nil {
+		_ = s.udp.SetReadDeadline(time.Now())
+	}
+	var first error
+	if s.tcp != nil {
+		first = s.tcp.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if first == nil {
+			first = ctx.Err()
+		}
+		s.connsMu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.connsMu.Unlock()
+	}
+	if s.udp != nil {
+		_ = s.udp.Close()
+	}
+	<-done
+	return first
+}
+
+// cancelDrainTimers stops every pending drain-completion timer; used
+// on shutdown so no removal fires into a closing server.
+func (s *Server) cancelDrainTimers() {
+	s.reconfigMu.Lock()
+	for i, t := range s.drainTimers {
+		t.Stop()
+		delete(s.drainTimers, i)
+	}
+	s.reconfigMu.Unlock()
+}
+
+// packPool recycles response buffers across queries; serve loops pack
+// into a pooled buffer via dnswire.AppendPack and return it after the
+// write, so steady-state encoding allocates nothing.
+var packPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+// Read/accept error backoff: persistent socket errors (ENOBUFS, EMFILE)
+// would otherwise hot-spin the serve loop and flood the log. The delay
+// doubles per consecutive failure up to the cap and resets to zero on
+// the first success.
+const (
+	errBackoffMin = time.Millisecond
+	errBackoffMax = time.Second
+)
+
+// nextBackoff returns the delay to sleep after a serve-loop error and
+// the successor backoff value.
+func nextBackoff(cur time.Duration) (sleep, next time.Duration) {
+	if cur <= 0 {
+		return errBackoffMin, 2 * errBackoffMin
+	}
+	if cur > errBackoffMax {
+		return errBackoffMax, errBackoffMax
+	}
+	return cur, cur * 2
+}
+
+// sleepOrClosed sleeps for d, returning early (true) when the server
+// is shutting down.
+func (s *Server) sleepOrClosed(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-s.closed:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// serveUDP is one of UDPWorkers identical reader/responder loops over
+// the shared socket. The kernel distributes datagrams across blocked
+// readers; each worker owns its read buffer, so the loops never touch
+// shared mutable server state. When instrumented, each worker times
+// its own queries and accumulates the latency histogram sum on its own
+// shard (the worker index is the hint), keeping the measurement as
+// contention-free as the serving.
+func (s *Server) serveUDP(worker int) {
+	defer s.wg.Done()
+	buf := make([]byte, 65535)
+	m := s.metrics
+	hint := uint32(worker)
+	var backoff time.Duration
+	for {
+		n, raddr, err := s.udp.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logger.Warn("udp read failed", "err", err, "worker", worker)
+				var sleep time.Duration
+				sleep, backoff = nextBackoff(backoff)
+				if s.sleepOrClosed(sleep) {
+					return
+				}
+				continue
+			}
+		}
+		backoff = 0
+		var start time.Time
+		if m != nil {
+			start = time.Now()
+		}
+		bp := packPool.Get().(*[]byte)
+		resp := s.safeHandle(buf[:n], raddr.Addr(), dnswire.MaxUDPPayload, (*bp)[:0])
+		if resp != nil {
+			if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
+				s.logger.Warn("udp write failed", "err", err, "worker", worker, "raddr", raddr)
+			}
+			if cap(resp) > cap(*bp) {
+				*bp = resp[:0] // keep the grown buffer
+			}
+		}
+		packPool.Put(bp)
+		if m != nil {
+			m.latency.ObserveHint(hint, time.Since(start).Seconds())
+		}
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	var backoff time.Duration
+	for {
+		conn, err := s.tcp.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				s.logger.Warn("tcp accept failed", "err", err)
+				var sleep time.Duration
+				sleep, backoff = nextBackoff(backoff)
+				if s.sleepOrClosed(sleep) {
+					return
+				}
+				continue
+			}
+		}
+		backoff = 0
+		s.connsMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connsMu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				_ = conn.Close()
+				s.connsMu.Lock()
+				delete(s.conns, conn)
+				s.connsMu.Unlock()
+			}()
+			s.serveTCPConn(conn)
+		}()
+	}
+}
+
+// tcpIdleTimeout bounds how long a TCP client may sit between
+// messages, so idle or slowloris connections cannot pin goroutines.
+const tcpIdleTimeout = 30 * time.Second
+
+func (s *Server) serveTCPConn(conn net.Conn) {
+	var raddr netip.Addr
+	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
+		raddr = ap.Addr()
+	}
+	lenBuf := make([]byte, 2)
+	for {
+		// A graceful shutdown lets the current exchange finish but takes
+		// no further messages from the connection.
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+		if err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout)); err != nil {
+			return
+		}
+		if _, err := readFull(conn, lenBuf); err != nil {
+			return
+		}
+		n := int(lenBuf[0])<<8 | int(lenBuf[1])
+		msg := make([]byte, n)
+		if _, err := readFull(conn, msg); err != nil {
+			return
+		}
+		resp := s.safeHandle(msg, raddr, math.MaxUint16, nil)
+		if resp == nil {
+			return
+		}
+		out := make([]byte, 2+len(resp))
+		out[0], out[1] = byte(len(resp)>>8), byte(len(resp))
+		copy(out[2:], resp)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	read := 0
+	for read < len(buf) {
+		n, err := conn.Read(buf[read:])
+		read += n
+		if err != nil {
+			return read, err
+		}
+	}
+	return read, nil
+}

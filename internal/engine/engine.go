@@ -1,0 +1,212 @@
+// Package engine owns the DNS scheduler's per-query decision
+// lifecycle, shared verbatim by the discrete-event simulator and the
+// live authoritative DNS server: membership/liveness/drain filtering
+// and server selection (via core.Policy over immutable state
+// snapshots), TTL assignment, the outstanding-mapping (hidden-load)
+// ledger, and the estimator feedback loop that turns server hit
+// reports into domain weights.
+//
+// The engine is parameterized by exactly two environment seams:
+//
+//   - a Clock — virtual time in the simulator, wall time live — and
+//   - the policy's random stream (core.LockRand over any core.Rand),
+//     injected when the policy is built.
+//
+// Everything else is identical on both paths, which is what the
+// conformance suite asserts: the same recorded request stream fed to a
+// sim-clocked engine and a wall-style (manually clocked) engine yields
+// bit-identical (server, TTL) decision sequences for every policy.
+//
+// Decide is safe for concurrent callers and takes no engine-level
+// lock: the policy schedules against atomically published snapshots
+// and the ledger is CAS-max per slot. The estimator keeps mutable
+// running sums and is serialized by its own mutex — off the query
+// path entirely (feedback arrives on report/collection intervals).
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"dnslb/internal/core"
+)
+
+// lockedEstimator serializes estimator mutations. Feedback arrives on
+// report/collection intervals, never per query, so one mutex suffices.
+type lockedEstimator struct {
+	mu  sync.Mutex
+	est *core.Estimator
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Policy is the scheduling policy (selection + TTL assignment).
+	// Required. Its Rand stream is the engine's second seam: inject a
+	// deterministic stream for reproducibility, an entropy-seeded one
+	// for production.
+	Policy *core.Policy
+	// Clock supplies current time in engine seconds. Required.
+	Clock Clock
+	// Estimator optionally closes the hidden-load feedback loop:
+	// RecordHits accumulates per-domain hit reports and RollEstimates
+	// installs the re-estimated weights into the scheduler state. Nil
+	// disables feedback (the simulator's oracle-weights setting).
+	Estimator *core.Estimator
+	// OnDecision, when non-nil, observes every successful decision in
+	// scheduling order — the tap the conformance and replay tests
+	// record from. It is called synchronously on the query path and
+	// must be cheap and concurrency-safe on the live path.
+	OnDecision func(domain int, d core.Decision)
+}
+
+// Engine is the unified decision lifecycle.
+type Engine struct {
+	policy     *core.Policy
+	clock      Clock
+	ledger     *Ledger
+	est        *lockedEstimator // nil when feedback is disabled
+	onDecision func(domain int, d core.Decision)
+}
+
+// New creates an engine with a ledger sized to the policy's cluster.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("engine: Policy is required")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("engine: Clock is required")
+	}
+	e := &Engine{
+		policy:     cfg.Policy,
+		clock:      cfg.Clock,
+		ledger:     NewLedger(cfg.Policy.State().Cluster().N()),
+		onDecision: cfg.OnDecision,
+	}
+	if cfg.Estimator != nil {
+		e.est = &lockedEstimator{est: cfg.Estimator}
+	}
+	return e, nil
+}
+
+// Policy returns the engine's scheduling policy.
+func (e *Engine) Policy() *core.Policy { return e.policy }
+
+// State returns the scheduler state the engine reads and mutates.
+func (e *Engine) State() *core.State { return e.policy.State() }
+
+// Clock returns the engine's time source.
+func (e *Engine) Clock() Clock { return e.clock }
+
+// Now returns the current engine time in seconds.
+func (e *Engine) Now() float64 { return e.clock.Now() }
+
+// Decide answers one address request from the given domain: it runs
+// the policy (membership, liveness and drain filtering happen inside
+// the selection, against one immutable state snapshot), assigns the
+// adaptive TTL, and extends the chosen server's outstanding-mapping
+// window to now+TTL. When every server is unavailable it returns
+// core.ErrNoServers and touches nothing.
+//
+// Decide is safe for concurrent callers and may race freely with the
+// state mutators and with membership changes.
+func (e *Engine) Decide(domain int) (core.Decision, error) {
+	now := e.clock.Now()
+	d, err := e.policy.Schedule(domain)
+	if err != nil {
+		return d, err
+	}
+	e.ledger.Extend(d.Server, now+d.TTL)
+	if e.onDecision != nil {
+		e.onDecision(domain, d)
+	}
+	return d, nil
+}
+
+// Ledger returns the outstanding-mapping ledger.
+func (e *Engine) Ledger() *Ledger { return e.ledger }
+
+// NoteMapping extends server i's outstanding-mapping window to expire
+// no earlier than expiry (engine seconds). Decide already notes
+// now+TTL; callers use this for externally lengthened windows — a
+// non-cooperative name server clamping the TTL up, or a checkpoint
+// restore carrying a pre-restart window.
+func (e *Engine) NoteMapping(server int, expiry float64) { e.ledger.Extend(server, expiry) }
+
+// MappingExpiry returns the latest engine-clock instant at which a
+// mapping handed to server i can still be cached downstream, or 0 when
+// none was ever handed out — the earliest moment a drain of i may
+// complete.
+func (e *Engine) MappingExpiry(server int) float64 { return e.ledger.Expiry(server) }
+
+// DrainDeadline returns when server i's hidden-load window closes:
+// its largest outstanding mapping expiry, but never before now.
+func (e *Engine) DrainDeadline(server int) float64 {
+	now := e.clock.Now()
+	if exp := e.ledger.Expiry(server); exp > now {
+		return exp
+	}
+	return now
+}
+
+// SetAlarm relays a server's alarm/normal signal into the scheduler
+// state; alarmed servers are deprioritized by the selectors.
+func (e *Engine) SetAlarm(server int, alarmed bool) error {
+	return e.policy.State().SetAlarm(server, alarmed)
+}
+
+// SetDown marks a server crashed (true) or recovered (false); down
+// servers receive no new mappings.
+func (e *Engine) SetDown(server int, down bool) error {
+	return e.policy.State().SetDown(server, down)
+}
+
+// HasEstimator reports whether the hidden-load feedback loop is
+// enabled.
+func (e *Engine) HasEstimator() bool { return e.est != nil }
+
+// RecordHits accumulates per-domain hits reported by a server since
+// the last RollEstimates. A no-op when feedback is disabled.
+func (e *Engine) RecordHits(domain int, hits float64) {
+	if e.est == nil {
+		return
+	}
+	e.est.mu.Lock()
+	e.est.est.Record(domain, hits)
+	e.est.mu.Unlock()
+}
+
+// RollEstimates closes an estimation interval of the given length in
+// seconds and installs the re-estimated hidden-load weights into the
+// scheduler state. A no-op when feedback is disabled.
+func (e *Engine) RollEstimates(intervalSeconds float64) error {
+	if e.est == nil {
+		return nil
+	}
+	e.est.mu.Lock()
+	defer e.est.mu.Unlock()
+	e.est.est.Roll(intervalSeconds)
+	return e.policy.State().SetWeights(e.est.est.Weights())
+}
+
+// EstimatorState captures the estimator's serializable soft state for
+// a checkpoint; ok is false when feedback is disabled.
+func (e *Engine) EstimatorState() (st core.EstimatorState, ok bool) {
+	if e.est == nil {
+		return core.EstimatorState{}, false
+	}
+	e.est.mu.Lock()
+	defer e.est.mu.Unlock()
+	return e.est.est.State(), true
+}
+
+// RestoreEstimator replaces the estimator's soft state with a
+// checkpointed one; an error (including disabled feedback) leaves the
+// estimator unchanged.
+func (e *Engine) RestoreEstimator(st core.EstimatorState) error {
+	if e.est == nil {
+		return errors.New("engine: no estimator to restore")
+	}
+	e.est.mu.Lock()
+	defer e.est.mu.Unlock()
+	return e.est.est.Restore(st)
+}

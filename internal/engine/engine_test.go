@@ -1,0 +1,238 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"dnslb/internal/core"
+	"dnslb/internal/simcore"
+)
+
+func testEngine(t *testing.T, policy string, est *core.Estimator, clock Clock) *Engine {
+	t.Helper()
+	cluster, err := core.NewCluster([]float64{120, 100, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.NewPolicy(core.PolicyConfig{
+		Name:  policy,
+		State: state,
+		Rand:  simcore.NewStream(1, "policy"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{Policy: pol, Clock: clock, Estimator: est})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil policy must be rejected")
+	}
+	cluster, _ := core.NewCluster([]float64{100})
+	state, _ := core.NewState(cluster, 1)
+	pol, err := core.NewPolicy(core.PolicyConfig{Name: "RR", State: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Policy: pol}); err == nil {
+		t.Error("nil clock must be rejected")
+	}
+}
+
+func TestDecideExtendsLedger(t *testing.T) {
+	clock := &ManualClock{}
+	clock.Set(100)
+	eng := testEngine(t, "DRR-TTL/S_K", nil, clock)
+	d, err := eng.Decide(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 + d.TTL
+	if got := eng.MappingExpiry(d.Server); got != want {
+		t.Errorf("ledger expiry = %v, want %v", got, want)
+	}
+	// An earlier expiry never shrinks the window.
+	eng.NoteMapping(d.Server, 50)
+	if got := eng.MappingExpiry(d.Server); got != want {
+		t.Errorf("ledger shrank to %v after stale note, want %v", got, want)
+	}
+	// A clamped-up TTL extends it.
+	eng.NoteMapping(d.Server, want+60)
+	if got := eng.MappingExpiry(d.Server); got != want+60 {
+		t.Errorf("ledger expiry = %v after extension, want %v", got, want+60)
+	}
+}
+
+func TestDecideNoServers(t *testing.T) {
+	clock := &ManualClock{}
+	eng := testEngine(t, "RR", nil, clock)
+	for i := 0; i < 3; i++ {
+		if err := eng.SetDown(i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Decide(0); !errors.Is(err, core.ErrNoServers) {
+		t.Errorf("err = %v, want ErrNoServers", err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := eng.MappingExpiry(i); got != 0 {
+			t.Errorf("server %d ledger touched (%v) by a failed decision", i, got)
+		}
+	}
+}
+
+func TestDrainDeadline(t *testing.T) {
+	clock := &ManualClock{}
+	clock.Set(10)
+	eng := testEngine(t, "RR", nil, clock)
+	// No mapping ever handed out: deadline is now.
+	if got := eng.DrainDeadline(2); got != 10 {
+		t.Errorf("deadline = %v, want now (10)", got)
+	}
+	eng.NoteMapping(2, 250)
+	if got := eng.DrainDeadline(2); got != 250 {
+		t.Errorf("deadline = %v, want 250", got)
+	}
+	clock.Set(300) // window already closed
+	if got := eng.DrainDeadline(2); got != 300 {
+		t.Errorf("deadline = %v, want now (300)", got)
+	}
+}
+
+func TestEstimatorFeedback(t *testing.T) {
+	est, err := core.NewEstimator(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := testEngine(t, "DRR-TTL/S_K", est, &ManualClock{})
+	if !eng.HasEstimator() {
+		t.Fatal("estimator not attached")
+	}
+	eng.RecordHits(0, 300)
+	eng.RecordHits(1, 100)
+	if err := eng.RollEstimates(10); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.State()
+	if w0, w1 := st.Weight(0), st.Weight(1); math.Abs(w0-0.75) > 1e-12 || math.Abs(w1-0.25) > 1e-12 {
+		t.Errorf("weights after roll = %v, %v, want 0.75, 0.25", w0, w1)
+	}
+	snap, ok := eng.EstimatorState()
+	if !ok {
+		t.Fatal("EstimatorState unavailable")
+	}
+	if snap.Rolls != 1 {
+		t.Errorf("rolls = %d, want 1", snap.Rolls)
+	}
+	if err := eng.RestoreEstimator(snap); err != nil {
+		t.Errorf("restore round-trip: %v", err)
+	}
+}
+
+func TestEstimatorDisabled(t *testing.T) {
+	eng := testEngine(t, "RR", nil, &ManualClock{})
+	eng.RecordHits(0, 100) // must not panic
+	if err := eng.RollEstimates(10); err != nil {
+		t.Errorf("RollEstimates without estimator = %v, want nil", err)
+	}
+	if _, ok := eng.EstimatorState(); ok {
+		t.Error("EstimatorState must report disabled feedback")
+	}
+	if err := eng.RestoreEstimator(core.EstimatorState{}); err == nil {
+		t.Error("RestoreEstimator without estimator must error")
+	}
+}
+
+func TestLedgerGrowAndConcurrentExtend(t *testing.T) {
+	l := NewLedger(2)
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	l.Grow(8)
+	if l.Len() != 8 {
+		t.Fatalf("len after grow = %d", l.Len())
+	}
+	l.Grow(4) // never shrinks
+	if l.Len() != 8 {
+		t.Fatalf("len after smaller grow = %d", l.Len())
+	}
+	// Concurrent CAS-max across growth: the final value per slot is the
+	// maximum ever written, regardless of interleaving.
+	var wg sync.WaitGroup
+	const writers = 8
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				l.Extend(10+k%3, float64(k+w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 10; i < 13; i++ {
+		if got := l.Expiry(i); got < 999 {
+			t.Errorf("slot %d = %v, want ≥ 999", i, got)
+		}
+	}
+	if got := l.Expiry(-1); got != 0 {
+		t.Errorf("negative slot expiry = %v", got)
+	}
+	if got := l.Expiry(1000); got != 0 {
+		t.Errorf("out-of-range expiry = %v", got)
+	}
+}
+
+func TestWallClockRoundTrip(t *testing.T) {
+	c := NewWallClock()
+	at := c.Time(90)
+	if got := c.Seconds(at); math.Abs(got-90) > 1e-6 {
+		t.Errorf("round trip = %v, want 90", got)
+	}
+	if d := time.Until(at); d < 80*time.Second || d > 91*time.Second {
+		t.Errorf("Time(90) is %v away, want ≈90s", d)
+	}
+	if now := c.Now(); now < 0 || now > 60 {
+		t.Errorf("wall Now = %v, want small positive", now)
+	}
+}
+
+func TestDecisionTap(t *testing.T) {
+	cluster, _ := core.NewCluster([]float64{100, 100})
+	state, _ := core.NewState(cluster, 2)
+	pol, err := core.NewPolicy(core.PolicyConfig{Name: "RR", State: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []core.Decision
+	eng, err := New(Config{
+		Policy: pol,
+		Clock:  &ManualClock{},
+		OnDecision: func(domain int, d core.Decision) {
+			seen = append(seen, d)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Decide(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("tap saw %d decisions, want 3", len(seen))
+	}
+}

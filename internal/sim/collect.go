@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math"
+
+	"dnslb/internal/core"
+	"dnslb/internal/engine"
+	"dnslb/internal/simcore"
+	"dnslb/internal/stats"
+	"dnslb/internal/webserver"
+)
+
+// utilizationCollector samples server utilization, drives the alarm
+// protocol, and accumulates the max-utilization metric. Servers
+// recompute utilization (and evaluate the alarm condition) every
+// UtilizationInterval; the reported metric averages the sub-windows
+// spanned by each MetricWindow.
+type utilizationCollector struct {
+	cfg     Config
+	sim     *simcore.Simulator
+	eng     *engine.Engine
+	state   *core.State
+	servers []*webserver.Server
+	res     *Result
+	fail    func(error)
+	horizon float64
+
+	maxUtil      *stats.WindowedMax
+	utilSum      []float64
+	subCount     int
+	subPerMetric int
+}
+
+func newUtilizationCollector(cfg Config, sim *simcore.Simulator, eng *engine.Engine, servers []*webserver.Server, res *Result, fail func(error), horizon float64) *utilizationCollector {
+	return &utilizationCollector{
+		cfg:          cfg,
+		sim:          sim,
+		eng:          eng,
+		state:        eng.State(),
+		servers:      servers,
+		res:          res,
+		fail:         fail,
+		horizon:      horizon,
+		maxUtil:      stats.NewWindowedMax(cfg.Servers),
+		utilSum:      make([]float64, cfg.Servers),
+		subPerMetric: int(math.Round(cfg.MetricWindow / cfg.UtilizationInterval)),
+	}
+}
+
+func (u *utilizationCollector) install() {
+	u.sim.Schedule(u.cfg.UtilizationInterval, u.sample)
+}
+
+func (u *utilizationCollector) sample() {
+	now := u.sim.Now()
+	measuring := now > u.cfg.Warmup
+	for i, sv := range u.servers {
+		util := sv.CloseWindow(now)
+		if u.state.Down(i) || !u.state.Member(i) {
+			// A dead or retired server serves nothing and signals
+			// nothing; its residual backlog drain is not a utilization
+			// observation (the metric window averages it as zero).
+			continue
+		}
+		if u.cfg.AlarmThreshold > 0 {
+			over := util > u.cfg.AlarmThreshold
+			if over != u.state.Alarmed(i) {
+				if err := u.eng.SetAlarm(i, over); err != nil {
+					u.fail(err)
+				}
+				u.res.AlarmSignals++
+			}
+		}
+		if measuring {
+			u.utilSum[i] += util
+		}
+	}
+	if measuring {
+		u.subCount++
+		if u.subCount == u.subPerMetric {
+			for i := range u.utilSum {
+				u.maxUtil.Observe(i, u.utilSum[i]/float64(u.subPerMetric))
+				u.utilSum[i] = 0
+			}
+			u.subCount = 0
+		}
+	}
+	if now < u.horizon {
+		u.sim.Schedule(u.cfg.UtilizationInterval, u.sample)
+	}
+}
+
+// estimatorCollector closes the dynamic hidden-load feedback loop:
+// each EstimatorInterval it gathers every live member's per-domain hit
+// report into the engine's estimator and rolls the re-estimated
+// weights into the scheduler state. The report-loss fault model drops
+// a server's whole interval report with probability ReportLossProb;
+// dead servers report nothing.
+type estimatorCollector struct {
+	cfg     Config
+	sim     *simcore.Simulator
+	eng     *engine.Engine
+	state   *core.State
+	servers []*webserver.Server
+	res     *Result
+	fail    func(error)
+	horizon float64
+
+	loss *simcore.Stream
+}
+
+func (c *estimatorCollector) install() {
+	c.state = c.eng.State()
+	c.loss = c.sim.Stream("reportloss")
+	c.sim.Schedule(c.cfg.EstimatorInterval, c.collect)
+}
+
+func (c *estimatorCollector) collect() {
+	for i, sv := range c.servers {
+		hits := sv.TakeDomainHits()
+		if c.state.Down(i) || !c.state.Member(i) {
+			// Dead and retired servers report nothing (draining ones
+			// still do — they are alive and serving).
+			continue
+		}
+		if c.cfg.ReportLossProb > 0 && c.loss.Float64() < c.cfg.ReportLossProb {
+			c.res.LostReports++
+			continue
+		}
+		for j, h := range hits {
+			c.eng.RecordHits(j, h)
+		}
+	}
+	if err := c.eng.RollEstimates(c.cfg.EstimatorInterval); err != nil {
+		c.fail(err)
+	}
+	if c.sim.Now() < c.horizon {
+		c.sim.Schedule(c.cfg.EstimatorInterval, c.collect)
+	}
+}

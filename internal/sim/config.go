@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"dnslb/internal/core"
 	"dnslb/internal/trace"
 	"dnslb/internal/workload"
 )
@@ -97,6 +98,12 @@ type Config struct {
 	// (defaults 20 ms base, 160 ms span when GeoPreference > 0).
 	GeoBaseMS, GeoSpanMS float64
 
+	// DecisionTap, when non-nil, observes every scheduler decision in
+	// scheduling order — the engine's OnDecision seam, which the
+	// sim/live conformance and replay tests record from. Ignored by
+	// Validate and excluded from serialized output.
+	DecisionTap func(domain int, d core.Decision) `json:"-"`
+
 	// Duration is the measured virtual time in seconds (paper: 5 h).
 	Duration float64
 	// Warmup is discarded virtual time before measurement starts.
@@ -144,7 +151,7 @@ func DefaultConfig(policy string) Config {
 		MetricWindow:        32,
 		OracleWeights:       true,
 		EstimatorInterval:   60,
-		EstimatorAlpha:      0.5,
+		EstimatorAlpha:      core.DefaultEstimatorAlpha,
 		Duration:            5 * 3600,
 		Warmup:              600,
 		Seed:                1,

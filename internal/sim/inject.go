@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+
+	"dnslb/internal/engine"
+	"dnslb/internal/simcore"
+)
+
+// faultInjector schedules crash/recovery events that flip the
+// scheduler's liveness view at their virtual times. A crash also
+// retracts the server's alarm (a dead server signals nothing; the
+// retraction is not an alarm signal, so it does not count); what the
+// DNS cannot retract are the cached mappings still pointing at it.
+type faultInjector struct {
+	sim   *simcore.Simulator
+	eng   *engine.Engine
+	recov *drainTracker
+	fail  func(error)
+}
+
+func (f *faultInjector) install(events []FaultEvent) {
+	st := f.eng.State()
+	for _, ev := range events {
+		ev := ev
+		f.sim.ScheduleAt(ev.Time, func() {
+			if st.Down(ev.Server) == ev.Down {
+				return
+			}
+			if err := f.eng.SetDown(ev.Server, ev.Down); err != nil {
+				f.fail(err)
+			}
+			if ev.Down {
+				if st.Alarmed(ev.Server) {
+					if err := f.eng.SetAlarm(ev.Server, false); err != nil {
+						f.fail(err)
+					}
+				}
+				f.recov.crashed(ev.Server)
+			} else {
+				f.recov.recovered(ev.Server, f.sim.Now())
+			}
+		})
+	}
+}
+
+// drainInjector schedules graceful server retirements: at its event
+// time the server leaves the scheduler's eligible set but stays a
+// member — its pre-drain cached mappings keep sending traffic until
+// the largest outstanding TTL in the engine's mapping ledger expires
+// (frozen once the drain starts because no new mappings reach a
+// draining server). Only then does the slot leave membership. Mirrors
+// the live DRAIN path (internal/dnsserver).
+type drainInjector struct {
+	sim  *simcore.Simulator
+	eng  *engine.Engine
+	fail func(error)
+}
+
+func (dr *drainInjector) install(events []DrainEvent) {
+	st := dr.eng.State()
+	for _, ev := range events {
+		ev := ev
+		dr.sim.ScheduleAt(ev.Time, func() {
+			if st.Draining(ev.Server) || !st.Member(ev.Server) {
+				return
+			}
+			if err := st.DrainServer(ev.Server); err != nil {
+				dr.fail(fmt.Errorf("drain server %d: %w", ev.Server, err))
+				return
+			}
+			wait := dr.eng.MappingExpiry(ev.Server) - dr.sim.Now()
+			if wait < 0 {
+				wait = 0
+			}
+			dr.sim.Schedule(wait, func() {
+				if err := st.RemoveServer(ev.Server); err != nil {
+					dr.fail(fmt.Errorf("remove server %d: %w", ev.Server, err))
+				}
+			})
+		})
+	}
+}

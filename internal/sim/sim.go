@@ -1,14 +1,12 @@
 package sim
 
 import (
-	"errors"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 
 	"dnslb/internal/core"
-	"dnslb/internal/nameserver"
+	"dnslb/internal/engine"
 	"dnslb/internal/simcore"
 	"dnslb/internal/stats"
 	"dnslb/internal/webserver"
@@ -120,15 +118,32 @@ func (r *Result) ControlledFraction() float64 {
 	return float64(r.AddressRequests) / float64(r.TotalPages)
 }
 
-// client is one Web client: it belongs to a domain, holds the
-// session's server mapping, and cycles think → page burst.
-type client struct {
-	domain    int
-	server    int
-	pagesLeft int
+// failSlot records the first error raised inside a scheduled event;
+// the run reports it after the virtual horizon.
+type failSlot struct{ err error }
+
+func (f *failSlot) fail(err error) {
+	if f.err == nil {
+		f.err = err
+	}
 }
 
 // Run executes one simulation and returns its results.
+//
+// Run is an assembly of components around one scheduling engine
+// (internal/engine) — the same decision lifecycle the live DNS server
+// runs, here under virtual time:
+//
+//   - the traffic source (live client processes or trace playback),
+//   - the NS cache tier resolving sessions through the engine,
+//   - the traffic sink routing page bursts to the Web servers,
+//   - the fault and drain injectors,
+//   - the utilization and estimator collectors.
+//
+// Component installation order is part of the deterministic contract:
+// the event heap breaks time ties by insertion order, so traffic is
+// installed first, then the utilization sampler, the fault injector,
+// the drain injector, and the estimator collector.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -145,25 +160,22 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	engine := simcore.New(cfg.Seed)
+	sc := simcore.New(cfg.Seed)
 	policyCfg := core.PolicyConfig{
 		Name:        cfg.Policy,
 		State:       state,
-		Rand:        engine.Stream("policy"),
-		Now:         engine.Now,
+		Rand:        sc.Stream("policy"),
+		Now:         sc.Now,
 		ConstantTTL: cfg.ConstantTTL,
 	}
+	prox, err := core.RingProximityConfig(cfg.Workload.Domains, cfg.Servers, cfg.GeoPreference, cfg.GeoBaseMS, cfg.GeoSpanMS)
+	if err != nil {
+		return nil, err
+	}
 	var geo *core.LatencyMatrix
-	if cfg.GeoPreference > 0 {
-		base, span := cfg.GeoBaseMS, cfg.GeoSpanMS
-		if base == 0 && span == 0 {
-			base, span = 20, 160
-		}
-		geo, err = core.RingLatencies(cfg.Workload.Domains, cfg.Servers, base, span)
-		if err != nil {
-			return nil, err
-		}
-		policyCfg.Proximity = &core.ProximityConfig{Matrix: geo, Preference: cfg.GeoPreference}
+	if prox != nil {
+		geo = prox.Matrix
+		policyCfg.Proximity = prox
 	}
 	policy, err := core.NewPolicy(policyCfg)
 	if err != nil {
@@ -177,13 +189,6 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	caches := make([]*nameserver.Cache, cfg.Workload.Domains)
-	for j := range caches {
-		caches[j], err = nameserver.New(cfg.MinNSTTL)
-		if err != nil {
-			return nil, err
-		}
-	}
 
 	var estimator *core.Estimator
 	if !cfg.OracleWeights {
@@ -193,261 +198,52 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	eng, err := engine.New(engine.Config{
+		Policy:     policy,
+		Clock:      engine.ClockFunc(sc.Now),
+		Estimator:  estimator,
+		OnDecision: cfg.DecisionTap,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{Config: cfg}
-	var scheduleErr error
-	var latSum, latHits float64
+	var sched failSlot
 
-	// Failure model: liveness as the scheduler sees it, plus
-	// time-to-drain bookkeeping per server.
-	downNow := make([]bool, cfg.Servers)
-	recoveredAt := make([]float64, cfg.Servers)
-	drainPending := make([]bool, cfg.Servers)
-	var drainSum float64
-	var drainN int
-
-	// Graceful-retirement model: draining servers keep serving their
-	// hidden load but take no new mappings; lastExpiry tracks each
-	// server's largest outstanding TTL — the drain window's end.
-	drainingNow := make([]bool, cfg.Servers)
-	removedNow := make([]bool, cfg.Servers)
-	lastExpiry := make([]float64, cfg.Servers)
-
-	deliver := func(domain, server, hits int) {
-		if server < 0 {
-			// The session could not be resolved: the page is lost.
-			res.LostPages++
-			return
-		}
-		if removedNow[server] {
-			// A session outlived the drain window and is still pinned to
-			// a retired server: its traffic is lost.
-			res.PostRemovalHits += uint64(hits)
-			res.LostPages++
-			return
-		}
-		if downNow[server] {
-			// A cached mapping pinned this domain to a dead server; the
-			// page is lost until the TTL expires or the server returns.
-			res.DeadServerHits += uint64(hits)
-			res.LostPages++
-			return
-		}
-		if drainingNow[server] {
-			res.DrainedServerHits += uint64(hits)
-		}
-		if drainPending[server] {
-			drainPending[server] = false
-			drainSum += engine.Now() - recoveredAt[server]
-			drainN++
-		}
-		servers[server].Arrive(engine.Now(), domain, hits)
-		if geo != nil {
-			latSum += geo.Latency(domain, server) * float64(hits)
-			latHits += float64(hits)
-		}
+	recov := newDrainTracker(cfg.Servers)
+	sink := &trafficSink{sim: sc, state: state, servers: servers, geo: geo, recov: recov, res: res}
+	tier, err := newCacheTier(cfg, sc, eng, res, sched.fail)
+	if err != nil {
+		return nil, err
 	}
 
-	// resolve returns the server for a new session of the given domain,
-	// consulting the domain's NS cache first; -1 when the whole cluster
-	// is down.
-	resolve := func(domain int) int {
-		now := engine.Now()
-		if server, ok := caches[domain].Lookup(now); ok {
-			return server
-		}
-		d, err := policy.Schedule(domain)
-		if err != nil {
-			if errors.Is(err, core.ErrNoServers) {
-				res.FailedResolves++
-				return -1
-			}
-			if scheduleErr == nil {
-				scheduleErr = err
-			}
-			return 0
-		}
-		res.AddressRequests++
-		// The NS-applied TTL (after any non-cooperative clamp) bounds
-		// how long this mapping can pin traffic to the chosen server.
-		effective := caches[domain].Store(now, d.Server, d.TTL)
-		if exp := now + effective; effective > 0 && exp > lastExpiry[d.Server] {
-			lastExpiry[d.Server] = exp
-		}
-		if drainingNow[d.Server] || removedNow[d.Server] {
-			res.PostDrainMappings++
-		}
-		return d.Server
-	}
-
-	// Traffic: either live client processes or a recorded trace.
 	if len(cfg.Trace) > 0 {
-		if err := scheduleTrace(cfg, engine, deliver, resolve); err != nil {
+		if err := scheduleTrace(cfg, sc, sink.deliver, tier.resolve); err != nil {
 			return nil, err
 		}
 	} else {
-		scheduleClients(cfg, engine, deliver, resolve)
+		scheduleClients(cfg, sc, sink.deliver, tier.resolve)
 	}
-
-	// Utilization sampling, alarms, and the max-utilization metric.
-	// Servers recompute utilization (and evaluate the alarm condition)
-	// every UtilizationInterval; the reported metric averages the
-	// sub-windows spanned by each MetricWindow.
 	horizon := cfg.Warmup + cfg.Duration
-	maxUtil := stats.NewWindowedMax(cfg.Servers)
-	alarmed := make([]bool, cfg.Servers)
-	subPerMetric := int(math.Round(cfg.MetricWindow / cfg.UtilizationInterval))
-	utilSum := make([]float64, cfg.Servers)
-	subCount := 0
-	var sampler func()
-	sampler = func() {
-		now := engine.Now()
-		measuring := now > cfg.Warmup
-		for i, sv := range servers {
-			u := sv.CloseWindow(now)
-			if downNow[i] || removedNow[i] {
-				// A dead or retired server serves nothing and signals
-				// nothing; its residual backlog drain is not a utilization
-				// observation (the metric window averages it as zero).
-				continue
-			}
-			if cfg.AlarmThreshold > 0 {
-				over := u > cfg.AlarmThreshold
-				if over != alarmed[i] {
-					alarmed[i] = over
-					if err := state.SetAlarm(i, over); err != nil && scheduleErr == nil {
-						scheduleErr = err
-					}
-					res.AlarmSignals++
-				}
-			}
-			if measuring {
-				utilSum[i] += u
-			}
-		}
-		if measuring {
-			subCount++
-			if subCount == subPerMetric {
-				for i := range utilSum {
-					maxUtil.Observe(i, utilSum[i]/float64(subPerMetric))
-					utilSum[i] = 0
-				}
-				subCount = 0
-			}
-		}
-		if now < horizon {
-			engine.Schedule(cfg.UtilizationInterval, sampler)
-		}
-	}
-	engine.Schedule(cfg.UtilizationInterval, sampler)
-
-	// Fault injection: crash/recovery events flip the scheduler's
-	// liveness view at their virtual times. A crash also retracts the
-	// server's alarm (a dead server signals nothing); what the DNS
-	// cannot retract are the cached mappings still pointing at it.
-	for _, ev := range cfg.Faults {
-		ev := ev
-		engine.ScheduleAt(ev.Time, func() {
-			if downNow[ev.Server] == ev.Down {
-				return
-			}
-			downNow[ev.Server] = ev.Down
-			if err := state.SetDown(ev.Server, ev.Down); err != nil && scheduleErr == nil {
-				scheduleErr = err
-			}
-			if ev.Down {
-				if alarmed[ev.Server] {
-					alarmed[ev.Server] = false
-					if err := state.SetAlarm(ev.Server, false); err != nil && scheduleErr == nil {
-						scheduleErr = err
-					}
-				}
-				drainPending[ev.Server] = false
-			} else {
-				recoveredAt[ev.Server] = engine.Now()
-				drainPending[ev.Server] = true
-			}
-		})
+	util := newUtilizationCollector(cfg, sc, eng, servers, res, sched.fail, horizon)
+	util.install()
+	(&faultInjector{sim: sc, eng: eng, recov: recov, fail: sched.fail}).install(cfg.Faults)
+	(&drainInjector{sim: sc, eng: eng, fail: sched.fail}).install(cfg.Drains)
+	if eng.HasEstimator() {
+		(&estimatorCollector{cfg: cfg, sim: sc, eng: eng, servers: servers, res: res, fail: sched.fail, horizon: horizon}).install()
 	}
 
-	// Graceful drains: at its event time the server leaves the
-	// scheduler's eligible set but stays a member — its pre-drain
-	// cached mappings keep sending traffic until the largest
-	// outstanding TTL expires (lastExpiry, frozen once the drain
-	// starts because no new mappings reach a draining server). Only
-	// then does the slot leave membership. Mirrors the live DRAIN path.
-	for _, ev := range cfg.Drains {
-		ev := ev
-		engine.ScheduleAt(ev.Time, func() {
-			if drainingNow[ev.Server] || removedNow[ev.Server] {
-				return
-			}
-			if err := state.DrainServer(ev.Server); err != nil {
-				if scheduleErr == nil {
-					scheduleErr = fmt.Errorf("drain server %d: %w", ev.Server, err)
-				}
-				return
-			}
-			drainingNow[ev.Server] = true
-			wait := lastExpiry[ev.Server] - engine.Now()
-			if wait < 0 {
-				wait = 0
-			}
-			engine.Schedule(wait, func() {
-				if err := state.RemoveServer(ev.Server); err != nil {
-					if scheduleErr == nil {
-						scheduleErr = fmt.Errorf("remove server %d: %w", ev.Server, err)
-					}
-					return
-				}
-				drainingNow[ev.Server] = false
-				removedNow[ev.Server] = true
-			})
-		})
+	sc.Run(horizon)
+	if sched.err != nil {
+		return nil, fmt.Errorf("sim: scheduling failed: %w", sched.err)
 	}
 
-	// Dynamic hidden-load estimation, when enabled. The report-loss
-	// fault model drops a server's whole interval report with
-	// probability ReportLossProb; dead servers report nothing.
-	if estimator != nil {
-		lossStream := engine.Stream("reportloss")
-		var collect func()
-		collect = func() {
-			for i, sv := range servers {
-				hits := sv.TakeDomainHits()
-				if downNow[i] || removedNow[i] {
-					// Dead and retired servers report nothing (draining
-					// ones still do — they are alive and serving).
-					continue
-				}
-				if cfg.ReportLossProb > 0 && lossStream.Float64() < cfg.ReportLossProb {
-					res.LostReports++
-					continue
-				}
-				for j, h := range hits {
-					estimator.Record(j, h)
-				}
-			}
-			estimator.Roll(cfg.EstimatorInterval)
-			if err := state.SetWeights(estimator.Weights()); err != nil && scheduleErr == nil {
-				scheduleErr = err
-			}
-			if engine.Now() < horizon {
-				engine.Schedule(cfg.EstimatorInterval, collect)
-			}
-		}
-		engine.Schedule(cfg.EstimatorInterval, collect)
-	}
-
-	engine.Run(horizon)
-	if scheduleErr != nil {
-		return nil, fmt.Errorf("sim: scheduling failed: %w", scheduleErr)
-	}
-
-	res.MaxUtil = maxUtil.Series()
+	res.MaxUtil = util.maxUtil.Series()
 	res.MeanServerUtil = make([]float64, cfg.Servers)
 	var weightedResponse float64
 	for i, sv := range servers {
-		res.MeanServerUtil[i] = sv.MeanUtilization(engine.Now())
+		res.MeanServerUtil[i] = sv.MeanUtilization(sc.Now())
 		res.TotalHits += sv.TotalHits()
 		res.TotalPages += sv.TotalPages()
 		weightedResponse += sv.MeanResponseTime() * float64(sv.TotalPages())
@@ -458,77 +254,12 @@ func Run(cfg Config) (*Result, error) {
 	if res.TotalPages > 0 {
 		res.MeanResponseTime = weightedResponse / float64(res.TotalPages)
 	}
-	if latHits > 0 {
-		res.MeanLatencyMS = latSum / latHits
-	}
-	if drainN > 0 {
-		res.MeanTimeToDrain = drainSum / float64(drainN)
-	}
-	for _, c := range caches {
-		st := c.Stats()
-		res.CacheHits += st.Hits
-		res.ClampedTTLs += st.Clamped
-	}
+	res.MeanLatencyMS = sink.meanLatencyMS()
+	res.MeanTimeToDrain = recov.mean()
+	tier.collect(res)
 	res.Sched = policy.Stats()
-	res.EventsFired = engine.EventsFired()
+	res.EventsFired = sc.EventsFired()
 	return res, nil
-}
-
-// scheduleClients installs the live client processes: each client
-// cycles think → page burst, resolving the site name at each session
-// start.
-func scheduleClients(cfg Config, engine *simcore.Simulator, deliver func(domain, server, hits int), resolve func(int) int) {
-	thinkStream := engine.Stream("think")
-	hitsStream := engine.Stream("hits")
-	pagesStream := engine.Stream("pages")
-	thinks := cfg.Workload.ThinkTimes()
-	counts := cfg.Workload.Partition()
-	for domain := 0; domain < cfg.Workload.Domains; domain++ {
-		if math.IsInf(thinks[domain], 1) {
-			continue // perturbation starved this domain entirely
-		}
-		for c := 0; c < counts[domain]; c++ {
-			cl := &client{domain: domain}
-			var wake func()
-			wake = func() {
-				if cl.pagesLeft == 0 {
-					cl.server = resolve(cl.domain)
-					cl.pagesLeft = pagesStream.Geometric(cfg.Workload.PagesPerSession)
-				}
-				hits := hitsStream.UniformInt(cfg.Workload.HitsMin, cfg.Workload.HitsMax)
-				deliver(cl.domain, cl.server, hits)
-				cl.pagesLeft--
-				engine.Schedule(thinkStream.Exp(thinks[cl.domain]), wake)
-			}
-			engine.Schedule(thinkStream.Exp(thinks[domain]), wake)
-		}
-	}
-}
-
-// scheduleTrace installs trace playback: every record becomes one
-// arrival event; new-session records re-resolve the client's mapping.
-func scheduleTrace(cfg Config, engine *simcore.Simulator, deliver func(domain, server, hits int), resolve func(int) int) error {
-	clientServer := make(map[int]int)
-	for i := range cfg.Trace {
-		rec := cfg.Trace[i]
-		if rec.Domain >= cfg.Workload.Domains {
-			return fmt.Errorf("sim: trace record %d references domain %d, workload has %d",
-				i, rec.Domain, cfg.Workload.Domains)
-		}
-		engine.ScheduleAt(rec.Time, func() {
-			if rec.NewSession {
-				clientServer[rec.Client] = resolve(rec.Domain)
-			}
-			server, ok := clientServer[rec.Client]
-			if !ok {
-				// Tolerate traces that start mid-session.
-				server = resolve(rec.Domain)
-				clientServer[rec.Client] = server
-			}
-			deliver(rec.Domain, server, rec.Hits)
-		})
-	}
-	return nil
 }
 
 // RunReplications executes the same configuration with seeds

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dnslb/internal/core"
+	"dnslb/internal/engine"
+	"dnslb/internal/nameserver"
+	"dnslb/internal/simcore"
+	"dnslb/internal/webserver"
+)
+
+// client is one Web client: it belongs to a domain, holds the
+// session's server mapping, and cycles think → page burst.
+type client struct {
+	domain    int
+	server    int
+	pagesLeft int
+}
+
+// drainTracker measures the time-to-drain metric: how long stale
+// cached mappings and pointer state keep a recovered server idle. The
+// fault injector marks recoveries; the traffic sink closes them when
+// traffic first returns.
+type drainTracker struct {
+	pending     []bool
+	recoveredAt []float64
+	sum         float64
+	n           int
+}
+
+func newDrainTracker(servers int) *drainTracker {
+	return &drainTracker{
+		pending:     make([]bool, servers),
+		recoveredAt: make([]float64, servers),
+	}
+}
+
+// crashed cancels a pending recovery observation: the server went down
+// again before any traffic reached it.
+func (d *drainTracker) crashed(server int) { d.pending[server] = false }
+
+// recovered marks server as back up at virtual time now.
+func (d *drainTracker) recovered(server int, now float64) {
+	d.recoveredAt[server] = now
+	d.pending[server] = true
+}
+
+// served records traffic reaching the server, closing a pending
+// recovery observation.
+func (d *drainTracker) served(server int, now float64) {
+	if !d.pending[server] {
+		return
+	}
+	d.pending[server] = false
+	d.sum += now - d.recoveredAt[server]
+	d.n++
+}
+
+// mean returns the mean observed time-to-drain, or 0 when no recovery
+// was observed (or traffic never returned).
+func (d *drainTracker) mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// trafficSink receives resolved page bursts and routes them to the Web
+// servers, accounting for the failure and retirement states the
+// scheduler state machine reports: traffic pinned to retired, dead or
+// draining servers is the hidden load the DNS no longer controls.
+type trafficSink struct {
+	sim     *simcore.Simulator
+	state   *core.State
+	servers []*webserver.Server
+	geo     *core.LatencyMatrix
+	recov   *drainTracker
+	res     *Result
+
+	latSum  float64
+	latHits float64
+}
+
+func (t *trafficSink) deliver(domain, server, hits int) {
+	if server < 0 {
+		// The session could not be resolved: the page is lost.
+		t.res.LostPages++
+		return
+	}
+	sn := t.state.Snapshot()
+	if !sn.Member(server) {
+		// A session outlived the drain window and is still pinned to
+		// a retired server: its traffic is lost.
+		t.res.PostRemovalHits += uint64(hits)
+		t.res.LostPages++
+		return
+	}
+	if sn.Down(server) {
+		// A cached mapping pinned this domain to a dead server; the
+		// page is lost until the TTL expires or the server returns.
+		t.res.DeadServerHits += uint64(hits)
+		t.res.LostPages++
+		return
+	}
+	if sn.Draining(server) {
+		t.res.DrainedServerHits += uint64(hits)
+	}
+	now := t.sim.Now()
+	t.recov.served(server, now)
+	t.servers[server].Arrive(now, domain, hits)
+	if t.geo != nil {
+		t.latSum += t.geo.Latency(domain, server) * float64(hits)
+		t.latHits += float64(hits)
+	}
+}
+
+// meanLatencyMS returns the traffic-weighted mean client-to-server
+// distance under the geo extension (0 when disabled).
+func (t *trafficSink) meanLatencyMS() float64 {
+	if t.latHits == 0 {
+		return 0
+	}
+	return t.latSum / t.latHits
+}
+
+// cacheTier is the per-domain name-server cache layer between the
+// clients and the scheduling engine: lookups hit the domain's cache
+// first; misses go to the engine for a fresh decision, whose TTL the
+// cache then applies (after any non-cooperative clamp).
+type cacheTier struct {
+	sim    *simcore.Simulator
+	eng    *engine.Engine
+	state  *core.State
+	caches []*nameserver.Cache
+	res    *Result
+	fail   func(error)
+}
+
+func newCacheTier(cfg Config, sim *simcore.Simulator, eng *engine.Engine, res *Result, fail func(error)) (*cacheTier, error) {
+	caches := make([]*nameserver.Cache, cfg.Workload.Domains)
+	for j := range caches {
+		c, err := nameserver.New(cfg.MinNSTTL)
+		if err != nil {
+			return nil, err
+		}
+		caches[j] = c
+	}
+	return &cacheTier{
+		sim:    sim,
+		eng:    eng,
+		state:  eng.State(),
+		caches: caches,
+		res:    res,
+		fail:   fail,
+	}, nil
+}
+
+// resolve returns the server for a new session of the given domain,
+// consulting the domain's NS cache first; -1 when the whole cluster
+// is down.
+func (ct *cacheTier) resolve(domain int) int {
+	now := ct.sim.Now()
+	if server, ok := ct.caches[domain].Lookup(now); ok {
+		return server
+	}
+	d, err := ct.eng.Decide(domain)
+	if err != nil {
+		if errors.Is(err, core.ErrNoServers) {
+			ct.res.FailedResolves++
+			return -1
+		}
+		ct.fail(err)
+		return 0
+	}
+	ct.res.AddressRequests++
+	// The NS-applied TTL (after any non-cooperative clamp) bounds how
+	// long this mapping can pin traffic to the chosen server. Decide
+	// already noted now+TTL in the engine's ledger; a clamped-up TTL
+	// lengthens the outstanding-mapping window past it.
+	if effective := ct.caches[domain].Store(now, d.Server, d.TTL); effective > d.TTL {
+		ct.eng.NoteMapping(d.Server, now+effective)
+	}
+	sn := ct.state.Snapshot()
+	if sn.Draining(d.Server) || !sn.Member(d.Server) {
+		ct.res.PostDrainMappings++
+	}
+	return d.Server
+}
+
+// collect folds the tier's cache counters into the result.
+func (ct *cacheTier) collect(res *Result) {
+	for _, c := range ct.caches {
+		st := c.Stats()
+		res.CacheHits += st.Hits
+		res.ClampedTTLs += st.Clamped
+	}
+}
+
+// scheduleClients installs the live client processes: each client
+// cycles think → page burst, resolving the site name at each session
+// start.
+func scheduleClients(cfg Config, sim *simcore.Simulator, deliver func(domain, server, hits int), resolve func(int) int) {
+	thinkStream := sim.Stream("think")
+	hitsStream := sim.Stream("hits")
+	pagesStream := sim.Stream("pages")
+	thinks := cfg.Workload.ThinkTimes()
+	counts := cfg.Workload.Partition()
+	for domain := 0; domain < cfg.Workload.Domains; domain++ {
+		if math.IsInf(thinks[domain], 1) {
+			continue // perturbation starved this domain entirely
+		}
+		for c := 0; c < counts[domain]; c++ {
+			cl := &client{domain: domain}
+			var wake func()
+			wake = func() {
+				if cl.pagesLeft == 0 {
+					cl.server = resolve(cl.domain)
+					cl.pagesLeft = pagesStream.Geometric(cfg.Workload.PagesPerSession)
+				}
+				hits := hitsStream.UniformInt(cfg.Workload.HitsMin, cfg.Workload.HitsMax)
+				deliver(cl.domain, cl.server, hits)
+				cl.pagesLeft--
+				sim.Schedule(thinkStream.Exp(thinks[cl.domain]), wake)
+			}
+			sim.Schedule(thinkStream.Exp(thinks[domain]), wake)
+		}
+	}
+}
+
+// scheduleTrace installs trace playback: every record becomes one
+// arrival event; new-session records re-resolve the client's mapping.
+func scheduleTrace(cfg Config, sim *simcore.Simulator, deliver func(domain, server, hits int), resolve func(int) int) error {
+	clientServer := make(map[int]int)
+	for i := range cfg.Trace {
+		rec := cfg.Trace[i]
+		if rec.Domain >= cfg.Workload.Domains {
+			return fmt.Errorf("sim: trace record %d references domain %d, workload has %d",
+				i, rec.Domain, cfg.Workload.Domains)
+		}
+		sim.ScheduleAt(rec.Time, func() {
+			if rec.NewSession {
+				clientServer[rec.Client] = resolve(rec.Domain)
+			}
+			server, ok := clientServer[rec.Client]
+			if !ok {
+				// Tolerate traces that start mid-session.
+				server = resolve(rec.Domain)
+				clientServer[rec.Client] = server
+			}
+			deliver(rec.Domain, server, rec.Hits)
+		})
+	}
+	return nil
+}
