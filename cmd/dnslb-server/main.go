@@ -103,6 +103,9 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		ckptIv      = fs.Duration("checkpoint-interval", time.Minute, "how often to save the checkpoint")
 		ckptMaxAge  = fs.Duration("checkpoint-max-age", 24*time.Hour, "reject checkpoints older than this on restore (0 = no age limit)")
 		shutdownTO  = fs.Duration("shutdown-timeout", 5*time.Second, "deadline for draining in-flight queries at shutdown")
+		peers       = fs.String("peers", "", "comma-separated report-socket addresses of peer DNS replicas (empty = single replica)")
+		replicaID   = fs.String("replica-id", "", "unique name of this replica in the set (required with -peers)")
+		replIv      = fs.Duration("replication-interval", time.Second, "soft-state gossip cadence between replicas")
 		logOpts     = logging.AddFlags(fs)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -260,7 +263,26 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 	}
 	defer reporter.Close()
 	logger.Info("load reports enabled", "addr", reporter.Addr().String(),
-		"protocol", "ALIVE/ALARM/HITS/ROLL/JOIN/DRAIN")
+		"protocol", "ALIVE/ALARM/HITS/ROLL/JOIN/DRAIN/REPL")
+
+	// Multi-replica soft-state replication: peer deltas arrive as REPL
+	// lines on the report socket above; outbound gossip dials the peers'
+	// report sockets. Losing every peer only degrades to local-only
+	// scheduling — queries are never refused on account of replication.
+	if *peers != "" {
+		if *replicaID == "" {
+			return fmt.Errorf("-peers requires -replica-id")
+		}
+		if err := srv.StartReplication(dnslb.ReplicationConfig{
+			ReplicaID: *replicaID,
+			Peers:     strings.Split(*peers, ","),
+			Interval:  *replIv,
+		}); err != nil {
+			return err
+		}
+	} else if *replicaID != "" {
+		logger.Warn("-replica-id ignored: no -peers configured")
+	}
 
 	var ckpt *dnslb.Checkpointer
 	if *ckptPath != "" {

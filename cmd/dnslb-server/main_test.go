@@ -213,3 +213,137 @@ func TestRunValidation(t *testing.T) {
 		t.Error("unsorted capacities should error")
 	}
 }
+
+// scrapeValue fetches a /metrics exposition and returns the named
+// sample's value, or -1 when the series is absent.
+func scrapeValue(metricsAddr, series string) float64 {
+	resp, err := http.Get("http://" + metricsAddr + "/metrics")
+	if err != nil {
+		return -1
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return -1
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+func TestRunTwoReplicaReplication(t *testing.T) {
+	// Two dnslb-server processes (in-process run() calls) gossiping over
+	// -peers: an alarm reported to replica A must surface in replica B's
+	// scheduler through the REPL channel alone.
+	reserve, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bReport := reserve.Addr().String()
+	_ = reserve.Close()
+
+	common := []string{
+		"-zone", "www.repl.test",
+		"-addr", "127.0.0.1:0",
+		"-servers", "10.9.1.1,10.9.1.2",
+		"-capacities", "100,50",
+		"-policy", "DRR2-TTL/S_K",
+		"-domains", "4",
+		"-metrics-addr", "127.0.0.1:0",
+		"-replication-interval", "50ms",
+		"-liveness-k", "0",
+		"-log-level", "error",
+	}
+	startReplica := func(extra ...string) (boundAddrs, chan struct{}, chan error) {
+		t.Helper()
+		stop := make(chan struct{})
+		addrs := make(chan boundAddrs, 1)
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run(append(append([]string{}, common...), extra...), stop, func(b boundAddrs) { addrs <- b })
+		}()
+		select {
+		case b := <-addrs:
+			return b, stop, errc
+		case err := <-errc:
+			t.Fatalf("replica exited early: %v", err)
+		case <-time.After(5 * time.Second):
+			t.Fatal("replica did not start")
+		}
+		panic("unreachable")
+	}
+
+	// A starts first, dialing B's (not yet bound) report port under
+	// backoff; B then binds exactly there and peers back at A.
+	a, stopA, errA := startReplica("-replica-id", "a", "-peers", bReport)
+	b, stopB, errB := startReplica("-replica-id", "b", "-report", bReport, "-peers", a.Report)
+
+	waitMetric := func(addr, series string, want float64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if scrapeValue(addr, series) == want {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("series %s on %s never reached %v (last %v)",
+			series, addr, want, scrapeValue(addr, series))
+	}
+	waitMetric(a.Metrics, `dnslb_repl_connected_peers{replica="a"}`, 1)
+	waitMetric(b.Metrics, `dnslb_repl_connected_peers{replica="b"}`, 1)
+
+	conn, err := net.Dial("tcp", a.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(conn, "ALARM 0 1")
+	buf := make([]byte, 8)
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.Close()
+
+	// The alarm reported to A reaches B's scheduler via gossip.
+	waitMetric(b.Metrics, `dnslb_state_server_alarmed{server="0"}`, 1)
+	if v := scrapeValue(b.Metrics, `dnslb_repl_deltas_applied_total{replica="b"}`); v < 1 {
+		t.Errorf("replica b applied %v deltas, want >= 1", v)
+	}
+
+	// Both replicas answer queries throughout.
+	for _, dns := range []string{a.DNS, b.DNS} {
+		r := &dnslb.Resolver{Server: dns, Timeout: 2 * time.Second}
+		if _, err := r.LookupA(context.Background(), "www.repl.test"); err != nil {
+			t.Errorf("query to %s: %v", dns, err)
+		}
+	}
+
+	for _, s := range []struct {
+		stop chan struct{}
+		errc chan error
+	}{{stopA, errA}, {stopB, errB}} {
+		close(s.stop)
+		select {
+		case err := <-s.errc:
+			if err != nil {
+				t.Errorf("run returned %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("replica did not shut down")
+		}
+	}
+}
+
+func TestRunReplicationValidation(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	err := run([]string{"-servers", "10.0.0.1", "-peers", "127.0.0.1:9"}, stop, nil)
+	if err == nil || !strings.Contains(err.Error(), "replica-id") {
+		t.Errorf("-peers without -replica-id: err = %v, want replica-id requirement", err)
+	}
+}

@@ -53,6 +53,10 @@ func run(args []string, out io.Writer) error {
 		jsonOut   = fs.Bool("json", false, "emit a JSON summary instead of text")
 		fail      = fs.String("fail", "", "comma-separated server outages, each server@start+duration (e.g. 0@900+600)")
 		lossProb  = fs.Float64("reportloss", 0, "probability each estimator report is lost in transit [0,1]")
+		replicas  = fs.Int("replicas", 0, "run R replicated authoritative DNS servers gossiping soft state (0/1 = single DNS)")
+		replIv    = fs.Float64("repl-interval", 8, "inter-replica gossip interval in virtual seconds")
+		replLag   = fs.Float64("repl-lag", 0, "inter-replica delta delivery lag in virtual seconds")
+		partition = fs.String("partition", "", "comma-separated total link cuts, each start+duration (e.g. 900+30)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +89,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg.Faults = faults
+	cfg.Replicas = *replicas
+	cfg.ReplicationInterval = *replIv
+	cfg.ReplicaLag = *replLag
+	partitions, err := parsePartitions(*partition)
+	if err != nil {
+		return err
+	}
+	cfg.Partitions = partitions
 
 	results, err := dnslb.RunSimReplications(cfg, *reps)
 	if err != nil {
@@ -129,6 +141,17 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "lost reports        %d\n", r.LostReports)
 		}
 	}
+	if cfg.Replicas > 1 {
+		fmt.Fprintf(out, "replica decisions  ")
+		for _, n := range r.ReplDecisions {
+			fmt.Fprintf(out, " %d", n)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "replica gossip      %d deltas applied, %d dropped, %d full syncs\n",
+			r.ReplDeltasApplied, r.ReplDeltasDropped, r.ReplFullSyncs)
+		fmt.Fprintf(out, "replica divergence  weights %.4f, ledger %.1fs at horizon\n",
+			r.ReplMaxWeightDiff, r.ReplLedgerDivergenceSec)
+	}
 	fmt.Fprintf(out, "page response time  mean %.3fs, max %.1fs\n", r.MeanResponseTime, r.MaxResponseTime)
 	fmt.Fprintf(out, "TTLs handed out     min %.0fs mean %.0fs max %.0fs\n",
 		r.Sched.MinTTL, r.Sched.MeanTTL, r.Sched.MaxTTL)
@@ -167,6 +190,27 @@ func parseFaults(spec string) ([]dnslb.FaultEvent, error) {
 		faults = append(faults, dnslb.Outage(server, start, duration)...)
 	}
 	return faults, nil
+}
+
+// parsePartitions parses the -partition syntax: comma-separated total
+// link cuts of the form start+duration, in virtual seconds.
+func parsePartitions(spec string) ([]dnslb.PartitionEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var parts []dnslb.PartitionEvent
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		var start, duration float64
+		if _, err := fmt.Sscanf(part, "%f+%f", &start, &duration); err != nil {
+			return nil, fmt.Errorf("bad -partition entry %q (want start+duration): %v", part, err)
+		}
+		if duration <= 0 {
+			return nil, fmt.Errorf("bad -partition entry %q: duration must be positive", part)
+		}
+		parts = append(parts, dnslb.PartitionEvent{Start: start, End: start + duration})
+	}
+	return parts, nil
 }
 
 // comparePolicies runs each policy against the same recorded workload

@@ -205,3 +205,50 @@ func TestRunBadFailFlag(t *testing.T) {
 		t.Error("bad -fail should error")
 	}
 }
+
+func TestParsePartitions(t *testing.T) {
+	parts, err := parsePartitions("900+30, 2000+60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("got %d partitions, want 2", len(parts))
+	}
+	if parts[0].Start != 900 || parts[0].End != 930 {
+		t.Errorf("first partition = %+v", parts[0])
+	}
+	if parts[1].Start != 2000 || parts[1].End != 2060 {
+		t.Errorf("second partition = %+v", parts[1])
+	}
+	for _, bad := range []string{"x", "900", "900+0", "900-30"} {
+		if _, err := parsePartitions(bad); err == nil {
+			t.Errorf("parsePartitions(%q) should error", bad)
+		}
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-policy", "DRR2-TTL/S_K", "-estimator",
+		"-duration", "1500", "-warmup", "100",
+		"-replicas", "2", "-repl-lag", "1", "-partition", "600+30",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"replica decisions", "replica gossip", "replica divergence"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replicated output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Partitions without replicas must be rejected by validation.
+	if err := run([]string{"-partition", "600+30"}, &bytes.Buffer{}); err == nil {
+		t.Error("-partition without -replicas should error")
+	}
+	if err := run([]string{"-partition", "junk"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad -partition should error")
+	}
+}

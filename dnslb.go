@@ -36,6 +36,7 @@ import (
 	"dnslb/internal/experiments"
 	"dnslb/internal/logging"
 	"dnslb/internal/metrics"
+	"dnslb/internal/replication"
 	"dnslb/internal/sim"
 	"dnslb/internal/stats"
 	"dnslb/internal/trace"
@@ -164,6 +165,9 @@ type (
 	// DrainEvent is one scheduled graceful retirement of a simulated
 	// server (SimConfig.Drains).
 	DrainEvent = sim.DrainEvent
+	// PartitionEvent is one total inter-replica link cut of a
+	// replicated simulation (SimConfig.Partitions).
+	PartitionEvent = sim.PartitionEvent
 )
 
 // Simulation entry points.
@@ -257,6 +261,11 @@ type (
 	// Checkpointer periodically saves a DNSServer's checkpoint to a file
 	// and flushes a final one on Close.
 	Checkpointer = dnsserver.Checkpointer
+	// ReplicationConfig configures a DNSServer's multi-replica soft-state
+	// replication (see DNSServer.StartReplication and DESIGN.md §13).
+	ReplicationConfig = dnsserver.ReplicationConfig
+	// ReplicaPeerHealth is one replication peer link's health snapshot.
+	ReplicaPeerHealth = replication.PeerHealth
 )
 
 // Observability types (see internal/metrics and internal/logging).

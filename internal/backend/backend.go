@@ -528,6 +528,11 @@ func (s *Server) report(lines []string) error {
 			s.reportC = nil
 			continue
 		}
+		// Any successful write proves the path healthy: clear the backoff
+		// so the next failure starts the ladder from the minimum again,
+		// instead of inheriting a stale ceiling from an old outage.
+		s.dialBackoff = 0
+		s.nextDial = time.Time{}
 		return nil
 	}
 	s.bumpBackoffLocked()

@@ -404,3 +404,38 @@ func TestCloseBeforeStart(t *testing.T) {
 		t.Fatalf("Close before Start should be a no-op, got %v", err)
 	}
 }
+
+func TestSuccessfulWriteResetsBackoff(t *testing.T) {
+	// A successful write on the established connection — not just a
+	// successful reconnect — must clear the dial backoff, so the next
+	// outage starts the ladder from the minimum instead of inheriting
+	// a stale ceiling.
+	_, rl := startDNS(t)
+	s, err := New(Config{Capacity: 10, Domains: 1, ReportAddr: rl.Addr().String(),
+		ReconnectBackoffMin: 10 * time.Millisecond, ReconnectBackoffMax: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.report([]string{"ROLL 8"}); err != nil {
+		t.Fatal(err) // establishes the persistent connection
+	}
+	s.reportMu.Lock()
+	if s.reportC == nil {
+		s.reportMu.Unlock()
+		t.Fatal("report left no persistent connection")
+	}
+	// Simulate an old outage whose backoff never got cleared.
+	s.dialBackoff = time.Hour
+	s.nextDial = time.Time{}
+	s.reportMu.Unlock()
+
+	if err := s.report([]string{"ROLL 8"}); err != nil {
+		t.Fatal(err) // write path only: connection already up, no dial
+	}
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
+	if s.dialBackoff != 0 || !s.nextDial.IsZero() {
+		t.Errorf("successful write left backoff %v / nextDial %v, want cleared",
+			s.dialBackoff, s.nextDial)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"dnslb/internal/engine"
 	"dnslb/internal/logging"
 	"dnslb/internal/metrics"
+	"dnslb/internal/replication"
 )
 
 // DomainMapper identifies the connected domain an address request
@@ -122,6 +123,15 @@ type Server struct {
 
 	livenessMu sync.Mutex
 	liveness   *LivenessMonitor
+
+	// replNode, when replication is enabled, is the replica's protocol
+	// endpoint. The pointer is allocated in New (the engine's decision
+	// tap closes over it) and populated by StartReplication, so the
+	// query path pays one atomic load + nil check while replication is
+	// off. replicator is guarded by replMu.
+	replNode   *atomic.Pointer[replication.Node]
+	replMu     sync.Mutex
+	replicator *replication.Replicator
 
 	// reconfigMu serializes membership changes (Join, Drain,
 	// Reconfigure, checkpoint restore) against each other; the query
@@ -227,10 +237,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	clock := engine.NewWallClock()
+	replNode := &atomic.Pointer[replication.Node]{}
 	eng, err := engine.New(engine.Config{
 		Policy:    cfg.Policy,
 		Clock:     clock,
 		Estimator: est,
+		OnDecision: func(domain int, d core.Decision) {
+			if n := replNode.Load(); n != nil {
+				n.Observe(domain, d)
+			}
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -250,6 +266,7 @@ func New(cfg Config) (*Server, error) {
 		limiter:     cfg.RateLimit,
 		udpWorkers:  workers,
 		registry:    cfg.Metrics,
+		replNode:    replNode,
 		conns:       make(map[net.Conn]struct{}),
 		drainTimers: make(map[int]*time.Timer),
 		closed:      make(chan struct{}),
@@ -276,6 +293,9 @@ func (s *Server) serverAddrs() []netip.Addr { return *s.addrs.Load() }
 // is for externally handed-out mappings (tests, restores).
 func (s *Server) noteMapping(server int, ttlSeconds float64) {
 	s.eng.NoteMapping(server, s.clock.Now()+ttlSeconds)
+	if n := s.replNode.Load(); n != nil {
+		n.NoteLedger()
+	}
 }
 
 // MappingExpiry returns the latest instant at which a mapping handed
@@ -372,8 +392,15 @@ func (s *Server) DomainWeight(domain int) float64 {
 // estimator (the server-side accounting the paper's DNS collects).
 // The estimator keeps mutable running sums, so the engine serializes
 // it behind its own lock — off the query path entirely.
+// Hit reports received here are locally observed, so they are also
+// queued for replication when a peer set is configured; hits merged
+// FROM peers go straight into the engine and are never re-queued (no
+// gossip echo).
 func (s *Server) RecordHits(domain int, hits float64) {
 	s.eng.RecordHits(domain, hits)
+	if n := s.replNode.Load(); n != nil {
+		n.AddHits(domain, hits)
+	}
 }
 
 // RollEstimates closes an estimation interval of the given length and

@@ -45,6 +45,10 @@ type serverMetrics struct {
 	reportOK  *metrics.Counter
 	reportErr *metrics.Counter
 
+	reportConnOpened *metrics.Counter
+	reportConnClosed *metrics.Counter
+	reportConnErrors *metrics.Counter
+
 	mu          sync.Mutex
 	serverSlots int // per-server series registered for slots [0, serverSlots)
 }
@@ -143,11 +147,19 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 		"State checkpoint writes that failed.",
 		nil, s.ckptErrs.Load)
 
-	// Report protocol: accepted and rejected lines.
+	// Report protocol: accepted and rejected lines, plus connection
+	// lifecycle — the link-health signal backend agents and replication
+	// peers share (both ride the same socket).
 	m.reportOK = reg.NewCounter("dnslb_report_lines_total",
 		"Load-report lines by result.", metrics.Labels{"status", "ok"})
 	m.reportErr = reg.NewCounter("dnslb_report_lines_total",
 		"Load-report lines by result.", metrics.Labels{"status", "error"})
+	m.reportConnOpened = reg.NewCounter("dnslb_report_conn_opened_total",
+		"Report-socket connections accepted.", nil)
+	m.reportConnClosed = reg.NewCounter("dnslb_report_conn_closed_total",
+		"Report-socket connections closed (any reason).", nil)
+	m.reportConnErrors = reg.NewCounter("dnslb_report_conn_errors_total",
+		"Report-socket connections torn down by read or write errors.", nil)
 
 	m.ensureServerSeries(s.Servers())
 	return m

@@ -651,3 +651,60 @@ func TestShutdownGraceful(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCheckpointRevivedSlotStartsClean(t *testing.T) {
+	// A checkpointed slot that was retired at save time but re-joined
+	// before restore — possibly with a different capacity — must not
+	// inherit the retired incarnation's standing: the restore skips it
+	// entirely and the new incarnation stays clean.
+	srv, _ := smallServer(t, "RR")
+	cp := srv.Checkpoint()
+	// Simulate the retired incarnation: at save time, 10.1.0.3 was out
+	// of membership with stale flags and an open hidden-load window.
+	cp.Servers[2].Member = false
+	cp.Servers[2].Capacity = 250
+	cp.Servers[2].Alarmed = true
+	cp.Servers[2].Down = true
+	cp.Servers[2].Draining = true
+	cp.Servers[2].ExpiresAt = time.Now().Add(time.Hour)
+
+	// On the restoring server, retire the address and re-join it with a
+	// different capacity before applying the checkpoint.
+	srv2, state2 := smallServer(t, "RR")
+	if _, err := srv2.Drain(2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for state2.Member(2) {
+		select {
+		case <-deadline:
+			t.Fatal("drained slot 2 was not removed within 5s")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	idx, err := srv2.Join(netip.AddrFrom4([4]byte{10, 1, 0, 3}), 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Fatalf("re-join reclaimed slot %d, want 2", idx)
+	}
+
+	if err := srv2.RestoreCheckpoint(cp, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	sn := state2.Snapshot()
+	if !sn.Member(2) {
+		t.Error("revived slot lost membership on restore")
+	}
+	if got := sn.Cluster().Capacity(2); got != 999 {
+		t.Errorf("revived slot capacity = %v, want the re-joined 999 (not the checkpointed 250)", got)
+	}
+	if sn.Alarmed(2) || sn.Down(2) || sn.Draining(2) {
+		t.Errorf("revived slot inherited retired standing: alarmed=%v down=%v draining=%v",
+			sn.Alarmed(2), sn.Down(2), sn.Draining(2))
+	}
+	if !srv2.MappingExpiry(2).IsZero() {
+		t.Error("revived slot inherited the retired incarnation's hidden-load window")
+	}
+}

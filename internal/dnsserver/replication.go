@@ -1,0 +1,202 @@
+package dnsserver
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dnslb/internal/metrics"
+	"dnslb/internal/replication"
+)
+
+// Multi-replica wiring: StartReplication attaches a replication.Node
+// to the server's engine and launches a Replicator that gossips deltas
+// to the peer replicas' report sockets. Incoming deltas arrive on this
+// server's own report socket as REPL lines (see report.go) and are
+// merged through the node's fencing/LWW adjudication.
+//
+// Replication is strictly additive to scheduling: with zero peers
+// reachable the server keeps answering from local state — the
+// degradation ladder is "converged → stale → local-only", never
+// "refusing".
+
+// ReplicationConfig configures a server's replication endpoint.
+type ReplicationConfig struct {
+	// ReplicaID uniquely names this replica in the set (-replica-id).
+	// Required.
+	ReplicaID string
+	// Peers are the other replicas' report-socket addresses (-peers).
+	// Required.
+	Peers []string
+	// Interval is the gossip cadence (-replication-interval). Zero
+	// defaults to 1s.
+	Interval time.Duration
+	// Epoch fences this replica's writes across restarts. Zero defaults
+	// to the current Unix time in nanoseconds, which is monotone across
+	// restarts on any sanely clocked host.
+	Epoch int64
+}
+
+// StartReplication builds the node, announces any pre-start soft state
+// (e.g. a restored checkpoint) for the first flush, starts the peer
+// links, and registers the dnslb_repl_* metric series. Call at most
+// once, before heavy query load (the node attaches to the engine's
+// decision tap atomically, so earlier decisions are simply not
+// observed — the first full sync covers them).
+func (s *Server) StartReplication(cfg ReplicationConfig) error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.replicator != nil {
+		return errors.New("dnsserver: replication already started")
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = time.Now().UnixNano()
+	}
+	node, err := replication.NewNode(replication.NodeConfig{
+		Origin: cfg.ReplicaID,
+		Epoch:  epoch,
+		Engine: s.eng,
+		Base:   replication.WallBase{Clock: s.clock},
+		SlotAddr: func(slot int) (string, bool) {
+			addrs := s.serverAddrs()
+			if slot < 0 || slot >= len(addrs) {
+				return "", false
+			}
+			return addrs[slot].String(), true
+		},
+		AddrSlot: func(addr string) (int, bool) {
+			for i, a := range s.serverAddrs() {
+				if a.String() == addr {
+					return i, true
+				}
+			}
+			return 0, false
+		},
+	})
+	if err != nil {
+		return err
+	}
+	repl, err := replication.NewReplicator(replication.ReplicatorConfig{
+		Node:     node,
+		Peers:    cfg.Peers,
+		Interval: cfg.Interval,
+		Logger:   s.logger,
+	})
+	if err != nil {
+		return err
+	}
+	s.replNode.Store(node)
+	node.NoteLedger() // ship anything restored before start with the first flush
+	if s.registry != nil {
+		registerReplicationMetrics(s.registry, cfg.ReplicaID, node, repl)
+	}
+	repl.Start()
+	s.replicator = repl
+	s.logger.Info("replication started",
+		"replica_id", cfg.ReplicaID, "peers", repl.Peers(), "epoch", epoch)
+	return nil
+}
+
+// StopReplication stops the peer links (idempotent). The node stays
+// attached so late REPL lines still merge; it simply stops gossiping.
+func (s *Server) StopReplication() {
+	s.replMu.Lock()
+	repl := s.replicator
+	s.replicator = nil
+	s.replMu.Unlock()
+	if repl != nil {
+		repl.Stop()
+	}
+}
+
+// Replicator returns the live replicator, or nil when replication is
+// not started (tests and health surfaces).
+func (s *Server) Replicator() *replication.Replicator {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.replicator
+}
+
+// mergeReplLine handles one REPL report-socket line: parse, fence,
+// merge. Replication does not need to be *started* for merges to apply
+// — a replica configured without outbound peers can still be fed — but
+// a node must exist, so lines arriving before StartReplication are
+// rejected.
+func (s *Server) mergeReplLine(payload string) error {
+	n := s.replNode.Load()
+	if n == nil {
+		return errors.New("replication not enabled")
+	}
+	d, err := replication.ParseDelta([]byte(payload))
+	if err != nil {
+		return err
+	}
+	if _, err := n.Merge(d); err != nil {
+		return fmt.Errorf("merge delta from %s: %w", d.Origin, err)
+	}
+	return nil
+}
+
+// registerReplicationMetrics exposes the dnslb_repl_* series: node
+// protocol counters, per-peer link health, and the degraded gauge. All
+// readers are scrape-time atomics — replication adds no per-query
+// metric work.
+func registerReplicationMetrics(reg *metrics.Registry, replicaID string, node *replication.Node, repl *replication.Replicator) {
+	idLbl := metrics.Labels{"replica", replicaID}
+	reg.NewCounterFunc("dnslb_repl_deltas_out_total",
+		"Replication deltas emitted (flushes and snapshots, before per-peer fan-out).",
+		idLbl, func() uint64 { return node.Stats().DeltasOut })
+	reg.NewCounterFunc("dnslb_repl_deltas_in_total",
+		"Replication deltas received on the report socket.",
+		idLbl, func() uint64 { return node.Stats().DeltasIn })
+	reg.NewCounterFunc("dnslb_repl_deltas_applied_total",
+		"Received deltas that passed fencing and were merged.",
+		idLbl, func() uint64 { return node.Stats().DeltasApplied })
+	for _, reason := range []struct {
+		name string
+		load func() uint64
+	}{
+		{"duplicate", func() uint64 { return node.Stats().DroppedDup }},
+		{"stale_epoch", func() uint64 { return node.Stats().DroppedEpoch }},
+		{"self_echo", func() uint64 { return node.Stats().DroppedSelf }},
+	} {
+		reg.NewCounterFunc("dnslb_repl_deltas_dropped_total",
+			"Received deltas dropped whole by fencing, by reason.",
+			metrics.Labels{"replica", replicaID, "reason", reason.name}, reason.load)
+	}
+	reg.NewCounterFunc("dnslb_repl_entries_merged_total",
+		"Individual ledger/standing/hits entries applied from peers.",
+		idLbl, func() uint64 { return node.Stats().EntriesMerged })
+	reg.NewCounterFunc("dnslb_repl_full_syncs_total",
+		"Anti-entropy snapshot deltas, by direction.",
+		metrics.Labels{"replica", replicaID, "direction", "out"},
+		func() uint64 { return node.Stats().FullSyncsOut })
+	reg.NewCounterFunc("dnslb_repl_full_syncs_total",
+		"Anti-entropy snapshot deltas, by direction.",
+		metrics.Labels{"replica", replicaID, "direction", "in"},
+		func() uint64 { return node.Stats().FullSyncsIn })
+	reg.NewGaugeFunc("dnslb_repl_connected_peers",
+		"Peer links currently established.",
+		idLbl, func() float64 { return float64(repl.ConnectedPeers()) })
+	reg.NewGaugeFunc("dnslb_repl_degraded",
+		"1 while every peer link is down and the replica schedules from local state only.",
+		idLbl, func() float64 { return boolGauge(repl.Degraded()) })
+	for i, addr := range repl.Peers() {
+		i := i
+		peerLbl := metrics.Labels{"peer", addr}
+		health := func() replication.PeerHealth { return repl.Health()[i] }
+		reg.NewGaugeFunc("dnslb_repl_peer_connected",
+			"1 while the link to this peer is established.", peerLbl,
+			func() float64 { return boolGauge(health().Connected) })
+		reg.NewCounterFunc("dnslb_repl_peer_sent_total",
+			"Deltas acknowledged by this peer.", peerLbl,
+			func() uint64 { return health().Sent })
+		reg.NewCounterFunc("dnslb_repl_peer_errors_total",
+			"Send or dial failures on this peer link.", peerLbl,
+			func() uint64 { h := health(); return h.SendErrors + h.DialErrors })
+		reg.NewCounterFunc("dnslb_repl_peer_dropped_total",
+			"Outbound deltas dropped on queue overflow (superseded by the next full sync).",
+			peerLbl, func() uint64 { return health().Drops })
+	}
+}

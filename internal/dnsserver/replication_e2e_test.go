@@ -1,0 +1,261 @@
+package dnsserver
+
+import (
+	"context"
+	"io"
+	"math"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"dnslb/internal/core"
+	"dnslb/internal/simcore"
+)
+
+// chaosProxy is a cuttable TCP forwarder standing in for the network
+// between two replicas: Cut severs live connections and refuses new
+// ones, Heal restores forwarding — the partition injector for the e2e
+// test.
+type chaosProxy struct {
+	ln     net.Listener
+	target string
+
+	mu    sync.Mutex
+	cut   bool
+	conns map[net.Conn]struct{}
+}
+
+func newChaosProxy(t *testing.T, target string) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	t.Cleanup(func() { _ = ln.Close(); p.Cut() })
+	return p
+}
+
+func (p *chaosProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *chaosProxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.cut {
+			p.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		p.mu.Unlock()
+		up, err := net.DialTimeout("tcp", p.target, time.Second)
+		if err != nil {
+			_ = conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.cut {
+			p.mu.Unlock()
+			_ = conn.Close()
+			_ = up.Close()
+			continue
+		}
+		p.conns[conn] = struct{}{}
+		p.conns[up] = struct{}{}
+		p.mu.Unlock()
+		go p.pipe(conn, up)
+		go p.pipe(up, conn)
+	}
+}
+
+func (p *chaosProxy) pipe(dst, src net.Conn) {
+	_, _ = io.Copy(dst, src)
+	_ = dst.Close()
+	_ = src.Close()
+	p.mu.Lock()
+	delete(p.conns, dst)
+	delete(p.conns, src)
+	p.mu.Unlock()
+}
+
+// Cut severs the link: live connections die, new ones are refused.
+func (p *chaosProxy) Cut() {
+	p.mu.Lock()
+	p.cut = true
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+// Heal restores forwarding for new connections.
+func (p *chaosProxy) Heal() {
+	p.mu.Lock()
+	p.cut = false
+	p.mu.Unlock()
+}
+
+// testReplicaServer builds one of two identically configured replicas.
+func testReplicaServer(t *testing.T, seed uint64) *Server {
+	t.Helper()
+	cluster, err := core.ScaledCluster(5, 50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	policy, err := core.NewPolicy(core.PolicyConfig{
+		Name:  "DRR2-TTL/S_K",
+		State: state,
+		Rand:  simcore.NewStream(seed, "server"),
+		Now:   func() float64 { return time.Since(start).Seconds() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netip.Addr, 5)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+	}
+	srv, err := New(Config{
+		Zone:        "www.site.example",
+		ServerAddrs: addrs,
+		Policy:      policy,
+		Mapper:      func(netip.Addr) int { return 0 },
+		Addr:        "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func waitUntil(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestReplicationPartitionHealE2E is the live partition/heal scenario
+// (CI runs it under -race): two replicas gossiping through cuttable
+// links keep answering queries through a full partition — the
+// partition itself causes zero SERVFAILs — and converge within one
+// anti-entropy round of healing, settling conflicting split-brain
+// writes by last-writer-wins.
+func TestReplicationPartitionHealE2E(t *testing.T) {
+	a := testReplicaServer(t, 1)
+	b := testReplicaServer(t, 2)
+	rlA := startReportListener(t, a)
+	rlB := startReportListener(t, b)
+
+	linkAtoB := newChaosProxy(t, rlB.Addr().String())
+	linkBtoA := newChaosProxy(t, rlA.Addr().String())
+
+	if err := a.StartReplication(ReplicationConfig{
+		ReplicaID: "replica-a",
+		Peers:     []string{linkAtoB.addr()},
+		Interval:  20 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.StartReplication(ReplicationConfig{
+		ReplicaID: "replica-b",
+		Peers:     []string{linkBtoA.addr()},
+		Interval:  20 * time.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "initial peering", 5*time.Second, func() bool {
+		return a.Replicator().ConnectedPeers() == 1 && b.Replicator().ConnectedPeers() == 1
+	})
+
+	// Connected phase: a decision on A must surface in B's ledger.
+	resA, resB := resolverFor(t, a), resolverFor(t, b)
+	ctx := context.Background()
+	ans, err := resA.LookupA(ctx, "www.site.example")
+	if err != nil || len(ans) != 1 {
+		t.Fatalf("LookupA on a: %v (%d answers)", err, len(ans))
+	}
+	chosen := int(ans[0].Addr.As4()[3]) - 1
+	waitUntil(t, "ledger replication a→b", 5*time.Second, func() bool {
+		return !b.MappingExpiry(chosen).IsZero()
+	})
+	if diff := a.MappingExpiry(chosen).Sub(b.MappingExpiry(chosen)); math.Abs(diff.Seconds()) > 1 {
+		t.Errorf("replicated window differs by %v across replicas", diff)
+	}
+
+	// Partition: cut both directions.
+	linkAtoB.Cut()
+	linkBtoA.Cut()
+	waitUntil(t, "both replicas degraded", 5*time.Second, func() bool {
+		return a.Replicator().Degraded() && b.Replicator().Degraded()
+	})
+
+	// Split-brain writes: A alarms server 1; for server 3 both write,
+	// B later (LWW must settle on B's clear).
+	if got := sendReports(t, rlA.Addr().String(), "ALARM 1 1", "ALARM 3 1"); got[0] != "OK\n" || got[1] != "OK\n" {
+		t.Fatalf("reports to a: %q", got)
+	}
+	time.Sleep(50 * time.Millisecond) // order the wall-clock stamps
+	if got := sendReports(t, rlB.Addr().String(), "ALARM 3 1"); got[0] != "OK\n" {
+		t.Fatalf("report to b: %q", got)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := sendReports(t, rlB.Addr().String(), "ALARM 3 0"); got[0] != "OK\n" {
+		t.Fatalf("report to b: %q", got)
+	}
+
+	// Both partitioned replicas must keep answering: the partition
+	// itself causes zero SERVFAILs.
+	failsBeforeA, failsBeforeB := a.Stats().ServFail, b.Stats().ServFail
+	for i := 0; i < 10; i++ {
+		if _, err := resA.LookupA(ctx, "www.site.example"); err != nil {
+			t.Fatalf("query to partitioned a: %v", err)
+		}
+		if _, err := resB.LookupA(ctx, "www.site.example"); err != nil {
+			t.Fatalf("query to partitioned b: %v", err)
+		}
+	}
+	if a.Stats().ServFail != failsBeforeA || b.Stats().ServFail != failsBeforeB {
+		t.Error("partition caused SERVFAILs")
+	}
+	if b.Alarmed(1) {
+		t.Error("alarm crossed a cut link")
+	}
+
+	// Heal: reconnect leads with a full-state snapshot; state converges
+	// without any further local writes.
+	healedAt := time.Now()
+	linkAtoB.Heal()
+	linkBtoA.Heal()
+	waitUntil(t, "post-heal convergence", 10*time.Second, func() bool {
+		return b.Alarmed(1) && !a.Alarmed(3) && !b.Alarmed(3)
+	})
+	t.Logf("converged %v after heal", time.Since(healedAt).Round(time.Millisecond))
+
+	for _, h := range append(a.Replicator().Health(), b.Replicator().Health()...) {
+		if h.FullSyncs < 2 {
+			t.Errorf("peer %s: FullSyncs = %d, want ≥2 (initial + post-heal)", h.Addr, h.FullSyncs)
+		}
+	}
+}

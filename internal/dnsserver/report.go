@@ -2,6 +2,7 @@ package dnsserver
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"net/netip"
@@ -21,13 +22,16 @@ import (
 //	ROLL <intervalSeconds>\n           close an estimation interval
 //	JOIN <ipv4> <capacity>\n           self-register (answered "OK <index>")
 //	DRAIN <serverIndex>\n              gracefully retire a server
+//	REPL <delta-json>\n                merge a peer replica's soft-state delta
 //
 // Each accepted line is answered with "OK\n" ("OK <index>\n" for JOIN),
 // errors with "ERR <msg>\n". ALIVE and ALARM also feed the server's
 // liveness monitor when one is attached (see LivenessMonitor). JOIN and
 // DRAIN are the dynamic-membership verbs: a backend can admit itself on
 // startup and retire itself on shutdown without an operator config
-// reload.
+// reload. REPL is the replication transport (internal/replication):
+// peer replicas reuse this socket so link health, metrics, and
+// hardening are shared with the backend report path.
 type ReportListener struct {
 	srv *Server
 	ln  net.Listener
@@ -95,6 +99,9 @@ func (rl *ReportListener) acceptLoop() {
 		rl.connsMu.Lock()
 		rl.conns[conn] = struct{}{}
 		rl.connsMu.Unlock()
+		if m := rl.srv.metrics; m != nil {
+			m.reportConnOpened.Inc()
+		}
 		rl.wg.Add(1)
 		go func() {
 			defer rl.wg.Done()
@@ -103,6 +110,9 @@ func (rl *ReportListener) acceptLoop() {
 				rl.connsMu.Lock()
 				delete(rl.conns, conn)
 				rl.connsMu.Unlock()
+				if m := rl.srv.metrics; m != nil {
+					m.reportConnClosed.Inc()
+				}
 			}()
 			rl.serve(conn)
 		}()
@@ -133,14 +143,22 @@ func (rl *ReportListener) serve(conn net.Conn) {
 			}
 		}
 		if err := w.Flush(); err != nil {
+			if m := rl.srv.metrics; m != nil {
+				m.reportConnErrors.Inc()
+			}
 			return
 		}
 	}
-	// An oversized line exceeds the scanner's token limit; tell the
-	// client why it is being disconnected (best effort).
-	if sc.Err() == bufio.ErrTooLong {
-		fmt.Fprintln(w, "ERR line too long")
-		_ = w.Flush()
+	if err := sc.Err(); err != nil {
+		if m := rl.srv.metrics; m != nil {
+			m.reportConnErrors.Inc()
+		}
+		// An oversized line exceeds the scanner's token limit; tell the
+		// client why it is being disconnected (best effort).
+		if err == bufio.ErrTooLong {
+			fmt.Fprintln(w, "ERR line too long")
+			_ = w.Flush()
+		}
 	}
 }
 
@@ -233,6 +251,13 @@ func (rl *ReportListener) apply(line string) (string, error) {
 			return "", err
 		}
 		return "", nil
+	case "REPL":
+		// The payload is JSON, not fields: split once on the raw line.
+		_, payload, ok := strings.Cut(line, " ")
+		if !ok || strings.TrimSpace(payload) == "" {
+			return "", errors.New("REPL wants a delta payload")
+		}
+		return "", rl.srv.mergeReplLine(strings.TrimSpace(payload))
 	default:
 		return "", fmt.Errorf("unknown command %q", cmd)
 	}

@@ -62,6 +62,7 @@ func (s *Server) Close() error {
 	}
 	close(s.closed)
 	s.cancelDrainTimers()
+	s.StopReplication()
 	var first error
 	if s.udp != nil {
 		first = s.udp.Close()
@@ -97,6 +98,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	close(s.closed)
 	s.cancelDrainTimers()
+	s.StopReplication()
 	// Unblock the UDP readers without closing the socket: a worker
 	// blocked in read observes the deadline error, sees closed, and
 	// exits; a worker mid-response can still write it.

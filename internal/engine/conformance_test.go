@@ -230,6 +230,67 @@ func TestSimLiveConformance(t *testing.T) {
 	}
 }
 
+// TestReplicaPairConformance asserts the multi-replica guarantee at
+// lag zero: replica A runs the full conformance stream while replica B
+// never decides anything and only merges A's deltas after every event.
+// After the run, B's mapping ledger and standing flags must be
+// bit-identical to A's, which in turn must match the single-engine
+// reference — replication at lag 0 is invisible. A final B→A
+// back-merge must change nothing (merge idempotence/commutativity).
+func TestReplicaPairConformance(t *testing.T) {
+	events := conformanceEvents()
+	for _, policyName := range core.PolicyNames() {
+		policyName := policyName
+		t.Run(policyName, func(t *testing.T) {
+			_, singleLedger := runLivePath(t, policyName, events)
+
+			clock := &ManualClock{}
+			a := conformanceEngine(t, policyName, simcore.NewStream(confSeed, "policy"), clock.Now, clock)
+			b := conformanceEngine(t, policyName, simcore.NewStream(confSeed, "policy"), clock.Now, clock)
+			var out []confDecision
+			for _, ev := range events {
+				clock.Set(ev.time)
+				applyConfEvent(t, a, ev, &out)
+				if err := b.MergeRemote(a.SnapshotDelta()); err != nil {
+					t.Fatalf("MergeRemote at t=%v: %v", ev.time, err)
+				}
+			}
+
+			aLedger, bLedger := ledgerExpiries(a), ledgerExpiries(b)
+			for i := range aLedger {
+				if math.Float64bits(aLedger[i]) != math.Float64bits(singleLedger[i]) {
+					t.Errorf("replica A ledger slot %d diverges from single engine: %v vs %v",
+						i, aLedger[i], singleLedger[i])
+				}
+				if math.Float64bits(bLedger[i]) != math.Float64bits(aLedger[i]) {
+					t.Errorf("replica B ledger slot %d diverges from A after merge: %v vs %v",
+						i, bLedger[i], aLedger[i])
+				}
+			}
+
+			asn, bsn := a.State().Snapshot(), b.State().Snapshot()
+			for i := 0; i < confServers; i++ {
+				if asn.Alarmed(i) != bsn.Alarmed(i) || asn.Down(i) != bsn.Down(i) ||
+					asn.Draining(i) != bsn.Draining(i) || asn.Member(i) != bsn.Member(i) {
+					t.Errorf("server %d standing diverges: A (alarm %v down %v drain %v member %v), B (alarm %v down %v drain %v member %v)",
+						i,
+						asn.Alarmed(i), asn.Down(i), asn.Draining(i), asn.Member(i),
+						bsn.Alarmed(i), bsn.Down(i), bsn.Draining(i), bsn.Member(i))
+				}
+			}
+
+			if err := a.MergeRemote(b.SnapshotDelta()); err != nil {
+				t.Fatalf("back-merge B into A: %v", err)
+			}
+			for i, after := range ledgerExpiries(a) {
+				if math.Float64bits(after) != math.Float64bits(aLedger[i]) {
+					t.Errorf("back-merge moved A's ledger slot %d: %v → %v", i, aLedger[i], after)
+				}
+			}
+		})
+	}
+}
+
 // TestConformanceStreamExercisesOutcomes guards the stream itself: it
 // must produce at least one decision for every live server and keep
 // scheduling away from the drained slot afterwards, or the suite

@@ -200,6 +200,62 @@ func ExtGeo(o Options) (*Figure, error) {
 	return fig, nil
 }
 
+// ExtReplication sweeps the inter-replica delivery lag of the
+// multi-replica authoritative DNS (replication extension): two
+// replicas split the namespace and gossip soft-state deltas, so each
+// schedules on a view up to one gossip round plus the lag stale. The
+// balance series shows what that staleness costs; the partitioned
+// series repeats the sweep with a 30-second total link cut mid-run —
+// availability is preserved by construction (replicas answer from
+// local state), so the partition shows up only as extra staleness.
+// The sweep runs the dynamic hidden-load estimator (not the oracle):
+// each replica sees only its own servers' hit reports directly and
+// learns the rest through gossip, so replication staleness feeds
+// straight into the weight estimates the disciplines schedule by.
+func ExtReplication(o Options) (*Figure, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	lags := []float64{0, 1, 5, 15, 60}
+	fig := &Figure{
+		ID:     "ext-replication",
+		Title:  "Two-replica DNS: staleness vs balance (Het. 35%)",
+		XLabel: "Inter-replica delivery lag (s)",
+		YLabel: "Prob(MaxUtilization < 0.98)",
+		XVals:  lags,
+	}
+	variants := []struct {
+		label     string
+		partition bool
+	}{
+		{label: "DRR2-TTL/S_K, 2 replicas", partition: false},
+		{label: "DRR2-TTL/S_K, 2 replicas + 30s partition", partition: true},
+	}
+	for _, v := range variants {
+		s := Series{Name: v.label, Values: make([]float64, len(lags)), HalfWidths: make([]float64, len(lags))}
+		for i, lag := range lags {
+			cfg := sim.DefaultConfig("DRR2-TTL/S_K")
+			cfg.HeterogeneityPct = 35
+			cfg.OracleWeights = false
+			cfg.Replicas = 2
+			cfg.ReplicationInterval = 8
+			cfg.ReplicaLag = lag
+			if v.partition {
+				// Cut every link for 30 s once the caches are warm.
+				cfg.Partitions = []sim.PartitionEvent{{Start: o.Warmup + 600, End: o.Warmup + 630}}
+			}
+			mean, hw, err := runProb(cfg, o, metricLevel)
+			if err != nil {
+				return nil, fmt.Errorf("ext-replication/%s lag=%v: %w", v.label, lag, err)
+			}
+			s.Values[i] = mean
+			s.HalfWidths[i] = hw
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
 // ExtFailures measures the cost of a server crash under address
 // caching (extension): the most capable server fails for the x-axis
 // duration mid-run, and the y-axis reports the fraction of pages that

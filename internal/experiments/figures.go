@@ -234,16 +234,17 @@ var Registry = map[string]Runner{
 	"fig7":   Figure7,
 	"table2": func(Options) (*Figure, error) { return Table2() },
 
-	"ext-domains":   ExtDomains,
-	"ext-servers":   ExtServers,
-	"ext-load":      ExtLoad,
-	"ext-classes":   ExtClasses,
-	"ext-alarm":     ExtAlarm,
-	"ext-window":    ExtWindow,
-	"ext-estimator": ExtEstimator,
-	"ext-failures":  ExtFailures,
-	"ext-geo":       ExtGeo,
-	"ext-baselines": ExtBaselines,
+	"ext-domains":     ExtDomains,
+	"ext-servers":     ExtServers,
+	"ext-load":        ExtLoad,
+	"ext-classes":     ExtClasses,
+	"ext-alarm":       ExtAlarm,
+	"ext-window":      ExtWindow,
+	"ext-estimator":   ExtEstimator,
+	"ext-failures":    ExtFailures,
+	"ext-geo":         ExtGeo,
+	"ext-baselines":   ExtBaselines,
+	"ext-replication": ExtReplication,
 }
 
 // PaperIDs returns the experiment IDs that reproduce the paper's own
@@ -257,7 +258,7 @@ func ExtensionIDs() []string {
 	return []string{
 		"ext-alarm", "ext-baselines", "ext-classes", "ext-domains",
 		"ext-estimator", "ext-failures", "ext-geo", "ext-load",
-		"ext-servers", "ext-window",
+		"ext-replication", "ext-servers", "ext-window",
 	}
 }
 

@@ -1,0 +1,116 @@
+package replication
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDeltaRoundTrip(t *testing.T) {
+	d := &Delta{
+		V:      DeltaVersion,
+		Origin: "replica-1",
+		Epoch:  42,
+		Seq:    7,
+		Ledger: []LedgerEntry{{Server: 0, Addr: "10.0.0.1", Expiry: 123.5}},
+		Standing: []StandingEntry{
+			{Server: 1, Alarmed: true, Epoch: 42, Stamp: 99.25, Origin: "replica-1"},
+		},
+		Hits: []HitsEntry{{Domain: 3, Hits: 17}},
+	}
+	enc, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsRune(string(enc), '\n') {
+		t.Fatal("encoded delta spans lines; report socket is line-framed")
+	}
+	got, err := ParseDelta(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != d.Origin || got.Epoch != d.Epoch || got.Seq != d.Seq {
+		t.Fatalf("envelope mangled: %+v", got)
+	}
+	if len(got.Ledger) != 1 || got.Ledger[0] != d.Ledger[0] {
+		t.Fatalf("ledger mangled: %+v", got.Ledger)
+	}
+	if len(got.Standing) != 1 || got.Standing[0] != d.Standing[0] {
+		t.Fatalf("standing mangled: %+v", got.Standing)
+	}
+	if len(got.Hits) != 1 || got.Hits[0] != d.Hits[0] {
+		t.Fatalf("hits mangled: %+v", got.Hits)
+	}
+}
+
+func TestParseDeltaRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"empty", ""},
+		{"not json", "REPL not-json"},
+		{"wrong version", `{"v":2,"origin":"a","epoch":1,"seq":1}`},
+		{"no origin", `{"v":1,"epoch":1,"seq":1}`},
+		{"negative epoch", `{"v":1,"origin":"a","epoch":-1,"seq":1}`},
+		{"unknown field", `{"v":1,"origin":"a","epoch":1,"seq":1,"evil":true}`},
+		{"trailing data", `{"v":1,"origin":"a","epoch":1,"seq":1}{"v":1}`},
+		{"negative server", `{"v":1,"origin":"a","epoch":1,"seq":1,"ledger":[{"s":-1,"e":1}]}`},
+		{"nan expiry", `{"v":1,"origin":"a","epoch":1,"seq":1,"ledger":[{"s":0,"e":"x"}]}`},
+		{"negative hits", `{"v":1,"origin":"a","epoch":1,"seq":1,"hits":[{"dom":0,"h":-1}]}`},
+		{"negative domain", `{"v":1,"origin":"a","epoch":1,"seq":1,"hits":[{"dom":-2,"h":1}]}`},
+		{"long origin", `{"v":1,"origin":"` + strings.Repeat("x", 200) + `","epoch":1,"seq":1}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseDelta([]byte(tc.line)); err == nil {
+				t.Errorf("ParseDelta(%q) accepted invalid input", tc.line)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsOversizedDelta(t *testing.T) {
+	d := &Delta{V: DeltaVersion, Origin: "a", Epoch: 1, Seq: 1}
+	for i := 0; i <= maxDeltaEntries; i++ {
+		d.Hits = append(d.Hits, HitsEntry{Domain: i, Hits: 1})
+	}
+	if err := d.Validate(); err == nil {
+		t.Fatal("oversized delta validated")
+	}
+}
+
+func TestEncodeRejectsNonFinite(t *testing.T) {
+	d := &Delta{
+		V: DeltaVersion, Origin: "a", Epoch: 1, Seq: 1,
+		Ledger: []LedgerEntry{{Server: 0, Expiry: math.Inf(1)}},
+	}
+	if _, err := d.Encode(); err == nil {
+		t.Fatal("non-finite expiry encoded")
+	}
+}
+
+// FuzzParsePeerDelta hardens the unauthenticated wire entry point: no
+// input may panic the parser, and anything it accepts must survive an
+// encode/re-parse round trip (CI runs this in the fuzz-smoke job).
+func FuzzParsePeerDelta(f *testing.F) {
+	f.Add([]byte(`{"v":1,"origin":"a","epoch":1,"seq":1}`))
+	f.Add([]byte(`{"v":1,"origin":"r2","epoch":9,"seq":3,"full":true,"ledger":[{"s":0,"addr":"10.0.0.1:80","e":12.5}],"standing":[{"s":1,"a":true,"ep":9,"ts":4.5,"o":"r2"}],"hits":[{"dom":2,"h":8}]}`))
+	f.Add([]byte(`{"v":1,"origin":"a","epoch":1,"seq":1,"ledger":[{"s":0,"e":1e308}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`"v"`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		d, err := ParseDelta(line)
+		if err != nil {
+			return
+		}
+		enc, err := d.Encode()
+		if err != nil {
+			t.Fatalf("accepted delta does not re-encode: %v", err)
+		}
+		if _, err := ParseDelta(enc); err != nil {
+			t.Fatalf("re-encoded delta does not re-parse: %v", err)
+		}
+	})
+}

@@ -89,6 +89,25 @@ type Config struct {
 	// of the live DRAIN path (internal/dnsserver).
 	Drains []DrainEvent
 
+	// Replicas runs the DNS as a set of R replicated authoritative
+	// servers (replication extension): domain d resolves through replica
+	// d mod R, server i reports load to replica i mod R, and the
+	// replicas exchange soft-state deltas (internal/replication) every
+	// ReplicationInterval. 0 or 1 runs the paper's single authoritative
+	// DNS — that path is byte-identical to a build without this field.
+	Replicas int
+	// ReplicationInterval is the gossip cadence between replicas in
+	// virtual seconds (required when Replicas > 1).
+	ReplicationInterval float64
+	// ReplicaLag delays every inter-replica delta delivery by this many
+	// virtual seconds — the staleness knob of the replication extension.
+	ReplicaLag float64
+	// Partitions cuts every inter-replica link during each [Start,End)
+	// window: deltas flushed while cut are dropped (exactly the live
+	// replicator's failure model), and the first exchange after healing
+	// leads with full anti-entropy snapshots.
+	Partitions []PartitionEvent
+
 	// GeoPreference enables the proximity extension: with probability
 	// GeoPreference the DNS answers with the nearest available server
 	// (by the synthetic ring geography) instead of the discipline's
@@ -125,6 +144,11 @@ type FaultEvent struct {
 type DrainEvent struct {
 	Time   float64
 	Server int
+}
+
+// PartitionEvent cuts every inter-replica link during [Start,End).
+type PartitionEvent struct {
+	Start, End float64
 }
 
 // Outage returns the crash/recover event pair for one server failing
@@ -212,6 +236,29 @@ func (c Config) Validate() error {
 		if ev.Server < 0 || ev.Server >= c.Servers {
 			return fmt.Errorf("sim: drain event %d targets server %d, cluster has %d", i, ev.Server, c.Servers)
 		}
+	}
+	if c.Replicas < 0 {
+		return errors.New("sim: Replicas must be non-negative")
+	}
+	if c.Replicas > 1 {
+		switch {
+		case c.ReplicationInterval <= 0:
+			return errors.New("sim: ReplicationInterval must be positive when Replicas > 1")
+		case c.ReplicaLag < 0:
+			return errors.New("sim: ReplicaLag must be non-negative")
+		case len(c.Faults) > 0 || len(c.Drains) > 0:
+			// Membership events under replication would need the drain
+			// window coordination of the live path; the simulated
+			// extension scopes to soft-state divergence only.
+			return errors.New("sim: Faults and Drains are not supported with Replicas > 1")
+		}
+		for i, p := range c.Partitions {
+			if p.Start < 0 || p.End <= p.Start {
+				return fmt.Errorf("sim: partition %d window [%v,%v) is not a positive interval", i, p.Start, p.End)
+			}
+		}
+	} else if len(c.Partitions) > 0 {
+		return errors.New("sim: Partitions require Replicas > 1")
 	}
 	return nil
 }

@@ -69,6 +69,26 @@ type Result struct {
 	// report-loss fault model.
 	LostReports uint64
 
+	// ReplDecisions counts scheduler decisions made by each replica
+	// (replication extension; nil for a single-replica run).
+	ReplDecisions []uint64
+	// ReplDeltasApplied counts inter-replica deltas merged after
+	// fencing; ReplDeltasDropped counts deltas dropped whole
+	// (duplicates, stale epochs, echoes).
+	ReplDeltasApplied uint64
+	ReplDeltasDropped uint64
+	// ReplFullSyncs counts anti-entropy snapshot deltas shipped (the
+	// initial contact and every post-partition heal).
+	ReplFullSyncs uint64
+	// ReplMaxWeightDiff is the largest absolute per-domain weight
+	// disagreement between any two replicas' estimators at the horizon —
+	// the staleness cost replication pays for availability.
+	ReplMaxWeightDiff float64
+	// ReplLedgerDivergenceSec is the largest absolute disagreement, in
+	// seconds, between any two replicas' hidden-load window expiries at
+	// the horizon.
+	ReplLedgerDivergenceSec float64
+
 	// DrainedServerHits counts hits served by a draining server — the
 	// hidden load its pre-drain cached mappings kept directing at it
 	// while the drain window was open.
@@ -147,6 +167,11 @@ func (f *failSlot) fail(err error) {
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Replicas > 1 {
+		// The replicated assembly lives in replica.go; the single-replica
+		// path below stays byte-identical to its pre-replication goldens.
+		return runReplicated(cfg)
 	}
 	cluster, err := core.ScaledCluster(cfg.Servers, cfg.HeterogeneityPct, cfg.TotalCapacity)
 	if err != nil {
