@@ -88,6 +88,7 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		capacities  = fs.String("capacities", "", "comma-separated capacities in hits/s (default: equal)")
 		domains     = fs.Int("domains", 20, "connected domains for source classification")
 		estAlpha    = fs.Float64("estimator-alpha", dnslb.DefaultEstimatorAlpha, "EWMA weight of the newest hidden-load collection interval, in (0,1]")
+		estKind     = fs.String("estimator", dnslb.EstimatorReactive, "hidden-load estimator kind: reactive or predictive")
 		geoPref     = fs.Float64("geo-preference", 0, "probability of answering with the nearest server instead of the policy's choice (0 = disabled)")
 		geoBaseMS   = fs.Float64("geo-base-ms", 0, "base latency of the synthetic ring geography in ms (0 = default)")
 		geoSpanMS   = fs.Float64("geo-span-ms", 0, "latency span of the synthetic ring geography in ms (0 = default)")
@@ -118,6 +119,16 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 	}
 	if *servers == "" {
 		return fmt.Errorf("-servers is required")
+	}
+	// Validate estimator knobs at flag-parse time (after the config
+	// file is applied) so a bad value fails with a clear message
+	// instead of surfacing from deep inside server construction.
+	if *estAlpha <= 0 || *estAlpha > 1 {
+		return fmt.Errorf("-estimator-alpha %v out of range: must be in (0,1]", *estAlpha)
+	}
+	if *estKind != dnslb.EstimatorReactive && *estKind != dnslb.EstimatorPredictive {
+		return fmt.Errorf("-estimator %q unknown: want %s or %s",
+			*estKind, dnslb.EstimatorReactive, dnslb.EstimatorPredictive)
 	}
 	addrs, caps, err := parseServers(*servers, *capacities)
 	if err != nil {
@@ -171,6 +182,7 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		Logger:         logger,
 		UDPWorkers:     *udpWorkers,
 		EstimatorAlpha: *estAlpha,
+		Estimator:      *estKind,
 		Metrics:        registry,
 	}
 	if *qps > 0 {

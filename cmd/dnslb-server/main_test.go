@@ -212,6 +212,17 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-servers", "10.0.0.1,10.0.0.2", "-capacities", "50,100"}, stop, nil); err == nil {
 		t.Error("unsorted capacities should error")
 	}
+	// Estimator knobs must fail at flag validation, not in startup.
+	for _, alpha := range []string{"0", "-1", "1.01"} {
+		err := run([]string{"-servers", "10.0.0.1", "-estimator-alpha", alpha}, stop, nil)
+		if err == nil || !strings.Contains(err.Error(), "-estimator-alpha") {
+			t.Errorf("-estimator-alpha %s should fail validation, got %v", alpha, err)
+		}
+	}
+	if err := run([]string{"-servers", "10.0.0.1", "-estimator", "bogus"}, stop, nil); err == nil ||
+		!strings.Contains(err.Error(), "-estimator") {
+		t.Errorf("unknown -estimator kind should fail validation, got %v", err)
+	}
 }
 
 // scrapeValue fetches a /metrics exposition and returns the named

@@ -9,7 +9,8 @@
 //	dnslb-sim -policy RR -curve
 //	dnslb-sim -policy PRR2-TTL/K -minttl 120 -reps 3
 //	dnslb-sim -policy DRR2-TTL/S_K -fail 0@900+600
-//	dnslb-sim -policy DRR2-TTL/S_K -estimator -reportloss 0.1
+//	dnslb-sim -policy DRR2-TTL/S_K -estimator reactive -reportloss 0.1
+//	dnslb-sim -policy DRR2-TTL/S_K -estimator predictive -flash 0@1800+600:300x40
 package main
 
 import (
@@ -48,7 +49,9 @@ func run(args []string, out io.Writer) error {
 		minTTL    = fs.Float64("minttl", 0, "minimum TTL imposed by non-cooperative NSes (s)")
 		errPct    = fs.Float64("error", 0, "hidden-load estimation error in percent")
 		uniform   = fs.Bool("uniform", false, "uniform client distribution (ideal case)")
-		estimator = fs.Bool("estimator", false, "use the dynamic hidden-load estimator instead of oracle weights")
+		estimator = fs.String("estimator", "", "dynamic hidden-load estimator kind instead of oracle weights: reactive or predictive")
+		estAlpha  = fs.Float64("estimator-alpha", dnslb.DefaultEstimatorAlpha, "EWMA weight of the newest hidden-load collection interval, in (0,1]")
+		flash     = fs.String("flash", "", "comma-separated flash crowds, each domain@start+duration:clientsxresolvers (e.g. 0@1800+600:300x40)")
 		curve     = fs.Bool("curve", false, "print the cumulative-frequency curve")
 		jsonOut   = fs.Bool("json", false, "emit a JSON summary instead of text")
 		fail      = fs.String("fail", "", "comma-separated server outages, each server@start+duration (e.g. 0@900+600)")
@@ -82,8 +85,29 @@ func run(args []string, out io.Writer) error {
 	cfg.Warmup = *warmup
 	cfg.Seed = *seed
 	cfg.MinNSTTL = *minTTL
-	cfg.OracleWeights = !*estimator
+	// Satellite guard: reject a bad alpha at flag-parse time with a
+	// clear message instead of letting the estimator constructor fail
+	// deep inside the run.
+	if *estAlpha <= 0 || *estAlpha > 1 {
+		return fmt.Errorf("-estimator-alpha %v out of range: must be in (0,1]", *estAlpha)
+	}
+	switch *estimator {
+	case "":
+		cfg.OracleWeights = true
+	case dnslb.EstimatorReactive, dnslb.EstimatorPredictive:
+		cfg.OracleWeights = false
+		cfg.Estimator = *estimator
+		cfg.EstimatorAlpha = *estAlpha
+	default:
+		return fmt.Errorf("-estimator %q unknown: want %s or %s",
+			*estimator, dnslb.EstimatorReactive, dnslb.EstimatorPredictive)
+	}
 	cfg.ReportLossProb = *lossProb
+	flashes, err := parseFlashCrowds(*flash)
+	if err != nil {
+		return err
+	}
+	cfg.FlashCrowds = flashes
 	faults, err := parseFaults(*fail)
 	if err != nil {
 		return err
@@ -152,6 +176,19 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "replica divergence  weights %.4f, ledger %.1fs at horizon\n",
 			r.ReplMaxWeightDiff, r.ReplLedgerDivergenceSec)
 	}
+	if !cfg.OracleWeights {
+		fmt.Fprintf(out, "estimator           %s", cfg.Estimator)
+		if r.EstimatorAlarmTime > 0 {
+			fmt.Fprintf(out, ", demand alarm at %.0fs", r.EstimatorAlarmTime)
+		}
+		if r.ForecastAbsError > 0 {
+			fmt.Fprintf(out, ", forecast abs err %.2f hits/s", r.ForecastAbsError)
+		}
+		if r.EstimatorRejected > 0 {
+			fmt.Fprintf(out, ", rejected reports %d", r.EstimatorRejected)
+		}
+		fmt.Fprintln(out)
+	}
 	fmt.Fprintf(out, "page response time  mean %.3fs, max %.1fs\n", r.MeanResponseTime, r.MaxResponseTime)
 	fmt.Fprintf(out, "TTLs handed out     min %.0fs mean %.0fs max %.0fs\n",
 		r.Sched.MinTTL, r.Sched.MeanTTL, r.Sched.MaxTTL)
@@ -211,6 +248,28 @@ func parsePartitions(spec string) ([]dnslb.PartitionEvent, error) {
 		parts = append(parts, dnslb.PartitionEvent{Start: start, End: start + duration})
 	}
 	return parts, nil
+}
+
+// parseFlashCrowds parses the -flash syntax: comma-separated events of
+// the form domain@start+duration:clientsxresolvers, in virtual seconds.
+func parseFlashCrowds(spec string) ([]dnslb.FlashEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var events []dnslb.FlashEvent
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		var domain, clients, resolvers int
+		var start, duration float64
+		if _, err := fmt.Sscanf(part, "%d@%f+%f:%dx%d", &domain, &start, &duration, &clients, &resolvers); err != nil {
+			return nil, fmt.Errorf("bad -flash entry %q (want domain@start+duration:clientsxresolvers): %v", part, err)
+		}
+		events = append(events, dnslb.FlashEvent{
+			Time: start, Domain: domain, Clients: clients,
+			Resolvers: resolvers, Duration: duration,
+		})
+	}
+	return events, nil
 }
 
 // comparePolicies runs each policy against the same recorded workload

@@ -77,13 +77,62 @@ func TestRunEstimatorAndPerturbation(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{
 		"-policy", "PRR2-TTL/K", "-duration", "600",
-		"-estimator", "-error", "20", "-minttl", "60",
+		"-estimator", "reactive", "-error", "20", "-minttl", "60",
 	}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "clamped TTLs") {
 		t.Error("min TTL run should report clamped TTLs")
+	}
+}
+
+func TestRunPredictiveWithFlash(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-policy", "DRR2-TTL/S_K", "-duration", "1200", "-warmup", "100",
+		"-estimator", "predictive", "-flash", "0@600+300:100x20",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "estimator           predictive") {
+		t.Errorf("predictive run should report its estimator kind:\n%s", buf.String())
+	}
+}
+
+func TestEstimatorFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-estimator", "bogus", "-duration", "600"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "-estimator") {
+		t.Errorf("unknown estimator kind should fail at flag validation, got %v", err)
+	}
+	for _, alpha := range []string{"0", "-0.5", "1.5"} {
+		err := run([]string{"-estimator", "reactive", "-estimator-alpha", alpha, "-duration", "600"}, &buf)
+		if err == nil || !strings.Contains(err.Error(), "-estimator-alpha") {
+			t.Errorf("alpha %s should fail at flag validation, got %v", alpha, err)
+		}
+	}
+}
+
+func TestParseFlashCrowds(t *testing.T) {
+	events, err := parseFlashCrowds("0@1800+600:300x40, 3@900+120:50x5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if e := events[0]; e.Domain != 0 || e.Time != 1800 || e.Duration != 600 || e.Clients != 300 || e.Resolvers != 40 {
+		t.Errorf("first event = %+v", e)
+	}
+	if e := events[1]; e.Domain != 3 || e.Time != 900 || e.Clients != 50 || e.Resolvers != 5 {
+		t.Errorf("second event = %+v", e)
+	}
+	for _, bad := range []string{"x", "0@900", "0@900+60", "0@900+60:10"} {
+		if _, err := parseFlashCrowds(bad); err == nil {
+			t.Errorf("parseFlashCrowds(%q) should error", bad)
+		}
 	}
 }
 
@@ -230,7 +279,7 @@ func TestParsePartitions(t *testing.T) {
 func TestRunReplicated(t *testing.T) {
 	var buf bytes.Buffer
 	err := run([]string{
-		"-policy", "DRR2-TTL/S_K", "-estimator",
+		"-policy", "DRR2-TTL/S_K", "-estimator", "reactive",
 		"-duration", "1500", "-warmup", "100",
 		"-replicas", "2", "-repl-lag", "1", "-partition", "600+30",
 	}, &buf)

@@ -64,10 +64,21 @@ type (
 	Decision = core.Decision
 	// TTLVariant identifies a member of the adaptive TTL family.
 	TTLVariant = core.TTLVariant
-	// Estimator estimates hidden load weights from server reports.
+	// LoadEstimator is the hidden-load estimation seam: the reactive
+	// EWMA and the predictive NS-cache model both implement it, and
+	// every catalog policy runs unmodified on either.
+	LoadEstimator = core.LoadEstimator
+	// Estimator is the paper's reactive estimator: an EWMA over the
+	// hidden-load weights the server reports imply.
 	Estimator = core.Estimator
-	// EstimatorState is an Estimator's serializable soft state, carried
-	// inside a Checkpoint.
+	// PredictiveEstimator forecasts hidden load from the TTLs the
+	// engine handed out (per-(domain, resolver-class) NS-cache model).
+	PredictiveEstimator = core.PredictiveEstimator
+	// Forecaster is the optional capability a LoadEstimator implements
+	// when it predicts demand from the engine's own decisions.
+	Forecaster = core.Forecaster
+	// EstimatorState is a LoadEstimator's serializable soft state,
+	// kind-tagged and carried inside a Checkpoint.
 	EstimatorState = core.EstimatorState
 	// DomainClass is the two-tier domain classification.
 	DomainClass = core.DomainClass
@@ -93,6 +104,13 @@ const DefaultConstantTTL = core.DefaultConstantTTL
 // identically unless explicitly tuned.
 const DefaultEstimatorAlpha = core.DefaultEstimatorAlpha
 
+// Estimator kind tags (SimConfig.Estimator, DNSServerConfig.Estimator,
+// the -estimator flags, and EstimatorState.Kind).
+const (
+	EstimatorReactive   = core.EstimatorReactive
+	EstimatorPredictive = core.EstimatorPredictive
+)
+
 // Scheduling constructors and helpers.
 var (
 	// NewPolicy builds a policy from its catalog name (e.g.
@@ -109,8 +127,17 @@ var (
 	HeterogeneityVector = core.HeterogeneityVector
 	// NewState creates scheduler state for a cluster and domain count.
 	NewState = core.NewState
-	// NewEstimator creates a hidden-load estimator.
+	// NewEstimator creates the reactive hidden-load estimator.
 	NewEstimator = core.NewEstimator
+	// NewPredictiveEstimator creates the NS-cache forecasting
+	// estimator.
+	NewPredictiveEstimator = core.NewPredictiveEstimator
+	// NewLoadEstimator creates an estimator by kind tag
+	// (EstimatorReactive, EstimatorPredictive; empty = reactive).
+	NewLoadEstimator = core.NewLoadEstimator
+	// ParseEstimatorState decodes and validates serialized estimator
+	// soft state.
+	ParseEstimatorState = core.ParseEstimatorState
 	// RingProximityConfig builds the synthetic ring-geography
 	// ProximityConfig both the simulator and the live server use for
 	// proximity steering (nil when preference is 0).
@@ -168,6 +195,9 @@ type (
 	// PartitionEvent is one total inter-replica link cut of a
 	// replicated simulation (SimConfig.Partitions).
 	PartitionEvent = sim.PartitionEvent
+	// FlashEvent is one simulated flash crowd: extra clients joining a
+	// domain through fresh resolver caches (SimConfig.FlashCrowds).
+	FlashEvent = sim.FlashEvent
 )
 
 // Simulation entry points.

@@ -47,14 +47,21 @@ func NewEstimator(domains int, alpha float64) (*Estimator, error) {
 	}, nil
 }
 
+// Kind identifies the estimator implementation (EstimatorReactive).
+func (e *Estimator) Kind() string { return EstimatorReactive }
+
 // Record accumulates hits observed from a domain since the last Roll.
 // Servers call this (directly in the simulator, via load reports in
-// the real DNS server).
-func (e *Estimator) Record(domain int, hits float64) {
+// the real DNS server). It reports whether the observation was
+// accepted: out-of-range domains and negative hit counts are rejected
+// so callers can count malformed reports instead of losing them
+// silently.
+func (e *Estimator) Record(domain int, hits float64) bool {
 	if domain < 0 || domain >= e.domains || hits < 0 {
-		return
+		return false
 	}
 	e.counts[domain] += hits
+	return true
 }
 
 // Roll closes the current collection interval of the given length in
@@ -107,20 +114,11 @@ func (e *Estimator) Rates() []float64 {
 	return out
 }
 
-// EstimatorState is the serializable internal state of an Estimator:
-// everything needed to resume hidden-load estimation after a DNS
-// restart instead of resetting the weights to uniform.
-type EstimatorState struct {
-	Alpha  float64   `json:"alpha"`
-	Counts []float64 `json:"counts"`
-	Rates  []float64 `json:"rates"`
-	Rolls  int       `json:"rolls"`
-}
-
 // State captures the estimator's current internal state for a
 // checkpoint.
 func (e *Estimator) State() EstimatorState {
 	return EstimatorState{
+		Kind:   EstimatorReactive,
 		Alpha:  e.alpha,
 		Counts: append([]float64(nil), e.counts...),
 		Rates:  append([]float64(nil), e.rates...),
@@ -129,10 +127,16 @@ func (e *Estimator) State() EstimatorState {
 }
 
 // Restore replaces the estimator's internal state with a checkpointed
-// one. The checkpoint must match the estimator's domain count and
-// contain only finite non-negative values; on error the estimator is
-// left unchanged (cold-start behavior).
+// one. The checkpoint must carry a matching kind tag (empty means
+// reactive, for checkpoints written before kinds existed), match the
+// estimator's domain count, and contain only finite non-negative
+// values; on error the estimator is left unchanged (cold-start
+// behavior).
 func (e *Estimator) Restore(st EstimatorState) error {
+	if st.Kind != "" && st.Kind != EstimatorReactive {
+		return fmt.Errorf("core: cannot restore %q estimator state into the reactive estimator; rerun with -estimator=%s or discard the checkpoint",
+			st.Kind, st.Kind)
+	}
 	if len(st.Counts) != e.domains || len(st.Rates) != e.domains {
 		return fmt.Errorf("core: estimator state has %d/%d domains, want %d",
 			len(st.Counts), len(st.Rates), e.domains)

@@ -202,10 +202,18 @@ func TestEstimator(t *testing.T) {
 	if e.Rolls() != 1 {
 		t.Errorf("Rolls = %d, want 1", e.Rolls())
 	}
-	// Invalid records are ignored.
-	e.Record(-1, 10)
-	e.Record(3, 10)
-	e.Record(0, -5)
+	// Invalid records are rejected — and the caller is told so.
+	for _, bad := range []struct {
+		domain int
+		hits   float64
+	}{{-1, 10}, {3, 10}, {0, -5}} {
+		if e.Record(bad.domain, bad.hits) {
+			t.Errorf("Record(%d, %v) should be rejected", bad.domain, bad.hits)
+		}
+	}
+	if !e.Record(0, 1) {
+		t.Error("valid Record should be accepted")
+	}
 	e.Roll(0) // no-op
 	if e.Rolls() != 1 {
 		t.Error("Roll(0) should be a no-op")

@@ -81,6 +81,13 @@ type Config struct {
 	// configuration uses, so both paths smooth identically unless
 	// explicitly tuned.
 	EstimatorAlpha float64
+	// Estimator selects the hidden-load estimator kind:
+	// core.EstimatorReactive (the paper's EWMA over reports, default
+	// when empty) or core.EstimatorPredictive (the NS-cache
+	// forecasting model fed by every TTL the server hands out). A
+	// checkpoint written under one kind refuses to restore into the
+	// other.
+	Estimator string
 	// Metrics optionally registers the server's observability series
 	// (queries by outcome, per-worker latency, returned-TTL histogram,
 	// policy decisions, alarm/liveness transitions) on the given
@@ -232,7 +239,7 @@ func New(cfg Config) (*Server, error) {
 	if alpha == 0 {
 		alpha = core.DefaultEstimatorAlpha
 	}
-	est, err := core.NewEstimator(cfg.Policy.State().Domains(), alpha)
+	est, err := core.NewLoadEstimator(cfg.Estimator, cfg.Policy.State().Domains(), alpha)
 	if err != nil {
 		return nil, err
 	}

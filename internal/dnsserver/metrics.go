@@ -147,6 +147,47 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 		"State checkpoint writes that failed.",
 		nil, s.ckptErrs.Load)
 
+	// Hidden-load estimator: kind-tagged feedback-loop health. The
+	// forecast series exist only for a forecasting estimator (the
+	// predictive kind): forecast demand is its current prediction of
+	// total hidden load, and the error gauge is its smoothed mean
+	// absolute per-domain miss — the calibration signal for
+	// forecast-driven alarms.
+	kind := s.eng.EstimatorKind()
+	reg.NewCounterFunc("dnslb_estimator_rejected_total",
+		"Hit observations the estimator refused (out-of-range domain or negative count).",
+		metrics.Labels{"kind", kind},
+		s.eng.EstimatorRejected)
+	reg.NewGaugeFunc("dnslb_estimator_rolls_total",
+		"Completed hidden-load collection intervals.",
+		metrics.Labels{"kind", kind},
+		func() float64 {
+			if st, ok := s.eng.EstimatorState(); ok {
+				return float64(st.Rolls)
+			}
+			return 0
+		})
+	if _, ok := s.eng.ForecastError(); ok {
+		reg.NewGaugeFunc("dnslb_estimator_forecast_abs_error_hits_per_second",
+			"Smoothed mean absolute per-domain forecast error of the predictive estimator.",
+			metrics.Labels{"kind", kind},
+			func() float64 { abs, _ := s.eng.ForecastError(); return abs })
+		reg.NewGaugeFunc("dnslb_estimator_forecast_demand_hits_per_second",
+			"Predicted total hidden-load demand across domains at scrape time.",
+			metrics.Labels{"kind", kind},
+			func() float64 {
+				rates, ok := s.eng.ForecastRates(s.eng.Now())
+				if !ok {
+					return 0
+				}
+				var sum float64
+				for _, r := range rates {
+					sum += r
+				}
+				return sum
+			})
+	}
+
 	// Report protocol: accepted and rejected lines, plus connection
 	// lifecycle — the link-health signal backend agents and replication
 	// peers share (both ride the same socket).

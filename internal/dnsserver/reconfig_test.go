@@ -19,6 +19,15 @@ import (
 // TTL policy whose drain windows are short enough for lifecycle tests.
 func smallServer(t *testing.T, policyName string) (*Server, *core.State) {
 	t.Helper()
+	return smallServerKind(t, policyName, "", true)
+}
+
+// smallServerKind builds a server with the given estimator kind.
+// started=false skips binding the DNS sockets — checkpoint/restore
+// tests exercise no network path, and every extra UDP+TCP same-port
+// bind raises the suite-wide chance of an ephemeral-port collision.
+func smallServerKind(t *testing.T, policyName, estKind string, started bool) (*Server, *core.State) {
+	t.Helper()
 	cluster, err := core.ScaledCluster(3, 0, 500)
 	if err != nil {
 		t.Fatal(err)
@@ -49,14 +58,17 @@ func smallServer(t *testing.T, policyName string) (*Server, *core.State) {
 		ServerAddrs: addrs,
 		Policy:      policy,
 		Addr:        "127.0.0.1:0",
+		Estimator:   estKind,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Start(); err != nil {
-		t.Fatal(err)
+	if started {
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
 	}
-	t.Cleanup(func() { _ = srv.Close() })
 	return srv, state
 }
 
@@ -541,6 +553,105 @@ func TestCheckpointRejection(t *testing.T) {
 	cp.Estimator.Rates = cp.Estimator.Rates[:1]
 	if err := srv.RestoreCheckpoint(cp, 0); err == nil {
 		t.Error("malformed estimator state accepted")
+	}
+}
+
+func TestCheckpointRoundTripPredictive(t *testing.T) {
+	srv, state := smallServerKind(t, "PRR-TTL/1", core.EstimatorPredictive, false)
+	path := filepath.Join(t.TempDir(), "state.json")
+
+	srv.RecordHits(2, 900)
+	srv.RecordHits(0, 100)
+	if err := srv.RollEstimates(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WriteCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	wantWeights := state.Weights()
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Estimator.Kind != core.EstimatorPredictive {
+		t.Fatalf("checkpoint estimator kind = %q, want predictive", cp.Estimator.Kind)
+	}
+
+	srv2, state2 := smallServerKind(t, "PRR-TTL/1", core.EstimatorPredictive, false)
+	if err := srv2.RestoreCheckpoint(cp, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for j, w := range state2.Weights() {
+		if diff := w - wantWeights[j]; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("restored weight[%d] = %v, want %v", j, w, wantWeights[j])
+		}
+	}
+}
+
+// TestCheckpointCrossKindRefused pins the kind fence: a checkpoint
+// written under one estimator kind must be refused — with an error
+// naming the offending kind — by a server running the other, and the
+// refusal must leave the cold-start state untouched.
+func TestCheckpointCrossKindRefused(t *testing.T) {
+	reactive, _ := smallServer(t, "RR")
+	predictive, _ := smallServerKind(t, "RR", core.EstimatorPredictive, false)
+	dir := t.TempDir()
+
+	rPath := filepath.Join(dir, "reactive.json")
+	reactive.RecordHits(1, 500)
+	if err := reactive.RollEstimates(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := reactive.WriteCheckpoint(rPath); err != nil {
+		t.Fatal(err)
+	}
+	pPath := filepath.Join(dir, "predictive.json")
+	predictive.RecordHits(1, 500)
+	if err := predictive.RollEstimates(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := predictive.WriteCheckpoint(pPath); err != nil {
+		t.Fatal(err)
+	}
+
+	rCp, err := LoadCheckpoint(rPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pCp, err := LoadCheckpoint(pPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	victim, victimState := smallServerKind(t, "RR", core.EstimatorPredictive, false)
+	if err := victim.RestoreCheckpoint(rCp, time.Hour); err == nil {
+		t.Fatal("predictive server accepted a reactive checkpoint")
+	} else if !strings.Contains(err.Error(), "reactive") {
+		t.Errorf("refusal should name the checkpoint's kind: %v", err)
+	}
+	for j, w := range victimState.Weights() {
+		if w != 1.0/4 {
+			t.Errorf("refused restore moved weight[%d] to %v; state must stay cold", j, w)
+		}
+	}
+
+	victim2, victim2State := smallServer(t, "RR")
+	if err := victim2.RestoreCheckpoint(pCp, time.Hour); err == nil {
+		t.Fatal("reactive server accepted a predictive checkpoint")
+	} else if !strings.Contains(err.Error(), "predictive") {
+		t.Errorf("refusal should name the checkpoint's kind: %v", err)
+	}
+	for j, w := range victim2State.Weights() {
+		if w != 1.0/4 {
+			t.Errorf("refused restore moved weight[%d] to %v; state must stay cold", j, w)
+		}
+	}
+
+	// Same-kind restore of the predictive checkpoint still works.
+	fresh, _ := smallServerKind(t, "RR", core.EstimatorPredictive, false)
+	if err := fresh.RestoreCheckpoint(pCp, time.Hour); err != nil {
+		t.Errorf("same-kind predictive restore failed: %v", err)
 	}
 }
 

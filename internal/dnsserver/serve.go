@@ -18,19 +18,32 @@ import (
 
 // Start binds the UDP socket and TCP listener and begins serving with
 // the configured number of parallel UDP workers.
+//
+// DNS needs the same port on both transports. With an explicit port
+// that either binds or fails; with an ephemeral port (":0") the kernel
+// picks the UDP port without consulting the TCP namespace, so the
+// paired TCP bind can collide with an unrelated TCP socket (commonly
+// one in TIME_WAIT) — in that case a fresh UDP port is drawn and the
+// pair is retried.
 func (s *Server) Start() error {
 	uaddr, err := net.ResolveUDPAddr("udp", s.addrOrDefault())
 	if err != nil {
 		return fmt.Errorf("dnsserver: resolve: %w", err)
 	}
-	s.udp, err = net.ListenUDP("udp", uaddr)
-	if err != nil {
-		return fmt.Errorf("dnsserver: listen udp: %w", err)
-	}
-	s.tcp, err = net.Listen("tcp", s.udp.LocalAddr().String())
-	if err != nil {
+	const pairAttempts = 16
+	for attempt := 0; ; attempt++ {
+		s.udp, err = net.ListenUDP("udp", uaddr)
+		if err != nil {
+			return fmt.Errorf("dnsserver: listen udp: %w", err)
+		}
+		s.tcp, err = net.Listen("tcp", s.udp.LocalAddr().String())
+		if err == nil {
+			break
+		}
 		_ = s.udp.Close()
-		return fmt.Errorf("dnsserver: listen tcp: %w", err)
+		if uaddr.Port != 0 || attempt == pairAttempts-1 {
+			return fmt.Errorf("dnsserver: listen tcp: %w", err)
+		}
 	}
 	s.wg.Add(s.udpWorkers + 1)
 	for i := 0; i < s.udpWorkers; i++ {

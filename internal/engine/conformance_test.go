@@ -80,8 +80,10 @@ type confDecision struct {
 }
 
 // conformanceEngine builds an engine exactly once per path, over a
-// fresh heterogeneous state with skewed domain weights.
-func conformanceEngine(t *testing.T, policyName string, rng core.Rand, now func() float64, clock Clock) *Engine {
+// fresh heterogeneous state with skewed domain weights. estKind picks
+// the load-estimator implementation; every policy must conform on
+// either one.
+func conformanceEngine(t *testing.T, policyName, estKind string, rng core.Rand, now func() float64, clock Clock) *Engine {
 	t.Helper()
 	cluster, err := core.NewCluster([]float64{140, 120, 100, 80, 60})
 	if err != nil {
@@ -104,7 +106,7 @@ func conformanceEngine(t *testing.T, policyName string, rng core.Rand, now func(
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := core.NewEstimator(confDomains, core.DefaultEstimatorAlpha)
+	est, err := core.NewLoadEstimator(estKind, confDomains, core.DefaultEstimatorAlpha)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,10 +162,10 @@ func applyConfEvent(t *testing.T, eng *Engine, ev confEvent, out *[]confDecision
 
 // runSimPath drives the stream through a sim-built engine: virtual
 // clock, events fired by the discrete-event loop.
-func runSimPath(t *testing.T, policyName string, events []confEvent) ([]confDecision, []float64) {
+func runSimPath(t *testing.T, policyName, estKind string, events []confEvent) ([]confDecision, []float64) {
 	t.Helper()
 	sc := simcore.New(confSeed)
-	eng := conformanceEngine(t, policyName, sc.Stream("policy"), sc.Now, ClockFunc(sc.Now))
+	eng := conformanceEngine(t, policyName, estKind, sc.Stream("policy"), sc.Now, ClockFunc(sc.Now))
 	var out []confDecision
 	horizon := 0.0
 	for _, ev := range events {
@@ -180,10 +182,10 @@ func runSimPath(t *testing.T, policyName string, events []confEvent) ([]confDeci
 // runLivePath drives the same stream through a live-built engine:
 // manual wall-style clock stepped to each event's instant, standalone
 // named policy stream.
-func runLivePath(t *testing.T, policyName string, events []confEvent) ([]confDecision, []float64) {
+func runLivePath(t *testing.T, policyName, estKind string, events []confEvent) ([]confDecision, []float64) {
 	t.Helper()
 	clock := &ManualClock{}
-	eng := conformanceEngine(t, policyName, simcore.NewStream(confSeed, "policy"), clock.Now, clock)
+	eng := conformanceEngine(t, policyName, estKind, simcore.NewStream(confSeed, "policy"), clock.Now, clock)
 	var out []confDecision
 	for _, ev := range events {
 		clock.Set(ev.time)
@@ -201,32 +203,35 @@ func ledgerExpiries(eng *Engine) []float64 {
 }
 
 // TestSimLiveConformance asserts the unified-engine guarantee for
-// every policy in the catalog.
+// every policy in the catalog, on both estimator kinds: the estimator
+// seam must not leak an environment dependency either.
 func TestSimLiveConformance(t *testing.T) {
 	events := conformanceEvents()
-	for _, policyName := range core.PolicyNames() {
-		policyName := policyName
-		t.Run(policyName, func(t *testing.T) {
-			simDecisions, simLedger := runSimPath(t, policyName, events)
-			liveDecisions, liveLedger := runLivePath(t, policyName, events)
-			if len(simDecisions) != len(liveDecisions) {
-				t.Fatalf("decision counts diverge: sim %d, live %d", len(simDecisions), len(liveDecisions))
-			}
-			for i := range simDecisions {
-				if simDecisions[i] != liveDecisions[i] {
-					s, l := simDecisions[i], liveDecisions[i]
-					t.Fatalf("decision %d diverges: sim (domain %d → server %d, ttl %v, failed %v), live (domain %d → server %d, ttl %v, failed %v)",
-						i,
-						s.domain, s.server, math.Float64frombits(s.ttlBits), s.failed,
-						l.domain, l.server, math.Float64frombits(l.ttlBits), l.failed)
+	for _, estKind := range core.EstimatorKinds() {
+		for _, policyName := range core.PolicyNames() {
+			estKind, policyName := estKind, policyName
+			t.Run(estKind+"/"+policyName, func(t *testing.T) {
+				simDecisions, simLedger := runSimPath(t, policyName, estKind, events)
+				liveDecisions, liveLedger := runLivePath(t, policyName, estKind, events)
+				if len(simDecisions) != len(liveDecisions) {
+					t.Fatalf("decision counts diverge: sim %d, live %d", len(simDecisions), len(liveDecisions))
 				}
-			}
-			for i := range simLedger {
-				if math.Float64bits(simLedger[i]) != math.Float64bits(liveLedger[i]) {
-					t.Errorf("ledger slot %d diverges: sim %v, live %v", i, simLedger[i], liveLedger[i])
+				for i := range simDecisions {
+					if simDecisions[i] != liveDecisions[i] {
+						s, l := simDecisions[i], liveDecisions[i]
+						t.Fatalf("decision %d diverges: sim (domain %d → server %d, ttl %v, failed %v), live (domain %d → server %d, ttl %v, failed %v)",
+							i,
+							s.domain, s.server, math.Float64frombits(s.ttlBits), s.failed,
+							l.domain, l.server, math.Float64frombits(l.ttlBits), l.failed)
+					}
 				}
-			}
-		})
+				for i := range simLedger {
+					if math.Float64bits(simLedger[i]) != math.Float64bits(liveLedger[i]) {
+						t.Errorf("ledger slot %d diverges: sim %v, live %v", i, simLedger[i], liveLedger[i])
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -242,11 +247,11 @@ func TestReplicaPairConformance(t *testing.T) {
 	for _, policyName := range core.PolicyNames() {
 		policyName := policyName
 		t.Run(policyName, func(t *testing.T) {
-			_, singleLedger := runLivePath(t, policyName, events)
+			_, singleLedger := runLivePath(t, policyName, core.EstimatorReactive, events)
 
 			clock := &ManualClock{}
-			a := conformanceEngine(t, policyName, simcore.NewStream(confSeed, "policy"), clock.Now, clock)
-			b := conformanceEngine(t, policyName, simcore.NewStream(confSeed, "policy"), clock.Now, clock)
+			a := conformanceEngine(t, policyName, core.EstimatorReactive, simcore.NewStream(confSeed, "policy"), clock.Now, clock)
+			b := conformanceEngine(t, policyName, core.EstimatorReactive, simcore.NewStream(confSeed, "policy"), clock.Now, clock)
 			var out []confDecision
 			for _, ev := range events {
 				clock.Set(ev.time)
@@ -297,7 +302,7 @@ func TestReplicaPairConformance(t *testing.T) {
 // would silently conform on a trivial stream.
 func TestConformanceStreamExercisesOutcomes(t *testing.T) {
 	events := conformanceEvents()
-	decisions, ledger := runSimPath(t, "PRR2-TTL/K", events)
+	decisions, ledger := runSimPath(t, "PRR2-TTL/K", core.EstimatorReactive, events)
 	seen := make(map[int]int)
 	for _, d := range decisions {
 		if !d.failed {

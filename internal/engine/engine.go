@@ -27,15 +27,20 @@ package engine
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"dnslb/internal/core"
 )
 
 // lockedEstimator serializes estimator mutations. Feedback arrives on
 // report/collection intervals, never per query, so one mutex suffices.
+// fc is the estimator's Forecaster capability, type-asserted once at
+// assembly: nil for the reactive kind, which therefore pays nothing on
+// the query path.
 type lockedEstimator struct {
 	mu  sync.Mutex
-	est *core.Estimator
+	est core.LoadEstimator
+	fc  core.Forecaster
 }
 
 // Config assembles an Engine.
@@ -49,9 +54,14 @@ type Config struct {
 	Clock Clock
 	// Estimator optionally closes the hidden-load feedback loop:
 	// RecordHits accumulates per-domain hit reports and RollEstimates
-	// installs the re-estimated weights into the scheduler state. Nil
-	// disables feedback (the simulator's oracle-weights setting).
-	Estimator *core.Estimator
+	// installs the re-estimated weights into the scheduler state. Any
+	// core.LoadEstimator kind plugs in here; when it also implements
+	// core.Forecaster (the predictive kind), Decide feeds it every TTL
+	// handout. Nil disables feedback (the simulator's oracle-weights
+	// setting) — note a typed-nil pointer in an interface is NOT nil,
+	// so callers must leave the field unset rather than assign a nil
+	// concrete estimator.
+	Estimator core.LoadEstimator
 	// OnDecision, when non-nil, observes every successful decision in
 	// scheduling order — the tap the conformance and replay tests
 	// record from. It is called synchronously on the query path and
@@ -61,11 +71,12 @@ type Config struct {
 
 // Engine is the unified decision lifecycle.
 type Engine struct {
-	policy     *core.Policy
-	clock      Clock
-	ledger     *Ledger
-	est        *lockedEstimator // nil when feedback is disabled
-	onDecision func(domain int, d core.Decision)
+	policy      *core.Policy
+	clock       Clock
+	ledger      *Ledger
+	est         *lockedEstimator // nil when feedback is disabled
+	onDecision  func(domain int, d core.Decision)
+	estRejected atomic.Uint64 // hit reports the estimator refused
 }
 
 // New creates an engine with a ledger sized to the policy's cluster.
@@ -83,7 +94,9 @@ func New(cfg Config) (*Engine, error) {
 		onDecision: cfg.OnDecision,
 	}
 	if cfg.Estimator != nil {
-		e.est = &lockedEstimator{est: cfg.Estimator}
+		le := &lockedEstimator{est: cfg.Estimator}
+		le.fc, _ = cfg.Estimator.(core.Forecaster)
+		e.est = le
 	}
 	return e, nil
 }
@@ -116,6 +129,14 @@ func (e *Engine) Decide(domain int) (core.Decision, error) {
 		return d, err
 	}
 	e.ledger.Extend(d.Server, now+d.TTL)
+	if e.est != nil && e.est.fc != nil {
+		// Feed the TTL handout to the forecasting estimator: this is
+		// the NS-cache model's input. Only the predictive kind takes
+		// this lock on the query path; the reactive kind's fc is nil.
+		e.est.mu.Lock()
+		e.est.fc.ObserveDecision(domain, now, d.TTL)
+		e.est.mu.Unlock()
+	}
 	if e.onDecision != nil {
 		e.onDecision(domain, d)
 	}
@@ -164,16 +185,36 @@ func (e *Engine) SetDown(server int, down bool) error {
 // enabled.
 func (e *Engine) HasEstimator() bool { return e.est != nil }
 
+// EstimatorKind returns the enabled estimator's kind tag
+// (core.EstimatorReactive, core.EstimatorPredictive), or "" when
+// feedback is disabled.
+func (e *Engine) EstimatorKind() string {
+	if e.est == nil {
+		return ""
+	}
+	return e.est.est.Kind()
+}
+
 // RecordHits accumulates per-domain hits reported by a server since
-// the last RollEstimates. A no-op when feedback is disabled.
+// the last RollEstimates. A no-op when feedback is disabled. Rejected
+// observations (out-of-range domain, negative hits) are counted and
+// readable via EstimatorRejected.
 func (e *Engine) RecordHits(domain int, hits float64) {
 	if e.est == nil {
 		return
 	}
 	e.est.mu.Lock()
-	e.est.est.Record(domain, hits)
+	ok := e.est.est.Record(domain, hits)
 	e.est.mu.Unlock()
+	if !ok {
+		e.estRejected.Add(1)
+	}
 }
+
+// EstimatorRejected returns how many hit observations the estimator
+// refused (out-of-range domains or negative counts) — malformed or
+// stale reports that would otherwise vanish silently.
+func (e *Engine) EstimatorRejected() uint64 { return e.estRejected.Load() }
 
 // RollEstimates closes an estimation interval of the given length in
 // seconds and installs the re-estimated hidden-load weights into the
@@ -200,8 +241,9 @@ func (e *Engine) EstimatorState() (st core.EstimatorState, ok bool) {
 }
 
 // RestoreEstimator replaces the estimator's soft state with a
-// checkpointed one; an error (including disabled feedback) leaves the
-// estimator unchanged.
+// checkpointed one; an error (including disabled feedback or a state
+// written by a different estimator kind) leaves the estimator
+// unchanged.
 func (e *Engine) RestoreEstimator(st core.EstimatorState) error {
 	if e.est == nil {
 		return errors.New("engine: no estimator to restore")
@@ -209,4 +251,40 @@ func (e *Engine) RestoreEstimator(st core.EstimatorState) error {
 	e.est.mu.Lock()
 	defer e.est.mu.Unlock()
 	return e.est.est.Restore(st)
+}
+
+// EstimatorRates returns the estimator's current absolute per-domain
+// demand view in hits/s (the forecast for the predictive kind); ok is
+// false when feedback is disabled.
+func (e *Engine) EstimatorRates() (rates []float64, ok bool) {
+	if e.est == nil {
+		return nil, false
+	}
+	e.est.mu.Lock()
+	defer e.est.mu.Unlock()
+	return e.est.est.Rates(), true
+}
+
+// ForecastRates returns the predicted per-domain demand in hits/s at
+// engine time now; ok is false unless the enabled estimator is a
+// forecaster (the predictive kind).
+func (e *Engine) ForecastRates(now float64) (rates []float64, ok bool) {
+	if e.est == nil || e.est.fc == nil {
+		return nil, false
+	}
+	e.est.mu.Lock()
+	defer e.est.mu.Unlock()
+	return e.est.fc.ForecastRates(now), true
+}
+
+// ForecastError returns the estimator's smoothed mean absolute
+// forecast error in hits/s; ok is false unless the enabled estimator
+// is a forecaster.
+func (e *Engine) ForecastError() (abs float64, ok bool) {
+	if e.est == nil || e.est.fc == nil {
+		return 0, false
+	}
+	e.est.mu.Lock()
+	defer e.est.mu.Unlock()
+	return e.est.fc.ForecastError(), true
 }

@@ -11,7 +11,7 @@ import (
 	"dnslb/internal/simcore"
 )
 
-func testEngine(t *testing.T, policy string, est *core.Estimator, clock Clock) *Engine {
+func testEngine(t *testing.T, policy string, est core.LoadEstimator, clock Clock) *Engine {
 	t.Helper()
 	cluster, err := core.NewCluster([]float64{120, 100, 80})
 	if err != nil {

@@ -197,6 +197,55 @@ func TestMergeRemoteHitsFeedEstimator(t *testing.T) {
 	}
 }
 
+// TestSnapshotDeltaExcludesEstimatorState pins the replication
+// contract: deltas carry interval-scoped hit counts only, never the
+// estimator's rolled soft state (rates, rolls, learned per-mapping
+// models). A peer that merges another replica's full snapshot must see
+// its own estimator completely untouched — each replica smooths the
+// hidden load it observes, and anti-entropy must not overwrite local
+// learning with a remote replica's view.
+func TestSnapshotDeltaExcludesEstimatorState(t *testing.T) {
+	a := remoteTestEngine(t, 3)
+	b := remoteTestEngine(t, 3)
+
+	// Both replicas learn different hidden-load profiles.
+	a.RecordHits(0, 900)
+	if err := a.RollEstimates(30); err != nil {
+		t.Fatal(err)
+	}
+	b.RecordHits(1, 60)
+	if err := b.RollEstimates(30); err != nil {
+		t.Fatal(err)
+	}
+	before, ok := b.EstimatorState()
+	if !ok {
+		t.Fatal("test engine should have an estimator")
+	}
+
+	d := a.SnapshotDelta()
+	if len(d.Hits) != 0 {
+		t.Fatalf("snapshot delta carries %d hit entries; snapshots must never carry estimator input", len(d.Hits))
+	}
+	if err := b.MergeRemote(d); err != nil {
+		t.Fatal(err)
+	}
+
+	after, _ := b.EstimatorState()
+	if after.Rolls != before.Rolls {
+		t.Errorf("merge changed estimator rolls: %d → %d", before.Rolls, after.Rolls)
+	}
+	for j := range before.Rates {
+		if math.Float64bits(after.Rates[j]) != math.Float64bits(before.Rates[j]) {
+			t.Errorf("merge changed rolled rate[%d]: %v → %v", j, before.Rates[j], after.Rates[j])
+		}
+	}
+	for j := range before.Counts {
+		if after.Counts[j] != before.Counts[j] {
+			t.Errorf("merge changed pending count[%d]: %v → %v", j, before.Counts[j], after.Counts[j])
+		}
+	}
+}
+
 func TestSnapshotDeltaRoundTrip(t *testing.T) {
 	a := remoteTestEngine(t, 4)
 	b := remoteTestEngine(t, 4)

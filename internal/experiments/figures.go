@@ -242,6 +242,7 @@ var Registry = map[string]Runner{
 	"ext-window":      ExtWindow,
 	"ext-estimator":   ExtEstimator,
 	"ext-failures":    ExtFailures,
+	"ext-forecast":    ExtForecast,
 	"ext-geo":         ExtGeo,
 	"ext-baselines":   ExtBaselines,
 	"ext-replication": ExtReplication,
@@ -257,8 +258,8 @@ func PaperIDs() []string {
 func ExtensionIDs() []string {
 	return []string{
 		"ext-alarm", "ext-baselines", "ext-classes", "ext-domains",
-		"ext-estimator", "ext-failures", "ext-geo", "ext-load",
-		"ext-replication", "ext-servers", "ext-window",
+		"ext-estimator", "ext-failures", "ext-forecast", "ext-geo",
+		"ext-load", "ext-replication", "ext-servers", "ext-window",
 	}
 }
 

@@ -138,3 +138,52 @@ func (c *estimatorCollector) collect() {
 		c.sim.Schedule(c.cfg.EstimatorInterval, c.collect)
 	}
 }
+
+// estimatorProbe samples the estimator's demand view every
+// UtilizationInterval and records when it first crosses the overload
+// line — the estimator-driven early alarm next to the paper's reactive
+// per-server alarm. For the reactive kind the view is the rolled EWMA
+// (it can only move at collection rolls); for the predictive kind it
+// is the NS-cache forecast, which reacts to TTL handouts between
+// rolls. The probe is read-only: it draws from no stream and mutates
+// no scheduler state, so installing it never perturbs decisions.
+// Sampling starts after warmup, like every other metric: the cold-start
+// transient (an entire client population resolving through empty NS
+// caches at once) looks exactly like a flash crowd to the forecast and
+// would trip the alarm before the system reaches steady state.
+type estimatorProbe struct {
+	cfg     Config
+	sim     *simcore.Simulator
+	eng     *engine.Engine
+	res     *Result
+	horizon float64
+}
+
+func (p *estimatorProbe) install() {
+	if p.cfg.AlarmThreshold <= 0 {
+		return
+	}
+	p.sim.Schedule(p.cfg.Warmup+p.cfg.UtilizationInterval, p.sample)
+}
+
+func (p *estimatorProbe) sample() {
+	now := p.sim.Now()
+	if p.res.EstimatorAlarmTime == 0 {
+		rates, ok := p.eng.ForecastRates(now)
+		if !ok {
+			rates, ok = p.eng.EstimatorRates()
+		}
+		if ok {
+			var demand float64
+			for _, r := range rates {
+				demand += r
+			}
+			if demand > p.cfg.AlarmThreshold*p.cfg.TotalCapacity {
+				p.res.EstimatorAlarmTime = now
+			}
+		}
+	}
+	if p.res.EstimatorAlarmTime == 0 && now < p.horizon {
+		p.sim.Schedule(p.cfg.UtilizationInterval, p.sample)
+	}
+}

@@ -69,6 +69,21 @@ type Config struct {
 	EstimatorInterval float64
 	// EstimatorAlpha is the EWMA weight of the newest interval.
 	EstimatorAlpha float64
+	// Estimator selects the hidden-load estimator kind when
+	// OracleWeights is false: core.EstimatorReactive (the paper's EWMA
+	// over reports, default when empty) or core.EstimatorPredictive
+	// (the NS-cache forecasting model fed by the engine's own TTL
+	// handouts).
+	Estimator string
+
+	// FlashCrowds injects flash-crowd events (predictive-estimation
+	// extension): at each event time a burst of new clients joins one
+	// domain, arriving through FRESH name-server caches — new resolver
+	// populations whose cache misses hit the DNS immediately. That
+	// decision burst is the signal the predictive estimator forecasts
+	// from, one to two collection intervals before the reactive
+	// estimator sees the hits in a report.
+	FlashCrowds []FlashEvent
 
 	// Faults injects server crash/recovery events at fixed virtual
 	// times (failure extension). The DNS learns of a membership change
@@ -151,6 +166,18 @@ type PartitionEvent struct {
 	Start, End float64
 }
 
+// FlashEvent is one flash crowd: at virtual time Time, Clients extra
+// clients join Domain for Duration seconds, resolving through
+// Resolvers fresh name-server caches (a new resolver population — the
+// defining property of a flash crowd as seen from the DNS).
+type FlashEvent struct {
+	Time      float64
+	Domain    int
+	Clients   int
+	Resolvers int
+	Duration  float64
+}
+
 // Outage returns the crash/recover event pair for one server failing
 // at start and coming back after duration seconds.
 func Outage(server int, start, duration float64) []FaultEvent {
@@ -210,6 +237,9 @@ func (c Config) Validate() error {
 		return errors.New("sim: MetricWindow must be a multiple of the utilization interval")
 	case !c.OracleWeights && c.EstimatorInterval <= 0:
 		return errors.New("sim: EstimatorInterval must be positive")
+	case c.Estimator != "" && c.Estimator != core.EstimatorReactive && c.Estimator != core.EstimatorPredictive:
+		return fmt.Errorf("sim: unknown estimator kind %q (want %s or %s)",
+			c.Estimator, core.EstimatorReactive, core.EstimatorPredictive)
 	case c.Duration <= 0:
 		return errors.New("sim: Duration must be positive")
 	case c.Warmup < 0:
@@ -235,6 +265,28 @@ func (c Config) Validate() error {
 		}
 		if ev.Server < 0 || ev.Server >= c.Servers {
 			return fmt.Errorf("sim: drain event %d targets server %d, cluster has %d", i, ev.Server, c.Servers)
+		}
+	}
+	for i, ev := range c.FlashCrowds {
+		switch {
+		case ev.Time < 0:
+			return fmt.Errorf("sim: flash crowd %d at negative time %v", i, ev.Time)
+		case ev.Domain < 0 || ev.Domain >= c.Workload.Domains:
+			return fmt.Errorf("sim: flash crowd %d targets domain %d, workload has %d", i, ev.Domain, c.Workload.Domains)
+		case ev.Clients <= 0:
+			return fmt.Errorf("sim: flash crowd %d needs a positive client count, got %d", i, ev.Clients)
+		case ev.Resolvers <= 0:
+			return fmt.Errorf("sim: flash crowd %d needs a positive resolver count, got %d", i, ev.Resolvers)
+		case ev.Duration <= 0:
+			return fmt.Errorf("sim: flash crowd %d needs a positive duration, got %v", i, ev.Duration)
+		}
+	}
+	if len(c.FlashCrowds) > 0 {
+		if len(c.Trace) > 0 {
+			return errors.New("sim: FlashCrowds cannot be combined with trace playback")
+		}
+		if c.Replicas > 1 {
+			return errors.New("sim: FlashCrowds are not supported with Replicas > 1")
 		}
 	}
 	if c.Replicas < 0 {

@@ -77,9 +77,11 @@ func runReplicated(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		var estimator *core.Estimator
+		// Assigned only when enabled: a typed-nil concrete pointer in
+		// the interface would enable feedback on oracle runs.
+		var estimator core.LoadEstimator
 		if !cfg.OracleWeights {
-			estimator, err = core.NewEstimator(cfg.Workload.Domains, cfg.EstimatorAlpha)
+			estimator, err = core.NewLoadEstimator(cfg.Estimator, cfg.Workload.Domains, cfg.EstimatorAlpha)
 			if err != nil {
 				return nil, err
 			}

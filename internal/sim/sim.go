@@ -89,6 +89,22 @@ type Result struct {
 	// the horizon.
 	ReplLedgerDivergenceSec float64
 
+	// EstimatorAlarmTime is the first virtual time the estimator's
+	// demand view (the NS-cache forecast for the predictive kind, the
+	// rolled EWMA for the reactive one) exceeded AlarmThreshold ×
+	// TotalCapacity — the estimator-driven overload alarm. 0 when it
+	// never fired, the estimator is disabled, or alarms are off. The
+	// reactive-vs-predictive difference on a flash crowd is the
+	// forecast's alarm lead time (ext-forecast experiment).
+	EstimatorAlarmTime float64
+	// EstimatorRejected counts per-domain hit observations the
+	// estimator refused (out-of-range domain or negative count).
+	EstimatorRejected uint64
+	// ForecastAbsError is the predictive estimator's smoothed mean
+	// absolute forecast error in hits/s at the horizon (0 for other
+	// kinds).
+	ForecastAbsError float64
+
 	// DrainedServerHits counts hits served by a draining server — the
 	// hidden load its pre-drain cached mappings kept directing at it
 	// while the drain window was open.
@@ -162,8 +178,10 @@ func (f *failSlot) fail(err error) {
 //
 // Component installation order is part of the deterministic contract:
 // the event heap breaks time ties by insertion order, so traffic is
-// installed first, then the utilization sampler, the fault injector,
-// the drain injector, and the estimator collector.
+// installed first, then the flash-crowd injector, the utilization
+// sampler, the fault injector, the drain injector, the estimator
+// collector, and the estimator probe (the last two only when the
+// hidden-load estimator is enabled).
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -215,9 +233,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	var estimator *core.Estimator
+	// The interface variable is assigned only when feedback is enabled:
+	// a typed-nil concrete pointer in the interface would make the
+	// engine believe an estimator exists.
+	var estimator core.LoadEstimator
 	if !cfg.OracleWeights {
-		estimator, err = core.NewEstimator(cfg.Workload.Domains, cfg.EstimatorAlpha)
+		estimator, err = core.NewLoadEstimator(cfg.Estimator, cfg.Workload.Domains, cfg.EstimatorAlpha)
 		if err != nil {
 			return nil, err
 		}
@@ -250,6 +271,8 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		scheduleClients(cfg, sc, sink.deliver, tier.resolve)
 	}
+	flash := &flashInjector{cfg: cfg, sim: sc, tier: tier, deliver: sink.deliver, fail: sched.fail}
+	flash.install()
 	horizon := cfg.Warmup + cfg.Duration
 	util := newUtilizationCollector(cfg, sc, eng, servers, res, sched.fail, horizon)
 	util.install()
@@ -257,6 +280,7 @@ func Run(cfg Config) (*Result, error) {
 	(&drainInjector{sim: sc, eng: eng, fail: sched.fail}).install(cfg.Drains)
 	if eng.HasEstimator() {
 		(&estimatorCollector{cfg: cfg, sim: sc, eng: eng, servers: servers, res: res, fail: sched.fail, horizon: horizon}).install()
+		(&estimatorProbe{cfg: cfg, sim: sc, eng: eng, res: res, horizon: horizon}).install()
 	}
 
 	sc.Run(horizon)
@@ -282,6 +306,11 @@ func Run(cfg Config) (*Result, error) {
 	res.MeanLatencyMS = sink.meanLatencyMS()
 	res.MeanTimeToDrain = recov.mean()
 	tier.collect(res)
+	flash.collect(res)
+	res.EstimatorRejected = eng.EstimatorRejected()
+	if abs, ok := eng.ForecastError(); ok {
+		res.ForecastAbsError = abs
+	}
 	res.Sched = policy.Stats()
 	res.EventsFired = sc.EventsFired()
 	return res, nil

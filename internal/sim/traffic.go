@@ -162,8 +162,15 @@ func newCacheTier(cfg Config, sim *simcore.Simulator, eng *engine.Engine, res *R
 // consulting the domain's NS cache first; -1 when the whole cluster
 // is down.
 func (ct *cacheTier) resolve(domain int) int {
+	return ct.resolveVia(ct.caches[domain], domain)
+}
+
+// resolveVia resolves a session for domain through the given NS cache —
+// the domain's shared cache on the normal path, a flash crowd's fresh
+// resolver cache on the flash path.
+func (ct *cacheTier) resolveVia(cache *nameserver.Cache, domain int) int {
 	now := ct.sim.Now()
-	if server, ok := ct.caches[domain].Lookup(now); ok {
+	if server, ok := cache.Lookup(now); ok {
 		return server
 	}
 	d, err := ct.eng.Decide(domain)
@@ -180,7 +187,7 @@ func (ct *cacheTier) resolve(domain int) int {
 	// long this mapping can pin traffic to the chosen server. Decide
 	// already noted now+TTL in the engine's ledger; a clamped-up TTL
 	// lengthens the outstanding-mapping window past it.
-	if effective := ct.caches[domain].Store(now, d.Server, d.TTL); effective > d.TTL {
+	if effective := cache.Store(now, d.Server, d.TTL); effective > d.TTL {
 		ct.eng.NoteMapping(d.Server, now+effective)
 	}
 	sn := ct.state.Snapshot()
