@@ -2,14 +2,29 @@
 // when a benchmark regressed. CI runs the benchmarks on the PR head
 // and on the base commit, then gates the merge on this tool:
 //
-//	benchdiff -old base.txt -new head.txt -threshold 15 -filter 'Schedule|UDP'
+//	benchdiff -old base.txt -new head.txt -threshold 15 \
+//	    -alloc-threshold 0 -bytes-threshold 10 -filter 'Schedule|UDP'
+//
+// Three metrics gate independently, each with its own budget:
+//
+//   - ns/op  (-threshold, percent): wall-time regressions;
+//   - allocs/op (-alloc-threshold, percent): allocation-count
+//     regressions — allocation counts are deterministic, so the
+//     default budget is 0 (any growth fails);
+//   - B/op (-bytes-threshold, percent): allocated-bytes regressions.
 //
 // A benchmark run multiple times (-count N, -cpu a,b) contributes one
 // entry per distinct name (the -cpu suffix is part of the name); the
-// best (minimum) ns/op of the repeats is compared, which damps
-// scheduler noise without hiding real regressions. Benchmarks present
-// in only one input are reported but never fail the gate — new or
-// deleted benchmarks are not regressions.
+// best (minimum) value of the repeats is compared per metric, which
+// damps scheduler noise without hiding real regressions. A metric
+// growing from a zero baseline is always a failure (the relative
+// budget cannot express it). Memory metrics gate only when both sides
+// report them (-benchmem).
+//
+// A gated benchmark present in the baseline but missing from the head
+// run fails the gate: silently losing a benchmark is how perf
+// regressions sneak past CI. Pass -allow-missing when a benchmark was
+// intentionally removed or renamed. New benchmarks never fail.
 package main
 
 import (
@@ -17,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -36,10 +52,13 @@ var errRegression = fmt.Errorf("benchmark regression over threshold")
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		oldPath   = fs.String("old", "", "baseline `go test -bench` output (required)")
-		newPath   = fs.String("new", "", "candidate `go test -bench` output (required)")
-		filterStr = fs.String("filter", "", "regexp; only matching benchmarks gate the exit code (default: all)")
-		threshold = fs.Float64("threshold", 15, "max allowed ns/op regression percent")
+		oldPath      = fs.String("old", "", "baseline `go test -bench` output (required)")
+		newPath      = fs.String("new", "", "candidate `go test -bench` output (required)")
+		filterStr    = fs.String("filter", "", "regexp; only matching benchmarks gate the exit code (default: all)")
+		threshold    = fs.Float64("threshold", 15, "max allowed ns/op regression percent")
+		allocThr     = fs.Float64("alloc-threshold", 0, "max allowed allocs/op regression percent")
+		bytesThr     = fs.Float64("bytes-threshold", 10, "max allowed B/op regression percent")
+		allowMissing = fs.Bool("allow-missing", false, "do not fail when a gated baseline benchmark is missing from -new")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,36 +82,69 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rows, failed := diff(oldB, newB, filter, *threshold)
-	writeReport(out, rows, *threshold)
+	gates := thresholds{ns: *threshold, allocs: *allocThr, bytes: *bytesThr, allowMissing: *allowMissing}
+	rows, failed := diff(oldB, newB, filter, gates)
+	writeReport(out, rows, gates)
 	if failed {
 		return errRegression
 	}
 	return nil
 }
 
-type result struct {
-	name     string
-	oldNs    float64 // 0 = missing on that side
-	newNs    float64
-	deltaPct float64
-	gated    bool // matched the filter (or no filter) and present in both
-	failed   bool
+// bench is one benchmark's best (minimum) reading per metric across
+// repeats. hasMem records whether -benchmem columns were present.
+type bench struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	hasMem bool
 }
 
-// parse reads benchmark result lines, keeping the minimum ns/op per
-// benchmark name.
-func parse(r io.Reader) (map[string]float64, error) {
-	best := make(map[string]float64)
+type thresholds struct {
+	ns, allocs, bytes float64
+	allowMissing      bool
+}
+
+type result struct {
+	name     string
+	old, new *bench // nil = missing on that side
+	gated    bool   // matched the filter (or no filter)
+	fails    []string
+}
+
+// parse reads benchmark result lines, keeping the per-metric minimum
+// for each benchmark name.
+func parse(r io.Reader) (map[string]*bench, error) {
+	best := make(map[string]*bench)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	for sc.Scan() {
-		name, ns, ok := parseLine(sc.Text())
+		name, b, ok := parseLine(sc.Text())
 		if !ok {
 			continue
 		}
-		if prev, seen := best[name]; !seen || ns < prev {
-			best[name] = ns
+		prev, seen := best[name]
+		if !seen {
+			c := b
+			best[name] = &c
+			continue
+		}
+		if b.ns < prev.ns {
+			prev.ns = b.ns
+		}
+		if b.hasMem {
+			if !prev.hasMem {
+				prev.hasMem = true
+				prev.bytes = b.bytes
+				prev.allocs = b.allocs
+			} else {
+				if b.bytes < prev.bytes {
+					prev.bytes = b.bytes
+				}
+				if b.allocs < prev.allocs {
+					prev.allocs = b.allocs
+				}
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -104,27 +156,45 @@ func parse(r io.Reader) (map[string]float64, error) {
 	return best, nil
 }
 
-// parseLine extracts (name, ns/op) from one standard benchmark line:
+// parseLine extracts the metrics from one standard benchmark line:
 //
 //	BenchmarkFoo-8   123456   789.0 ns/op   0 B/op   0 allocs/op
-func parseLine(line string) (string, float64, bool) {
+func parseLine(line string) (string, bench, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return "", bench{}, false
 	}
+	var b bench
+	sawNs := false
+	sawBytes, sawAllocs := false, false
 	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] == "ns/op" {
-			ns, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil || ns <= 0 {
-				return "", 0, false
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil || v < 0 {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			if v <= 0 {
+				return "", bench{}, false
 			}
-			return fields[0], ns, true
+			b.ns = v
+			sawNs = true
+		case "B/op":
+			b.bytes = v
+			sawBytes = true
+		case "allocs/op":
+			b.allocs = v
+			sawAllocs = true
 		}
 	}
-	return "", 0, false
+	if !sawNs {
+		return "", bench{}, false
+	}
+	b.hasMem = sawBytes && sawAllocs
+	return fields[0], b, true
 }
 
-func parseFile(path string) (map[string]float64, error) {
+func parseFile(path string) (map[string]*bench, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -137,9 +207,21 @@ func parseFile(path string) (map[string]float64, error) {
 	return b, nil
 }
 
-// diff pairs benchmarks by name and flags gated entries whose ns/op
-// grew by more than threshold percent.
-func diff(oldB, newB map[string]float64, filter *regexp.Regexp, threshold float64) ([]result, bool) {
+// deltaPct is the regression percent of new over old; a growth from a
+// zero baseline reports +Inf (always over any relative budget).
+func deltaPct(old, new float64) float64 {
+	if old == 0 {
+		if new == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return 100 * (new - old) / old
+}
+
+// diff pairs benchmarks by name and flags gated entries whose metrics
+// grew past their budgets, or which vanished from the head run.
+func diff(oldB, newB map[string]*bench, filter *regexp.Regexp, t thresholds) ([]result, bool) {
 	names := make(map[string]bool, len(oldB)+len(newB))
 	for n := range oldB {
 		names[n] = true
@@ -150,36 +232,97 @@ func diff(oldB, newB map[string]float64, filter *regexp.Regexp, threshold float6
 	rows := make([]result, 0, len(names))
 	failed := false
 	for n := range names {
-		r := result{name: n, oldNs: oldB[n], newNs: newB[n]}
-		if r.oldNs > 0 && r.newNs > 0 {
-			r.deltaPct = 100 * (r.newNs - r.oldNs) / r.oldNs
-			r.gated = filter == nil || filter.MatchString(n)
-			r.failed = r.gated && r.deltaPct > threshold
-			failed = failed || r.failed
+		r := result{name: n, old: oldB[n], new: newB[n]}
+		r.gated = filter == nil || filter.MatchString(n)
+		switch {
+		case r.old == nil: // new benchmark: never a regression
+		case r.new == nil:
+			if r.gated && !t.allowMissing {
+				r.fails = append(r.fails, "missing")
+			}
+		default:
+			if r.gated {
+				if deltaPct(r.old.ns, r.new.ns) > t.ns {
+					r.fails = append(r.fails, "ns/op")
+				}
+				if r.old.hasMem && r.new.hasMem {
+					if deltaPct(r.old.allocs, r.new.allocs) > t.allocs {
+						r.fails = append(r.fails, "allocs/op")
+					}
+					if deltaPct(r.old.bytes, r.new.bytes) > t.bytes {
+						r.fails = append(r.fails, "B/op")
+					}
+				}
+			}
 		}
+		failed = failed || len(r.fails) > 0
 		rows = append(rows, r)
 	}
 	sort.Slice(rows, func(a, b int) bool { return rows[a].name < rows[b].name })
 	return rows, failed
 }
 
-func writeReport(w io.Writer, rows []result, threshold float64) {
-	fmt.Fprintf(w, "%-50s %12s %12s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+func writeReport(w io.Writer, rows []result, t thresholds) {
+	fmt.Fprintf(w, "%-50s %12s %12s %9s %11s %13s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs/op", "B/op")
 	for _, r := range rows {
 		switch {
-		case r.oldNs == 0:
-			fmt.Fprintf(w, "%-50s %12s %12.2f %9s\n", r.name, "-", r.newNs, "new")
-		case r.newNs == 0:
-			fmt.Fprintf(w, "%-50s %12.2f %12s %9s\n", r.name, r.oldNs, "-", "gone")
+		case r.old == nil:
+			fmt.Fprintf(w, "%-50s %12s %12.2f %9s %11s %13s\n",
+				r.name, "-", r.new.ns, "new", memCol(r.new, memAllocs), memCol(r.new, memBytes))
+		case r.new == nil:
+			mark := ""
+			if len(r.fails) > 0 {
+				mark = "  FAIL[missing]"
+			}
+			fmt.Fprintf(w, "%-50s %12.2f %12s %9s %11s %13s%s\n",
+				r.name, r.old.ns, "-", "gone", "", "", mark)
 		default:
 			mark := ""
-			if r.failed {
-				mark = "  FAIL"
+			if len(r.fails) > 0 {
+				mark = "  FAIL[" + strings.Join(r.fails, ",") + "]"
 			} else if !r.gated {
 				mark = "  (ungated)"
 			}
-			fmt.Fprintf(w, "%-50s %12.2f %12.2f %+8.2f%%%s\n", r.name, r.oldNs, r.newNs, r.deltaPct, mark)
+			fmt.Fprintf(w, "%-50s %12.2f %12.2f %+8.2f%% %11s %13s%s\n",
+				r.name, r.old.ns, r.new.ns, deltaPct(r.old.ns, r.new.ns),
+				memPair(r.old, r.new, memAllocs), memPair(r.old, r.new, memBytes), mark)
 		}
 	}
-	fmt.Fprintf(w, "gate: fail when a gated benchmark regresses more than %.1f%%\n", threshold)
+	fmt.Fprintf(w, "gate: ns/op > +%.1f%%, allocs/op > +%.1f%%, B/op > +%.1f%%"+
+		", or a gated baseline benchmark missing from -new", t.ns, t.allocs, t.bytes)
+	if t.allowMissing {
+		fmt.Fprint(w, " (missing allowed)")
+	}
+	fmt.Fprintln(w)
+}
+
+type memMetric int
+
+const (
+	memAllocs memMetric = iota
+	memBytes
+)
+
+func memVal(b *bench, m memMetric) float64 {
+	if m == memAllocs {
+		return b.allocs
+	}
+	return b.bytes
+}
+
+func memCol(b *bench, m memMetric) string {
+	if b == nil || !b.hasMem {
+		return ""
+	}
+	return strconv.FormatFloat(memVal(b, m), 'f', -1, 64)
+}
+
+// memPair renders "old→new" for a memory metric, or blank when either
+// side lacks -benchmem columns.
+func memPair(old, new *bench, m memMetric) string {
+	if old == nil || new == nil || !old.hasMem || !new.hasMem {
+		return ""
+	}
+	return memCol(old, m) + "→" + memCol(new, m)
 }

@@ -31,12 +31,29 @@ func writeTemp(t *testing.T, content string) string {
 
 func TestParseTakesMinimum(t *testing.T) {
 	b, err := parse(strings.NewReader(
-		"BenchmarkX \t 100 \t 50.0 ns/op\nBenchmarkX \t 100 \t 45.0 ns/op\nBenchmarkX \t 100 \t 60.0 ns/op\n"))
+		"BenchmarkX \t 100 \t 50.0 ns/op \t 120 B/op \t 4 allocs/op\n" +
+			"BenchmarkX \t 100 \t 45.0 ns/op \t 96 B/op \t 5 allocs/op\n" +
+			"BenchmarkX \t 100 \t 60.0 ns/op \t 128 B/op \t 6 allocs/op\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b["BenchmarkX"] != 45.0 {
-		t.Errorf("min ns/op = %v, want 45", b["BenchmarkX"])
+	x := b["BenchmarkX"]
+	if x == nil || x.ns != 45.0 || x.bytes != 96 || x.allocs != 4 || !x.hasMem {
+		t.Errorf("per-metric minimum = %+v, want ns=45 B=96 allocs=4", x)
+	}
+}
+
+func TestParseMixedMemLines(t *testing.T) {
+	// A -benchmem repeat after a plain repeat must still yield memory
+	// metrics (and vice versa).
+	b, err := parse(strings.NewReader(
+		"BenchmarkX \t 100 \t 50.0 ns/op\nBenchmarkX \t 100 \t 55.0 ns/op \t 96 B/op \t 5 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := b["BenchmarkX"]
+	if x == nil || x.ns != 50.0 || !x.hasMem || x.bytes != 96 || x.allocs != 5 {
+		t.Errorf("mixed repeats = %+v, want ns=50 with mem 96/5", x)
 	}
 }
 
@@ -47,9 +64,13 @@ func TestParseRejectsEmpty(t *testing.T) {
 }
 
 func TestParseLine(t *testing.T) {
-	name, ns, ok := parseLine("BenchmarkFoo-8   123456   789.25 ns/op   0 B/op   0 allocs/op")
-	if !ok || name != "BenchmarkFoo-8" || ns != 789.25 {
-		t.Errorf("parseLine = %q %v %v", name, ns, ok)
+	name, b, ok := parseLine("BenchmarkFoo-8   123456   789.25 ns/op   32 B/op   2 allocs/op")
+	if !ok || name != "BenchmarkFoo-8" || b.ns != 789.25 || b.bytes != 32 || b.allocs != 2 || !b.hasMem {
+		t.Errorf("parseLine = %q %+v %v", name, b, ok)
+	}
+	name, b, ok = parseLine("BenchmarkEncodeOnly 	 5000000 	 240.0 ns/op")
+	if !ok || name != "BenchmarkEncodeOnly" || b.ns != 240 || b.hasMem {
+		t.Errorf("parseLine without -benchmem = %q %+v %v", name, b, ok)
 	}
 	if _, _, ok := parseLine("ok  	dnslb	4.1s"); ok {
 		t.Error("non-benchmark line accepted")
@@ -80,8 +101,68 @@ func TestRegressionFails(t *testing.T) {
 	if !errors.Is(err, errRegression) {
 		t.Fatalf("err = %v, want regression", err)
 	}
-	if !strings.Contains(out.String(), "FAIL") {
-		t.Errorf("report lacks FAIL marker:\n%s", out.String())
+	if !strings.Contains(out.String(), "FAIL[ns/op]") {
+		t.Errorf("report lacks FAIL[ns/op] marker:\n%s", out.String())
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	// One extra allocation per op at identical ns/op: the default
+	// alloc budget is zero, so this alone must fail the gate.
+	leaky := strings.Replace(baseOutput, "25 allocs/op", "26 allocs/op", 2)
+	neu := writeTemp(t, leaky)
+	var out bytes.Buffer
+	err := run([]string{"-old", old, "-new", neu, "-filter", "Schedule|UDP"}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want regression\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL[allocs/op]") {
+		t.Errorf("report lacks FAIL[allocs/op] marker:\n%s", out.String())
+	}
+}
+
+func TestAllocGrowthFromZeroFails(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	// The zero-alloc scheduler benchmark gaining its first allocation:
+	// no relative threshold can express this, so it must always fail.
+	leaky := strings.Replace(baseOutput,
+		"35.85 ns/op	       0 B/op	       0 allocs/op",
+		"35.85 ns/op	      16 B/op	       1 allocs/op", 1)
+	neu := writeTemp(t, leaky)
+	var out bytes.Buffer
+	err := run([]string{"-old", old, "-new", neu, "-alloc-threshold", "50", "-bytes-threshold", "50", "-filter", "Schedule"}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want regression\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") || !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("report lacks alloc failure:\n%s", out.String())
+	}
+}
+
+func TestBytesRegressionFails(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	// +50% B/op at the same alloc count: over the 10% default budget.
+	fatter := strings.Replace(baseOutput, "720 B/op", "1080 B/op", 2)
+	neu := writeTemp(t, fatter)
+	var out bytes.Buffer
+	err := run([]string{"-old", old, "-new", neu, "-filter", "UDP"}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want regression\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL[B/op]") {
+		t.Errorf("report lacks FAIL[B/op] marker:\n%s", out.String())
+	}
+}
+
+func TestBytesWithinThresholdPasses(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	// +5% B/op: inside the 10% default budget.
+	fatter := strings.Replace(baseOutput, "720 B/op", "756 B/op", 2)
+	neu := writeTemp(t, fatter)
+	var out bytes.Buffer
+	if err := run([]string{"-old", old, "-new", neu, "-filter", "UDP"}, &out); err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out.String())
 	}
 }
 
@@ -99,15 +180,53 @@ func TestFilterExcludesUngated(t *testing.T) {
 	}
 }
 
-func TestNewAndGoneBenchmarksDoNotFail(t *testing.T) {
+func TestNewBenchmarksDoNotFail(t *testing.T) {
 	old := writeTemp(t, baseOutput)
-	neu := writeTemp(t, "BenchmarkBrandNew 	 100 	 1.0 ns/op\nBenchmarkServerUDPThroughput 	 100 	 6312 ns/op\n")
+	neu := writeTemp(t, baseOutput+"BenchmarkBrandNew 	 100 	 1.0 ns/op\n")
 	var out bytes.Buffer
 	if err := run([]string{"-old", old, "-new", neu}, &out); err != nil {
 		t.Fatalf("run failed: %v\n%s", err, out.String())
 	}
-	if !strings.Contains(out.String(), "new") || !strings.Contains(out.String(), "gone") {
-		t.Errorf("report lacks new/gone rows:\n%s", out.String())
+	if !strings.Contains(out.String(), "new") {
+		t.Errorf("report lacks new row:\n%s", out.String())
+	}
+}
+
+func TestMissingGatedBenchmarkFails(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	// The head run lost every benchmark but one: each gated baseline
+	// entry that vanished must fail, not be silently skipped.
+	neu := writeTemp(t, "BenchmarkServerUDPThroughput 	 100 	 6312 ns/op 	 720 B/op 	 25 allocs/op\n")
+	var out bytes.Buffer
+	err := run([]string{"-old", old, "-new", neu}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("err = %v, want regression for missing benchmarks\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL[missing]") {
+		t.Errorf("report lacks FAIL[missing] marker:\n%s", out.String())
+	}
+}
+
+func TestMissingUngatedBenchmarkPasses(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	// EncodeOnly vanished but is outside the filter: reported, not fatal.
+	trimmed := strings.Replace(baseOutput, "BenchmarkEncodeOnly                            	 5000000	       240.0 ns/op\n", "", 1)
+	neu := writeTemp(t, trimmed)
+	var out bytes.Buffer
+	if err := run([]string{"-old", old, "-new", neu, "-filter", "Schedule|UDP"}, &out); err != nil {
+		t.Fatalf("ungated missing benchmark failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "gone") {
+		t.Errorf("report lacks gone row:\n%s", out.String())
+	}
+}
+
+func TestAllowMissingSuppressesFailure(t *testing.T) {
+	old := writeTemp(t, baseOutput)
+	neu := writeTemp(t, "BenchmarkServerUDPThroughput 	 100 	 6312 ns/op 	 720 B/op 	 25 allocs/op\n")
+	var out bytes.Buffer
+	if err := run([]string{"-old", old, "-new", neu, "-allow-missing"}, &out); err != nil {
+		t.Fatalf("-allow-missing still failed: %v\n%s", err, out.String())
 	}
 }
 

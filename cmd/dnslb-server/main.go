@@ -97,6 +97,8 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		livenessK   = fs.Int("liveness-k", 3, "missed report intervals before a backend is marked down (0 = disable liveness)")
 		livenessIv  = fs.Duration("liveness-interval", 8*time.Second, "expected backend report interval")
 		udpWorkers  = fs.Int("udp-workers", 0, "parallel UDP serve goroutines (0 = GOMAXPROCS)")
+		udpBatch    = fs.Int("udp-batch", 0, "datagrams moved per recvmmsg/sendmmsg syscall over per-worker SO_REUSEPORT sockets; 0 = one-datagram portable loop (Linux amd64/arm64 only; other platforms fall back)")
+		answerCache = fs.Bool("answer-cache", false, "serve repeat A queries from packed response bytes, invalidated by the scheduler state version (zero-allocation hot path)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = disabled)")
 		configPath  = fs.String("config", "", "flag-per-line configuration file; SIGHUP re-reads it and applies server-set changes")
@@ -181,6 +183,8 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		Addr:           *addr,
 		Logger:         logger,
 		UDPWorkers:     *udpWorkers,
+		UDPBatch:       *udpBatch,
+		AnswerCache:    *answerCache,
 		EstimatorAlpha: *estAlpha,
 		Estimator:      *estKind,
 		Metrics:        registry,
@@ -211,7 +215,9 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 	}
 	defer srv.Close()
 	logger.Info("serving", "zone", *zone, "addr", srv.Addr().String(),
-		"policy", *policy, "servers", len(addrs))
+		"policy", *policy, "servers", len(addrs),
+		"udp_workers", srv.UDPWorkers(), "udp_batch", srv.UDPBatchActive(),
+		"answer_cache", *answerCache)
 
 	if *pprofAddr != "" {
 		// net/http/pprof registers its handlers on DefaultServeMux at

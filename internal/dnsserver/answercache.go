@@ -1,0 +1,130 @@
+package dnsserver
+
+import (
+	"net/netip"
+	"sync/atomic"
+)
+
+// Versioned hot-answer cache.
+//
+// The dominant query shape — an IN A question for the zone, no ECS —
+// always produces the same response bytes for a given (domain, chosen
+// server) pair while the scheduler state stands still: the answer's
+// address comes from the immutable address table and the TTL is a pure
+// function of (state version, domain, server) because the TTL
+// calibration is itself keyed on the snapshot version. The cache
+// exploits that: it stores the fully packed response (ID zeroed,
+// RD clear) and serves hits with a copy plus a two-byte ID patch and
+// one flag-bit OR — zero allocations, no message construction.
+//
+// Validity is enforced by equality, not by eager purging: an entry is
+// served only when its snapshot version, wire TTL, AND baked-in
+// answer address all match the decision just made and the current
+// address table. The version check makes every reconfiguration event
+// (JOIN, DRAIN, SIGHUP reload, capacity change, weight roll,
+// checkpoint restore — each bumps the state version) evict, and the
+// TTL/address equality makes the design airtight even against the
+// benign race where the state changes between the version read and
+// the policy's snapshot load: bytes can only leave the cache if they
+// are byte-identical to what a fresh pack would produce.
+//
+// The table is a fixed power-of-two array of atomic entry pointers
+// indexed by a (domain, server) hash; a colliding store simply
+// replaces the previous occupant (direct-mapped, lossy — correctness
+// never depends on residency). Entries are immutable once published.
+
+// answerCacheSlots bounds the cache: 4096 pointers (32 KiB of table)
+// covers domains × servers for any realistic deployment; collisions
+// degrade hit rate, never correctness.
+const answerCacheSlots = 4096
+
+// hotAnswer is one immutable cache entry: the full key and the packed
+// response with the ID zeroed and the RD flag clear.
+type hotAnswer struct {
+	domain  int
+	server  int
+	version uint64
+	ttl     uint32
+	addr    netip.Addr
+	wire    []byte
+}
+
+// answerCache is the table plus its observability counters.
+type answerCache struct {
+	entries [answerCacheSlots]atomic.Pointer[hotAnswer]
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+func newAnswerCache() *answerCache { return &answerCache{} }
+
+// slot hashes a (domain, server) pair to a table index.
+func cacheSlot(domain, server int) uint32 {
+	h := uint32(domain)*0x9E3779B1 ^ uint32(server)*0x85EBCA77
+	h ^= h >> 16
+	return h & (answerCacheSlots - 1)
+}
+
+// lookup returns the entry for the decision iff it is exactly valid:
+// same (domain, server), packed at the same snapshot version, carrying
+// the same wire TTL, and answering with the same address the current
+// table holds. A key-matching entry that fails the validity checks is
+// a stale survivor of a reconfiguration; it is counted as an
+// invalidation (and will be replaced by the following store).
+func (c *answerCache) lookup(domain, server int, version uint64, ttl uint32, addr netip.Addr) *hotAnswer {
+	e := c.entries[cacheSlot(domain, server)].Load()
+	if e == nil || e.domain != domain || e.server != server {
+		c.misses.Add(1)
+		return nil
+	}
+	if e.version != version || e.ttl != ttl || e.addr != addr {
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return e
+}
+
+// store publishes a freshly packed response. wire is the on-the-wire
+// response for the query that missed; the entry keeps a normalized
+// copy (ID zeroed, RD clear) so any later query can be served from it.
+func (c *answerCache) store(domain, server int, version uint64, ttl uint32, addr netip.Addr, wire []byte) {
+	norm := make([]byte, len(wire))
+	copy(norm, wire)
+	norm[0], norm[1] = 0, 0
+	norm[2] &^= 0x01 // RD is echoed per query; cache the RD-clear form
+	c.entries[cacheSlot(domain, server)].Store(&hotAnswer{
+		domain:  domain,
+		server:  server,
+		version: version,
+		ttl:     ttl,
+		addr:    addr,
+		wire:    norm,
+	})
+}
+
+// appendAnswer copies the cached response into dst and patches the
+// two per-query bytes: the message ID and the echoed RD flag.
+func (e *hotAnswer) appendAnswer(dst []byte, id uint16, rd bool) []byte {
+	base := len(dst)
+	dst = append(dst, e.wire...)
+	dst[base] = byte(id >> 8)
+	dst[base+1] = byte(id)
+	if rd {
+		dst[base+2] |= 0x01
+	}
+	return dst
+}
+
+// Hits returns how many queries were answered from the cache.
+func (c *answerCache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns how many cacheable queries had to pack a response.
+func (c *answerCache) Misses() uint64 { return c.misses.Load() }
+
+// Invalidations returns how many lookups found a key-matching entry
+// staled by a snapshot-version, TTL-calibration, or address change.
+func (c *answerCache) Invalidations() uint64 { return c.invalidations.Load() }

@@ -1,0 +1,472 @@
+package dnsserver
+
+import (
+	"bytes"
+	"math"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"dnslb/internal/core"
+	"dnslb/internal/dnswire"
+	"dnslb/internal/simcore"
+)
+
+// cacheServer builds (without starting — the tests drive handle
+// directly) a cache-enabled server over the standard 7-node test
+// cluster with every query mapped to domain 0.
+func cacheServer(t *testing.T, policyName string) (*Server, *core.State) {
+	t.Helper()
+	cluster, err := core.ScaledCluster(7, 50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := state.SetWeights(simcore.ZipfWeights(20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	policy, err := core.NewPolicy(core.PolicyConfig{
+		Name:  policyName,
+		State: state,
+		Rand:  simcore.NewStream(1, "cache"),
+		Now:   func() float64 { return time.Since(start).Seconds() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netip.Addr, 7)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+	}
+	srv, err := New(Config{
+		Zone:        "www.site.example",
+		ServerAddrs: addrs,
+		Policy:      policy,
+		Mapper:      func(netip.Addr) int { return 0 },
+		AnswerCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, state
+}
+
+// askA sends one IN A query for the zone through the handler and
+// returns the decoded response.
+func askA(t *testing.T, srv *Server, id uint16, rd bool) *dnswire.Message {
+	t.Helper()
+	q := &dnswire.Message{
+		Header:    dnswire.Header{ID: id, RecursionDesired: rd},
+		Questions: []dnswire.Question{{Name: "www.site.example.", Type: dnswire.TypeA, Class: dnswire.ClassIN}},
+	}
+	wire, err := q.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := srv.handle(wire, netip.MustParseAddr("127.0.0.1"), dnswire.MaxUDPPayload, nil)
+	if out == nil {
+		t.Fatal("query dropped")
+	}
+	resp, err := dnswire.Unpack(out)
+	if err != nil {
+		t.Fatalf("bad response: %v", err)
+	}
+	return resp
+}
+
+// answerServer extracts the chosen server index from the A answer.
+func answerServer(t *testing.T, resp *dnswire.Message) int {
+	t.Helper()
+	if resp.Header.RCode != dnswire.RCodeNoError || len(resp.Answers) != 1 {
+		t.Fatalf("unexpected response: rcode %v, %d answers", resp.Header.RCode, len(resp.Answers))
+	}
+	a, ok := resp.Answers[0].Data.(dnswire.A)
+	if !ok {
+		t.Fatalf("answer is %T, want A", resp.Answers[0].Data)
+	}
+	b := a.Addr.As4()
+	return int(b[3]) - 1
+}
+
+// freshTTL computes what a fresh TTL calibration returns right now for
+// (domain 0, server) — the value any served answer must carry.
+func freshTTL(t *testing.T, state *core.State, server int) uint32 {
+	t.Helper()
+	tp, err := core.NewTTLPolicy(core.TTLVariant{Classes: core.PerDomain, ServerAware: true}, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ttl := uint32(math.Round(tp.TTL(state.Snapshot(), 0, server)))
+	if ttl == 0 {
+		ttl = 1
+	}
+	return ttl
+}
+
+// TestAnswerCacheHitServesIdenticalBytes warms the cache and proves a
+// hit is byte-identical to the miss that filled it, up to the message
+// ID and the echoed RD flag.
+func TestAnswerCacheHitServesIdenticalBytes(t *testing.T) {
+	srv, _ := cacheServer(t, "RR")
+	// RR over 7 servers: queries 0..6 fill one entry per server,
+	// queries 7..13 revisit them in the same order as hits.
+	first := make([][]byte, 7)
+	for i := 0; i < 7; i++ {
+		resp := askA(t, srv, uint16(i), true)
+		wire, err := resp.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		first[answerServer(t, resp)] = wire
+	}
+	if st := srv.AnswerCache(); st.Hits != 0 || st.Misses != 7 {
+		t.Fatalf("after warmup: %+v, want 7 misses, 0 hits", st)
+	}
+	for i := 7; i < 14; i++ {
+		resp := askA(t, srv, uint16(i), true)
+		wire, err := resp.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := first[answerServer(t, resp)]
+		if prev == nil {
+			t.Fatalf("query %d hit server never seen in warmup", i)
+		}
+		// Neutralize the ID (bytes 0-1); RD was true both times.
+		pw := append([]byte(nil), prev...)
+		ww := append([]byte(nil), wire...)
+		pw[0], pw[1], ww[0], ww[1] = 0, 0, 0, 0
+		if !bytes.Equal(pw, ww) {
+			t.Fatalf("hit response differs from miss response beyond the ID:\n%x\n%x", prev, wire)
+		}
+	}
+	if st := srv.AnswerCache(); st.Hits != 7 {
+		t.Fatalf("after revisit: %+v, want 7 hits", st)
+	}
+	// RD must be echoed per query, not taken from the cached bytes.
+	resp := askA(t, srv, 99, false)
+	if resp.Header.RecursionDesired {
+		t.Error("RD=0 query got RD=1 response from the cache")
+	}
+	if resp.Header.ID != 99 {
+		t.Errorf("response ID %d, want 99", resp.Header.ID)
+	}
+}
+
+// warm fills the cache for every currently scheduled server and
+// returns per-server response TTLs observed.
+func warm(t *testing.T, srv *Server, n int) map[int]uint32 {
+	t.Helper()
+	seen := make(map[int]uint32)
+	for i := 0; i < n; i++ {
+		resp := askA(t, srv, uint16(i), true)
+		seen[answerServer(t, resp)] = resp.Answers[0].TTL
+	}
+	return seen
+}
+
+// TestAnswerCacheInvalidation proves every reconfiguration event that
+// changes the TTL calibration or membership evicts: after the event,
+// served TTLs equal a fresh calibration (never the cached ones) and
+// the invalidation counter advances.
+func TestAnswerCacheInvalidation(t *testing.T) {
+	t.Run("weights (estimator roll, TTL recalibration)", func(t *testing.T) {
+		srv, state := cacheServer(t, "DRR2-TTL/S_K")
+		warm(t, srv, 40)
+		inv := srv.AnswerCache().Invalidations
+		// Triple the hot domain's weight: domain 0's TTL shrinks.
+		w := make([]float64, 20)
+		copy(w, simcore.ZipfWeights(20, 1))
+		w[0] *= 3
+		if err := state.SetWeights(w); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			resp := askA(t, srv, uint16(100+i), true)
+			server := answerServer(t, resp)
+			if want := freshTTL(t, state, server); resp.Answers[0].TTL != want {
+				t.Fatalf("stale TTL after weight change: server %d got %d, want %d",
+					server, resp.Answers[0].TTL, want)
+			}
+		}
+		if got := srv.AnswerCache().Invalidations; got <= inv {
+			t.Errorf("invalidations did not advance across weight change: %d -> %d", inv, got)
+		}
+	})
+
+	t.Run("capacity (reconfigure/SIGHUP reload)", func(t *testing.T) {
+		srv, state := cacheServer(t, "DRR2-TTL/S_K")
+		warm(t, srv, 40)
+		inv := srv.AnswerCache().Invalidations
+		// Same membership, server 0 at half capacity — the reload path.
+		caps := make([]float64, 7)
+		for i := range caps {
+			caps[i] = state.Snapshot().Cluster().Capacity(i)
+		}
+		caps[0] /= 2
+		if err := srv.Reconfigure(srv.serverAddrs(), caps); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			resp := askA(t, srv, uint16(100+i), true)
+			server := answerServer(t, resp)
+			if want := freshTTL(t, state, server); resp.Answers[0].TTL != want {
+				t.Fatalf("stale TTL after capacity change: server %d got %d, want %d",
+					server, resp.Answers[0].TTL, want)
+			}
+		}
+		if got := srv.AnswerCache().Invalidations; got <= inv {
+			t.Errorf("invalidations did not advance across capacity change: %d -> %d", inv, got)
+		}
+	})
+
+	t.Run("join", func(t *testing.T) {
+		srv, state := cacheServer(t, "DRR2-TTL/S_K")
+		warm(t, srv, 40)
+		inv := srv.AnswerCache().Invalidations
+		if _, err := srv.Join(netip.MustParseAddr("10.0.0.8"), 400); err != nil {
+			t.Fatal(err)
+		}
+		servers := make(map[int]bool)
+		for i := 0; i < 80; i++ {
+			resp := askA(t, srv, uint16(100+i), true)
+			server := answerServer(t, resp)
+			servers[server] = true
+			if want := freshTTL(t, state, server); resp.Answers[0].TTL != want {
+				t.Fatalf("stale TTL after join: server %d got %d, want %d",
+					server, resp.Answers[0].TTL, want)
+			}
+		}
+		if !servers[7] {
+			t.Error("joined server 7 never scheduled after join")
+		}
+		if got := srv.AnswerCache().Invalidations; got <= inv {
+			t.Errorf("invalidations did not advance across join: %d -> %d", inv, got)
+		}
+	})
+
+	t.Run("drain", func(t *testing.T) {
+		srv, state := cacheServer(t, "DRR2-TTL/S_K")
+		warm(t, srv, 40)
+		inv := srv.AnswerCache().Invalidations
+		if _, err := srv.Drain(3); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			resp := askA(t, srv, uint16(100+i), true)
+			server := answerServer(t, resp)
+			if server == 3 {
+				t.Fatal("draining server 3 still scheduled")
+			}
+			if want := freshTTL(t, state, server); resp.Answers[0].TTL != want {
+				t.Fatalf("stale TTL after drain: server %d got %d, want %d",
+					server, resp.Answers[0].TTL, want)
+			}
+		}
+		if got := srv.AnswerCache().Invalidations; got <= inv {
+			t.Errorf("invalidations did not advance across drain: %d -> %d", inv, got)
+		}
+	})
+
+	t.Run("checkpoint restore", func(t *testing.T) {
+		srv, state := cacheServer(t, "DRR2-TTL/S_K")
+		warm(t, srv, 40)
+		cp := srv.Checkpoint() // weights W1
+		w := make([]float64, 20)
+		copy(w, simcore.ZipfWeights(20, 1))
+		w[0] *= 3
+		if err := state.SetWeights(w); err != nil { // now W2
+			t.Fatal(err)
+		}
+		warm(t, srv, 40) // cache holds W2-calibrated answers
+		inv := srv.AnswerCache().Invalidations
+		if err := srv.RestoreCheckpoint(cp, 0); err != nil { // back to W1
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			resp := askA(t, srv, uint16(200+i), true)
+			server := answerServer(t, resp)
+			if want := freshTTL(t, state, server); resp.Answers[0].TTL != want {
+				t.Fatalf("stale TTL after checkpoint restore: server %d got %d, want %d",
+					server, resp.Answers[0].TTL, want)
+			}
+		}
+		if got := srv.AnswerCache().Invalidations; got <= inv {
+			t.Errorf("invalidations did not advance across restore: %d -> %d", inv, got)
+		}
+	})
+}
+
+// TestAnswerCacheNoStaleUnderReloadLoad is the -race e2e: query
+// workers hammer the handler while weights flip between two known
+// settings. Every served TTL must match one of the two calibrations
+// for the answered server — a third value would be a stale mix — and
+// once the flipping stops, every answer must match the final
+// calibration exactly.
+func TestAnswerCacheNoStaleUnderReloadLoad(t *testing.T) {
+	srv, state := cacheServer(t, "DRR2-TTL/S_K")
+
+	w1 := simcore.ZipfWeights(20, 1)
+	w2 := make([]float64, 20)
+	copy(w2, w1)
+	w2[0] *= 3
+
+	tp, err := core.NewTTLPolicy(core.TTLVariant{Classes: core.PerDomain, ServerAware: true}, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two admissible TTLs per server, one per weight setting.
+	if err := state.SetWeights(w1); err != nil {
+		t.Fatal(err)
+	}
+	want1 := make([]uint32, 7)
+	for i := range want1 {
+		want1[i] = uint32(math.Round(tp.TTL(state.Snapshot(), 0, i)))
+	}
+	if err := state.SetWeights(w2); err != nil {
+		t.Fatal(err)
+	}
+	want2 := make([]uint32, 7)
+	for i := range want2 {
+		want2[i] = uint32(math.Round(tp.TTL(state.Snapshot(), 0, i)))
+	}
+
+	query := &dnswire.Message{
+		Header:    dnswire.Header{ID: 1, RecursionDesired: true},
+		Questions: []dnswire.Question{{Name: "www.site.example.", Type: dnswire.TypeA, Class: dnswire.ClassIN}},
+	}
+	wire, err := query.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := netip.MustParseAddr("127.0.0.1")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				out := srv.handle(wire, from, dnswire.MaxUDPPayload, nil)
+				resp, err := dnswire.Unpack(out)
+				if err != nil {
+					errs <- "unparseable response: " + err.Error()
+					return
+				}
+				a, ok := resp.Answers[0].Data.(dnswire.A)
+				if !ok {
+					errs <- "non-A answer under load"
+					return
+				}
+				b := a.Addr.As4()
+				server := int(b[3]) - 1
+				ttl := resp.Answers[0].TTL
+				if ttl != want1[server] && ttl != want2[server] {
+					errs <- "stale TTL mix under reload"
+					return
+				}
+			}
+		}()
+	}
+	// The reloader: flip the weights back and forth for a while.
+	for i := 0; i < 200; i++ {
+		w := w1
+		if i%2 == 0 {
+			w = w2
+		}
+		if err := state.SetWeights(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+
+	// Settle on w1 and verify exact freshness.
+	if err := state.SetWeights(w1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		resp := askA(t, srv, uint16(i), true)
+		server := answerServer(t, resp)
+		if resp.Answers[0].TTL != want1[server] {
+			t.Fatalf("stale TTL after reload settled: server %d got %d, want %d",
+				server, resp.Answers[0].TTL, want1[server])
+		}
+	}
+	if st := srv.AnswerCache(); st.Hits == 0 {
+		t.Error("cache never hit under load; test exercised nothing")
+	}
+}
+
+// TestAnswerCacheDisabled proves the cache-off path still answers and
+// reports zero counters.
+func TestAnswerCacheDisabled(t *testing.T) {
+	srv, state := testServerNoStart(t, "DRR2-TTL/S_K")
+	resp := askA(t, srv, 5, true)
+	server := answerServer(t, resp)
+	if want := freshTTL(t, state, server); resp.Answers[0].TTL != want {
+		t.Fatalf("TTL %d, want %d", resp.Answers[0].TTL, want)
+	}
+	if st := srv.AnswerCache(); st != (AnswerCacheStats{}) {
+		t.Errorf("disabled cache has non-zero stats: %+v", st)
+	}
+}
+
+// testServerNoStart is cacheServer without the cache.
+func testServerNoStart(t *testing.T, policyName string) (*Server, *core.State) {
+	t.Helper()
+	cluster, err := core.ScaledCluster(7, 50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := state.SetWeights(simcore.ZipfWeights(20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	policy, err := core.NewPolicy(core.PolicyConfig{
+		Name:  policyName,
+		State: state,
+		Rand:  simcore.NewStream(1, "cache-off"),
+		Now:   func() float64 { return time.Since(start).Seconds() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netip.Addr, 7)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+	}
+	srv, err := New(Config{
+		Zone:        "www.site.example",
+		ServerAddrs: addrs,
+		Policy:      policy,
+		Mapper:      func(netip.Addr) int { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, state
+}

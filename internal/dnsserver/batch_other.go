@@ -1,0 +1,24 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package dnsserver
+
+// Fallback for platforms without the recvmmsg/sendmmsg batch path (or
+// whose mmsghdr layout the Linux file's 64-bit structs don't match):
+// Config.UDPBatch is ignored and the server runs the portable
+// one-datagram-per-syscall workers over a single shared socket.
+
+import (
+	"errors"
+	"net"
+)
+
+const batchSupported = false
+
+func listenUDPBatchConns(uaddr *net.UDPAddr, workers int) ([]*net.UDPConn, error) {
+	return nil, errors.New("dnsserver: batched UDP I/O not supported on this platform")
+}
+
+func (s *Server) serveUDPBatch(worker int, conn *net.UDPConn) {
+	// Unreachable: Start never selects batch mode when !batchSupported.
+	s.wg.Done()
+}

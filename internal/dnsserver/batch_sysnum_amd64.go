@@ -1,0 +1,10 @@
+//go:build linux
+
+package dnsserver
+
+// Syscall numbers for the batch path. The frozen syscall package
+// predates sendmmsg on amd64, so both are spelled out here per arch.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

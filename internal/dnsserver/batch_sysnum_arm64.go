@@ -1,0 +1,9 @@
+//go:build linux
+
+package dnsserver
+
+// Syscall numbers for the batch path (arm64 uses the generic table).
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

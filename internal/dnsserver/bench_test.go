@@ -16,8 +16,9 @@ import (
 // benchServer starts a server for throughput benchmarks: 7 servers,
 // 20 domains, parallel UDP workers. Metrics are enabled — the numbers
 // this benchmark records are for the instrumented hot path, which is
-// what production runs.
-func benchServer(b *testing.B, policyName string) *Server {
+// what production runs. mod, when non-nil, adjusts the Config before
+// construction (cache and batch variants).
+func benchServer(b *testing.B, policyName string, mod func(*Config)) *Server {
 	b.Helper()
 	cluster, err := core.ScaledCluster(7, 50, 500)
 	if err != nil {
@@ -44,14 +45,19 @@ func benchServer(b *testing.B, policyName string) *Server {
 	for i := range addrs {
 		addrs[i] = netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
 	}
-	srv, err := New(Config{
+	cfg := Config{
 		Zone:        "www.site.example",
 		ServerAddrs: addrs,
 		Policy:      policy,
 		Addr:        "127.0.0.1:0",
 		UDPWorkers:  runtime.GOMAXPROCS(0),
 		Metrics:     metrics.NewRegistry(),
-	})
+		AnswerCache: true,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -69,8 +75,26 @@ func benchServer(b *testing.B, policyName string) *Server {
 // the component this benchmark tracks (the client sends a pre-packed
 // query into a reused buffer).
 func BenchmarkServerUDPThroughput(b *testing.B) {
-	srv := benchServer(b, "DRR2-TTL/S_K")
+	benchUDPRoundTrips(b, benchServer(b, "DRR2-TTL/S_K", nil))
+}
 
+// BenchmarkServerUDPThroughputNoCache is the same round trip with the
+// hot-answer cache disabled — the pre-cache serve path, kept as the
+// comparison point for the cache's effect.
+func BenchmarkServerUDPThroughputNoCache(b *testing.B) {
+	benchUDPRoundTrips(b, benchServer(b, "DRR2-TTL/S_K",
+		func(c *Config) { c.AnswerCache = false }))
+}
+
+// BenchmarkServerUDPThroughputBatch runs the round trip against the
+// batched SO_REUSEPORT serve loops (a no-op fallback to the default
+// loop on platforms without recvmmsg).
+func BenchmarkServerUDPThroughputBatch(b *testing.B) {
+	benchUDPRoundTrips(b, benchServer(b, "DRR2-TTL/S_K",
+		func(c *Config) { c.UDPBatch = 32 }))
+}
+
+func benchUDPRoundTrips(b *testing.B, srv *Server) {
 	query, err := (&dnswire.Message{
 		Header: dnswire.Header{ID: 7, RecursionDesired: true},
 		Questions: []dnswire.Question{
@@ -107,4 +131,60 @@ func BenchmarkServerUDPThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkHandleHotPath measures the server-side handler alone —
+// decode, schedule, cache lookup, response bytes — without sockets.
+// With the cache warm this is the zero-allocation path; the companion
+// TestHandleHotPathZeroAlloc pins the allocation count.
+func BenchmarkHandleHotPath(b *testing.B) {
+	srv := benchServer(b, "DRR2-TTL/S_K", func(c *Config) { c.Addr = "" })
+	query, err := (&dnswire.Message{
+		Header: dnswire.Header{ID: 7, RecursionDesired: true},
+		Questions: []dnswire.Question{
+			{Name: "www.site.example", Type: dnswire.TypeA, Class: dnswire.ClassIN},
+		},
+	}).Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	from := netip.MustParseAddr("127.0.0.1")
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := srv.handle(query, from, dnswire.MaxUDPPayload, buf[:0])
+		if out == nil {
+			b.Fatal("query dropped")
+		}
+	}
+}
+
+// TestHandleHotPathZeroAlloc pins the acceptance target: once the
+// cache is warm for every (domain, server) pair the scheduler rotates
+// through, the handler allocates nothing per query.
+func TestHandleHotPathZeroAlloc(t *testing.T) {
+	srv, _ := cacheServer(t, "DRR2-TTL/S_K")
+	query, err := (&dnswire.Message{
+		Header: dnswire.Header{ID: 7, RecursionDesired: true},
+		Questions: []dnswire.Question{
+			{Name: "www.site.example", Type: dnswire.TypeA, Class: dnswire.ClassIN},
+		},
+	}).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	from := netip.MustParseAddr("127.0.0.1")
+	buf := make([]byte, 0, 2048)
+	for i := 0; i < 64; i++ { // warm every rotation slot
+		srv.handle(query, from, dnswire.MaxUDPPayload, buf[:0])
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if out := srv.handle(query, from, dnswire.MaxUDPPayload, buf[:0]); out == nil {
+			t.Fatal("query dropped")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm hot path allocates %.1f times per query, want 0", allocs)
+	}
 }

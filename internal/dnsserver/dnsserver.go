@@ -72,9 +72,22 @@ type Config struct {
 	// address; excess queries are answered REFUSED.
 	RateLimit *RateLimiter
 	// UDPWorkers is the number of parallel UDP reader/responder
-	// goroutines sharing the socket. Zero or negative defaults to
-	// runtime.GOMAXPROCS(0).
+	// goroutines. Zero or negative defaults to runtime.GOMAXPROCS(0).
+	// In the default mode the workers share one socket; with UDPBatch
+	// enabled each worker owns its own SO_REUSEPORT socket.
 	UDPWorkers int
+	// UDPBatch enables batched UDP I/O: each worker binds its own
+	// SO_REUSEPORT socket and moves up to UDPBatch datagrams per
+	// recvmmsg/sendmmsg syscall. Zero or negative disables batching
+	// (the portable one-datagram-per-syscall loop). On platforms
+	// without recvmmsg support the setting is ignored.
+	UDPBatch int
+	// AnswerCache enables the versioned hot-answer cache: responses to
+	// the dominant query shape (IN A for the zone, no ECS) are packed
+	// once per (domain, server, state version) and served as byte
+	// copies until the next reconfiguration. See answercache.go for the
+	// correctness argument.
+	AnswerCache bool
 	// EstimatorAlpha is the EWMA weight the hidden-load estimator
 	// gives the newest collection interval, in (0,1]. Zero defaults to
 	// core.DefaultEstimatorAlpha — the same default the simulator's
@@ -118,12 +131,27 @@ type Server struct {
 	listenAddr string
 	limiter    *RateLimiter
 	udpWorkers int
+	udpBatch   int
+
+	// answers is the versioned hot-answer cache; nil when disabled
+	// (Config.AnswerCache), in which case every query takes the
+	// Message-building path.
+	answers *answerCache
+
+	// batchMode records whether the batched SO_REUSEPORT serve loops
+	// are actually running (platform support + Config.UDPBatch),
+	// surfaced in /metrics next to the worker count.
+	batchMode atomic.Bool
 
 	registry *metrics.Registry // nil when uninstrumented
 	metrics  *serverMetrics    // nil when uninstrumented
 
 	udp *net.UDPConn
-	tcp net.Listener
+	// udpConns is every bound UDP socket: [udp] in the default mode,
+	// one SO_REUSEPORT socket per worker in batch mode (udp aliases the
+	// first for Addr()).
+	udpConns []*net.UDPConn
+	tcp      net.Listener
 
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -272,11 +300,15 @@ func New(cfg Config) (*Server, error) {
 		listenAddr:  cfg.Addr,
 		limiter:     cfg.RateLimit,
 		udpWorkers:  workers,
+		udpBatch:    cfg.UDPBatch,
 		registry:    cfg.Metrics,
 		replNode:    replNode,
 		conns:       make(map[net.Conn]struct{}),
 		drainTimers: make(map[int]*time.Timer),
 		closed:      make(chan struct{}),
+	}
+	if cfg.AnswerCache {
+		s.answers = newAnswerCache()
 	}
 	addrs := append([]netip.Addr(nil), cfg.ServerAddrs...)
 	s.addrs.Store(&addrs)
@@ -334,6 +366,36 @@ func (s *Server) Stats() ServerStats {
 	}
 	return out
 }
+
+// AnswerCacheStats reports the hot-answer cache's counters; all zero
+// when the cache is disabled. Invalidations count lookups that found a
+// key-matching entry staled by a snapshot-version, TTL-calibration, or
+// address change (each is also a miss).
+type AnswerCacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// AnswerCache returns a snapshot of the hot-answer cache counters.
+func (s *Server) AnswerCache() AnswerCacheStats {
+	if s.answers == nil {
+		return AnswerCacheStats{}
+	}
+	return AnswerCacheStats{
+		Hits:          s.answers.Hits(),
+		Misses:        s.answers.Misses(),
+		Invalidations: s.answers.Invalidations(),
+	}
+}
+
+// UDPBatchActive reports whether the batched SO_REUSEPORT serve loops
+// are running (requires Config.UDPBatch > 0 and platform support;
+// valid after Start).
+func (s *Server) UDPBatchActive() bool { return s.batchMode.Load() }
+
+// UDPWorkers returns the number of UDP serve workers the server runs.
+func (s *Server) UDPWorkers() int { return s.udpWorkers }
 
 // Servers returns the number of server slots (including retired ones;
 // see the policy state's Member for slot standing).

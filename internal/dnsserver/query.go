@@ -14,6 +14,16 @@ import (
 // filtering, selection, TTL, mapping ledger) the simulator drives —
 // and this file only adds DNS semantics around it: message validation,
 // rate limiting, ECS classification, record assembly and truncation.
+//
+// Decoding uses the pooled zero-alloc decoder (dnswire.UnpackQuery);
+// the dominant query shape — IN A for the zone, standard opcode, no
+// ECS — is additionally served through the versioned hot-answer cache
+// (answercache.go), making the steady-state query entirely
+// allocation-free: pooled decode, cache hit, copy into the pooled
+// response buffer, two-byte ID patch. Every other shape (FORMERR,
+// REFUSED, NOTIMP, NXDOMAIN, ECS, ANY, TXT, negative answers) builds a
+// dnswire.Message as before; those paths are rare and their behavior
+// is byte-compatible with the pre-cache server.
 
 // safeHandle is handle behind a panic recovery: a bug in the query
 // path must not kill the serve worker. The panic is logged with its
@@ -40,8 +50,9 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) [
 	idx := s.statsIndex(from)
 	st := &s.stats[idx]
 	st.queries.Add(1)
-	query, err := dnswire.Unpack(wire)
-	if err != nil || len(query.Questions) == 0 {
+	q := dnswire.GetQuery()
+	defer dnswire.PutQuery(q)
+	if err := q.UnpackQuery(wire); err != nil || q.QDCount == 0 {
 		st.formerr.Add(1)
 		if len(wire) < 2 {
 			return nil // cannot even echo an ID
@@ -53,37 +64,124 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) [
 		}}
 		return mustPack(resp, dst)
 	}
-	if query.Header.Response {
+	if q.Header.Response {
 		return nil // never answer responses
 	}
 	if s.limiter != nil && !s.limiter.Allow(from) {
 		st.ratelimited.Add(1)
 		resp := &dnswire.Message{Header: dnswire.Header{
-			ID:       query.Header.ID,
+			ID:       q.Header.ID,
 			Response: true,
-			OpCode:   query.Header.OpCode,
+			OpCode:   q.Header.OpCode,
 			RCode:    dnswire.RCodeRefused,
 		}}
 		return mustPack(resp, dst)
 	}
+	// The wire-speed fast path. string(q.Name) in a comparison does not
+	// allocate; the name is already canonical (lower-case, trailing
+	// dot), so this is the same zone test the slow path performs.
+	if s.answers != nil && q.Header.OpCode == dnswire.OpQuery &&
+		q.Type == dnswire.TypeA && q.Class == dnswire.ClassIN &&
+		!q.HasECS && string(q.Name) == s.zone {
+		return s.handleHot(q, from, idx, st, maxSize, dst)
+	}
+	return s.handleCold(q, from, idx, st, maxSize, dst)
+}
+
+// handleHot answers the cacheable query shape — IN A for the zone,
+// standard opcode, no ECS — through the versioned hot-answer cache.
+// One Decide per query as always (the cache stores response bytes, not
+// decisions); a hit serves the pre-packed response with an ID/RD
+// patch, a miss packs once and publishes the bytes for the next query
+// that draws the same (domain, server) pair at the same state version.
+func (s *Server) handleHot(q *dnswire.Query, from netip.Addr, idx uint32, st *statsShard, maxSize int, dst []byte) []byte {
+	domain := s.mapper(from)
+	// The version is read before Decide; if a reconfiguration lands in
+	// between, the stored entry's TTL/address equality checks still
+	// guarantee any bytes served are identical to a fresh pack.
+	ver := s.eng.StateVersion()
+	d, err := s.eng.Decide(domain)
+	if err != nil {
+		st.servfail.Add(1)
+		resp := &dnswire.Message{
+			Header: dnswire.Header{
+				ID:               q.Header.ID,
+				Response:         true,
+				OpCode:           dnswire.OpQuery,
+				Authoritative:    true,
+				RecursionDesired: q.Header.RecursionDesired,
+				RCode:            dnswire.RCodeServFail,
+			},
+			Questions: []dnswire.Question{{Name: s.zone, Type: q.Type, Class: q.Class}},
+		}
+		return mustPack(resp, dst)
+	}
+	ttl := uint32(math.Round(d.TTL))
+	if ttl == 0 {
+		ttl = 1
+	}
+	if s.metrics != nil {
+		s.metrics.ttl.ObserveHint(idx, d.TTL)
+	}
+	addr := s.serverAddrs()[d.Server]
+	if e := s.answers.lookup(domain, d.Server, ver, ttl, addr); e != nil && len(e.wire) <= maxSize {
+		st.answered.Add(1)
+		return e.appendAnswer(dst, q.Header.ID, q.Header.RecursionDesired)
+	}
 	resp := &dnswire.Message{
 		Header: dnswire.Header{
-			ID:               query.Header.ID,
+			ID:               q.Header.ID,
 			Response:         true,
-			OpCode:           query.Header.OpCode,
+			OpCode:           dnswire.OpQuery,
 			Authoritative:    true,
-			RecursionDesired: query.Header.RecursionDesired,
+			RecursionDesired: q.Header.RecursionDesired,
 		},
-		Questions: query.Questions[:1],
+		Questions: []dnswire.Question{{Name: s.zone, Type: q.Type, Class: q.Class}},
+		Answers: []dnswire.ResourceRecord{{
+			Name:  s.zone,
+			Type:  dnswire.TypeA,
+			Class: dnswire.ClassIN,
+			TTL:   ttl,
+			Data:  dnswire.A{Addr: addr},
+		}},
 	}
-	if query.Header.OpCode != dnswire.OpQuery {
+	st.answered.Add(1)
+	out := mustPack(resp, dst)
+	if len(out) > maxSize {
+		// Unreachable for UDP (a single compressed A answer fits 512
+		// bytes), but kept for parity with the slow path.
+		resp.Answers = nil
+		resp.Header.Truncated = true
+		st.truncated.Add(1)
+		return mustPack(resp, out[:0])
+	}
+	if out != nil {
+		s.answers.store(domain, d.Server, ver, ttl, addr, out)
+	}
+	return out
+}
+
+// handleCold serves every non-cacheable shape by building a
+// dnswire.Message, exactly as the server did before the cache: NOTIMP,
+// NXDOMAIN, ECS-classified answers, ANY, TXT, negative answers, and
+// all A traffic when the cache is disabled.
+func (s *Server) handleCold(q *dnswire.Query, from netip.Addr, idx uint32, st *statsShard, maxSize int, dst []byte) []byte {
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               q.Header.ID,
+			Response:         true,
+			OpCode:           q.Header.OpCode,
+			Authoritative:    true,
+			RecursionDesired: q.Header.RecursionDesired,
+		},
+		Questions: []dnswire.Question{{Name: string(q.Name), Type: q.Type, Class: q.Class}},
+	}
+	if q.Header.OpCode != dnswire.OpQuery {
 		resp.Header.RCode = dnswire.RCodeNotImp
 		st.notimp.Add(1)
 		return mustPack(resp, dst)
 	}
-	q := query.Questions[0]
-	name := dnswire.CanonicalName(q.Name)
-	if name != s.zone {
+	if resp.Questions[0].Name != s.zone {
 		resp.Header.RCode = dnswire.RCodeNXDomain
 		resp.Authority = []dnswire.ResourceRecord{s.soa()}
 		st.nxdomain.Add(1)
@@ -94,9 +192,8 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) [
 	// of the resolver's own transport address, and echo the option with
 	// the scope we used.
 	clientAddr := from
-	ecs, hasECS := query.ClientSubnet()
-	if hasECS && ecs.Prefix.IsValid() {
-		clientAddr = ecs.Prefix.Addr()
+	if q.HasECS && q.ECS.Prefix.IsValid() {
+		clientAddr = q.ECS.Prefix.Addr()
 	}
 	switch q.Type {
 	case dnswire.TypeA, dnswire.TypeANY:
@@ -121,9 +218,9 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) [
 			TTL:   ttl,
 			Data:  dnswire.A{Addr: s.serverAddrs()[d.Server]},
 		}}
-		if hasECS {
-			echo := ecs
-			echo.ScopePrefixLen = uint8(ecs.Prefix.Bits())
+		if q.HasECS {
+			echo := q.ECS
+			echo.ScopePrefixLen = uint8(q.ECS.Prefix.Bits())
 			if err := resp.SetClientSubnet(echo, dnswire.MaxUDPPayload); err != nil {
 				s.logger.Debug("ECS echo failed", "err", err, "raddr", from)
 			}

@@ -32,24 +32,59 @@ func (s *Server) Start() error {
 	}
 	const pairAttempts = 16
 	for attempt := 0; ; attempt++ {
-		s.udp, err = net.ListenUDP("udp", uaddr)
-		if err != nil {
+		if err := s.bindUDP(uaddr); err != nil {
 			return fmt.Errorf("dnsserver: listen udp: %w", err)
 		}
 		s.tcp, err = net.Listen("tcp", s.udp.LocalAddr().String())
 		if err == nil {
 			break
 		}
-		_ = s.udp.Close()
+		for _, c := range s.udpConns {
+			_ = c.Close()
+		}
 		if uaddr.Port != 0 || attempt == pairAttempts-1 {
 			return fmt.Errorf("dnsserver: listen tcp: %w", err)
 		}
 	}
 	s.wg.Add(s.udpWorkers + 1)
-	for i := 0; i < s.udpWorkers; i++ {
-		go s.serveUDP(i)
+	if s.batchMode.Load() {
+		for i := 0; i < s.udpWorkers; i++ {
+			go s.serveUDPBatch(i, s.udpConns[i])
+		}
+	} else {
+		for i := 0; i < s.udpWorkers; i++ {
+			go s.serveUDP(i)
+		}
 	}
 	go s.serveTCP()
+	return nil
+}
+
+// bindUDP binds the UDP side: one SO_REUSEPORT socket per worker when
+// batching is configured and the platform supports it, otherwise one
+// shared socket for the portable loop. Config.UDPWorkers governs the
+// worker count identically in both modes. s.udp always aliases the
+// first socket (the bound address).
+func (s *Server) bindUDP(uaddr *net.UDPAddr) error {
+	if s.udpBatch > 0 && batchSupported {
+		conns, err := listenUDPBatchConns(uaddr, s.udpWorkers)
+		if err == nil {
+			s.udpConns = conns
+			s.udp = conns[0]
+			s.batchMode.Store(true)
+			return nil
+		}
+		// SO_REUSEPORT can be refused by hardened kernels or policy;
+		// serving on the portable path beats not serving.
+		s.logger.Warn("batched UDP unavailable; using the portable serve loop", "err", err)
+	}
+	conn, err := net.ListenUDP("udp", uaddr)
+	if err != nil {
+		return err
+	}
+	s.udp = conn
+	s.udpConns = []*net.UDPConn{conn}
+	s.batchMode.Store(false)
 	return nil
 }
 
@@ -77,8 +112,10 @@ func (s *Server) Close() error {
 	s.cancelDrainTimers()
 	s.StopReplication()
 	var first error
-	if s.udp != nil {
-		first = s.udp.Close()
+	for _, c := range s.udpConns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
 	if s.tcp != nil {
 		if err := s.tcp.Close(); err != nil && first == nil {
@@ -112,11 +149,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.closed)
 	s.cancelDrainTimers()
 	s.StopReplication()
-	// Unblock the UDP readers without closing the socket: a worker
-	// blocked in read observes the deadline error, sees closed, and
-	// exits; a worker mid-response can still write it.
-	if s.udp != nil {
-		_ = s.udp.SetReadDeadline(time.Now())
+	// Unblock the UDP readers without closing the sockets: a worker
+	// blocked in read (or in recvmmsg under the netpoller) observes the
+	// deadline error, sees closed, and exits; a worker mid-response can
+	// still write it.
+	for _, c := range s.udpConns {
+		_ = c.SetReadDeadline(time.Now())
 	}
 	var first error
 	if s.tcp != nil {
@@ -139,8 +177,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.connsMu.Unlock()
 	}
-	if s.udp != nil {
-		_ = s.udp.Close()
+	for _, c := range s.udpConns {
+		_ = c.Close()
 	}
 	<-done
 	return first

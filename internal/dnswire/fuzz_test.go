@@ -87,6 +87,80 @@ func FuzzUnpackName(f *testing.F) {
 	})
 }
 
+// FuzzUnpackPooled differentially tests the pooled zero-alloc query
+// decoder against the legacy decoder: both must accept exactly the
+// same messages, and on acceptance agree on the header, the first
+// question, and the extracted Client Subnet option — the fields the
+// server's hot path reads. Any divergence would change the server's
+// FORMERR behavior or answers depending on which decoder ran.
+func FuzzUnpackPooled(f *testing.F) {
+	seed := func(m *Message) {
+		wire, err := m.Pack()
+		if err == nil {
+			f.Add(wire)
+		}
+	}
+	seed(queryMessage(1, "www.site.example", TypeA))
+	// Compression pointers: a response whose answer and authority
+	// names all point back into the question.
+	seed(&Message{
+		Header:    Header{ID: 2, Response: true},
+		Questions: []Question{{Name: "a.b.c.example.", Type: TypeA, Class: ClassIN}},
+		Answers: []ResourceRecord{{
+			Name: "a.b.c.example.", Type: TypeA, Class: ClassIN, TTL: 300,
+			Data: A{Addr: netip.MustParseAddr("10.0.0.1")},
+		}},
+		Authority: []ResourceRecord{{
+			Name: "example.", Type: TypeSOA, Class: ClassIN, TTL: 60,
+			Data: SOA{MName: "ns.example.", RName: "root.example.", Serial: 1},
+		}},
+	})
+	// ECS options, IPv4 and IPv6.
+	ecs4 := queryMessage(3, "www.site.example", TypeA)
+	_ = ecs4.SetClientSubnet(ClientSubnet{Prefix: netip.MustParsePrefix("192.0.2.0/24")}, 1232)
+	seed(ecs4)
+	ecs6 := queryMessage(4, "www.site.example", TypeAAAA)
+	_ = ecs6.SetClientSubnet(ClientSubnet{Prefix: netip.MustParsePrefix("2001:db8::/48")}, 4096)
+	seed(ecs6)
+	// Raw hostile inputs: bare pointer, pointer chain, reserved label.
+	f.Add([]byte{0xC0, 0x00})
+	f.Add([]byte{0, 9, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 1, 'a', 0xC0, 12, 0, 1, 0, 1})
+	f.Add([]byte{0, 9, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0x80, 0, 0, 1, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, legacyErr := Unpack(data)
+		q := GetQuery()
+		defer PutQuery(q)
+		pooledErr := q.UnpackQuery(data)
+		if (legacyErr == nil) != (pooledErr == nil) {
+			t.Fatalf("accept/reject divergence: legacy err=%v, pooled err=%v", legacyErr, pooledErr)
+		}
+		if legacyErr != nil {
+			return
+		}
+		if q.Header != m.Header {
+			t.Fatalf("header divergence: legacy %+v, pooled %+v", m.Header, q.Header)
+		}
+		if q.QDCount != len(m.Questions) {
+			t.Fatalf("question count divergence: legacy %d, pooled %d", len(m.Questions), q.QDCount)
+		}
+		if len(m.Questions) > 0 {
+			lq := m.Questions[0]
+			if string(q.Name) != lq.Name || q.Type != lq.Type || q.Class != lq.Class {
+				t.Fatalf("first question divergence: legacy %+v, pooled {%q %v %v}",
+					lq, q.Name, q.Type, q.Class)
+			}
+		}
+		ecs, ok := m.ClientSubnet()
+		if q.HasECS != ok {
+			t.Fatalf("ECS presence divergence: legacy %v, pooled %v", ok, q.HasECS)
+		}
+		if ok && (q.ECS.Prefix != ecs.Prefix || q.ECS.ScopePrefixLen != ecs.ScopePrefixLen) {
+			t.Fatalf("ECS value divergence: legacy %+v, pooled %+v", ecs, q.ECS)
+		}
+	})
+}
+
 // FuzzParseClientSubnet targets the ECS option parser.
 func FuzzParseClientSubnet(f *testing.F) {
 	good, _ := (ClientSubnet{Prefix: netip.MustParsePrefix("192.0.2.0/24")}).Pack()
