@@ -96,6 +96,12 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		burst       = fs.Float64("burst", 10, "per-source burst allowance when -qps is set")
 		livenessK   = fs.Int("liveness-k", 3, "missed report intervals before a backend is marked down (0 = disable liveness)")
 		livenessIv  = fs.Duration("liveness-interval", 8*time.Second, "expected backend report interval")
+		probeSpec   = fs.String("probe", "", "active health probe spec: tcp[,interval=2s][,timeout=500ms][,fail=3][,rise=2][,jitter=0.2] or http=/path,... (empty = disabled)")
+		probeAddrs  = fs.String("probe-targets", "", "comma-separated probe endpoints, one per -servers entry in order; empty entries skip a slot (required with -probe)")
+		overQPS     = fs.Float64("overload-qps", 0, "aggregate query rate ceiling; above it the server degrades to static weighted answers (0 = disabled)")
+		overTTL     = fs.Float64("overload-ttl", 5, "TTL in seconds for degraded-mode answers")
+		overStale   = fs.Int("overload-stale-rolls", 0, "degrade when replication is down and the estimator missed this many roll intervals (0 = disabled)")
+		maxTCP      = fs.Int("max-tcp-conns", 0, "concurrent TCP connection cap; accepts pause at the cap (0 = default 512, negative = unlimited)")
 		udpWorkers  = fs.Int("udp-workers", 0, "parallel UDP serve goroutines (0 = GOMAXPROCS)")
 		udpBatch    = fs.Int("udp-batch", 0, "datagrams moved per recvmmsg/sendmmsg syscall over per-worker SO_REUSEPORT sockets; 0 = one-datagram portable loop (Linux amd64/arm64 only; other platforms fall back)")
 		answerCache = fs.Bool("answer-cache", false, "serve repeat A queries from packed response bytes, invalidated by the scheduler state version (zero-allocation hot path)")
@@ -192,6 +198,35 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 	if *qps > 0 {
 		cfg.RateLimit = dnslb.NewRateLimiter(*qps, *burst)
 	}
+	cfg.MaxTCPConns = *maxTCP
+	cfg.Overload = dnslb.OverloadConfig{
+		QPSCeiling:  *overQPS,
+		DegradedTTL: *overTTL,
+		StaleRolls:  *overStale,
+	}
+	// Parse the probe spec before building the server so a bad flag
+	// fails fast; probing itself starts once the server is up.
+	var probeCfg *dnslb.ProbeConfig
+	if *probeSpec != "" {
+		spec, err := dnslb.ParseProbeSpec(*probeSpec)
+		if err != nil {
+			return fmt.Errorf("-probe: %w", err)
+		}
+		if *probeAddrs == "" {
+			return fmt.Errorf("-probe requires -probe-targets")
+		}
+		targets := strings.Split(*probeAddrs, ",")
+		if len(targets) != len(addrs) {
+			return fmt.Errorf("-probe-targets has %d entries for %d servers", len(targets), len(addrs))
+		}
+		for i := range targets {
+			targets[i] = strings.TrimSpace(targets[i])
+		}
+		pc := spec.Config(targets)
+		probeCfg = &pc
+	} else if *probeAddrs != "" {
+		return fmt.Errorf("-probe-targets requires -probe")
+	}
 	srv, err := dnslb.NewDNSServer(cfg)
 	if err != nil {
 		return err
@@ -218,6 +253,17 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		"policy", *policy, "servers", len(addrs),
 		"udp_workers", srv.UDPWorkers(), "udp_batch", srv.UDPBatchActive(),
 		"answer_cache", *answerCache)
+
+	if probeCfg != nil {
+		if _, err := srv.StartProbing(*probeCfg); err != nil {
+			return err
+		}
+		logger.Info("active probing enabled", "spec", *probeSpec, "targets", *probeAddrs)
+	}
+	if cfg.Overload.Enabled() {
+		logger.Info("overload degradation enabled",
+			"qps_ceiling", *overQPS, "degraded_ttl", *overTTL, "stale_rolls", *overStale)
+	}
 
 	if *pprofAddr != "" {
 		// net/http/pprof registers its handlers on DefaultServeMux at

@@ -223,6 +223,30 @@ func TestRunValidation(t *testing.T) {
 		!strings.Contains(err.Error(), "-estimator") {
 		t.Errorf("unknown -estimator kind should fail validation, got %v", err)
 	}
+	// Probe flags come as a pair and the target list must match -servers.
+	if err := run([]string{"-servers", "10.0.0.1", "-probe", "tcp"}, stop, nil); err == nil ||
+		!strings.Contains(err.Error(), "-probe-targets") {
+		t.Errorf("-probe without -probe-targets should fail, got %v", err)
+	}
+	if err := run([]string{"-servers", "10.0.0.1", "-probe-targets", "127.0.0.1:80"}, stop, nil); err == nil ||
+		!strings.Contains(err.Error(), "-probe") {
+		t.Errorf("-probe-targets without -probe should fail, got %v", err)
+	}
+	if err := run([]string{"-servers", "10.0.0.1,10.0.0.2", "-probe", "tcp",
+		"-probe-targets", "127.0.0.1:80"}, stop, nil); err == nil ||
+		!strings.Contains(err.Error(), "2 servers") {
+		t.Errorf("probe target count mismatch should fail, got %v", err)
+	}
+	if err := run([]string{"-servers", "10.0.0.1", "-probe", "sonar",
+		"-probe-targets", "127.0.0.1:80"}, stop, nil); err == nil ||
+		!strings.Contains(err.Error(), "-probe") {
+		t.Errorf("unknown probe kind should fail, got %v", err)
+	}
+	// Overload knobs are validated by the server constructor.
+	if err := run([]string{"-servers", "10.0.0.1", "-overload-qps", "10",
+		"-overload-ttl", "-1"}, stop, nil); err == nil {
+		t.Error("negative -overload-ttl should fail validation")
+	}
 }
 
 // scrapeValue fetches a /metrics exposition and returns the named

@@ -55,6 +55,7 @@ func run(args []string, out io.Writer) error {
 		curve     = fs.Bool("curve", false, "print the cumulative-frequency curve")
 		jsonOut   = fs.Bool("json", false, "emit a JSON summary instead of text")
 		fail      = fs.String("fail", "", "comma-separated server outages, each server@start+duration (e.g. 0@900+600)")
+		detect    = fs.String("detect", "", "crash detector model for -fail events: probe:interval,failN,riseM or report:interval,k (e.g. probe:2,3,2; empty = instant knowledge)")
 		lossProb  = fs.Float64("reportloss", 0, "probability each estimator report is lost in transit [0,1]")
 		replicas  = fs.Int("replicas", 0, "run R replicated authoritative DNS servers gossiping soft state (0/1 = single DNS)")
 		replIv    = fs.Float64("repl-interval", 8, "inter-replica gossip interval in virtual seconds")
@@ -113,6 +114,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg.Faults = faults
+	detection, err := parseDetection(*detect)
+	if err != nil {
+		return err
+	}
+	cfg.Detection = detection
 	cfg.Replicas = *replicas
 	cfg.ReplicationInterval = *replIv
 	cfg.ReplicaLag = *replLag
@@ -164,6 +170,10 @@ func run(args []string, out io.Writer) error {
 		if r.LostReports > 0 {
 			fmt.Fprintf(out, "lost reports        %d\n", r.LostReports)
 		}
+		if cfg.Detection != nil {
+			fmt.Fprintf(out, "detection           %s: %d crash(es) detected, mean delay %.1fs down / %.1fs up\n",
+				cfg.Detection.Kind, r.DetectedCrashes, r.MeanDetectionDelay, r.MeanReviveDelay)
+		}
 	}
 	if cfg.Replicas > 1 {
 		fmt.Fprintf(out, "replica decisions  ")
@@ -205,6 +215,32 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// parseDetection parses the -detect syntax: probe:interval,failN,riseM
+// or report:interval,k. Empty means instant knowledge (no model).
+func parseDetection(spec string) (*dnslb.DetectionConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	kind, rest, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("bad -detect %q (want probe:interval,failN,riseM or report:interval,k)", spec)
+	}
+	d := &dnslb.DetectionConfig{Kind: kind}
+	switch kind {
+	case dnslb.DetectProbe:
+		if _, err := fmt.Sscanf(rest, "%f,%d,%d", &d.Interval, &d.FailN, &d.RiseM); err != nil {
+			return nil, fmt.Errorf("bad -detect %q (want probe:interval,failN,riseM): %v", spec, err)
+		}
+	case dnslb.DetectReport:
+		if _, err := fmt.Sscanf(rest, "%f,%d", &d.Interval, &d.K); err != nil {
+			return nil, fmt.Errorf("bad -detect %q (want report:interval,k): %v", spec, err)
+		}
+	default:
+		return nil, fmt.Errorf("bad -detect kind %q (want %s or %s)", kind, dnslb.DetectProbe, dnslb.DetectReport)
+	}
+	return d, nil
 }
 
 // parseFaults parses the -fail syntax: comma-separated outages of the

@@ -301,3 +301,42 @@ func TestRunReplicated(t *testing.T) {
 		t.Error("bad -partition should error")
 	}
 }
+
+func TestParseDetection(t *testing.T) {
+	if d, err := parseDetection(""); err != nil || d != nil {
+		t.Errorf("empty spec: %v, %v", d, err)
+	}
+	d, err := parseDetection("probe:2,3,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != "probe" || d.Interval != 2 || d.FailN != 3 || d.RiseM != 2 {
+		t.Errorf("probe spec parsed as %+v", d)
+	}
+	d, err = parseDetection("report:60,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != "report" || d.Interval != 60 || d.K != 3 {
+		t.Errorf("report spec parsed as %+v", d)
+	}
+	for _, bad := range []string{"probe", "sonar:1,2,3", "probe:x,y,z", "report:60"} {
+		if _, err := parseDetection(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestRunWithDetection(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-policy", "RR", "-duration", "900", "-warmup", "100",
+		"-fail", "0@300+400", "-detect", "report:60,3",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "detection           report") {
+		t.Errorf("output missing detection line:\n%s", buf.String())
+	}
+}

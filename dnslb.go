@@ -36,6 +36,7 @@ import (
 	"dnslb/internal/experiments"
 	"dnslb/internal/logging"
 	"dnslb/internal/metrics"
+	"dnslb/internal/probe"
 	"dnslb/internal/replication"
 	"dnslb/internal/sim"
 	"dnslb/internal/stats"
@@ -198,6 +199,16 @@ type (
 	// FlashEvent is one simulated flash crowd: extra clients joining a
 	// domain through fresh resolver caches (SimConfig.FlashCrowds).
 	FlashEvent = sim.FlashEvent
+	// DetectionConfig models how the simulated DNS learns about fault
+	// events — active probing or missed reports — instead of the
+	// instant-knowledge bound (SimConfig.Detection).
+	DetectionConfig = sim.DetectionConfig
+)
+
+// Crash-detector kinds for DetectionConfig.Kind.
+const (
+	DetectProbe  = sim.DetectProbe
+	DetectReport = sim.DetectReport
 )
 
 // Simulation entry points.
@@ -296,6 +307,22 @@ type (
 	ReplicationConfig = dnsserver.ReplicationConfig
 	// ReplicaPeerHealth is one replication peer link's health snapshot.
 	ReplicaPeerHealth = replication.PeerHealth
+	// ProbeConfig configures a DNSServer's active health prober (see
+	// DNSServer.StartProbing and DESIGN.md §16).
+	ProbeConfig = probe.Config
+	// ProbeTarget is one probed backend endpoint; an empty Addr skips
+	// the slot.
+	ProbeTarget = probe.Target
+	// ProbeSpec is the parsed -probe flag: detector kind, cadence and
+	// hysteresis thresholds.
+	ProbeSpec = probe.Spec
+	// Prober runs the probe loops (returned by DNSServer.StartProbing).
+	Prober = probe.Prober
+	// OverloadConfig configures the DNSServer's graceful-degradation
+	// admission layer (DNSServerConfig.Overload, DESIGN.md §16).
+	OverloadConfig = dnsserver.OverloadConfig
+	// DegradedStats is the degradation controller's counter snapshot.
+	DegradedStats = dnsserver.DegradedStats
 )
 
 // Observability types (see internal/metrics and internal/logging).
@@ -346,4 +373,7 @@ var (
 	// LoadCheckpoint reads a checkpoint file written by WriteCheckpoint
 	// or a Checkpointer.
 	LoadCheckpoint = dnsserver.LoadCheckpoint
+	// ParseProbeSpec parses the -probe flag syntax, e.g.
+	// "tcp,interval=2s,fail=3,rise=2" or "http=/healthz,interval=5s".
+	ParseProbeSpec = probe.ParseSpec
 )

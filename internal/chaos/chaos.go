@@ -1,0 +1,584 @@
+// Package chaos provides seeded, reusable network fault injection for
+// tests and soak harnesses. It generalizes the ad-hoc cuttable TCP
+// forwarders used by the replication end-to-end tests into two proxy
+// types — UDPProxy for datagram traffic (DNS queries) and TCPProxy for
+// stream traffic (report/replication sockets, probe targets) — that
+// apply a configurable Fault to everything flowing through them:
+// probabilistic drop, duplication, reordering, byte corruption, fixed
+// delay plus uniform jitter, and a hard link cut.
+//
+// Proxies are seeded so a failing soak run can be replayed with the
+// same fault decisions (modulo goroutine scheduling). Faults are
+// swapped atomically with SetFault, so a test can cut a link, heal it,
+// and ramp loss rates mid-run; Schedule/ParseSchedule give that a
+// declarative form.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault describes what a proxy does to traffic. The zero value is a
+// transparent proxy. Probabilities are per-datagram (UDP) or per-chunk
+// (TCP) and must lie in [0, 1].
+type Fault struct {
+	Drop    float64       // probability a datagram is silently dropped
+	Dup     float64       // probability a datagram is delivered twice
+	Reorder float64       // probability a datagram is held and released after its successor
+	Corrupt float64       // probability one random byte is flipped
+	Delay   time.Duration // fixed latency added to every delivery
+	Jitter  time.Duration // extra uniform latency in [0, Jitter)
+	Cut     bool          // sever the link: drop all datagrams, refuse/kill TCP conns
+}
+
+// IsZero reports whether the fault is fully transparent.
+func (f Fault) IsZero() bool {
+	return f == Fault{}
+}
+
+func (f Fault) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", f.Drop}, {"dup", f.Dup}, {"reorder", f.Reorder}, {"corrupt", f.Corrupt}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if f.Delay < 0 || f.Jitter < 0 {
+		return errors.New("chaos: negative delay/jitter")
+	}
+	return nil
+}
+
+// Stats counts what a proxy did to traffic. Retrieved atomically via
+// the proxy's Stats method.
+type Stats struct {
+	Forwarded uint64 // datagrams/chunks delivered (duplicates counted)
+	Dropped   uint64 // datagrams discarded by Drop or Cut
+	Dupped    uint64 // extra copies delivered by Dup
+	Reordered uint64 // datagrams delivered out of order
+	Corrupted uint64 // datagrams/chunks with a flipped byte
+	Refused   uint64 // TCP connections refused or killed by Cut
+}
+
+type counters struct {
+	forwarded atomic.Uint64
+	dropped   atomic.Uint64
+	dupped    atomic.Uint64
+	reordered atomic.Uint64
+	corrupted atomic.Uint64
+	refused   atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Forwarded: c.forwarded.Load(),
+		Dropped:   c.dropped.Load(),
+		Dupped:    c.dupped.Load(),
+		Reordered: c.reordered.Load(),
+		Corrupted: c.corrupted.Load(),
+		Refused:   c.refused.Load(),
+	}
+}
+
+// rng is a mutex-guarded seeded source shared by a proxy's goroutines.
+type rng struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newRNG(seed uint64) *rng {
+	return &rng{r: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))}
+}
+
+func (g *rng) float64() float64 {
+	g.mu.Lock()
+	v := g.r.Float64()
+	g.mu.Unlock()
+	return v
+}
+
+func (g *rng) intN(n int) int {
+	g.mu.Lock()
+	v := g.r.IntN(n)
+	g.mu.Unlock()
+	return v
+}
+
+// faultState holds the active fault behind an atomic pointer so the
+// datapath never takes a lock to read it.
+type faultState struct {
+	p atomic.Pointer[Fault]
+}
+
+func (s *faultState) store(f Fault) { s.p.Store(&f) }
+func (s *faultState) load() Fault   { return *s.p.Load() }
+
+// delayFor draws the total delivery delay for one datagram.
+func delayFor(f Fault, g *rng) time.Duration {
+	d := f.Delay
+	if f.Jitter > 0 {
+		d += time.Duration(g.float64() * float64(f.Jitter))
+	}
+	return d
+}
+
+// corruptInPlace flips one random byte of b.
+func corruptInPlace(b []byte, g *rng) {
+	if len(b) == 0 {
+		return
+	}
+	b[g.intN(len(b))] ^= 1 << uint(g.intN(8))
+}
+
+// ---------------------------------------------------------------------------
+// UDPProxy
+
+// UDPProxy forwards datagrams between clients and a single upstream
+// target, applying the active Fault in both directions. Each client
+// source address gets its own upstream socket so responses route back
+// to the right client.
+type UDPProxy struct {
+	ln     *net.UDPConn
+	target string
+	fault  faultState
+	rng    *rng
+	stats  counters
+
+	mu       sync.Mutex
+	sessions map[netip.AddrPort]*udpSession
+	held     map[bool][]heldPacket // per-direction reorder slots (toUpstream key)
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type heldPacket struct {
+	payload []byte
+	send    func([]byte)
+}
+
+type udpSession struct {
+	up     *net.UDPConn
+	client netip.AddrPort
+}
+
+// NewUDPProxy listens on listenAddr (use "127.0.0.1:0" in tests) and
+// forwards datagrams to target. The seed fixes the fault-decision
+// stream.
+func NewUDPProxy(listenAddr, target string, seed uint64) (*UDPProxy, error) {
+	laddr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen addr: %w", err)
+	}
+	ln, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &UDPProxy{
+		ln:       ln,
+		target:   target,
+		rng:      newRNG(seed),
+		sessions: make(map[netip.AddrPort]*udpSession),
+		held:     map[bool][]heldPacket{},
+		done:     make(chan struct{}),
+	}
+	p.fault.store(Fault{})
+	p.wg.Add(1)
+	go p.readClients()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address to hand to clients.
+func (p *UDPProxy) Addr() string { return p.ln.LocalAddr().String() }
+
+// SetFault atomically replaces the active fault. It returns an error
+// only for out-of-range probabilities.
+func (p *UDPProxy) SetFault(f Fault) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	p.fault.store(f)
+	return nil
+}
+
+// Fault returns the active fault.
+func (p *UDPProxy) Fault() Fault { return p.fault.load() }
+
+// Stats returns a snapshot of the proxy's traffic counters.
+func (p *UDPProxy) Stats() Stats { return p.stats.snapshot() }
+
+// Close stops the proxy and releases all sockets.
+func (p *UDPProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	sessions := p.sessions
+	p.sessions = map[netip.AddrPort]*udpSession{}
+	p.held = map[bool][]heldPacket{}
+	p.mu.Unlock()
+
+	p.ln.Close()
+	for _, s := range sessions {
+		s.up.Close()
+	}
+	p.wg.Wait()
+	return nil
+}
+
+func (p *UDPProxy) readClients() {
+	defer p.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, client, err := p.ln.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			if isTemporary(err) {
+				continue
+			}
+			return
+		}
+		sess, err := p.session(client)
+		if err != nil {
+			continue
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		p.deliver(pkt, true, func(b []byte) {
+			sess.up.Write(b) //nolint:errcheck // lossy by design
+		})
+	}
+}
+
+// session returns (creating on first use) the upstream socket for a
+// client, plus its upstream→client pump goroutine.
+func (p *UDPProxy) session(client netip.AddrPort) (*udpSession, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, net.ErrClosed
+	}
+	if s, ok := p.sessions[client]; ok {
+		return s, nil
+	}
+	raddr, err := net.ResolveUDPAddr("udp", p.target)
+	if err != nil {
+		return nil, err
+	}
+	up, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &udpSession{up: up, client: client}
+	p.sessions[client] = s
+	p.wg.Add(1)
+	go p.readUpstream(s)
+	return s, nil
+}
+
+func (p *UDPProxy) readUpstream(s *udpSession) {
+	defer p.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, err := s.up.Read(buf)
+		if err != nil {
+			return
+		}
+		pkt := append([]byte(nil), buf[:n]...)
+		p.deliver(pkt, false, func(b []byte) {
+			p.ln.WriteToUDPAddrPort(b, s.client) //nolint:errcheck // lossy by design
+		})
+	}
+}
+
+// deliver applies the active fault to one datagram and hands surviving
+// copies to send, possibly from a timer goroutine when delayed.
+func (p *UDPProxy) deliver(pkt []byte, toUpstream bool, send func([]byte)) {
+	f := p.fault.load()
+	if f.Cut || (f.Drop > 0 && p.rng.float64() < f.Drop) {
+		p.stats.dropped.Add(1)
+		return
+	}
+	if f.Corrupt > 0 && p.rng.float64() < f.Corrupt {
+		corruptInPlace(pkt, p.rng)
+		p.stats.corrupted.Add(1)
+	}
+
+	// Reordering: hold this datagram; it is released right after the
+	// next one in the same direction goes out (or by a safety timer if
+	// no successor arrives).
+	if f.Reorder > 0 && p.rng.float64() < f.Reorder {
+		p.hold(pkt, toUpstream, send)
+		return
+	}
+
+	p.send(pkt, f, send)
+	if f.Dup > 0 && p.rng.float64() < f.Dup {
+		p.stats.dupped.Add(1)
+		p.send(append([]byte(nil), pkt...), f, send)
+	}
+	p.releaseHeld(toUpstream)
+}
+
+func (p *UDPProxy) send(pkt []byte, f Fault, send func([]byte)) {
+	d := delayFor(f, p.rng)
+	p.stats.forwarded.Add(1)
+	if d <= 0 {
+		send(pkt)
+		return
+	}
+	time.AfterFunc(d, func() {
+		select {
+		case <-p.done:
+		default:
+			send(pkt)
+		}
+	})
+}
+
+func (p *UDPProxy) hold(pkt []byte, toUpstream bool, send func([]byte)) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.held[toUpstream] = append(p.held[toUpstream], heldPacket{payload: pkt, send: send})
+	p.mu.Unlock()
+	// Safety valve: a held datagram with no successor would be lost
+	// forever, which turns "reorder" into "drop" on quiet links.
+	time.AfterFunc(100*time.Millisecond, func() { p.releaseHeld(toUpstream) })
+}
+
+func (p *UDPProxy) releaseHeld(toUpstream bool) {
+	p.mu.Lock()
+	held := p.held[toUpstream]
+	p.held[toUpstream] = nil
+	p.mu.Unlock()
+	f := p.fault.load()
+	for _, h := range held {
+		p.stats.reordered.Add(1)
+		p.send(h.payload, f, h.send)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TCPProxy
+
+// TCPProxy forwards byte streams between clients and a single upstream
+// target. Cut kills existing connections and refuses new ones; Heal
+// (SetFault with Cut=false) restores service for new connections.
+// Delay/Jitter throttle each copied chunk; Corrupt flips a byte per
+// chunk with the given probability. Drop/Dup/Reorder do not apply to
+// streams and are ignored.
+type TCPProxy struct {
+	ln     net.Listener
+	target string
+	fault  faultState
+	rng    *rng
+	stats  counters
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewTCPProxy listens on listenAddr and forwards connections to target.
+func NewTCPProxy(listenAddr, target string, seed uint64) (*TCPProxy, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &TCPProxy{
+		ln:     ln,
+		target: target,
+		rng:    newRNG(seed),
+		conns:  make(map[net.Conn]struct{}),
+		done:   make(chan struct{}),
+	}
+	p.fault.store(Fault{})
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *TCPProxy) Addr() string { return p.ln.Addr().String() }
+
+// SetFault atomically replaces the active fault. Setting Cut also
+// severs all established connections.
+func (p *TCPProxy) SetFault(f Fault) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	p.fault.store(f)
+	if f.Cut {
+		p.killConns()
+	}
+	return nil
+}
+
+// Fault returns the active fault.
+func (p *TCPProxy) Fault() Fault { return p.fault.load() }
+
+// Cut severs the link, preserving the other fault fields.
+func (p *TCPProxy) Cut() {
+	f := p.fault.load()
+	f.Cut = true
+	p.SetFault(f) //nolint:errcheck // fields already validated
+}
+
+// Heal restores the link, preserving the other fault fields.
+func (p *TCPProxy) Heal() {
+	f := p.fault.load()
+	f.Cut = false
+	p.SetFault(f) //nolint:errcheck // fields already validated
+}
+
+// Stats returns a snapshot of the proxy's traffic counters.
+func (p *TCPProxy) Stats() Stats { return p.stats.snapshot() }
+
+// Close stops the proxy and severs all connections.
+func (p *TCPProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.done)
+	p.mu.Unlock()
+	p.ln.Close()
+	p.killConns()
+	p.wg.Wait()
+	return nil
+}
+
+func (p *TCPProxy) killConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+		p.stats.refused.Add(1)
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+func (p *TCPProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *TCPProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *TCPProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			if isTemporary(err) {
+				continue
+			}
+			return
+		}
+		if p.fault.load().Cut {
+			p.stats.refused.Add(1)
+			client.Close()
+			continue
+		}
+		up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			p.stats.refused.Add(1)
+			client.Close()
+			continue
+		}
+		if !p.track(client) || !p.track(up) {
+			client.Close()
+			up.Close()
+			return
+		}
+		p.wg.Add(2)
+		go p.pipe(client, up)
+		go p.pipe(up, client)
+	}
+}
+
+func (p *TCPProxy) pipe(dst, src net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		dst.Close()
+		src.Close()
+		p.untrack(dst)
+		p.untrack(src)
+	}()
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			f := p.fault.load()
+			if f.Cut {
+				return
+			}
+			chunk := buf[:n]
+			if f.Corrupt > 0 && p.rng.float64() < f.Corrupt {
+				corruptInPlace(chunk, p.rng)
+				p.stats.corrupted.Add(1)
+			}
+			if d := delayFor(f, p.rng); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-p.done:
+					return
+				}
+			}
+			if _, err := dst.Write(chunk); err != nil {
+				return
+			}
+			p.stats.forwarded.Add(1)
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			return
+		}
+	}
+}
+
+func isTemporary(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

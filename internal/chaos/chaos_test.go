@@ -1,0 +1,457 @@
+package chaos
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoUDP starts a UDP echo server and returns its address.
+func echoUDP(t *testing.T) string {
+	t.Helper()
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		buf := make([]byte, 65535)
+		for {
+			n, addr, err := conn.ReadFromUDPAddrPort(buf)
+			if err != nil {
+				return
+			}
+			conn.WriteToUDPAddrPort(buf[:n], addr)
+		}
+	}()
+	return conn.LocalAddr().String()
+}
+
+// echoTCP starts a TCP echo server and returns its address.
+func echoTCP(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, werr := c.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func udpExchange(t *testing.T, conn *net.UDPConn, payload []byte, timeout time.Duration) ([]byte, error) {
+	t.Helper()
+	if _, err := conn.Write(payload); err != nil {
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+func dialUDP(t *testing.T, addr string) *net.UDPConn {
+	t.Helper()
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestUDPProxyTransparent(t *testing.T) {
+	echo := echoUDP(t)
+	p, err := NewUDPProxy("127.0.0.1:0", echo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	conn := dialUDP(t, p.Addr())
+	msg := []byte("hello through the proxy")
+	got, err := udpExchange(t, conn, msg, 2*time.Second)
+	if err != nil {
+		t.Fatalf("echo through transparent proxy: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %q, want %q", got, msg)
+	}
+	if s := p.Stats(); s.Forwarded < 2 {
+		t.Fatalf("expected >=2 forwarded datagrams, got %+v", s)
+	}
+}
+
+func TestUDPProxyCutDropsEverything(t *testing.T) {
+	echo := echoUDP(t)
+	p, err := NewUDPProxy("127.0.0.1:0", echo, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.SetFault(Fault{Cut: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn := dialUDP(t, p.Addr())
+	if _, err := udpExchange(t, conn, []byte("into the void"), 150*time.Millisecond); err == nil {
+		t.Fatal("expected timeout through cut link")
+	}
+	if s := p.Stats(); s.Dropped == 0 {
+		t.Fatalf("cut link should count drops, got %+v", s)
+	}
+
+	// Heal and verify traffic resumes.
+	if err := p.SetFault(Fault{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := udpExchange(t, conn, []byte("back again"), 2*time.Second); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+func TestUDPProxyDropRate(t *testing.T) {
+	echo := echoUDP(t)
+	p, err := NewUDPProxy("127.0.0.1:0", echo, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Drop everything client->upstream; responses unaffected (none arrive).
+	if err := p.SetFault(Fault{Drop: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	conn := dialUDP(t, p.Addr())
+	for i := 0; i < 5; i++ {
+		conn.Write([]byte("x"))
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if p.Stats().Dropped >= 5 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if s := p.Stats(); s.Dropped < 5 || s.Forwarded != 0 {
+		t.Fatalf("drop=1.0 should drop all 5, got %+v", s)
+	}
+}
+
+func TestUDPProxyDelayAndDuplication(t *testing.T) {
+	echo := echoUDP(t)
+	p, err := NewUDPProxy("127.0.0.1:0", echo, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.SetFault(Fault{Delay: 30 * time.Millisecond, Dup: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn := dialUDP(t, p.Addr())
+	start := time.Now()
+	if _, err := udpExchange(t, conn, []byte("slow"), 2*time.Second); err != nil {
+		t.Fatalf("delayed echo: %v", err)
+	}
+	// Two proxy traversals, each >=30ms.
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("round trip %v, want >= 60ms of injected delay", el)
+	}
+	// dup=1.0 duplicates in both directions; at least one duplicate seen.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) && p.Stats().Dupped == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s := p.Stats(); s.Dupped == 0 {
+		t.Fatalf("dup=1.0 produced no duplicates: %+v", s)
+	}
+}
+
+func TestUDPProxyCorruption(t *testing.T) {
+	echo := echoUDP(t)
+	p, err := NewUDPProxy("127.0.0.1:0", echo, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.SetFault(Fault{Corrupt: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	conn := dialUDP(t, p.Addr())
+	msg := []byte("pristine payload")
+	got, err := udpExchange(t, conn, msg, 2*time.Second)
+	if err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("corrupt=1.0 returned the payload unmodified")
+	}
+	if p.Stats().Corrupted == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func TestUDPProxyReorderReleasesHeld(t *testing.T) {
+	echo := echoUDP(t)
+	p, err := NewUDPProxy("127.0.0.1:0", echo, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// Hold every datagram; the 100ms safety valve must still deliver it,
+	// so reorder never silently becomes drop.
+	if err := p.SetFault(Fault{Reorder: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	conn := dialUDP(t, p.Addr())
+	if _, err := udpExchange(t, conn, []byte("held"), 2*time.Second); err != nil {
+		t.Fatalf("held datagram never released: %v", err)
+	}
+	if p.Stats().Reordered == 0 {
+		t.Fatal("reorder not counted")
+	}
+}
+
+func TestTCPProxyCutAndHeal(t *testing.T) {
+	echo := echoTCP(t)
+	p, err := NewTCPProxy("127.0.0.1:0", echo, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := c.Read(buf); err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("echo through proxy: n=%d err=%v", n, err)
+	}
+
+	p.Cut()
+	// The established connection dies...
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read on cut connection succeeded")
+	}
+	// ...and new connections are refused or immediately closed.
+	if c2, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second); err == nil {
+		c2.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		if _, err := c2.Read(buf); err == nil {
+			t.Fatal("cut proxy served a new connection")
+		}
+		c2.Close()
+	}
+
+	p.Heal()
+	c3, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	defer c3.Close()
+	if _, err := c3.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	c3.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if n, err := c3.Read(buf); err != nil || string(buf[:n]) != "pong" {
+		t.Fatalf("echo after heal: n=%d err=%v", n, err)
+	}
+	if p.Stats().Refused == 0 {
+		t.Fatal("cut produced no refused count")
+	}
+}
+
+func TestTCPProxyCorruptsStream(t *testing.T) {
+	echo := echoTCP(t)
+	p, err := NewTCPProxy("127.0.0.1:0", echo, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.SetFault(Fault{Corrupt: 1.0}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("immaculate bytes")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf[:n], msg[:n]) {
+		t.Fatal("corrupt=1.0 left the stream intact")
+	}
+}
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	in := "@0s drop=0.1 delay=5ms jitter=2ms; @10s cut; @15s heal"
+	sched, err := ParseSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 3 {
+		t.Fatalf("got %d events, want 3", len(sched))
+	}
+	if sched[0].Fault.Drop != 0.1 || sched[0].Fault.Delay != 5*time.Millisecond || sched[0].Fault.Jitter != 2*time.Millisecond {
+		t.Fatalf("event 0 parsed wrong: %+v", sched[0])
+	}
+	if !sched[1].Fault.Cut || sched[1].At != 10*time.Second {
+		t.Fatalf("event 1 parsed wrong: %+v", sched[1])
+	}
+	if !sched[2].Fault.IsZero() {
+		t.Fatalf("heal should be zero fault: %+v", sched[2])
+	}
+	// Round-trip: rendering and reparsing yields the same schedule.
+	again, err := ParseSchedule(sched.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", sched.String(), err)
+	}
+	if len(again) != len(sched) {
+		t.Fatalf("round trip changed length: %d vs %d", len(again), len(sched))
+	}
+	for i := range sched {
+		if again[i] != sched[i] {
+			t.Fatalf("round trip changed event %d: %+v vs %+v", i, again[i], sched[i])
+		}
+	}
+}
+
+func TestParseScheduleSortsAndRejects(t *testing.T) {
+	sched, err := ParseSchedule("@10s cut; @0s drop=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched[0].At != 0 || sched[1].At != 10*time.Second {
+		t.Fatalf("schedule not sorted: %+v", sched)
+	}
+	for _, bad := range []string{
+		"",
+		"cut",                  // missing @time
+		"@5s",                  // no terms
+		"@-1s cut",             // negative time
+		"@0s drop=1.5",         // out of range
+		"@0s drop=nope",        // not a number
+		"@0s delay=fast",       // not a duration
+		"@0s explode",          // unknown term
+		"@0s frob=1",           // unknown key
+		"@bogus cut",           // bad duration
+		"@0s corrupt=-0.1",     // negative probability
+		"; ;",                  // only separators
+		"@0s drop=0.1 dup=2.0", // second term out of range
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestScheduleApply(t *testing.T) {
+	echo := echoUDP(t)
+	p, err := NewUDPProxy("127.0.0.1:0", echo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sched, err := ParseSchedule("@0s cut; @60ms heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	done := sched.Apply(p, stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("schedule did not finish")
+	}
+	if f := p.Fault(); !f.IsZero() {
+		t.Fatalf("after heal, fault = %+v, want zero", f)
+	}
+}
+
+func TestScheduleApplyStop(t *testing.T) {
+	echo := echoUDP(t)
+	p, err := NewUDPProxy("127.0.0.1:0", echo, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	sched, err := ParseSchedule("@0s cut; @10m heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := sched.Apply(p, stop)
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("stopped schedule did not unwind")
+	}
+	if f := p.Fault(); !f.Cut {
+		t.Fatalf("stop should leave the cut in place, fault = %+v", f)
+	}
+}
+
+func TestFaultValidate(t *testing.T) {
+	if err := (Fault{Drop: 0.5, Delay: time.Millisecond}).validate(); err != nil {
+		t.Fatalf("valid fault rejected: %v", err)
+	}
+	for _, f := range []Fault{
+		{Drop: -0.1}, {Dup: 1.01}, {Reorder: 2}, {Corrupt: -1},
+		{Delay: -time.Second}, {Jitter: -time.Second},
+	} {
+		if err := f.validate(); err == nil {
+			t.Errorf("invalid fault %+v accepted", f)
+		}
+	}
+	if !strings.Contains((Schedule{{At: time.Second, Fault: Fault{Cut: true}}}).String(), "cut") {
+		t.Fatal("String omitted cut")
+	}
+}

@@ -1,0 +1,56 @@
+package chaos
+
+import "testing"
+
+// FuzzParseSchedule asserts the schedule parser never panics and that
+// every accepted schedule survives a String() round trip: rendering a
+// parsed schedule and reparsing it must yield the same events.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"@0s drop=0.1 delay=5ms jitter=2ms; @10s cut; @15s heal",
+		"@1s cut",
+		"@0s heal",
+		"@500ms dup=0.5 reorder=0.25 corrupt=0.01",
+		"@2m drop=1",
+		"@0s cut drop=0.9; @1h heal",
+		"@3s delay=1s",
+		"",
+		"@-1s cut",
+		"@0s drop=2",
+		"@0s frobnicate",
+		"; ; ;",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := ParseSchedule(s)
+		if err != nil {
+			return
+		}
+		if len(sched) == 0 {
+			t.Fatalf("ParseSchedule(%q) returned empty schedule without error", s)
+		}
+		for i := 1; i < len(sched); i++ {
+			if sched[i].At < sched[i-1].At {
+				t.Fatalf("ParseSchedule(%q) not sorted: %v before %v", s, sched[i-1].At, sched[i].At)
+			}
+		}
+		for _, ev := range sched {
+			if err := ev.Fault.validate(); err != nil {
+				t.Fatalf("ParseSchedule(%q) accepted invalid fault: %v", s, err)
+			}
+		}
+		again, err := ParseSchedule(sched.String())
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q failed: %v", s, sched.String(), err)
+		}
+		if len(again) != len(sched) {
+			t.Fatalf("round trip of %q changed event count %d -> %d", s, len(sched), len(again))
+		}
+		for i := range sched {
+			if again[i] != sched[i] {
+				t.Fatalf("round trip of %q changed event %d: %+v -> %+v", s, i, sched[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Event is one step of a fault schedule: at offset At from the start
+// of the run, the proxy's fault becomes Fault (absolute replacement,
+// not a delta).
+type Event struct {
+	At    time.Duration
+	Fault Fault
+}
+
+// Schedule is a time-ordered fault script for one proxy.
+type Schedule []Event
+
+// ParseSchedule parses a compact fault script of the form
+//
+//	@0s drop=0.1 delay=5ms jitter=2ms; @10s cut; @15s heal
+//
+// Events are separated by semicolons. Each event starts with
+// "@<duration>" followed by one or more terms:
+//
+//	cut            sever the link
+//	heal           fully transparent (explicit no-fault marker)
+//	drop=<p>       drop probability in [0,1]
+//	dup=<p>        duplication probability
+//	reorder=<p>    reorder probability
+//	corrupt=<p>    byte-corruption probability
+//	delay=<dur>    fixed added latency (Go duration syntax)
+//	jitter=<dur>   extra uniform latency
+//
+// Each event's fault starts from zero, so terms state the full fault
+// active from that point on. The returned schedule is sorted by time.
+func ParseSchedule(s string) (Schedule, error) {
+	var sched Schedule
+	for _, raw := range strings.Split(s, ";") {
+		ev := strings.TrimSpace(raw)
+		if ev == "" {
+			continue
+		}
+		fields := strings.Fields(ev)
+		if !strings.HasPrefix(fields[0], "@") {
+			return nil, fmt.Errorf("chaos: event %q must start with @<duration>", ev)
+		}
+		at, err := time.ParseDuration(strings.TrimPrefix(fields[0], "@"))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: event time %q: %v", fields[0], err)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("chaos: negative event time %v", at)
+		}
+		if len(fields) == 1 {
+			return nil, fmt.Errorf("chaos: event %q has no fault terms", ev)
+		}
+		var f Fault
+		for _, term := range fields[1:] {
+			if err := applyTerm(&f, term); err != nil {
+				return nil, err
+			}
+		}
+		if err := f.validate(); err != nil {
+			return nil, err
+		}
+		sched = append(sched, Event{At: at, Fault: f})
+	}
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("chaos: empty schedule")
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched, nil
+}
+
+func applyTerm(f *Fault, term string) error {
+	switch term {
+	case "cut":
+		f.Cut = true
+		return nil
+	case "heal":
+		// Explicit transparency marker; the fault already starts zeroed,
+		// so heal on its own means "back to normal".
+		return nil
+	}
+	key, val, ok := strings.Cut(term, "=")
+	if !ok {
+		return fmt.Errorf("chaos: unknown term %q", term)
+	}
+	switch key {
+	case "drop", "dup", "reorder", "corrupt":
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("chaos: %s=%q: %v", key, val, err)
+		}
+		switch key {
+		case "drop":
+			f.Drop = p
+		case "dup":
+			f.Dup = p
+		case "reorder":
+			f.Reorder = p
+		case "corrupt":
+			f.Corrupt = p
+		}
+	case "delay", "jitter":
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return fmt.Errorf("chaos: %s=%q: %v", key, val, err)
+		}
+		if key == "delay" {
+			f.Delay = d
+		} else {
+			f.Jitter = d
+		}
+	default:
+		return fmt.Errorf("chaos: unknown term %q", term)
+	}
+	return nil
+}
+
+// String renders the schedule back into ParseSchedule syntax.
+func (s Schedule) String() string {
+	var b strings.Builder
+	for i, ev := range s {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "@%s", ev.At)
+		f := ev.Fault
+		if f.IsZero() {
+			b.WriteString(" heal")
+			continue
+		}
+		if f.Cut {
+			b.WriteString(" cut")
+		}
+		if f.Drop > 0 {
+			fmt.Fprintf(&b, " drop=%g", f.Drop)
+		}
+		if f.Dup > 0 {
+			fmt.Fprintf(&b, " dup=%g", f.Dup)
+		}
+		if f.Reorder > 0 {
+			fmt.Fprintf(&b, " reorder=%g", f.Reorder)
+		}
+		if f.Corrupt > 0 {
+			fmt.Fprintf(&b, " corrupt=%g", f.Corrupt)
+		}
+		if f.Delay > 0 {
+			fmt.Fprintf(&b, " delay=%s", f.Delay)
+		}
+		if f.Jitter > 0 {
+			fmt.Fprintf(&b, " jitter=%s", f.Jitter)
+		}
+	}
+	return b.String()
+}
+
+// faultSetter is the subset of proxy behavior Apply needs; both proxy
+// types satisfy it.
+type faultSetter interface {
+	SetFault(Fault) error
+}
+
+// Apply replays the schedule against a proxy in real time, starting
+// now. It returns a channel closed when the last event has fired; send
+// on stop (or close it) to abandon the remaining events.
+func (s Schedule) Apply(target faultSetter, stop <-chan struct{}) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		start := time.Now()
+		for _, ev := range s {
+			wait := ev.At - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-stop:
+					return
+				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			target.SetFault(ev.Fault) //nolint:errcheck // validated at parse time
+		}
+	}()
+	return done
+}

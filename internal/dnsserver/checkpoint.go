@@ -218,7 +218,11 @@ func (s *Server) RestoreCheckpoint(cp *Checkpoint, maxAge time.Duration) error {
 			_ = st.SetAlarm(i, true)
 		}
 		if scp.Down {
-			_ = st.SetDown(i, true)
+			// Restore the exclusion as a passive detector vote (not a raw
+			// state flag): the combiner then owns the flag's lifecycle, so
+			// the backend's next report withdraws the vote and re-admits it
+			// only if the active prober (when running) also agrees.
+			_ = s.voteDown(detectorPassive, i, true)
 			// Mirror the flag into the liveness monitor so the backend's
 			// next report clears it (Touch only re-admits backends the
 			// monitor itself marked down).

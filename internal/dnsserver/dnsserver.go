@@ -42,6 +42,7 @@ import (
 	"dnslb/internal/engine"
 	"dnslb/internal/logging"
 	"dnslb/internal/metrics"
+	"dnslb/internal/probe"
 	"dnslb/internal/replication"
 )
 
@@ -101,6 +102,16 @@ type Config struct {
 	// checkpoint written under one kind refuses to restore into the
 	// other.
 	Estimator string
+	// Overload configures graceful degradation under aggregate overload
+	// or stale soft state (see overload.go). The zero value disables
+	// the admission layer.
+	Overload OverloadConfig
+	// MaxTCPConns bounds the number of concurrently served TCP
+	// connections; when the cap is reached the accept loop pauses until
+	// a connection finishes (SYN backlog absorbs the burst) instead of
+	// pinning a goroutine per flooding connection. Zero defaults to
+	// DefaultMaxTCPConns; negative means unlimited.
+	MaxTCPConns int
 	// Metrics optionally registers the server's observability series
 	// (queries by outcome, per-worker latency, returned-TTL histogram,
 	// policy decisions, alarm/liveness transitions) on the given
@@ -159,6 +170,17 @@ type Server struct {
 	livenessMu sync.Mutex
 	liveness   *LivenessMonitor
 
+	// votes combines the passive and active failure detectors (see
+	// detect.go); prober is the active detector when StartProbing ran.
+	votes   downVotes
+	probeMu sync.Mutex
+	prober  *probe.Prober
+
+	// over is the overload/staleness admission controller (overload.go);
+	// nil when graceful degradation is not configured. The query path
+	// pays one nil check plus one atomic load while disabled.
+	over *overloadController
+
 	// replNode, when replication is enabled, is the replica's protocol
 	// endpoint. The pointer is allocated in New (the engine's decision
 	// tap closes over it) and populated by StartReplication, so the
@@ -177,6 +199,21 @@ type Server struct {
 	// Reconfiguration and robustness counters; exported as metric
 	// series when instrumented but always maintained, so uninstrumented
 	// servers (and tests) can observe them too.
+	// lastRoll (unix nanos) and lastRollInterval (float64 bits, seconds)
+	// record the most recent estimator roll — the overload controller's
+	// staleness signal.
+	lastRoll         atomic.Int64
+	lastRollInterval atomic.Uint64
+
+	// maxTCPConns caps concurrent TCP connections (0 = unlimited after
+	// New applied the default); tcpConns is the live count, tcpSem the
+	// accept-side semaphore.
+	maxTCPConns int
+	tcpConns    atomic.Int64
+	tcpSem      chan struct{}
+
+	overCfg OverloadConfig
+
 	panics     atomic.Uint64
 	joins      atomic.Uint64
 	drains     atomic.Uint64
@@ -290,6 +327,16 @@ func New(cfg Config) (*Server, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if err := cfg.Overload.validate(); err != nil {
+		return nil, err
+	}
+	maxTCP := cfg.MaxTCPConns
+	switch {
+	case maxTCP == 0:
+		maxTCP = DefaultMaxTCPConns
+	case maxTCP < 0:
+		maxTCP = 0 // explicit "unlimited"
+	}
 	s := &Server{
 		zone:        dnswire.CanonicalName(cfg.Zone),
 		eng:         eng,
@@ -301,6 +348,8 @@ func New(cfg Config) (*Server, error) {
 		limiter:     cfg.RateLimit,
 		udpWorkers:  workers,
 		udpBatch:    cfg.UDPBatch,
+		overCfg:     cfg.Overload,
+		maxTCPConns: maxTCP,
 		registry:    cfg.Metrics,
 		replNode:    replNode,
 		conns:       make(map[net.Conn]struct{}),
@@ -309,6 +358,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.AnswerCache {
 		s.answers = newAnswerCache()
+	}
+	if maxTCP > 0 {
+		s.tcpSem = make(chan struct{}, maxTCP)
 	}
 	addrs := append([]netip.Addr(nil), cfg.ServerAddrs...)
 	s.addrs.Store(&addrs)
@@ -474,8 +526,15 @@ func (s *Server) RecordHits(domain int, hits float64) {
 
 // RollEstimates closes an estimation interval of the given length and
 // installs the resulting hidden-load weights into the scheduler state.
+// The roll instant and interval are recorded for the overload
+// controller's soft-state staleness trigger.
 func (s *Server) RollEstimates(intervalSeconds float64) error {
-	return s.eng.RollEstimates(intervalSeconds)
+	if err := s.eng.RollEstimates(intervalSeconds); err != nil {
+		return err
+	}
+	s.lastRoll.Store(time.Now().UnixNano())
+	s.lastRollInterval.Store(floatBits(intervalSeconds))
+	return nil
 }
 
 // PrefixHashMapper maps a querying address to a domain index by

@@ -106,7 +106,9 @@ func (m *LivenessMonitor) Touch(server int) {
 	m.down[server] = false
 	m.mu.Unlock()
 	if wasDown {
-		_ = m.srv.SetDown(server, false)
+		// Withdraw the passive down vote; the scheduler re-admits the
+		// backend only when the active prober (if any) agrees it is up.
+		_ = m.srv.voteDown(detectorPassive, server, false)
 	}
 }
 
@@ -236,6 +238,6 @@ func (m *LivenessMonitor) check(now time.Time) {
 		c.Inc()
 	}
 	for _, i := range newlyDown {
-		_ = m.srv.SetDown(i, true)
+		_ = m.srv.voteDown(detectorPassive, i, true)
 	}
 }

@@ -98,6 +98,31 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 		"1 while the batched recvmmsg/sendmmsg serve loops are running.",
 		nil, func() float64 { return boolGauge(s.batchMode.Load()) })
 
+	// TCP connection bound (satellite of the robustness layer): the live
+	// connection count next to the configured cap.
+	reg.NewGaugeFunc("dnslb_dns_tcp_conns",
+		"TCP connections currently being served.",
+		nil, func() float64 { return float64(s.TCPConns()) })
+	reg.NewGaugeFunc("dnslb_dns_tcp_conns_max",
+		"Configured concurrent TCP connection cap (0 = unlimited).",
+		nil, func() float64 { return float64(s.maxTCPConns) })
+
+	// Overload graceful degradation (overload.go). The series exist even
+	// when the controller is disabled (all zero) so dashboards need no
+	// conditional scrape config.
+	reg.NewGaugeFunc("dnslb_dns_degraded_mode",
+		"1 while the overload controller has the server serving the static degraded ladder.",
+		nil, func() float64 { return boolGauge(s.DegradedMode()) })
+	reg.NewCounterFunc("dnslb_dns_degraded_transitions_total",
+		"Degraded-mode transitions (enter and leave each count once).",
+		nil, func() uint64 { return s.Degraded().Transitions })
+	reg.NewCounterFunc("dnslb_dns_degraded_answers_total",
+		"Address answers served by the static capacity-weighted ladder while degraded.",
+		nil, func() uint64 { return s.Degraded().Answers })
+	reg.NewGaugeFunc("dnslb_dns_overload_rate_qps",
+		"Aggregate query rate at the overload controller's last sample.",
+		nil, func() float64 { return s.Degraded().LastRateQPS })
+
 	// Versioned hot-answer cache (answercache.go). The series exist
 	// even when the cache is disabled (all zero) so dashboards need no
 	// conditional scrape config.

@@ -77,6 +77,18 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) [
 		}}
 		return mustPack(resp, dst)
 	}
+	// Degraded mode (overload.go): while the admission controller has
+	// the server degraded, address queries for the zone skip the policy,
+	// the estimator feed, and the answer cache, and are served by the
+	// engine's static capacity-weighted round-robin ladder with a short
+	// TTL. Checked before the hot path so no degraded answer is ever
+	// cached (its TTL is not the policy's) and no cached pre-degradation
+	// answer is served (its TTL may outlive the episode).
+	if s.over != nil && s.over.active() && q.Header.OpCode == dnswire.OpQuery &&
+		(q.Type == dnswire.TypeA || q.Type == dnswire.TypeANY) &&
+		q.Class == dnswire.ClassIN && string(q.Name) == s.zone {
+		return s.handleDegraded(q, from, idx, st, maxSize, dst)
+	}
 	// The wire-speed fast path. string(q.Name) in a comparison does not
 	// allocate; the name is already canonical (lower-case, trailing
 	// dot), so this is the same zone test the slow path performs.
@@ -157,6 +169,64 @@ func (s *Server) handleHot(q *dnswire.Query, from netip.Addr, idx uint32, st *st
 	}
 	if out != nil {
 		s.answers.store(domain, d.Server, ver, ttl, addr, out)
+	}
+	return out
+}
+
+// handleDegraded answers an address query for the zone through the
+// degraded decision ladder: engine.DecideFallback (static
+// capacity-weighted smooth WRR over live members) with the configured
+// short TTL. SERVFAIL is still possible — but only when every server
+// is genuinely unschedulable, never because of load. ECS options are
+// echoed with scope zero ("answer not tailored to your subnet"), which
+// is exactly true of the static ladder.
+func (s *Server) handleDegraded(q *dnswire.Query, from netip.Addr, idx uint32, st *statsShard, maxSize int, dst []byte) []byte {
+	resp := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:               q.Header.ID,
+			Response:         true,
+			OpCode:           dnswire.OpQuery,
+			Authoritative:    true,
+			RecursionDesired: q.Header.RecursionDesired,
+		},
+		Questions: []dnswire.Question{{Name: s.zone, Type: q.Type, Class: q.Class}},
+	}
+	d, err := s.eng.DecideFallback(s.over.cfg.DegradedTTL)
+	if err != nil {
+		resp.Header.RCode = dnswire.RCodeServFail
+		st.servfail.Add(1)
+		return mustPack(resp, dst)
+	}
+	ttl := uint32(math.Round(d.TTL))
+	if ttl == 0 {
+		ttl = 1
+	}
+	if s.metrics != nil {
+		s.metrics.ttl.ObserveHint(idx, d.TTL)
+	}
+	resp.Answers = []dnswire.ResourceRecord{{
+		Name:  s.zone,
+		Type:  dnswire.TypeA,
+		Class: dnswire.ClassIN,
+		TTL:   ttl,
+		Data:  dnswire.A{Addr: s.serverAddrs()[d.Server]},
+	}}
+	if q.HasECS {
+		echo := q.ECS
+		echo.ScopePrefixLen = 0
+		if err := resp.SetClientSubnet(echo, dnswire.MaxUDPPayload); err != nil {
+			s.logger.Debug("ECS echo failed", "err", err, "raddr", from)
+		}
+	}
+	st.answered.Add(1)
+	s.over.noteDegradedAnswer(idx)
+	out := mustPack(resp, dst)
+	if len(out) > maxSize {
+		resp.Answers = nil
+		resp.Additional = nil
+		resp.Header.Truncated = true
+		st.truncated.Add(1)
+		out = mustPack(resp, out[:0])
 	}
 	return out
 }

@@ -153,3 +153,100 @@ func TestServerRefusesOverLimit(t *testing.T) {
 		t.Error("RateLimited counter not bumped")
 	}
 }
+
+// TestRateLimiterMaxSourcesUnderChurn floods the limiter with distinct
+// sources at a frozen clock, so no bucket ever refills and eviction
+// must fall back to clearing full shards: the tracked set stays
+// bounded by maxSources either way.
+func TestRateLimiterMaxSourcesUnderChurn(t *testing.T) {
+	l := NewRateLimiter(10, 1)
+	now := time.Unix(0, 0)
+	l.SetClock(func() time.Time { return now })
+	for i := 0; i < 100_000; i++ {
+		addr := netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)})
+		l.Allow(addr)
+	}
+	if got := l.Sources(); got > l.maxSources {
+		t.Errorf("tracked sources = %d, want <= %d", got, l.maxSources)
+	}
+	if got := l.Sources(); got == 0 {
+		t.Error("limiter forgot every source")
+	}
+}
+
+// TestRateLimiterHotSourceSurvivesEviction: eviction prefers sources
+// whose buckets have refilled (idle), so a source that keeps spending
+// tokens must survive a churn of one-shot sources through its shard.
+func TestRateLimiterHotSourceSurvivesEviction(t *testing.T) {
+	l := NewRateLimiter(1, 2)
+	now := time.Unix(0, 0)
+	l.SetClock(func() time.Time { return now })
+	hot := netip.MustParseAddr("192.0.2.99")
+	hotShard := l.shardFor(hot)
+	l.maxSources = rateShards // shard cap 1: every insert evicts
+
+	if !l.Allow(hot) {
+		t.Fatal("hot source's first query refused")
+	}
+	for i := 0; i < 200; i++ {
+		// The hot source spends roughly as fast as it refills, so its
+		// bucket is never full; the churn sources go idle immediately
+		// after their single query and refill to burst.
+		now = now.Add(time.Second)
+		if !l.Allow(hot) {
+			t.Fatalf("hot source refused at step %d", i)
+		}
+		churn := netip.AddrFrom4([4]byte{172, 16, byte(i >> 8), byte(i)})
+		if l.shardFor(churn) != hotShard {
+			continue // only same-shard churn exercises this shard's eviction
+		}
+		now = now.Add(10 * time.Second) // churn source goes fully idle
+		l.Allow(churn)
+	}
+	hotShard.mu.Lock()
+	_, tracked := hotShard.buckets[hot]
+	hotShard.mu.Unlock()
+	if !tracked {
+		t.Error("hot source evicted while actively spending")
+	}
+}
+
+// TestRateLimiterClockBackward: a clock that jumps backward must not
+// bank free tokens, mint refills, or panic — the bucket simply sees
+// zero elapsed time until the clock catches back up.
+func TestRateLimiterClockBackward(t *testing.T) {
+	l := NewRateLimiter(1, 1)
+	now := time.Unix(10_000, 0)
+	l.SetClock(func() time.Time { return now })
+	src := netip.MustParseAddr("198.51.100.7")
+
+	if !l.Allow(src) {
+		t.Fatal("first query refused")
+	}
+	if l.Allow(src) {
+		t.Fatal("burst exceeded but allowed")
+	}
+	// Jump an hour into the past: no refill may occur.
+	now = now.Add(-time.Hour)
+	for i := 0; i < 3; i++ {
+		if l.Allow(src) {
+			t.Fatal("backward clock minted tokens")
+		}
+	}
+	// Eviction under a backward clock must also behave: idle time is
+	// negative, nothing looks refilled, the shard falls back to a clear
+	// rather than corrupting state.
+	l.maxSources = rateShards
+	for i := 0; i < 5*rateShards; i++ {
+		l.Allow(netip.AddrFrom4([4]byte{203, 0, byte(i >> 8), byte(i)}))
+	}
+	if got := l.Sources(); got > l.maxSources {
+		t.Errorf("tracked sources = %d under backward clock, want <= %d", got, l.maxSources)
+	}
+	// Once the clock moves forward past the original timestamp the
+	// bucket refills normally.
+	now = now.Add(time.Hour + 2*time.Second)
+	if !l.Allow(src) {
+		t.Fatal("recovered clock did not refill")
+	}
+}

@@ -46,6 +46,9 @@ func (s *Server) Start() error {
 			return fmt.Errorf("dnsserver: listen tcp: %w", err)
 		}
 	}
+	if s.overCfg.Enabled() && s.over == nil {
+		s.over = newOverloadController(s, s.overCfg)
+	}
 	s.wg.Add(s.udpWorkers + 1)
 	if s.batchMode.Load() {
 		for i := 0; i < s.udpWorkers; i++ {
@@ -111,6 +114,8 @@ func (s *Server) Close() error {
 	close(s.closed)
 	s.cancelDrainTimers()
 	s.StopReplication()
+	s.stopProbing()
+	s.stopOverload()
 	var first error
 	for _, c := range s.udpConns {
 		if err := c.Close(); err != nil && first == nil {
@@ -149,6 +154,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.closed)
 	s.cancelDrainTimers()
 	s.StopReplication()
+	s.stopProbing()
+	s.stopOverload()
 	// Unblock the UDP readers without closing the sockets: a worker
 	// blocked in read (or in recvmmsg under the netpoller) observes the
 	// deadline error, sees closed, and exits; a worker mid-response can
@@ -290,12 +297,37 @@ func (s *Server) serveUDP(worker int) {
 	}
 }
 
+// DefaultMaxTCPConns is the concurrent TCP connection cap applied when
+// Config.MaxTCPConns is zero. Each connection costs one goroutine plus
+// a pooled read buffer; 512 comfortably covers legitimate TCP retry
+// traffic (truncated UDP responses) while bounding a connection flood.
+const DefaultMaxTCPConns = 512
+
+// TCPConns returns the number of TCP connections currently being
+// served (the dnslb_dns_tcp_conns gauge).
+func (s *Server) TCPConns() int64 { return s.tcpConns.Load() }
+
 func (s *Server) serveTCP() {
 	defer s.wg.Done()
 	var backoff time.Duration
 	for {
+		// Acquire a connection slot BEFORE accepting: when the server is
+		// at its cap the accept loop pauses and the kernel's SYN backlog
+		// (and the clients' retries) absorb the burst. Pausing beats
+		// accept-and-close — a closed connection makes the client retry
+		// immediately, pausing makes it wait exactly as long as needed.
+		if s.tcpSem != nil {
+			select {
+			case s.tcpSem <- struct{}{}:
+			case <-s.closed:
+				return
+			}
+		}
 		conn, err := s.tcp.Accept()
 		if err != nil {
+			if s.tcpSem != nil {
+				<-s.tcpSem
+			}
 			select {
 			case <-s.closed:
 				return
@@ -313,6 +345,7 @@ func (s *Server) serveTCP() {
 		s.connsMu.Lock()
 		s.conns[conn] = struct{}{}
 		s.connsMu.Unlock()
+		s.tcpConns.Add(1)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -321,6 +354,10 @@ func (s *Server) serveTCP() {
 				s.connsMu.Lock()
 				delete(s.conns, conn)
 				s.connsMu.Unlock()
+				s.tcpConns.Add(-1)
+				if s.tcpSem != nil {
+					<-s.tcpSem
+				}
 			}()
 			s.serveTCPConn(conn)
 		}()
@@ -331,12 +368,32 @@ func (s *Server) serveTCP() {
 // messages, so idle or slowloris connections cannot pin goroutines.
 const tcpIdleTimeout = 30 * time.Second
 
+// maxTCPQuery bounds the accepted TCP query size. Legitimate queries
+// are tiny (name + fixed sections + EDNS options); anything beyond 4
+// KiB is either garbage or an attempt to make the server allocate —
+// either way the connection is cut before reading the payload.
+const maxTCPQuery = 4096
+
+// tcpBufPool recycles per-connection TCP read buffers: one Get per
+// connection (not per message) keeps the steady-state read path
+// allocation-free while a flood of short-lived connections recycles
+// instead of churning 4 KiB slabs.
+var tcpBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, maxTCPQuery)
+		return &b
+	},
+}
+
 func (s *Server) serveTCPConn(conn net.Conn) {
 	var raddr netip.Addr
 	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
 		raddr = ap.Addr()
 	}
-	lenBuf := make([]byte, 2)
+	var lenBuf [2]byte
+	bufp := tcpBufPool.Get().(*[]byte)
+	defer tcpBufPool.Put(bufp)
+	buf := *bufp
 	for {
 		// A graceful shutdown lets the current exchange finish but takes
 		// no further messages from the connection.
@@ -348,22 +405,37 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		if err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout)); err != nil {
 			return
 		}
-		if _, err := readFull(conn, lenBuf); err != nil {
+		if _, err := readFull(conn, lenBuf[:]); err != nil {
 			return
 		}
 		n := int(lenBuf[0])<<8 | int(lenBuf[1])
-		msg := make([]byte, n)
+		// Validate the length prefix BEFORE reading the payload: a
+		// zero-length message carries nothing answerable, and an
+		// oversized one is read-and-discard work no legitimate resolver
+		// ever asks for. Both cut the connection.
+		if n == 0 || n > maxTCPQuery {
+			return
+		}
+		msg := buf[:n]
 		if _, err := readFull(conn, msg); err != nil {
 			return
 		}
-		resp := s.safeHandle(msg, raddr, math.MaxUint16, nil)
+		bp := packPool.Get().(*[]byte)
+		resp := s.safeHandle(msg, raddr, math.MaxUint16, (*bp)[:0])
 		if resp == nil {
+			packPool.Put(bp)
 			return
 		}
-		out := make([]byte, 2+len(resp))
-		out[0], out[1] = byte(len(resp)>>8), byte(len(resp))
-		copy(out[2:], resp)
-		if _, err := conn.Write(out); err != nil {
+		// Two-buffer writev: length prefix + pooled response body, no
+		// copy into a combined slice.
+		lenBuf[0], lenBuf[1] = byte(len(resp)>>8), byte(len(resp))
+		bufs := net.Buffers{lenBuf[:], resp}
+		_, err := bufs.WriteTo(conn)
+		if cap(resp) > cap(*bp) {
+			*bp = resp[:0]
+		}
+		packPool.Put(bp)
+		if err != nil {
 			return
 		}
 	}

@@ -1,0 +1,196 @@
+package dnsserver
+
+import (
+	"io"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnslb/internal/core"
+	"dnslb/internal/dnswire"
+	"dnslb/internal/simcore"
+)
+
+// testServerMaxTCP builds and starts a server with a tiny TCP
+// connection cap.
+func testServerMaxTCP(t *testing.T, maxConns int) *Server {
+	t.Helper()
+	cluster, err := core.ScaledCluster(7, 50, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := state.SetWeights(simcore.ZipfWeights(20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	policy, err := core.NewPolicy(core.PolicyConfig{
+		Name:  "RR",
+		State: state,
+		Rand:  simcore.NewStream(1, "server"),
+		Now:   func() float64 { return time.Since(start).Seconds() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]netip.Addr, 7)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{10, 0, 0, byte(i + 1)})
+	}
+	srv, err := New(Config{
+		Zone:        "www.site.example",
+		ServerAddrs: addrs,
+		Policy:      policy,
+		Addr:        "127.0.0.1:0",
+		MaxTCPConns: maxConns,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func testQueryWire(t *testing.T) []byte {
+	t.Helper()
+	wire, err := (&dnswire.Message{
+		Header: dnswire.Header{ID: 7, RecursionDesired: true},
+		Questions: []dnswire.Question{
+			{Name: "www.site.example", Type: dnswire.TypeA, Class: dnswire.ClassIN},
+		},
+	}).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// frameTCP prefixes wire with the 2-byte big-endian length.
+func frameTCP(wire []byte) []byte {
+	return append([]byte{byte(len(wire) >> 8), byte(len(wire))}, wire...)
+}
+
+// readTCPResponse reads one length-prefixed response.
+func readTCPResponse(conn net.Conn) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(lenBuf[0])<<8 | int(lenBuf[1])
+	resp := make([]byte, n)
+	if _, err := io.ReadFull(conn, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// TestTCPRejectsBadLengthPrefix: zero-length and oversized length
+// prefixes cut the connection before any payload is read.
+func TestTCPRejectsBadLengthPrefix(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	for _, tc := range []struct {
+		name   string
+		prefix [2]byte
+	}{
+		{"zero", [2]byte{0, 0}},
+		{"oversized", [2]byte{0xff, 0xff}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(tc.prefix[:]); err != nil {
+				t.Fatal(err)
+			}
+			_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+			var one [1]byte
+			if _, err := conn.Read(one[:]); err != io.EOF {
+				t.Fatalf("read after bad prefix = %v, want EOF (connection cut)", err)
+			}
+		})
+	}
+
+	// A well-formed query on a fresh connection still works.
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(frameTCP(testQueryWire(t))); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := readTCPResponse(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := dnswire.Unpack(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Header.RCode != dnswire.RCodeNoError || len(msg.Answers) == 0 {
+		t.Fatalf("rcode=%v answers=%d, want NOERROR with answers", msg.Header.RCode, len(msg.Answers))
+	}
+}
+
+// TestTCPConnCap: with the cap filled by idle connections the accept
+// loop pauses — a third client's query sits unanswered until a slot
+// frees, then is served (never refused).
+func TestTCPConnCap(t *testing.T) {
+	srv := testServerMaxTCP(t, 2)
+	addr := srv.Addr().String()
+
+	// Two idle connections occupy both slots.
+	var held [2]net.Conn
+	for i := range held {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		held[i] = conn
+	}
+	waitCond(t, 2*time.Second, func() bool { return srv.TCPConns() == 2 }, "cap never filled")
+
+	// The third connection completes its handshake in the kernel's
+	// backlog but is not accepted; its query goes unanswered.
+	conn3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	if _, err := conn3.Write(frameTCP(testQueryWire(t))); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn3.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := readTCPResponse(conn3); err == nil {
+		t.Fatal("query served while the connection cap was full")
+	}
+	if got := srv.TCPConns(); got != 2 {
+		t.Fatalf("TCPConns = %d over the cap of 2", got)
+	}
+
+	// Freeing one slot lets the queued connection through.
+	held[0].Close()
+	_ = conn3.SetReadDeadline(time.Now().Add(3 * time.Second))
+	resp, err := readTCPResponse(conn3)
+	if err != nil {
+		t.Fatalf("queued connection never served after a slot freed: %v", err)
+	}
+	msg, err := dnswire.Unpack(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Header.RCode != dnswire.RCodeNoError {
+		t.Fatalf("rcode = %v, want NOERROR", msg.Header.RCode)
+	}
+}

@@ -77,6 +77,10 @@ type Engine struct {
 	est         *lockedEstimator // nil when feedback is disabled
 	onDecision  func(domain int, d core.Decision)
 	estRejected atomic.Uint64 // hit reports the estimator refused
+
+	// fallback is the degraded-ladder smooth-WRR accumulator; see
+	// fallback.go. Zero value ready.
+	fallback fallbackState
 }
 
 // New creates an engine with a ledger sized to the policy's cluster.

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dnslb/internal/core"
+)
+
+func TestDecideFallbackWeightedRR(t *testing.T) {
+	clock := &ManualClock{}
+	clock.Set(10)
+	eng := testEngine(t, "RR", nil, clock) // capacities 120, 100, 80
+
+	const rounds = 3000
+	counts := make([]int, 3)
+	for i := 0; i < rounds; i++ {
+		d, err := eng.DecideFallback(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.TTL != 5 {
+			t.Fatalf("TTL = %v, want 5", d.TTL)
+		}
+		counts[d.Server]++
+	}
+	// Smooth WRR tracks the capacity shares exactly over a full cycle;
+	// allow 1% slack for the partial final cycle.
+	total := 120.0 + 100.0 + 80.0
+	for i, cap := range []float64{120, 100, 80} {
+		want := float64(rounds) * cap / total
+		if math.Abs(float64(counts[i])-want) > float64(rounds)/100 {
+			t.Errorf("server %d: %d decisions, want ~%.0f", i, counts[i], want)
+		}
+	}
+	// Consecutive decisions interleave rather than bursting: the first
+	// three picks must cover distinct servers given near-equal weights.
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		d, _ := eng.DecideFallback(5)
+		seen[d.Server] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("first cycle picked %d distinct servers, want 3", len(seen))
+	}
+}
+
+func TestDecideFallbackHonorsDownAndLedger(t *testing.T) {
+	clock := &ManualClock{}
+	clock.Set(100)
+	eng := testEngine(t, "RR", nil, clock)
+
+	if err := eng.SetDown(0, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d, err := eng.DecideFallback(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Server == 0 {
+			t.Fatal("fallback handed out a down server")
+		}
+	}
+	// Fallback extends the outstanding-mapping ledger like Decide does.
+	d, _ := eng.DecideFallback(4)
+	if got := eng.MappingExpiry(d.Server); got != 104 {
+		t.Errorf("ledger expiry = %v, want 104", got)
+	}
+
+	_ = eng.SetDown(1, true)
+	_ = eng.SetDown(2, true)
+	if _, err := eng.DecideFallback(4); !errors.Is(err, core.ErrNoServers) {
+		t.Fatalf("all-down fallback error = %v, want ErrNoServers", err)
+	}
+}
+
+func TestDecideFallbackIgnoresAlarms(t *testing.T) {
+	clock := &ManualClock{}
+	eng := testEngine(t, "RR", nil, clock)
+	for i := 0; i < 3; i++ {
+		if err := eng.SetAlarm(i, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.DecideFallback(5); err != nil {
+		t.Fatalf("alarmed-but-alive cluster must still be schedulable: %v", err)
+	}
+}

@@ -78,6 +78,13 @@ func TestExtensionExperimentsRun(t *testing.T) {
 				t.Errorf("%s/%s: %d values for %d x", id, s.Name, len(s.Values), len(fig.XVals))
 			}
 			for i, v := range s.Values {
+				if id == "ext-probes" {
+					// Detection latencies in seconds, not probabilities.
+					if v < 0 {
+						t.Errorf("%s/%s[%d]: negative detection delay %v", id, s.Name, i, v)
+					}
+					continue
+				}
 				if id == "ext-forecast" && strings.Contains(s.Name, "alarm delay") {
 					// Delays are measured in collection intervals, not
 					// probabilities; negative would mean the estimator

@@ -245,6 +245,7 @@ var Registry = map[string]Runner{
 	"ext-forecast":    ExtForecast,
 	"ext-geo":         ExtGeo,
 	"ext-baselines":   ExtBaselines,
+	"ext-probes":      ExtProbes,
 	"ext-replication": ExtReplication,
 }
 
@@ -259,7 +260,7 @@ func ExtensionIDs() []string {
 	return []string{
 		"ext-alarm", "ext-baselines", "ext-classes", "ext-domains",
 		"ext-estimator", "ext-failures", "ext-forecast", "ext-geo",
-		"ext-load", "ext-replication", "ext-servers", "ext-window",
+		"ext-load", "ext-probes", "ext-replication", "ext-servers", "ext-window",
 	}
 }
 

@@ -1,0 +1,56 @@
+package probe
+
+import "testing"
+
+// FuzzParseSpec asserts the -probe flag parser never panics and that
+// every accepted spec survives a String() round trip.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"tcp",
+		"tcp,interval=2s,timeout=500ms,fail=3,rise=2,jitter=0.2",
+		"http=/healthz",
+		"http=/healthz,interval=5s,jitter=0",
+		"tcp,fail=1,rise=1",
+		"http=healthz",
+		"tcp,interval=-1s",
+		"tcp,jitter=1.5",
+		"udp",
+		"",
+		"tcp,,",
+		"tcp,fail=0",
+		"tcp,bogus=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if spec.Kind != "tcp" && spec.Kind != "http" {
+			t.Fatalf("ParseSpec(%q) accepted kind %q", s, spec.Kind)
+		}
+		if spec.Kind == "http" && spec.HTTPPath == "" {
+			t.Fatalf("ParseSpec(%q) accepted http kind without path", s)
+		}
+		if spec.Interval < 0 || spec.Timeout < 0 || spec.FailN < 0 || spec.RiseM < 0 {
+			t.Fatalf("ParseSpec(%q) produced negative knob: %+v", s, spec)
+		}
+		if spec.Jitter != -1 && (spec.Jitter < 0 || spec.Jitter >= 1) {
+			t.Fatalf("ParseSpec(%q) produced out-of-range jitter %v", s, spec.Jitter)
+		}
+		again, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q failed: %v", s, spec.String(), err)
+		}
+		if again != spec {
+			t.Fatalf("round trip of %q changed spec: %+v -> %+v", s, spec, again)
+		}
+		// The spec must always produce a Config that New accepts for a
+		// plausible target list.
+		cfg := spec.Config([]string{"127.0.0.1:80"})
+		if _, err := New(cfg); err != nil {
+			t.Fatalf("spec %q produced unbuildable config: %v", s, err)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+package probe
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Spec is the parsed form of the dnslb-server -probe flag: the probe
+// kind plus the tuning knobs shared by every target.
+type Spec struct {
+	Kind     string // "tcp" or "http"
+	HTTPPath string // only for Kind == "http"
+
+	Interval time.Duration // 0 = default
+	Timeout  time.Duration
+	Jitter   float64 // -1 = default (0 is a valid explicit value)
+	FailN    int
+	RiseM    int
+}
+
+// ParseSpec parses the compact probe specification used on the command
+// line:
+//
+//	tcp
+//	tcp,interval=2s,timeout=500ms,fail=3,rise=2,jitter=0.2
+//	http=/healthz,interval=5s
+//
+// The first comma-separated element selects the probe kind: "tcp" for
+// a plain connect probe, or "http=<path>" for a shallow GET expecting
+// a 2xx/3xx status. The remaining elements are key=value options:
+// interval, timeout (Go durations), fail, rise (positive integers),
+// jitter (fraction in [0,1)). Unset options fall back to the package
+// defaults.
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{Jitter: -1}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Spec{}, fmt.Errorf("probe: empty spec")
+	}
+	parts := strings.Split(s, ",")
+	kind := strings.TrimSpace(parts[0])
+	switch {
+	case kind == "tcp":
+		spec.Kind = "tcp"
+	case strings.HasPrefix(kind, "http="):
+		path := strings.TrimPrefix(kind, "http=")
+		if !strings.HasPrefix(path, "/") {
+			return Spec{}, fmt.Errorf("probe: http path %q must start with /", path)
+		}
+		spec.Kind = "http"
+		spec.HTTPPath = path
+	default:
+		return Spec{}, fmt.Errorf("probe: unknown kind %q (want tcp or http=<path>)", kind)
+	}
+	for _, opt := range parts[1:] {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			return Spec{}, fmt.Errorf("probe: empty option in %q", s)
+		}
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("probe: option %q is not key=value", opt)
+		}
+		switch key {
+		case "interval", "timeout":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("probe: %s=%q: %v", key, val, err)
+			}
+			if d <= 0 {
+				return Spec{}, fmt.Errorf("probe: %s must be positive, got %v", key, d)
+			}
+			if key == "interval" {
+				spec.Interval = d
+			} else {
+				spec.Timeout = d
+			}
+		case "fail", "rise":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return Spec{}, fmt.Errorf("probe: %s=%q: want positive integer", key, val)
+			}
+			if key == "fail" {
+				spec.FailN = n
+			} else {
+				spec.RiseM = n
+			}
+		case "jitter":
+			j, err := strconv.ParseFloat(val, 64)
+			if err != nil || j < 0 || j >= 1 {
+				return Spec{}, fmt.Errorf("probe: jitter=%q: want fraction in [0,1)", val)
+			}
+			spec.Jitter = j
+		default:
+			return Spec{}, fmt.Errorf("probe: unknown option %q", key)
+		}
+	}
+	return spec, nil
+}
+
+// String renders the spec back into ParseSpec syntax.
+func (sp Spec) String() string {
+	var b strings.Builder
+	if sp.Kind == "http" {
+		fmt.Fprintf(&b, "http=%s", sp.HTTPPath)
+	} else {
+		b.WriteString("tcp")
+	}
+	if sp.Interval > 0 {
+		fmt.Fprintf(&b, ",interval=%s", sp.Interval)
+	}
+	if sp.Timeout > 0 {
+		fmt.Fprintf(&b, ",timeout=%s", sp.Timeout)
+	}
+	if sp.FailN > 0 {
+		fmt.Fprintf(&b, ",fail=%d", sp.FailN)
+	}
+	if sp.RiseM > 0 {
+		fmt.Fprintf(&b, ",rise=%d", sp.RiseM)
+	}
+	if sp.Jitter >= 0 {
+		fmt.Fprintf(&b, ",jitter=%g", sp.Jitter)
+	}
+	return b.String()
+}
+
+// Config builds a probe Config for the given targets from the spec.
+// Targets are service addresses; for an http spec each target carries
+// the spec's path.
+func (sp Spec) Config(addrs []string) Config {
+	targets := make([]Target, len(addrs))
+	for i, a := range addrs {
+		targets[i] = Target{Addr: a}
+		if sp.Kind == "http" {
+			targets[i].HTTPPath = sp.HTTPPath
+		}
+	}
+	jitter := sp.Jitter
+	if jitter < 0 {
+		jitter = DefaultJitter
+	}
+	return Config{
+		Targets:  targets,
+		Interval: sp.Interval,
+		Timeout:  sp.Timeout,
+		Jitter:   jitter,
+		FailN:    sp.FailN,
+		RiseM:    sp.RiseM,
+	}
+}

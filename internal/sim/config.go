@@ -96,6 +96,14 @@ type Config struct {
 	// (failure extension; only meaningful when OracleWeights is false).
 	ReportLossProb float64
 
+	// Detection models how the DNS learns about the Faults events
+	// instead of the default instant-knowledge bound: a fault flips the
+	// server's ground truth immediately (clients lose pages from that
+	// moment), but the scheduler's liveness view only follows after the
+	// configured detector fires. Nil keeps the instant bound — that path
+	// is byte-identical to a build without this field.
+	Detection *DetectionConfig
+
 	// Drains schedules graceful server retirements (zero-downtime
 	// reconfiguration extension): at its event time the server stops
 	// receiving new mappings but keeps serving the hidden load its
@@ -144,6 +152,81 @@ type Config struct {
 	Warmup float64
 	// Seed makes the run reproducible.
 	Seed uint64
+}
+
+// Detector kinds for DetectionConfig.Kind.
+const (
+	// DetectProbe is active probing: the DNS probes each server every
+	// Interval seconds and declares it down after FailN consecutive
+	// failures, up again after RiseM consecutive successes — the model
+	// of the live internal/probe prober.
+	DetectProbe = "probe"
+	// DetectReport is passive missed-report detection: each server's
+	// periodic load report doubles as a liveness signal, and the DNS
+	// declares the server down after K consecutive reports fail to
+	// arrive. Recovery is seen at the first report after restart — the
+	// model of the live LivenessMonitor.
+	DetectReport = "report"
+)
+
+// DetectionConfig parameterizes the crash detector the DNS runs (see
+// Config.Detection). The probe phase relative to each fault event is
+// uniform over one interval, drawn from the run's own deterministic
+// stream.
+type DetectionConfig struct {
+	// Kind selects the detector: DetectProbe or DetectReport.
+	Kind string
+	// Interval is the probe period (probe) or report period (report) in
+	// virtual seconds.
+	Interval float64
+	// FailN and RiseM are the probe detector's hysteresis thresholds
+	// (consecutive failures to exclude, consecutive successes to
+	// re-admit). Ignored by the report detector.
+	FailN, RiseM int
+	// K is the report detector's missed-report threshold. Ignored by
+	// the probe detector.
+	K int
+}
+
+func (d *DetectionConfig) validate() error {
+	switch d.Kind {
+	case DetectProbe:
+		if d.FailN < 1 || d.RiseM < 1 {
+			return fmt.Errorf("sim: probe detection needs FailN and RiseM >= 1, got %d/%d", d.FailN, d.RiseM)
+		}
+	case DetectReport:
+		if d.K < 1 {
+			return fmt.Errorf("sim: report detection needs K >= 1, got %d", d.K)
+		}
+	default:
+		return fmt.Errorf("sim: unknown detection kind %q (want %s or %s)", d.Kind, DetectProbe, DetectReport)
+	}
+	if d.Interval <= 0 {
+		return errors.New("sim: detection interval must be positive")
+	}
+	return nil
+}
+
+// downDelay returns the crash-to-exclusion delay for one fault, with
+// the detector phase drawn from phase ∈ [0,1). A probe detector fires
+// on its FailN-th consecutive failed probe; a report detector fires
+// when the K-th expected report fails to arrive.
+func (d *DetectionConfig) downDelay(phase float64) float64 {
+	switch d.Kind {
+	case DetectProbe:
+		return (phase + float64(d.FailN-1)) * d.Interval
+	default: // DetectReport
+		return (phase + float64(d.K-1)) * d.Interval
+	}
+}
+
+// upDelay returns the recovery-to-readmission delay: RiseM successful
+// probes, or the first report after restart.
+func (d *DetectionConfig) upDelay(phase float64) float64 {
+	if d.Kind == DetectProbe {
+		return (phase + float64(d.RiseM-1)) * d.Interval
+	}
+	return phase * d.Interval
 }
 
 // FaultEvent is one liveness transition of one server at a fixed
@@ -250,6 +333,14 @@ func (c Config) Validate() error {
 		return errors.New("sim: geo latencies must be non-negative")
 	case c.ReportLossProb < 0 || c.ReportLossProb > 1:
 		return errors.New("sim: ReportLossProb must be within [0,1]")
+	}
+	if c.Detection != nil {
+		if err := c.Detection.validate(); err != nil {
+			return err
+		}
+		if c.Replicas > 1 {
+			return errors.New("sim: Detection is not supported with Replicas > 1")
+		}
 	}
 	for i, ev := range c.Faults {
 		if ev.Time < 0 {

@@ -12,14 +12,36 @@ import (
 // retracts the server's alarm (a dead server signals nothing; the
 // retraction is not an alarm signal, so it does not count); what the
 // DNS cannot retract are the cached mappings still pointing at it.
+//
+// With a Detection model attached the injector splits each event in
+// two: the server's ground truth (what clients experience, held in
+// actual) flips at the event time, while the scheduler's Down flag
+// follows after the detector's delay. A generation counter per server
+// cancels a scheduled flip when a newer fault event supersedes it
+// (e.g. the server recovers before the crash was ever detected).
 type faultInjector struct {
 	sim   *simcore.Simulator
 	eng   *engine.Engine
 	recov *drainTracker
 	fail  func(error)
+
+	// Detection-model state; all nil/unused under instant knowledge.
+	detect *DetectionConfig
+	actual *groundTruth
+	stream *simcore.Stream
+	gen    []uint64
+
+	downDelaySum float64
+	downDetects  uint64
+	upDelaySum   float64
+	upDetects    uint64
 }
 
 func (f *faultInjector) install(events []FaultEvent) {
+	if f.detect != nil {
+		f.installDetected(events)
+		return
+	}
 	st := f.eng.State()
 	for _, ev := range events {
 		ev := ev
@@ -42,6 +64,68 @@ func (f *faultInjector) install(events []FaultEvent) {
 			}
 		})
 	}
+}
+
+// installDetected is the detection-model variant: ground truth flips at
+// the event time, the scheduler follows after the detector delay.
+func (f *faultInjector) installDetected(events []FaultEvent) {
+	st := f.eng.State()
+	for _, ev := range events {
+		ev := ev
+		f.sim.ScheduleAt(ev.Time, func() {
+			if f.actual.down[ev.Server] == ev.Down {
+				return
+			}
+			f.actual.down[ev.Server] = ev.Down
+			f.gen[ev.Server]++
+			gen := f.gen[ev.Server]
+			// Time-to-drain tracks ground truth: traffic can return to a
+			// recovered server through cached mappings before the
+			// scheduler re-admits it.
+			if ev.Down {
+				f.recov.crashed(ev.Server)
+			} else {
+				f.recov.recovered(ev.Server, f.sim.Now())
+			}
+			var delay float64
+			phase := f.stream.Float64()
+			if ev.Down {
+				delay = f.detect.downDelay(phase)
+			} else {
+				delay = f.detect.upDelay(phase)
+			}
+			f.sim.Schedule(delay, func() {
+				if f.gen[ev.Server] != gen {
+					return // superseded by a newer fault event
+				}
+				if st.Down(ev.Server) == ev.Down {
+					return
+				}
+				if err := f.eng.SetDown(ev.Server, ev.Down); err != nil {
+					f.fail(err)
+					return
+				}
+				if ev.Down {
+					if st.Alarmed(ev.Server) {
+						if err := f.eng.SetAlarm(ev.Server, false); err != nil {
+							f.fail(err)
+						}
+					}
+					f.downDelaySum += delay
+					f.downDetects++
+				} else {
+					f.upDelaySum += delay
+					f.upDetects++
+				}
+			})
+		})
+	}
+}
+
+// groundTruth is the servers' actual liveness under the detection
+// model, as opposed to the scheduler's (possibly stale) view.
+type groundTruth struct {
+	down []bool
 }
 
 // drainInjector schedules graceful server retirements: at its event

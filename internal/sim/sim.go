@@ -68,6 +68,16 @@ type Result struct {
 	// LostReports counts hidden-load reports dropped by the
 	// report-loss fault model.
 	LostReports uint64
+	// MeanDetectionDelay is the mean virtual-time lag from a crash to
+	// the scheduler excluding the server, over detected crashes, under
+	// the Detection model (0 under instant knowledge).
+	MeanDetectionDelay float64
+	// MeanReviveDelay is the mean lag from a recovery to the scheduler
+	// re-admitting the server (0 under instant knowledge).
+	MeanReviveDelay float64
+	// DetectedCrashes counts crash events the detector caught before
+	// they were superseded.
+	DetectedCrashes uint64
 
 	// ReplDecisions counts scheduler decisions made by each replica
 	// (replication extension; nil for a single-replica run).
@@ -276,7 +286,16 @@ func Run(cfg Config) (*Result, error) {
 	horizon := cfg.Warmup + cfg.Duration
 	util := newUtilizationCollector(cfg, sc, eng, servers, res, sched.fail, horizon)
 	util.install()
-	(&faultInjector{sim: sc, eng: eng, recov: recov, fail: sched.fail}).install(cfg.Faults)
+	faults := &faultInjector{sim: sc, eng: eng, recov: recov, fail: sched.fail}
+	if cfg.Detection != nil {
+		actual := &groundTruth{down: make([]bool, cfg.Servers)}
+		sink.actual = actual
+		faults.detect = cfg.Detection
+		faults.actual = actual
+		faults.stream = sc.Stream("detect")
+		faults.gen = make([]uint64, cfg.Servers)
+	}
+	faults.install(cfg.Faults)
 	(&drainInjector{sim: sc, eng: eng, fail: sched.fail}).install(cfg.Drains)
 	if eng.HasEstimator() {
 		(&estimatorCollector{cfg: cfg, sim: sc, eng: eng, servers: servers, res: res, fail: sched.fail, horizon: horizon}).install()
@@ -305,6 +324,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res.MeanLatencyMS = sink.meanLatencyMS()
 	res.MeanTimeToDrain = recov.mean()
+	if faults.downDetects > 0 {
+		res.MeanDetectionDelay = faults.downDelaySum / float64(faults.downDetects)
+	}
+	if faults.upDetects > 0 {
+		res.MeanReviveDelay = faults.upDelaySum / float64(faults.upDetects)
+	}
+	res.DetectedCrashes = faults.downDetects
 	tier.collect(res)
 	flash.collect(res)
 	res.EstimatorRejected = eng.EstimatorRejected()

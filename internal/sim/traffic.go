@@ -80,6 +80,12 @@ type trafficSink struct {
 	recov   *drainTracker
 	res     *Result
 
+	// actual, when non-nil, is the detection model's ground truth: a
+	// page is lost when its server is actually down, regardless of what
+	// the scheduler believes (Config.Detection). Nil means the
+	// scheduler's view IS reality (the instant-knowledge bound).
+	actual *groundTruth
+
 	latSum  float64
 	latHits float64
 }
@@ -98,9 +104,14 @@ func (t *trafficSink) deliver(domain, server, hits int) {
 		t.res.LostPages++
 		return
 	}
-	if sn.Down(server) {
-		// A cached mapping pinned this domain to a dead server; the
-		// page is lost until the TTL expires or the server returns.
+	down := sn.Down(server)
+	if t.actual != nil {
+		down = t.actual.down[server]
+	}
+	if down {
+		// The server is dead — whether a cached mapping pinned this
+		// domain to it or the scheduler has not detected the crash yet.
+		// The page is lost until the TTL expires or the server returns.
 		t.res.DeadServerHits += uint64(hits)
 		t.res.LostPages++
 		return
