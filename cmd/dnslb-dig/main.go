@@ -8,6 +8,8 @@
 //	dnslb-dig -server 127.0.0.1:5353 www.site.example
 //	dnslb-dig -server 127.0.0.1:5353 -type TXT www.site.example
 //	dnslb-dig -server 127.0.0.1:5353 -n 10 www.site.example
+//	dnslb-dig -server 127.0.0.1:5353 -ecs 198.51.100.0/24 www.site.example
+//	dnslb-dig -server 127.0.0.1:8053 -transport doh www.site.example
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"strings"
 	"time"
@@ -33,11 +36,13 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dnslb-dig", flag.ContinueOnError)
 	var (
-		server  = fs.String("server", "127.0.0.1:5353", "upstream DNS server address")
-		qtype   = fs.String("type", "A", "query type (A, TXT, ANY, ...)")
-		n       = fs.Int("n", 1, "number of queries to send")
-		gap     = fs.Duration("gap", 0, "pause between queries")
-		timeout = fs.Duration("timeout", 3*time.Second, "per-query timeout")
+		server    = fs.String("server", "127.0.0.1:5353", "upstream DNS server address (or URL for -transport doh)")
+		qtype     = fs.String("type", "A", "query type (A, TXT, ANY, ...)")
+		n         = fs.Int("n", 1, "number of queries to send")
+		gap       = fs.Duration("gap", 0, "pause between queries")
+		timeout   = fs.Duration("timeout", 3*time.Second, "per-query timeout")
+		ecs       = fs.String("ecs", "", "attach an EDNS Client Subnet option (prefix like 198.51.100.0/24, or a bare address)")
+		transport = fs.String("transport", "udp", "query transport: udp (TCP fallback on truncation), tcp, or doh")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,8 +55,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	subnet, err := parseSubnet(*ecs)
+	if err != nil {
+		return err
+	}
 
-	r := &dnslb.Resolver{Server: *server, Timeout: *timeout}
+	r := &dnslb.Resolver{Server: *server, Transport: *transport, Timeout: *timeout, ClientSubnet: subnet}
 	ctx := context.Background()
 	for i := 0; i < *n; i++ {
 		if i > 0 && *gap > 0 {
@@ -68,8 +77,51 @@ func run(args []string, out io.Writer) error {
 		if len(resp.Answers) == 0 {
 			fmt.Fprintf(out, ";; %s: no answers\n", resp.Header.RCode)
 		}
+		if cs, ok := responseECS(resp); ok {
+			fmt.Fprintf(out, ";; ECS: %s scope /%d\n", cs.Prefix, cs.ScopePrefixLen)
+		}
 	}
 	return nil
+}
+
+// parseSubnet reads the -ecs flag: a prefix, or a bare address taken at
+// full length (the server clamps it to its configured granularity).
+func parseSubnet(s string) (netip.Prefix, error) {
+	if s == "" {
+		return netip.Prefix{}, nil
+	}
+	if p, err := netip.ParsePrefix(s); err == nil {
+		return p, nil
+	}
+	addr, err := netip.ParseAddr(s)
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("bad -ecs value %q: want a prefix or address", s)
+	}
+	return netip.PrefixFrom(addr, addr.BitLen()), nil
+}
+
+// responseECS extracts the echoed ECS option from a response, if any.
+func responseECS(resp *dnswire.Message) (dnswire.ClientSubnet, bool) {
+	for _, rr := range resp.Additional {
+		if rr.Type != dnswire.TypeOPT {
+			continue
+		}
+		opt, ok := rr.Data.(dnswire.OPT)
+		if !ok {
+			continue
+		}
+		for _, o := range opt.Options {
+			if o.Code != dnswire.OptionClientSubnet {
+				continue
+			}
+			cs, err := dnswire.ParseClientSubnet(o.Data)
+			if err != nil {
+				continue
+			}
+			return cs, true
+		}
+	}
+	return dnswire.ClientSubnet{}, false
 }
 
 func parseType(s string) (dnswire.Type, error) {

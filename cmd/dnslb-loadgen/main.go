@@ -34,9 +34,12 @@ func main() {
 	}
 }
 
-// domainLoad aggregates one domain's counters.
+// domainLoad aggregates one domain's counters. With -ecs-spread > 1
+// the domain's clients are split over several caching name servers,
+// each forwarding a distinct /24 of the domain's /16 — the live
+// counterpart of a domain whose client base spans many networks.
 type domainLoad struct {
-	ns       *dnslb.CachingNS
+	ns       []*dnslb.CachingNS
 	requests int
 	errors   int
 	perIP    map[netip.Addr]int
@@ -55,6 +58,8 @@ func run(args []string, out io.Writer) error {
 		hits     = fs.Int("hits", 10, "hits parameter attached to each request")
 		minTTL   = fs.Duration("minttl", 0, "caching NS minimum TTL (non-cooperative mode)")
 		dry      = fs.Bool("n", false, "resolve only; skip the HTTP fetches")
+		spread   = fs.Int("ecs-spread", 1, "caching NSes per domain, each forwarding a distinct /24 ECS subnet of the domain's /16")
+		trans    = fs.String("transport", "udp", "DNS transport: udp, tcp, or doh")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,21 +70,31 @@ func run(args []string, out io.Writer) error {
 	if *port == 0 || *port > 65535 {
 		return fmt.Errorf("bad port %d", *port)
 	}
+	if *spread < 1 || *spread > 256 {
+		return fmt.Errorf("bad -ecs-spread %d (want 1..256)", *spread)
+	}
 
-	// One caching NS per domain; ECS prefix 10.<domain>.0.0/16
-	// identifies the domain to the DNS.
+	// Caching NSes per domain; ECS subnets within 10.<domain>.0.0/16
+	// identify the domain (and with -ecs-spread, the client network) to
+	// the DNS: the k-th NS of domain d forwards 10.<d>.<k>.0/24, or the
+	// whole /16 when running a single NS per domain.
 	loads := make([]*domainLoad, *domains)
 	for d := range loads {
-		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(d), 0, 0}), 16)
-		resolver := &dnslb.Resolver{
-			Server:       *dnsAddr,
-			Timeout:      2 * time.Second,
-			ClientSubnet: prefix,
+		l := &domainLoad{perIP: make(map[netip.Addr]int)}
+		for k := 0; k < *spread; k++ {
+			prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(d), byte(k), 0}), 24)
+			if *spread == 1 {
+				prefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(d), 0, 0}), 16)
+			}
+			resolver := &dnslb.Resolver{
+				Server:       *dnsAddr,
+				Transport:    *trans,
+				Timeout:      2 * time.Second,
+				ClientSubnet: prefix,
+			}
+			l.ns = append(l.ns, dnslb.NewCachingNS(resolver, *minTTL))
 		}
-		loads[d] = &domainLoad{
-			ns:    dnslb.NewCachingNS(resolver, *minTTL),
-			perIP: make(map[netip.Addr]int),
-		}
+		loads[d] = l
 	}
 
 	// Zipf split of clients over domains, at least one each.
@@ -98,11 +113,12 @@ func run(args []string, out io.Writer) error {
 	for d, n := range counts {
 		for c := 0; c < n; c++ {
 			wg.Add(1)
-			go func(domain int) {
+			go func(domain, client int) {
 				defer wg.Done()
+				ns := loads[domain].ns[client%len(loads[domain].ns)]
 				rng := rand.New(rand.NewPCG(rand.Uint64(), rand.Uint64()))
 				for ctx.Err() == nil {
-					answers, _, err := loads[domain].ns.LookupA(ctx, *zone)
+					answers, _, err := ns.LookupA(ctx, *zone)
 					if err != nil {
 						mu.Lock()
 						loads[domain].errors++
@@ -129,7 +145,7 @@ func run(args []string, out io.Writer) error {
 					case <-time.After(delay):
 					}
 				}
-			}(d)
+			}(d, c)
 		}
 	}
 	wg.Wait()
@@ -139,10 +155,15 @@ func run(args []string, out io.Writer) error {
 	perIP := make(map[netip.Addr]int)
 	fmt.Fprintln(out, "domain  clients  requests  errors  cache-hit%")
 	for d, l := range loads {
-		st := l.ns.Stats()
+		var nsHits, nsMisses uint64
+		for _, ns := range l.ns {
+			st := ns.Stats()
+			nsHits += st.Hits
+			nsMisses += st.Misses
+		}
 		hitPct := 0.0
-		if st.Hits+st.Misses > 0 {
-			hitPct = 100 * float64(st.Hits) / float64(st.Hits+st.Misses)
+		if nsHits+nsMisses > 0 {
+			hitPct = 100 * float64(nsHits) / float64(nsHits+nsMisses)
 		}
 		fmt.Fprintf(out, "%6d  %7d  %8d  %6d  %9.1f\n", d, counts[d], l.requests, l.errors, hitPct)
 		total += l.requests

@@ -105,6 +105,10 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		udpWorkers  = fs.Int("udp-workers", 0, "parallel UDP serve goroutines (0 = GOMAXPROCS)")
 		udpBatch    = fs.Int("udp-batch", 0, "datagrams moved per recvmmsg/sendmmsg syscall over per-worker SO_REUSEPORT sockets; 0 = one-datagram portable loop (Linux amd64/arm64 only; other platforms fall back)")
 		answerCache = fs.Bool("answer-cache", false, "serve repeat A queries from packed response bytes, invalidated by the scheduler state version (zero-allocation hot path)")
+		httpAddr    = fs.String("http-addr", "", "DNS-over-HTTP listen address: RFC 8484 wire on /dns-query, JSON on /resolve (empty = disabled)")
+		ecsMode     = fs.String("ecs-mode", "", "EDNS-Client-Subnet handling: passthrough (default), add, or override")
+		ecsV4       = fs.Int("ecs-v4-prefix", 0, "IPv4 ECS source-prefix granularity for clamping and synthesis (0 = /24)")
+		ecsV6       = fs.Int("ecs-v6-prefix", 0, "IPv6 ECS source-prefix granularity for clamping and synthesis (0 = /56)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 		metricsAddr = fs.String("metrics-addr", "", "serve Prometheus /metrics on this address (empty = disabled)")
 		configPath  = fs.String("config", "", "flag-per-line configuration file; SIGHUP re-reads it and applies server-set changes")
@@ -137,6 +141,10 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 	if *estKind != dnslb.EstimatorReactive && *estKind != dnslb.EstimatorPredictive {
 		return fmt.Errorf("-estimator %q unknown: want %s or %s",
 			*estKind, dnslb.EstimatorReactive, dnslb.EstimatorPredictive)
+	}
+	ecsParsed, err := dnslb.ParseECSMode(*ecsMode)
+	if err != nil {
+		return fmt.Errorf("-ecs-mode: %w", err)
 	}
 	addrs, caps, err := parseServers(*servers, *capacities)
 	if err != nil {
@@ -191,6 +199,8 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		UDPWorkers:     *udpWorkers,
 		UDPBatch:       *udpBatch,
 		AnswerCache:    *answerCache,
+		HTTPAddr:       *httpAddr,
+		ECS:            dnslb.ECSConfig{Mode: ecsParsed, V4Prefix: *ecsV4, V6Prefix: *ecsV6},
 		EstimatorAlpha: *estAlpha,
 		Estimator:      *estKind,
 		Metrics:        registry,
@@ -253,6 +263,14 @@ func run(args []string, stop <-chan struct{}, started func(boundAddrs)) error {
 		"policy", *policy, "servers", len(addrs),
 		"udp_workers", srv.UDPWorkers(), "udp_batch", srv.UDPBatchActive(),
 		"answer_cache", *answerCache)
+	if ha := srv.HTTPAddr(); ha != nil {
+		logger.Info("DNS-over-HTTP enabled",
+			"wire", fmt.Sprintf("http://%s/dns-query", ha),
+			"json", fmt.Sprintf("http://%s/resolve", ha))
+	}
+	if *ecsMode != "" && *ecsMode != "passthrough" {
+		logger.Info("ECS mode", "mode", ecsParsed.String())
+	}
 
 	if probeCfg != nil {
 		if _, err := srv.StartProbing(*probeCfg); err != nil {

@@ -61,6 +61,10 @@ func run(args []string, out io.Writer) error {
 		replIv    = fs.Float64("repl-interval", 8, "inter-replica gossip interval in virtual seconds")
 		replLag   = fs.Float64("repl-lag", 0, "inter-replica delta delivery lag in virtual seconds")
 		partition = fs.String("partition", "", "comma-separated total link cuts, each start+duration (e.g. 900+30)")
+		geoPref   = fs.Float64("geo-preference", 0, "probability of answering with the nearest server instead of the policy's choice (0 = disabled)")
+		misalign  = fs.Float64("ecs-misalign", -1, "fraction of domains resolving through a name server located elsewhere (enables the RFC 7871 misalignment extension; -1 = off)")
+		useECS    = fs.Bool("ecs", false, "misaligned resolvers forward the clients' true subnet as EDNS Client Subnet (requires -ecs-misalign)")
+		ecsShift  = fs.Int("ecs-shift", 0, "how many domains away a misaligned resolver sits (0 = antipode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +131,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg.Partitions = partitions
+	cfg.GeoPreference = *geoPref
+	if *misalign >= 0 {
+		cfg.ECSMisalign = &dnslb.ECSMisalignConfig{
+			Fraction: *misalign,
+			Shift:    *ecsShift,
+			UseECS:   *useECS,
+		}
+	} else if *useECS || *ecsShift != 0 {
+		return fmt.Errorf("-ecs and -ecs-shift require -ecs-misalign")
+	}
 
 	results, err := dnslb.RunSimReplications(cfg, *reps)
 	if err != nil {
@@ -185,6 +199,16 @@ func run(args []string, out io.Writer) error {
 			r.ReplDeltasApplied, r.ReplDeltasDropped, r.ReplFullSyncs)
 		fmt.Fprintf(out, "replica divergence  weights %.4f, ledger %.1fs at horizon\n",
 			r.ReplMaxWeightDiff, r.ReplLedgerDivergenceSec)
+	}
+	if cfg.ECSMisalign != nil {
+		fmt.Fprintf(out, "ECS misalignment    fraction %.2f shift %d, ecs=%v\n",
+			cfg.ECSMisalign.Fraction, cfg.ECSMisalign.Shift, cfg.ECSMisalign.UseECS)
+		fmt.Fprintf(out, "  queries           %d (%d with ECS)\n", r.ECSQueries, r.ECSCarried)
+		fmt.Fprintf(out, "  misrouted         %d (%.2f%% classified to the wrong domain)\n",
+			r.ECSMisrouted, 100*float64(r.ECSMisrouted)/float64(max(r.ECSQueries, 1)))
+	}
+	if cfg.GeoPreference > 0 {
+		fmt.Fprintf(out, "client latency      %.1f ms traffic-weighted mean\n", r.MeanLatencyMS)
 	}
 	if !cfg.OracleWeights {
 		fmt.Fprintf(out, "estimator           %s", cfg.Estimator)

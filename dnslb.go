@@ -163,6 +163,41 @@ type (
 	EngineClock = engine.Clock
 	// WallClock is the live path's EngineClock.
 	WallClock = engine.WallClock
+	// QueryContext is the per-query decision input a front end
+	// assembles: resolver address, optional RFC 7871 client subnet, and
+	// arrival transport (Engine.DecideQuery).
+	QueryContext = engine.QueryContext
+	// QueryDecision is DecideQuery's answer: the scheduling decision
+	// plus classification provenance and the ECS scope to echo.
+	QueryDecision = engine.QueryDecision
+	// ECSConfig parameterizes the engine's client-subnet handling
+	// (EngineConfig.ECS, DNSServerConfig.ECS).
+	ECSConfig = engine.ECSConfig
+	// ECSMode is the RFC 7871 deployment mode (passthrough, add,
+	// override).
+	ECSMode = engine.ECSMode
+	// Transport identifies the front end a query arrived through.
+	Transport = engine.Transport
+	// SubnetRule maps one network prefix to a connected-domain index.
+	SubnetRule = core.SubnetRule
+	// SubnetMapper classifies addresses into connected domains by
+	// longest-prefix match over a rule table.
+	SubnetMapper = core.SubnetMapper
+)
+
+// ECS deployment modes (ECSConfig.Mode).
+const (
+	ECSPassthrough = engine.ECSPassthrough
+	ECSAdd         = engine.ECSAdd
+	ECSOverride    = engine.ECSOverride
+)
+
+// Query transports (QueryContext.Transport).
+const (
+	TransportNone = engine.TransportNone
+	TransportUDP  = engine.TransportUDP
+	TransportTCP  = engine.TransportTCP
+	TransportDoH  = engine.TransportDoH
 )
 
 // Engine entry points.
@@ -171,6 +206,12 @@ var (
 	NewEngine = engine.New
 	// NewWallClock creates a wall-time clock with its epoch at now.
 	NewWallClock = engine.NewWallClock
+	// ParseECSMode parses the -ecs-mode flag spellings (passthrough,
+	// add, override; empty = passthrough).
+	ParseECSMode = engine.ParseECSMode
+	// NewSubnetMapper builds a longest-prefix-match subnet→domain
+	// classifier for EngineConfig.Mapper / DNSServerConfig.Mapper.
+	NewSubnetMapper = core.NewSubnetMapper
 )
 
 // Simulation types.
@@ -203,6 +244,11 @@ type (
 	// events — active probing or missed reports — instead of the
 	// instant-knowledge bound (SimConfig.Detection).
 	DetectionConfig = sim.DetectionConfig
+	// ECSMisalignConfig enables the resolver/client misalignment
+	// extension: a fraction of domains resolve through name servers
+	// located elsewhere, with or without ECS forwarding the clients'
+	// true subnet (SimConfig.ECSMisalign).
+	ECSMisalignConfig = sim.ECSMisalignConfig
 )
 
 // Crash-detector kinds for DetectionConfig.Kind.

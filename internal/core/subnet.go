@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Subnet-to-domain classification. The paper identifies a "connected
+// domain" by the querying name server; with EDNS-Client-Subnet the
+// identity shifts to the client's network prefix. SubnetMapper is the
+// shared classifier both paths use for explicit network→domain
+// topologies: longest-prefix match over a rule table, with a fallback
+// domain for addresses no rule covers.
+
+// SubnetRule maps one network prefix to a connected-domain index.
+type SubnetRule struct {
+	Prefix netip.Prefix
+	Domain int
+}
+
+// SubnetMapper classifies addresses into connected domains by
+// longest-prefix match. Immutable after construction and safe for
+// concurrent use; Domain allocates nothing, so it can sit on the DNS
+// server's zero-alloc hot path.
+type SubnetMapper struct {
+	rules    []SubnetRule // sorted by descending prefix length
+	fallback int
+}
+
+// NewSubnetMapper builds a mapper from the rule table. Rules are
+// matched most-specific first; addresses outside every rule map to
+// fallback. Prefixes are normalized (masked); IPv4-mapped IPv6
+// addresses are matched as IPv4.
+func NewSubnetMapper(rules []SubnetRule, fallback int) (*SubnetMapper, error) {
+	if fallback < 0 {
+		return nil, fmt.Errorf("core: subnet mapper fallback domain %d is negative", fallback)
+	}
+	out := make([]SubnetRule, len(rules))
+	for i, r := range rules {
+		if !r.Prefix.IsValid() {
+			return nil, fmt.Errorf("core: subnet rule %d has an invalid prefix", i)
+		}
+		if r.Domain < 0 {
+			return nil, fmt.Errorf("core: subnet rule %d maps to negative domain %d", i, r.Domain)
+		}
+		out[i] = SubnetRule{Prefix: r.Prefix.Masked(), Domain: r.Domain}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].Prefix.Bits() > out[b].Prefix.Bits()
+	})
+	return &SubnetMapper{rules: out, fallback: fallback}, nil
+}
+
+// Domain returns the connected-domain index for an address: the
+// most-specific matching rule's domain, or the fallback when no rule
+// contains the address (including the invalid address).
+func (m *SubnetMapper) Domain(addr netip.Addr) int {
+	if !addr.IsValid() {
+		return m.fallback
+	}
+	addr = addr.Unmap()
+	for _, r := range m.rules {
+		if r.Prefix.Contains(addr) {
+			return r.Domain
+		}
+	}
+	return m.fallback
+}
+
+// Rules returns a copy of the normalized rule table in match order
+// (most-specific first).
+func (m *SubnetMapper) Rules() []SubnetRule {
+	return append([]SubnetRule(nil), m.rules...)
+}

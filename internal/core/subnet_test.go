@@ -1,0 +1,92 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSubnetMapperLongestPrefix(t *testing.T) {
+	m, err := NewSubnetMapper([]SubnetRule{
+		{Prefix: mustPrefix(t, "10.0.0.0/8"), Domain: 1},
+		{Prefix: mustPrefix(t, "10.1.0.0/16"), Domain: 2},
+		{Prefix: mustPrefix(t, "10.1.2.0/24"), Domain: 3},
+		{Prefix: mustPrefix(t, "2001:db8::/32"), Domain: 4},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		addr string
+		want int
+	}{
+		{"10.9.9.9", 1},        // /8 only
+		{"10.1.9.9", 2},        // /16 beats /8
+		{"10.1.2.3", 3},        // /24 beats /16 and /8
+		{"192.168.1.1", 0},     // no rule → fallback
+		{"2001:db8::1", 4},     // v6 rule
+		{"2001:db9::1", 0},     // v6 miss → fallback
+		{"::ffff:10.1.2.3", 3}, // 4-mapped-6 matches as IPv4
+	}
+	for _, c := range cases {
+		if got := m.Domain(netip.MustParseAddr(c.addr)); got != c.want {
+			t.Errorf("Domain(%s) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+	if got := m.Domain(netip.Addr{}); got != 0 {
+		t.Errorf("Domain(invalid) = %d, want fallback", got)
+	}
+}
+
+func TestSubnetMapperNormalizesPrefixes(t *testing.T) {
+	// An unmasked rule (host bits set) must still match its whole network.
+	m, err := NewSubnetMapper([]SubnetRule{
+		{Prefix: mustPrefix(t, "10.1.2.77/24"), Domain: 5},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Domain(netip.MustParseAddr("10.1.2.3")); got != 5 {
+		t.Errorf("Domain(10.1.2.3) = %d, want 5 via masked rule", got)
+	}
+	rules := m.Rules()
+	if len(rules) != 1 || rules[0].Prefix != mustPrefix(t, "10.1.2.0/24") {
+		t.Errorf("Rules() = %v, want the masked /24", rules)
+	}
+}
+
+func TestSubnetMapperDomainAllocsFree(t *testing.T) {
+	m, err := NewSubnetMapper([]SubnetRule{
+		{Prefix: mustPrefix(t, "10.0.0.0/8"), Domain: 1},
+		{Prefix: mustPrefix(t, "10.1.0.0/16"), Domain: 2},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := netip.MustParseAddr("10.1.2.3")
+	if n := testing.AllocsPerRun(100, func() { _ = m.Domain(addr) }); n != 0 {
+		t.Errorf("Domain allocates %v times per call, want 0", n)
+	}
+}
+
+func TestSubnetMapperRejectsBadRules(t *testing.T) {
+	if _, err := NewSubnetMapper(nil, -1); err == nil {
+		t.Error("negative fallback should error")
+	}
+	if _, err := NewSubnetMapper([]SubnetRule{{Domain: 1}}, 0); err == nil {
+		t.Error("invalid prefix should error")
+	}
+	if _, err := NewSubnetMapper([]SubnetRule{
+		{Prefix: mustPrefix(t, "10.0.0.0/8"), Domain: -3},
+	}, 0); err == nil {
+		t.Error("negative rule domain should error")
+	}
+}

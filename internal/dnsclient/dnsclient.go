@@ -6,12 +6,16 @@
 package dnsclient
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net"
+	"net/http"
 	"net/netip"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,14 +23,24 @@ import (
 )
 
 // Resolver is a stub resolver bound to a single upstream DNS server.
-// It queries over UDP and falls back to TCP on truncation.
+// By default it queries over UDP and falls back to TCP on truncation;
+// Transport selects TCP-only or DNS-over-HTTPS wire exchanges instead.
 type Resolver struct {
-	// Server is the upstream address, e.g. "127.0.0.1:53".
+	// Server is the upstream address, e.g. "127.0.0.1:53". For the
+	// "doh" transport it may instead be a full URL (anything containing
+	// "://"); a bare host:port becomes http://host:port/dns-query.
 	Server string
+	// Transport selects the exchange path: "" or "udp" is UDP with TCP
+	// fallback on truncation, "tcp" is TCP only, "doh" is RFC 8484
+	// HTTP POST of the wire query.
+	Transport string
 	// Timeout bounds each network exchange (default 3 s).
 	Timeout time.Duration
 	// Dialer optionally overrides dialing (tests).
 	Dialer net.Dialer
+	// HTTPClient optionally overrides the "doh" transport's client
+	// (nil uses a default with the resolver's timeout).
+	HTTPClient *http.Client
 	// ClientSubnet, when valid, is attached to every query as an
 	// RFC 7871 EDNS Client Subnet option so the authority can classify
 	// the originating network even behind a shared resolver.
@@ -86,15 +100,22 @@ func (r *Resolver) Exchange(ctx context.Context, name string, qtype dnswire.Type
 	if err != nil {
 		return nil, err
 	}
-	resp, err := r.exchangeUDP(ctx, wire, query.Header.ID)
+	var resp *dnswire.Message
+	switch r.Transport {
+	case "", "udp":
+		resp, err = r.exchangeUDP(ctx, wire, query.Header.ID)
+		if err == nil && resp.Header.Truncated {
+			resp, err = r.exchangeTCP(ctx, wire, query.Header.ID)
+		}
+	case "tcp":
+		resp, err = r.exchangeTCP(ctx, wire, query.Header.ID)
+	case "doh":
+		resp, err = r.exchangeDoH(ctx, wire, query.Header.ID)
+	default:
+		return nil, fmt.Errorf("dnsclient: unknown transport %q (want udp, tcp or doh)", r.Transport)
+	}
 	if err != nil {
 		return nil, err
-	}
-	if resp.Header.Truncated {
-		resp, err = r.exchangeTCP(ctx, wire, query.Header.ID)
-		if err != nil {
-			return nil, err
-		}
 	}
 	if resp.Header.RCode != dnswire.RCodeNoError {
 		return resp, &RCodeError{RCode: resp.Header.RCode}
@@ -168,6 +189,50 @@ func (r *Resolver) exchangeTCP(ctx context.Context, wire []byte, id uint16) (*dn
 	}
 	if resp.Header.ID != id {
 		return nil, errors.New("dnsclient: tcp response ID mismatch")
+	}
+	return resp, nil
+}
+
+// dohURL resolves the Server field for the DoH transport: a value with
+// a scheme is used verbatim; a bare host:port gets the RFC 8484
+// well-known path on plain HTTP (the in-cluster deployment mode, TLS
+// termination being the fronting proxy's job).
+func (r *Resolver) dohURL() string {
+	if strings.Contains(r.Server, "://") {
+		return r.Server
+	}
+	return "http://" + r.Server + "/dns-query"
+}
+
+func (r *Resolver) exchangeDoH(ctx context.Context, wire []byte, id uint16) (*dnswire.Message, error) {
+	client := r.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: r.timeout()}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.dohURL(), bytes.NewReader(wire))
+	if err != nil {
+		return nil, fmt.Errorf("dnsclient: doh request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/dns-message")
+	req.Header.Set("Accept", "application/dns-message")
+	hr, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dnsclient: doh exchange: %w", err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("dnsclient: doh upstream returned %s", hr.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(hr.Body, 65536))
+	if err != nil {
+		return nil, fmt.Errorf("dnsclient: doh read: %w", err)
+	}
+	resp, err := dnswire.Unpack(body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != id {
+		return nil, errors.New("dnsclient: doh response ID mismatch")
 	}
 	return resp, nil
 }

@@ -7,15 +7,23 @@ import (
 
 // Versioned hot-answer cache.
 //
-// The dominant query shape — an IN A question for the zone, no ECS —
-// always produces the same response bytes for a given (domain, chosen
-// server) pair while the scheduler state stands still: the answer's
-// address comes from the immutable address table and the TTL is a pure
-// function of (state version, domain, server) because the TTL
-// calibration is itself keyed on the snapshot version. The cache
-// exploits that: it stores the fully packed response (ID zeroed,
-// RD clear) and serves hits with a copy plus a two-byte ID patch and
-// one flag-bit OR — zero allocations, no message construction.
+// The dominant query shape — an IN A question for the zone — always
+// produces the same response bytes for a given (domain, chosen server,
+// client subnet) triple while the scheduler state stands still: the
+// answer's address comes from the immutable address table, the TTL is
+// a pure function of (state version, domain, server) because the TTL
+// calibration is itself keyed on the snapshot version, and the RFC
+// 7871 echo (family, source prefix, address, scope) is a pure function
+// of the query's subnet, which is part of the key. The cache exploits
+// that: it stores the fully packed response (ID zeroed, RD clear) and
+// serves hits with a copy plus a two-byte ID patch and one flag-bit OR
+// — zero allocations, no message construction.
+//
+// The subnet key dimension uses exact prefix equality: subnet-blind
+// entries (invalid prefix — queries that carried no ECS) behave
+// exactly as the pre-ECS cache did, and a subnet-scoped entry can only
+// ever be served to a query carrying that identical masked prefix —
+// never across subnets, and never to a query without ECS.
 //
 // Validity is enforced by equality, not by eager purging: an entry is
 // served only when its snapshot version, wire TTL, AND baked-in
@@ -39,13 +47,15 @@ import (
 const answerCacheSlots = 4096
 
 // hotAnswer is one immutable cache entry: the full key and the packed
-// response with the ID zeroed and the RD flag clear.
+// response with the ID zeroed and the RD flag clear. subnet is the
+// invalid zero Prefix for subnet-blind entries.
 type hotAnswer struct {
 	domain  int
 	server  int
 	version uint64
 	ttl     uint32
 	addr    netip.Addr
+	subnet  netip.Prefix
 	wire    []byte
 }
 
@@ -60,22 +70,35 @@ type answerCache struct {
 
 func newAnswerCache() *answerCache { return &answerCache{} }
 
-// slot hashes a (domain, server) pair to a table index.
-func cacheSlot(domain, server int) uint32 {
+// slot hashes a (domain, server, subnet) triple to a table index. The
+// subnet contribution folds the masked address bytes and prefix length
+// in; the invalid (subnet-blind) prefix contributes nothing, keeping
+// blind entries in the exact slots the pre-ECS cache used.
+func cacheSlot(domain, server int, subnet netip.Prefix) uint32 {
 	h := uint32(domain)*0x9E3779B1 ^ uint32(server)*0x85EBCA77
+	if subnet.IsValid() {
+		b := subnet.Addr().As16()
+		for i := 0; i < 16; i += 4 {
+			h = h*0x01000193 ^ (uint32(b[i])<<24 | uint32(b[i+1])<<16 | uint32(b[i+2])<<8 | uint32(b[i+3]))
+		}
+		h = h*0x01000193 ^ uint32(subnet.Bits())
+	}
 	h ^= h >> 16
 	return h & (answerCacheSlots - 1)
 }
 
 // lookup returns the entry for the decision iff it is exactly valid:
-// same (domain, server), packed at the same snapshot version, carrying
-// the same wire TTL, and answering with the same address the current
-// table holds. A key-matching entry that fails the validity checks is
-// a stale survivor of a reconfiguration; it is counted as an
-// invalidation (and will be replaced by the following store).
-func (c *answerCache) lookup(domain, server int, version uint64, ttl uint32, addr netip.Addr) *hotAnswer {
-	e := c.entries[cacheSlot(domain, server)].Load()
-	if e == nil || e.domain != domain || e.server != server {
+// same (domain, server, subnet), packed at the same snapshot version,
+// carrying the same wire TTL, and answering with the same address the
+// current table holds. The subnet comparison is exact Prefix equality,
+// so a scoped entry never serves another subnet (or a subnet-blind
+// query) regardless of hash collisions. A key-matching entry that
+// fails the validity checks is a stale survivor of a reconfiguration;
+// it is counted as an invalidation (and will be replaced by the
+// following store).
+func (c *answerCache) lookup(domain, server int, version uint64, ttl uint32, addr netip.Addr, subnet netip.Prefix) *hotAnswer {
+	e := c.entries[cacheSlot(domain, server, subnet)].Load()
+	if e == nil || e.domain != domain || e.server != server || e.subnet != subnet {
 		c.misses.Add(1)
 		return nil
 	}
@@ -91,17 +114,18 @@ func (c *answerCache) lookup(domain, server int, version uint64, ttl uint32, add
 // store publishes a freshly packed response. wire is the on-the-wire
 // response for the query that missed; the entry keeps a normalized
 // copy (ID zeroed, RD clear) so any later query can be served from it.
-func (c *answerCache) store(domain, server int, version uint64, ttl uint32, addr netip.Addr, wire []byte) {
+func (c *answerCache) store(domain, server int, version uint64, ttl uint32, addr netip.Addr, subnet netip.Prefix, wire []byte) {
 	norm := make([]byte, len(wire))
 	copy(norm, wire)
 	norm[0], norm[1] = 0, 0
 	norm[2] &^= 0x01 // RD is echoed per query; cache the RD-clear form
-	c.entries[cacheSlot(domain, server)].Store(&hotAnswer{
+	c.entries[cacheSlot(domain, server, subnet)].Store(&hotAnswer{
 		domain:  domain,
 		server:  server,
 		version: version,
 		ttl:     ttl,
 		addr:    addr,
+		subnet:  subnet,
 		wire:    norm,
 	})
 }

@@ -10,6 +10,7 @@ import (
 
 	"dnslb/internal/core"
 	"dnslb/internal/dnswire"
+	"dnslb/internal/engine"
 	"dnslb/internal/simcore"
 )
 
@@ -69,7 +70,7 @@ func askA(t *testing.T, srv *Server, id uint16, rd bool) *dnswire.Message {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := srv.handle(wire, netip.MustParseAddr("127.0.0.1"), dnswire.MaxUDPPayload, nil)
+	out := srv.handle(wire, netip.MustParseAddr("127.0.0.1"), engine.TransportUDP, dnswire.MaxUDPPayload, nil)
 	if out == nil {
 		t.Fatal("query dropped")
 	}
@@ -360,7 +361,7 @@ func TestAnswerCacheNoStaleUnderReloadLoad(t *testing.T) {
 					return
 				default:
 				}
-				out := srv.handle(wire, from, dnswire.MaxUDPPayload, nil)
+				out := srv.handle(wire, from, engine.TransportUDP, dnswire.MaxUDPPayload, nil)
 				resp, err := dnswire.Unpack(out)
 				if err != nil {
 					errs <- "unparseable response: " + err.Error()

@@ -28,6 +28,7 @@ import (
 	"unsafe"
 
 	"dnslb/internal/dnswire"
+	"dnslb/internal/engine"
 )
 
 const batchSupported = true
@@ -252,7 +253,7 @@ func (s *Server) serveUDPBatch(worker int, conn *net.UDPConn) {
 			if !ok {
 				continue
 			}
-			resp := s.safeHandle(bio.rbuf[i][:bio.recv[i].len], from, dnswire.MaxUDPPayload, bio.sbuf[k][:0])
+			resp := s.safeHandle(bio.rbuf[i][:bio.recv[i].len], from, engine.TransportUDP, dnswire.MaxUDPPayload, bio.sbuf[k][:0])
 			if resp == nil {
 				continue
 			}

@@ -9,6 +9,7 @@ import (
 
 	"dnslb/internal/core"
 	"dnslb/internal/dnswire"
+	"dnslb/internal/engine"
 	"dnslb/internal/metrics"
 	"dnslb/internal/simcore"
 )
@@ -153,7 +154,7 @@ func BenchmarkHandleHotPath(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := srv.handle(query, from, dnswire.MaxUDPPayload, buf[:0])
+		out := srv.handle(query, from, engine.TransportUDP, dnswire.MaxUDPPayload, buf[:0])
 		if out == nil {
 			b.Fatal("query dropped")
 		}
@@ -177,10 +178,10 @@ func TestHandleHotPathZeroAlloc(t *testing.T) {
 	from := netip.MustParseAddr("127.0.0.1")
 	buf := make([]byte, 0, 2048)
 	for i := 0; i < 64; i++ { // warm every rotation slot
-		srv.handle(query, from, dnswire.MaxUDPPayload, buf[:0])
+		srv.handle(query, from, engine.TransportUDP, dnswire.MaxUDPPayload, buf[:0])
 	}
 	allocs := testing.AllocsPerRun(500, func() {
-		if out := srv.handle(query, from, dnswire.MaxUDPPayload, buf[:0]); out == nil {
+		if out := srv.handle(query, from, engine.TransportUDP, dnswire.MaxUDPPayload, buf[:0]); out == nil {
 			t.Fatal("query dropped")
 		}
 	})

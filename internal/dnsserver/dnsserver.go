@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -66,6 +67,16 @@ type Config struct {
 	Mapper DomainMapper
 	// Addr is the UDP/TCP listen address, e.g. "127.0.0.1:0".
 	Addr string
+	// HTTPAddr, when non-empty, additionally serves queries over HTTP
+	// (DoH): RFC 8484 wire format on /dns-query and a JSON API on
+	// /resolve (see doh.go). The HTTP front end shares the engine, the
+	// rate limiter, the overload-degradation ladder and the metrics
+	// with the UDP/TCP listeners.
+	HTTPAddr string
+	// ECS selects the engine's RFC 7871 client-subnet handling
+	// (passthrough/add/override plus source-prefix clamps); the zero
+	// value is passthrough with the RFC-recommended granularity.
+	ECS engine.ECSConfig
 	// Logger receives structured serve-loop diagnostics; nil discards
 	// them.
 	Logger *slog.Logger
@@ -164,6 +175,18 @@ type Server struct {
 	udpConns []*net.UDPConn
 	tcp      net.Listener
 
+	// DoH front end (doh.go): nil when Config.HTTPAddr is empty.
+	httpAddr string
+	httpLn   net.Listener
+	httpSrv  *http.Server
+
+	// DoH request outcomes, kept as plain atomics (always maintained,
+	// exported as dnslb_doh_requests_total{outcome=...} when
+	// instrumented).
+	dohOK         atomic.Uint64
+	dohBadRequest atomic.Uint64
+	dohDropped    atomic.Uint64
+
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{}
 
@@ -227,6 +250,10 @@ type Server struct {
 	closed chan struct{}
 
 	stats [statsShards]statsShard
+	// tquery counts received queries per transport, sharded like stats
+	// so the per-transport label costs the hot path one more sharded
+	// increment and no new contention.
+	tquery [statsShards]transportShard
 }
 
 // ServerStats counts served queries by outcome.
@@ -258,6 +285,31 @@ type statsShard struct {
 	servfail    atomic.Uint64
 	truncated   atomic.Uint64
 	ratelimited atomic.Uint64
+}
+
+// transportShard counts queries per transport on one stats shard.
+// Four 8-byte atomics plus padding fill one 64-byte cache line, so
+// adjacent shards never share a line (mirroring statsShard).
+type transportShard struct {
+	counts [numTransports]atomic.Uint64
+	_      [64 - 8*numTransports]byte
+}
+
+// numTransports mirrors the engine's Transport value range
+// (none/udp/tcp/doh).
+const numTransports = 4
+
+// TransportQueries returns how many queries arrived through the given
+// transport, summed across the shards.
+func (s *Server) TransportQueries(tr engine.Transport) uint64 {
+	if int(tr) >= numTransports {
+		return 0
+	}
+	var t uint64
+	for i := range s.tquery {
+		t += s.tquery[i].counts[tr].Load()
+	}
+	return t
 }
 
 // statsIndex hashes the source address to a counter-shard index, also
@@ -319,6 +371,11 @@ func New(cfg Config) (*Server, error) {
 				n.Observe(domain, d)
 			}
 		},
+		// The server's DomainMapper is the engine's classification seam:
+		// DecideQuery applies the configured ECS mode and maps either
+		// the client-subnet address or the resolver address through it.
+		Mapper: mapper,
+		ECS:    cfg.ECS,
 	})
 	if err != nil {
 		return nil, err
@@ -345,6 +402,7 @@ func New(cfg Config) (*Server, error) {
 		mapper:      mapper,
 		logger:      logger,
 		listenAddr:  cfg.Addr,
+		httpAddr:    cfg.HTTPAddr,
 		limiter:     cfg.RateLimit,
 		udpWorkers:  workers,
 		udpBatch:    cfg.UDPBatch,

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dnslb/internal/core"
+	"dnslb/internal/engine"
 	"dnslb/internal/metrics"
 )
 
@@ -34,13 +35,19 @@ var queryDurationBuckets = []float64{
 // 240 s constant-TTL baseline; seconds.
 var ttlBuckets = []float64{1, 5, 15, 30, 60, 120, 240, 480, 960, 1920}
 
+// ecsScopeBuckets covers the RFC 7871 scope prefix lengths the server
+// echoes: 0 (answer not subnet-tailored), the v4 granularities up to
+// the /24 recommendation and full /32, and the v6 ladder up to /128.
+var ecsScopeBuckets = []float64{0, 8, 16, 24, 32, 48, 56, 64, 96, 128}
+
 // serverMetrics holds the handles the serve path updates directly.
 type serverMetrics struct {
 	reg *metrics.Registry
 	srv *Server
 
-	latency *metrics.Histogram
-	ttl     *metrics.Histogram
+	latency  *metrics.Histogram
+	ttl      *metrics.Histogram
+	ecsScope *metrics.Histogram
 
 	reportOK  *metrics.Counter
 	reportErr *metrics.Counter
@@ -63,6 +70,13 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	reg.NewCounterFunc("dnslb_dns_queries_total",
 		"DNS queries received, before any classification.",
 		nil, s.statsTotal(func(sh *statsShard) uint64 { return sh.queries.Load() }))
+	for _, tr := range []engine.Transport{engine.TransportUDP, engine.TransportTCP, engine.TransportDoH} {
+		tr := tr
+		reg.NewCounterFunc("dnslb_dns_queries_total",
+			"DNS queries received, before any classification.",
+			metrics.Labels{"transport", tr.String()},
+			func() uint64 { return s.TransportQueries(tr) })
+	}
 	for _, oc := range []struct {
 		name string
 		load func(*statsShard) uint64
@@ -85,6 +99,9 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	m.ttl = reg.NewHistogram("dnslb_dns_ttl_seconds",
 		"TTL values handed out with A answers, before rounding to the wire.",
 		nil, ttlBuckets)
+	m.ecsScope = reg.NewHistogram("dnslb_dns_ecs_scope_prefix",
+		"RFC 7871 scope prefix lengths echoed with ECS-carrying answers (0 = answer not tailored to the client subnet).",
+		nil, ecsScopeBuckets)
 	reg.NewCounterFunc("dnslb_dns_panics_total",
 		"Query-handler panics recovered by the serve workers.",
 		nil, s.panics.Load)
@@ -97,6 +114,19 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	reg.NewGaugeFunc("dnslb_dns_udp_batch_active",
 		"1 while the batched recvmmsg/sendmmsg serve loops are running.",
 		nil, func() float64 { return boolGauge(s.batchMode.Load()) })
+
+	// DoH front end (doh.go): request outcomes. The series exist even
+	// when no HTTP listener is configured (all zero) so dashboards need
+	// no conditional scrape config.
+	reg.NewCounterFunc("dnslb_doh_requests_total",
+		"DoH requests answered successfully.",
+		metrics.Labels{"outcome", "ok"}, s.dohOK.Load)
+	reg.NewCounterFunc("dnslb_doh_requests_total",
+		"DoH requests rejected before reaching the query path (method, media type, encoding, size).",
+		metrics.Labels{"outcome", "bad_request"}, s.dohBadRequest.Load)
+	reg.NewCounterFunc("dnslb_doh_requests_total",
+		"DoH requests whose query the handler dropped (unanswerable wire message).",
+		metrics.Labels{"outcome", "dropped"}, s.dohDropped.Load)
 
 	// TCP connection bound (satellite of the robustness layer): the live
 	// connection count next to the configured cap.

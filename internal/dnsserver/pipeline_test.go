@@ -1,0 +1,274 @@
+package dnsserver
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"dnslb/internal/dnswire"
+)
+
+// TCP pipelining edge cases (RFC 7766 §6.2.1.1): the read loop keeps
+// consuming queries while handlers answer earlier ones concurrently,
+// responses interleave under the write lock, and framing errors cut
+// the connection only after earlier responses drain.
+
+// pipelineQueryWire builds a query with the given ID.
+func pipelineQueryWire(t *testing.T, id uint16) []byte {
+	t.Helper()
+	wire, err := (&dnswire.Message{
+		Header: dnswire.Header{ID: id, RecursionDesired: true},
+		Questions: []dnswire.Question{
+			{Name: "www.site.example", Type: dnswire.TypeA, Class: dnswire.ClassIN},
+		},
+	}).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// TestTCPPipelineInterleaved writes a burst of queries down one
+// connection without waiting for responses, then collects them all:
+// every query must be answered on that same connection, matched by
+// message ID (responses may arrive in any order).
+func TestTCPPipelineInterleaved(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const depth = 12
+	var burst []byte
+	for id := uint16(1); id <= depth; id++ {
+		burst = append(burst, frameTCP(pipelineQueryWire(t, id))...)
+	}
+	if _, err := conn.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got := make(map[uint16]bool)
+	for i := 0; i < depth; i++ {
+		raw, err := readTCPResponse(conn)
+		if err != nil {
+			t.Fatalf("response %d/%d: %v", i+1, depth, err)
+		}
+		msg, err := dnswire.Unpack(raw)
+		if err != nil {
+			t.Fatalf("response %d unparseable: %v", i+1, err)
+		}
+		if msg.Header.RCode != dnswire.RCodeNoError || len(msg.Answers) != 1 {
+			t.Fatalf("response %d: rcode=%v answers=%d", i+1, msg.Header.RCode, len(msg.Answers))
+		}
+		if got[msg.Header.ID] {
+			t.Fatalf("duplicate response for ID %d", msg.Header.ID)
+		}
+		got[msg.Header.ID] = true
+	}
+	for id := uint16(1); id <= depth; id++ {
+		if !got[id] {
+			t.Errorf("query ID %d never answered", id)
+		}
+	}
+}
+
+// TestTCPPipelineDeeperThanCap sends more queries than maxTCPPipeline
+// in one burst: the reader's semaphore stalls intake, handlers drain,
+// and every query is still answered exactly once.
+func TestTCPPipelineDeeperThanCap(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const depth = 3 * maxTCPPipeline
+	done := make(chan error, 1)
+	go func() {
+		var burst []byte
+		for id := uint16(1); id <= depth; id++ {
+			burst = append(burst, frameTCP(pipelineQueryWire(t, id))...)
+		}
+		_, err := conn.Write(burst)
+		done <- err
+	}()
+
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	got := make(map[uint16]bool)
+	for i := 0; i < depth; i++ {
+		raw, err := readTCPResponse(conn)
+		if err != nil {
+			t.Fatalf("response %d/%d: %v", i+1, depth, err)
+		}
+		msg, err := dnswire.Unpack(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[msg.Header.ID] {
+			t.Fatalf("duplicate response for ID %d", msg.Header.ID)
+		}
+		got[msg.Header.ID] = true
+	}
+	if len(got) != depth {
+		t.Fatalf("answered %d distinct IDs, want %d", len(got), depth)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("write side: %v", err)
+	}
+}
+
+// TestTCPPipelineSlowReader holds off reading while the burst is
+// served: responses queue in the socket buffers under the write lock
+// and must all arrive intact once the client starts draining.
+func TestTCPPipelineSlowReader(t *testing.T) {
+	srv, _ := testServer(t, "RR", nil)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const depth = 8
+	var burst []byte
+	for id := uint16(1); id <= depth; id++ {
+		burst = append(burst, frameTCP(pipelineQueryWire(t, id))...)
+	}
+	if _, err := conn.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let every handler write first
+
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got := make(map[uint16]bool)
+	for i := 0; i < depth; i++ {
+		raw, err := readTCPResponse(conn)
+		if err != nil {
+			t.Fatalf("response %d/%d after slow start: %v", i+1, depth, err)
+		}
+		msg, err := dnswire.Unpack(raw)
+		if err != nil {
+			t.Fatalf("interleaved frame corrupt: %v", err)
+		}
+		got[msg.Header.ID] = true
+	}
+	if len(got) != depth {
+		t.Fatalf("answered %d distinct IDs, want %d", len(got), depth)
+	}
+}
+
+// TestTCPPipelineBadPrefixMidStream follows valid pipelined queries
+// with a corrupt length prefix: the earlier queries' responses drain
+// before the connection is cut.
+func TestTCPPipelineBadPrefixMidStream(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		prefix [2]byte
+	}{
+		{"zero", [2]byte{0, 0}},
+		{"oversized", [2]byte{0xff, 0xff}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, _ := testServer(t, "RR", nil)
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+
+			const depth = 3
+			var burst []byte
+			for id := uint16(1); id <= depth; id++ {
+				burst = append(burst, frameTCP(pipelineQueryWire(t, id))...)
+			}
+			burst = append(burst, tc.prefix[:]...)
+			if _, err := conn.Write(burst); err != nil {
+				t.Fatal(err)
+			}
+
+			_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			got := make(map[uint16]bool)
+			for i := 0; i < depth; i++ {
+				raw, err := readTCPResponse(conn)
+				if err != nil {
+					t.Fatalf("response %d/%d should drain before the cut: %v", i+1, depth, err)
+				}
+				msg, err := dnswire.Unpack(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[msg.Header.ID] = true
+			}
+			if len(got) != depth {
+				t.Fatalf("answered %d distinct IDs before the cut, want %d", len(got), depth)
+			}
+			var one [1]byte
+			if _, err := conn.Read(one[:]); err != io.EOF {
+				t.Fatalf("read after bad prefix = %v, want EOF (connection cut)", err)
+			}
+		})
+	}
+}
+
+// TestTCPPipelineUnderConnCap: pipelining multiplies throughput per
+// connection but consumes exactly one semaphore slot. With the cap at
+// 1, a pipelined connection serves its whole burst while a second
+// connection waits, then gets served once the slot frees.
+func TestTCPPipelineUnderConnCap(t *testing.T) {
+	srv := testServerMaxTCP(t, 1)
+	addr := srv.Addr().String()
+
+	first, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+
+	const depth = 6
+	var burst []byte
+	for id := uint16(1); id <= depth; id++ {
+		burst = append(burst, frameTCP(pipelineQueryWire(t, id))...)
+	}
+	if _, err := first.Write(burst); err != nil {
+		t.Fatal(err)
+	}
+	_ = first.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for i := 0; i < depth; i++ {
+		if _, err := readTCPResponse(first); err != nil {
+			t.Fatalf("pipelined response %d under cap: %v", i+1, err)
+		}
+	}
+
+	// The second connection handshakes in the backlog but is not
+	// accepted while the first holds the only slot.
+	second, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if _, err := second.Write(frameTCP(pipelineQueryWire(t, 99))); err != nil {
+		t.Fatal(err)
+	}
+	_ = second.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := readTCPResponse(second); err == nil {
+		t.Fatal("second connection served while the only slot was held")
+	}
+
+	first.Close()
+	_ = second.SetReadDeadline(time.Now().Add(5 * time.Second))
+	raw, err := readTCPResponse(second)
+	if err != nil {
+		t.Fatalf("second connection never served after the slot freed: %v", err)
+	}
+	msg, err := dnswire.Unpack(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Header.ID != 99 || msg.Header.RCode != dnswire.RCodeNoError {
+		t.Fatalf("id=%d rcode=%v, want 99/NOERROR", msg.Header.ID, msg.Header.RCode)
+	}
+}

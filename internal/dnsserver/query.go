@@ -7,21 +7,28 @@ import (
 	"runtime/debug"
 
 	"dnslb/internal/dnswire"
+	"dnslb/internal/engine"
 )
 
-// The query path: one wire-format message in, one out. Scheduling goes
-// through the engine's Decide — the same lifecycle (snapshot
+// The query path: one wire-format message in, one out, whatever front
+// end it arrived through (UDP, pipelined TCP, DoH). Scheduling goes
+// through the engine's DecideQuery — the same lifecycle (snapshot
 // filtering, selection, TTL, mapping ledger) the simulator drives —
-// and this file only adds DNS semantics around it: message validation,
-// rate limiting, ECS classification, record assembly and truncation.
+// fed by an engine.QueryContext carrying the resolver address, the
+// RFC 7871 client subnet when the query forwarded one, and the
+// transport tag. This file only adds DNS semantics around it: message
+// validation, rate limiting, scoped ECS echo, record assembly and
+// truncation.
 //
 // Decoding uses the pooled zero-alloc decoder (dnswire.UnpackQuery);
-// the dominant query shape — IN A for the zone, standard opcode, no
-// ECS — is additionally served through the versioned hot-answer cache
+// the cacheable query shape — IN A for the zone, standard opcode —
+// is additionally served through the versioned hot-answer cache
 // (answercache.go), making the steady-state query entirely
 // allocation-free: pooled decode, cache hit, copy into the pooled
-// response buffer, two-byte ID patch. Every other shape (FORMERR,
-// REFUSED, NOTIMP, NXDOMAIN, ECS, ANY, TXT, negative answers) builds a
+// response buffer, two-byte ID patch. ECS-carrying queries take the
+// same path under a subnet-scoped cache key, so a scoped entry is
+// never served across subnets. Every other shape (FORMERR, REFUSED,
+// NOTIMP, NXDOMAIN, ANY, TXT, negative answers) builds a
 // dnswire.Message as before; those paths are rare and their behavior
 // is byte-compatible with the pre-cache server.
 
@@ -29,16 +36,16 @@ import (
 // path must not kill the serve worker. The panic is logged with its
 // stack, counted, and the query dropped (the client retries; losing
 // one datagram is the UDP failure model anyway).
-func (s *Server) safeHandle(wire []byte, from netip.Addr, maxSize int, dst []byte) (resp []byte) {
+func (s *Server) safeHandle(wire []byte, from netip.Addr, tr engine.Transport, maxSize int, dst []byte) (resp []byte) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
 			s.logger.Error("panic in query handler",
-				"panic", r, "raddr", from, "stack", string(debug.Stack()))
+				"panic", r, "raddr", from, "transport", tr, "stack", string(debug.Stack()))
 			resp = nil
 		}
 	}()
-	return s.handle(wire, from, maxSize, dst)
+	return s.handle(wire, from, tr, maxSize, dst)
 }
 
 // handle processes one wire-format query and returns the wire-format
@@ -46,10 +53,13 @@ func (s *Server) safeHandle(wire []byte, from netip.Addr, maxSize int, dst []byt
 // dst must be a zero-length slice (or nil to allocate). handle touches
 // no server-level lock: the engine and state are internally safe, and
 // counters go to the caller's stats shard.
-func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) []byte {
+func (s *Server) handle(wire []byte, from netip.Addr, tr engine.Transport, maxSize int, dst []byte) []byte {
 	idx := s.statsIndex(from)
 	st := &s.stats[idx]
 	st.queries.Add(1)
+	if int(tr) < numTransports {
+		s.tquery[idx].counts[tr].Add(1)
+	}
 	q := dnswire.GetQuery()
 	defer dnswire.PutQuery(q)
 	if err := q.UnpackQuery(wire); err != nil || q.QDCount == 0 {
@@ -92,27 +102,54 @@ func (s *Server) handle(wire []byte, from netip.Addr, maxSize int, dst []byte) [
 	// The wire-speed fast path. string(q.Name) in a comparison does not
 	// allocate; the name is already canonical (lower-case, trailing
 	// dot), so this is the same zone test the slow path performs.
+	// ECS-carrying queries qualify too: the cache key grows the scoped
+	// subnet, so a scoped entry only ever serves its own subnet.
 	if s.answers != nil && q.Header.OpCode == dnswire.OpQuery &&
 		q.Type == dnswire.TypeA && q.Class == dnswire.ClassIN &&
-		!q.HasECS && string(q.Name) == s.zone {
-		return s.handleHot(q, from, idx, st, maxSize, dst)
+		string(q.Name) == s.zone {
+		return s.handleHot(q, from, tr, idx, st, maxSize, dst)
 	}
-	return s.handleCold(q, from, idx, st, maxSize, dst)
+	return s.handleCold(q, from, tr, idx, st, maxSize, dst)
+}
+
+// queryContext assembles the engine's decision input for one query.
+func queryContext(q *dnswire.Query, from netip.Addr, tr engine.Transport) engine.QueryContext {
+	qc := engine.QueryContext{Resolver: from, Transport: tr}
+	if q.HasECS && q.ECS.Prefix.IsValid() {
+		qc.ClientSubnet = q.ECS.Prefix
+	}
+	return qc
+}
+
+// echoECS attaches the RFC 7871 response option: the query's option
+// echoed with the scope the decision reports (the honoured source
+// prefix when the answer was tailored to the client's subnet, 0
+// otherwise). Observes the scope histogram when instrumented.
+func (s *Server) echoECS(resp *dnswire.Message, q *dnswire.Query, from netip.Addr, idx uint32, scope uint8) {
+	if err := resp.SetClientSubnet(dnswire.EchoClientSubnet(q.ECS, scope), dnswire.MaxUDPPayload); err != nil {
+		s.logger.Debug("ECS echo failed", "err", err, "raddr", from)
+		return
+	}
+	if s.metrics != nil {
+		s.metrics.ecsScope.ObserveHint(idx, float64(scope))
+	}
 }
 
 // handleHot answers the cacheable query shape — IN A for the zone,
-// standard opcode, no ECS — through the versioned hot-answer cache.
-// One Decide per query as always (the cache stores response bytes, not
-// decisions); a hit serves the pre-packed response with an ID/RD
+// standard opcode — through the versioned hot-answer cache. One
+// DecideQuery per query as always (the cache stores response bytes,
+// not decisions); a hit serves the pre-packed response with an ID/RD
 // patch, a miss packs once and publishes the bytes for the next query
-// that draws the same (domain, server) pair at the same state version.
-func (s *Server) handleHot(q *dnswire.Query, from netip.Addr, idx uint32, st *statsShard, maxSize int, dst []byte) []byte {
-	domain := s.mapper(from)
+// that draws the same (domain, server, subnet) triple at the same
+// state version. Subnet-blind queries use the invalid zero subnet as
+// their key dimension, preserving the pre-ECS cache behavior exactly.
+func (s *Server) handleHot(q *dnswire.Query, from netip.Addr, tr engine.Transport, idx uint32, st *statsShard, maxSize int, dst []byte) []byte {
+	qc := queryContext(q, from, tr)
 	// The version is read before Decide; if a reconfiguration lands in
 	// between, the stored entry's TTL/address equality checks still
 	// guarantee any bytes served are identical to a fresh pack.
 	ver := s.eng.StateVersion()
-	d, err := s.eng.Decide(domain)
+	qd, err := s.eng.DecideQuery(qc)
 	if err != nil {
 		st.servfail.Add(1)
 		resp := &dnswire.Message{
@@ -128,17 +165,34 @@ func (s *Server) handleHot(q *dnswire.Query, from netip.Addr, idx uint32, st *st
 		}
 		return mustPack(resp, dst)
 	}
-	ttl := uint32(math.Round(d.TTL))
+	ttl := uint32(math.Round(qd.TTL))
 	if ttl == 0 {
 		ttl = 1
 	}
 	if s.metrics != nil {
-		s.metrics.ttl.ObserveHint(idx, d.TTL)
+		s.metrics.ttl.ObserveHint(idx, qd.TTL)
 	}
-	addr := s.serverAddrs()[d.Server]
-	if e := s.answers.lookup(domain, d.Server, ver, ttl, addr); e != nil && len(e.wire) <= maxSize {
-		st.answered.Add(1)
-		return e.appendAnswer(dst, q.Header.ID, q.Header.RecursionDesired)
+	// The cache key's subnet dimension: the scoped client subnet when
+	// it drove classification, invalid (subnet-blind) otherwise. Exact
+	// prefix equality in the cache guarantees a scoped entry is never
+	// served across subnets. An ECS query whose subnet did NOT scope the
+	// decision (override mode) bypasses the cache entirely: its response
+	// still echoes the option (scope 0), so its bytes are neither
+	// reusable under the blind key nor keyed by any subnet.
+	var subnet netip.Prefix
+	if qd.ClientScoped {
+		subnet = qc.ClientSubnet.Masked()
+	}
+	cacheable := !q.HasECS || qd.ClientScoped
+	addr := s.serverAddrs()[qd.Server]
+	if cacheable {
+		if e := s.answers.lookup(qd.Domain, qd.Server, ver, ttl, addr, subnet); e != nil && len(e.wire) <= maxSize {
+			st.answered.Add(1)
+			if q.HasECS && s.metrics != nil {
+				s.metrics.ecsScope.ObserveHint(idx, float64(qd.Scope))
+			}
+			return e.appendAnswer(dst, q.Header.ID, q.Header.RecursionDesired)
+		}
 	}
 	resp := &dnswire.Message{
 		Header: dnswire.Header{
@@ -157,18 +211,22 @@ func (s *Server) handleHot(q *dnswire.Query, from netip.Addr, idx uint32, st *st
 			Data:  dnswire.A{Addr: addr},
 		}},
 	}
+	if q.HasECS {
+		s.echoECS(resp, q, from, idx, qd.Scope)
+	}
 	st.answered.Add(1)
 	out := mustPack(resp, dst)
 	if len(out) > maxSize {
-		// Unreachable for UDP (a single compressed A answer fits 512
-		// bytes), but kept for parity with the slow path.
+		// Unreachable for UDP (a single compressed A answer plus the
+		// OPT record fits 512 bytes), but kept for parity with the slow
+		// path.
 		resp.Answers = nil
 		resp.Header.Truncated = true
 		st.truncated.Add(1)
 		return mustPack(resp, out[:0])
 	}
-	if out != nil {
-		s.answers.store(domain, d.Server, ver, ttl, addr, out)
+	if out != nil && cacheable {
+		s.answers.store(qd.Domain, qd.Server, ver, ttl, addr, subnet, out)
 	}
 	return out
 }
@@ -212,11 +270,7 @@ func (s *Server) handleDegraded(q *dnswire.Query, from netip.Addr, idx uint32, s
 		Data:  dnswire.A{Addr: s.serverAddrs()[d.Server]},
 	}}
 	if q.HasECS {
-		echo := q.ECS
-		echo.ScopePrefixLen = 0
-		if err := resp.SetClientSubnet(echo, dnswire.MaxUDPPayload); err != nil {
-			s.logger.Debug("ECS echo failed", "err", err, "raddr", from)
-		}
+		s.echoECS(resp, q, from, idx, 0)
 	}
 	st.answered.Add(1)
 	s.over.noteDegradedAnswer(idx)
@@ -235,7 +289,7 @@ func (s *Server) handleDegraded(q *dnswire.Query, from netip.Addr, idx uint32, s
 // dnswire.Message, exactly as the server did before the cache: NOTIMP,
 // NXDOMAIN, ECS-classified answers, ANY, TXT, negative answers, and
 // all A traffic when the cache is disabled.
-func (s *Server) handleCold(q *dnswire.Query, from netip.Addr, idx uint32, st *statsShard, maxSize int, dst []byte) []byte {
+func (s *Server) handleCold(q *dnswire.Query, from netip.Addr, tr engine.Transport, idx uint32, st *statsShard, maxSize int, dst []byte) []byte {
 	resp := &dnswire.Message{
 		Header: dnswire.Header{
 			ID:               q.Header.ID,
@@ -257,43 +311,34 @@ func (s *Server) handleCold(q *dnswire.Query, from netip.Addr, idx uint32, st *s
 		st.nxdomain.Add(1)
 		return mustPack(resp, dst)
 	}
-	// RFC 7871 Client Subnet: when the resolver forwarded the client's
-	// network prefix, classify the originating domain from it instead
-	// of the resolver's own transport address, and echo the option with
-	// the scope we used.
-	clientAddr := from
-	if q.HasECS && q.ECS.Prefix.IsValid() {
-		clientAddr = q.ECS.Prefix.Addr()
-	}
 	switch q.Type {
 	case dnswire.TypeA, dnswire.TypeANY:
-		domain := s.mapper(clientAddr)
-		d, err := s.eng.Decide(domain)
+		// RFC 7871 Client Subnet: DecideQuery classifies the
+		// originating domain from the forwarded client subnet (per the
+		// configured ECS mode) instead of the resolver's own transport
+		// address, and reports the scope to echo with the option.
+		qd, err := s.eng.DecideQuery(queryContext(q, from, tr))
 		if err != nil {
 			resp.Header.RCode = dnswire.RCodeServFail
 			st.servfail.Add(1)
 			return mustPack(resp, dst)
 		}
-		ttl := uint32(math.Round(d.TTL))
+		ttl := uint32(math.Round(qd.TTL))
 		if ttl == 0 {
 			ttl = 1
 		}
 		if s.metrics != nil {
-			s.metrics.ttl.ObserveHint(idx, d.TTL)
+			s.metrics.ttl.ObserveHint(idx, qd.TTL)
 		}
 		resp.Answers = []dnswire.ResourceRecord{{
 			Name:  s.zone,
 			Type:  dnswire.TypeA,
 			Class: dnswire.ClassIN,
 			TTL:   ttl,
-			Data:  dnswire.A{Addr: s.serverAddrs()[d.Server]},
+			Data:  dnswire.A{Addr: s.serverAddrs()[qd.Server]},
 		}}
 		if q.HasECS {
-			echo := q.ECS
-			echo.ScopePrefixLen = uint8(q.ECS.Prefix.Bits())
-			if err := resp.SetClientSubnet(echo, dnswire.MaxUDPPayload); err != nil {
-				s.logger.Debug("ECS echo failed", "err", err, "raddr", from)
-			}
+			s.echoECS(resp, q, from, idx, qd.Scope)
 		}
 		st.answered.Add(1)
 	case dnswire.TypeTXT:

@@ -5,16 +5,20 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"net/http"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnslb/internal/dnswire"
+	"dnslb/internal/engine"
 )
 
 // Serve loops and lifecycle: socket binding, the parallel UDP
-// reader/responder workers, the TCP accept loop, and the two stop
-// paths (immediate Close, graceful Shutdown).
+// reader/responder workers, the TCP accept loop and its pipelined
+// per-connection handlers, the optional DoH front end, and the two
+// stop paths (immediate Close, graceful Shutdown).
 
 // Start binds the UDP socket and TCP listener and begins serving with
 // the configured number of parallel UDP workers.
@@ -45,6 +49,33 @@ func (s *Server) Start() error {
 		if uaddr.Port != 0 || attempt == pairAttempts-1 {
 			return fmt.Errorf("dnsserver: listen tcp: %w", err)
 		}
+	}
+	if s.httpAddr != "" {
+		ln, err := net.Listen("tcp", s.httpAddr)
+		if err != nil {
+			for _, c := range s.udpConns {
+				_ = c.Close()
+			}
+			_ = s.tcp.Close()
+			return fmt.Errorf("dnsserver: listen http: %w", err)
+		}
+		s.httpLn = ln
+		s.httpSrv = &http.Server{
+			Handler:           s.dohMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+			IdleTimeout:       tcpIdleTimeout,
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				select {
+				case <-s.closed:
+				default:
+					s.logger.Warn("http serve failed", "err", err)
+				}
+			}
+		}()
 	}
 	if s.overCfg.Enabled() && s.over == nil {
 		s.over = newOverloadController(s, s.overCfg)
@@ -102,6 +133,15 @@ func (s *Server) addrOrDefault() string {
 // Addr returns the bound UDP address (valid after Start).
 func (s *Server) Addr() net.Addr { return s.udp.LocalAddr() }
 
+// HTTPAddr returns the bound DoH listener address, or nil when no HTTP
+// front end is configured (valid after Start).
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
 // Close stops serving immediately and waits for the serve loops to
 // exit; in-flight exchanges may be cut off. For a drain-then-stop, use
 // Shutdown.
@@ -124,6 +164,11 @@ func (s *Server) Close() error {
 	}
 	if s.tcp != nil {
 		if err := s.tcp.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -167,6 +212,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.tcp != nil {
 		first = s.tcp.Close()
 	}
+	if s.httpSrv != nil {
+		// Graceful: in-flight DoH exchanges complete; if ctx expires the
+		// Close fallback below cuts whatever remains.
+		if err := s.httpSrv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -177,6 +229,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		if first == nil {
 			first = ctx.Err()
+		}
+		if s.httpSrv != nil {
+			_ = s.httpSrv.Close()
 		}
 		s.connsMu.Lock()
 		for c := range s.conns {
@@ -281,7 +336,7 @@ func (s *Server) serveUDP(worker int) {
 			start = time.Now()
 		}
 		bp := packPool.Get().(*[]byte)
-		resp := s.safeHandle(buf[:n], raddr.Addr(), dnswire.MaxUDPPayload, (*bp)[:0])
+		resp := s.safeHandle(buf[:n], raddr.Addr(), engine.TransportUDP, dnswire.MaxUDPPayload, (*bp)[:0])
 		if resp != nil {
 			if _, err := s.udp.WriteToUDPAddrPort(resp, raddr); err != nil {
 				s.logger.Warn("udp write failed", "err", err, "worker", worker, "raddr", raddr)
@@ -374,10 +429,9 @@ const tcpIdleTimeout = 30 * time.Second
 // either way the connection is cut before reading the payload.
 const maxTCPQuery = 4096
 
-// tcpBufPool recycles per-connection TCP read buffers: one Get per
-// connection (not per message) keeps the steady-state read path
-// allocation-free while a flood of short-lived connections recycles
-// instead of churning 4 KiB slabs.
+// tcpBufPool recycles TCP read buffers: one Get per in-flight message
+// keeps the steady-state read path allocation-free while a flood of
+// short-lived connections recycles instead of churning 4 KiB slabs.
 var tcpBufPool = sync.Pool{
 	New: func() any {
 		b := make([]byte, maxTCPQuery)
@@ -385,22 +439,55 @@ var tcpBufPool = sync.Pool{
 	},
 }
 
+// maxTCPPipeline bounds how many queries one TCP connection may have in
+// flight at once (RFC 7766 §6.2.1.1 pipelining). The reader stalls —
+// applying natural backpressure through the kernel's receive window —
+// once the cap is reached, so one connection can neither spawn
+// unbounded handler goroutines nor pin unbounded pooled buffers.
+const maxTCPPipeline = 16
+
+// serveTCPConn serves one TCP connection with pipelining per RFC 7766:
+// the read loop keeps consuming length-prefixed queries while up to
+// maxTCPPipeline handler goroutines process earlier ones concurrently,
+// and each handler writes its length-prefixed response under the
+// connection's write lock the moment it is ready — so responses may
+// interleave in any order (clients match on message ID) and one slow
+// decision never convoys the queries behind it.
+//
+// Framing errors (zero or oversized length prefix) and unanswerable
+// messages cut the connection exactly as the sequential loop did;
+// in-flight handlers for earlier queries still complete and write
+// their responses before the deferred Wait returns.
 func (s *Server) serveTCPConn(conn net.Conn) {
 	var raddr netip.Addr
 	if ap, err := netip.ParseAddrPort(conn.RemoteAddr().String()); err == nil {
 		raddr = ap.Addr()
 	}
+	var (
+		wmu    sync.Mutex // serializes response writes
+		wg     sync.WaitGroup
+		broken atomic.Bool // a handler failed to write or dropped its query
+		sem    = make(chan struct{}, maxTCPPipeline)
+	)
+	// Cut the connection: mark it broken so the read loop stops, and
+	// close it so concurrent handlers' writes fail fast. Handlers call
+	// this too, making a mid-pipeline failure converge from both sides.
+	cut := func() {
+		broken.Store(true)
+		_ = conn.Close()
+	}
+	defer wg.Wait()
 	var lenBuf [2]byte
-	bufp := tcpBufPool.Get().(*[]byte)
-	defer tcpBufPool.Put(bufp)
-	buf := *bufp
 	for {
-		// A graceful shutdown lets the current exchange finish but takes
+		// A graceful shutdown lets in-flight exchanges finish but takes
 		// no further messages from the connection.
 		select {
 		case <-s.closed:
 			return
 		default:
+		}
+		if broken.Load() {
+			return
 		}
 		if err := conn.SetReadDeadline(time.Now().Add(tcpIdleTimeout)); err != nil {
 			return
@@ -412,32 +499,54 @@ func (s *Server) serveTCPConn(conn net.Conn) {
 		// Validate the length prefix BEFORE reading the payload: a
 		// zero-length message carries nothing answerable, and an
 		// oversized one is read-and-discard work no legitimate resolver
-		// ever asks for. Both cut the connection.
+		// ever asks for. Both stop the read loop; responses already in
+		// flight drain through the deferred Wait before the caller
+		// closes the connection.
 		if n == 0 || n > maxTCPQuery {
 			return
 		}
-		msg := buf[:n]
+		// The message gets its own pooled buffer: the handler goroutine
+		// owns it until done, while the read loop moves on to the next
+		// length prefix.
+		msgp := tcpBufPool.Get().(*[]byte)
+		msg := (*msgp)[:n]
 		if _, err := readFull(conn, msg); err != nil {
+			tcpBufPool.Put(msgp)
 			return
 		}
-		bp := packPool.Get().(*[]byte)
-		resp := s.safeHandle(msg, raddr, math.MaxUint16, (*bp)[:0])
-		if resp == nil {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			bp := packPool.Get().(*[]byte)
+			resp := s.safeHandle(msg, raddr, engine.TransportTCP, math.MaxUint16, (*bp)[:0])
+			tcpBufPool.Put(msgp)
+			if resp == nil {
+				packPool.Put(bp)
+				cut()
+				return
+			}
+			var pfx [2]byte
+			pfx[0], pfx[1] = byte(len(resp)>>8), byte(len(resp))
+			// Two-buffer writev under the write lock: length prefix +
+			// pooled response body, no copy into a combined slice, and
+			// no interleaving of partial responses from other handlers.
+			wmu.Lock()
+			_ = conn.SetWriteDeadline(time.Now().Add(tcpIdleTimeout))
+			bufs := net.Buffers{pfx[:], resp}
+			_, err := bufs.WriteTo(conn)
+			wmu.Unlock()
+			if cap(resp) > cap(*bp) {
+				*bp = resp[:0]
+			}
 			packPool.Put(bp)
-			return
-		}
-		// Two-buffer writev: length prefix + pooled response body, no
-		// copy into a combined slice.
-		lenBuf[0], lenBuf[1] = byte(len(resp)>>8), byte(len(resp))
-		bufs := net.Buffers{lenBuf[:], resp}
-		_, err := bufs.WriteTo(conn)
-		if cap(resp) > cap(*bp) {
-			*bp = resp[:0]
-		}
-		packPool.Put(bp)
-		if err != nil {
-			return
-		}
+			if err != nil {
+				cut()
+			}
+		}()
 	}
 }
 

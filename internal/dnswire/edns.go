@@ -167,6 +167,16 @@ func ParseClientSubnet(data []byte) (ClientSubnet, error) {
 	return cs, nil
 }
 
+// EchoClientSubnet builds the response-side ECS option for a query's
+// option per RFC 7871 §7.2.2: FAMILY, SOURCE PREFIX-LENGTH and ADDRESS
+// are echoed unchanged, and SCOPE PREFIX-LENGTH announces how broadly
+// the answer may be reused — the honoured source prefix when the
+// answer was tailored to the client's subnet, 0 when it was not.
+func EchoClientSubnet(query ClientSubnet, scope uint8) ClientSubnet {
+	query.ScopePrefixLen = scope
+	return query
+}
+
 // SetClientSubnet attaches (or replaces) an EDNS OPT record carrying
 // the given client subnet to the message's additional section.
 // udpPayload advertises the sender's reassembly size (RFC 6891);

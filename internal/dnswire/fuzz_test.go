@@ -184,3 +184,66 @@ func FuzzParseClientSubnet(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseECSOption drives the ECS option parser with a structured
+// hostile input — arbitrary family, source/scope prefix lengths and
+// address payload assembled into one option TLV — and holds every
+// accepted option to the RFC 7871 invariants the server relies on:
+// the parsed prefix is masked, within the family's bit width, packs
+// back losslessly, and survives the scoped response echo
+// (EchoClientSubnet) both standalone and embedded in a full message.
+func FuzzParseECSOption(f *testing.F) {
+	f.Add(uint16(1), uint8(24), uint8(0), []byte{10, 1, 2})
+	f.Add(uint16(2), uint8(56), uint8(48), []byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0})
+	f.Add(uint16(1), uint8(33), uint8(0), []byte{10, 1, 2, 3, 4})
+	f.Add(uint16(3), uint8(8), uint8(8), []byte{10})
+	f.Add(uint16(1), uint8(0), uint8(255), []byte{})
+	f.Fuzz(func(t *testing.T, family uint16, srcBits, scope uint8, payload []byte) {
+		data := make([]byte, 0, 4+len(payload))
+		data = append(data, byte(family>>8), byte(family), srcBits, scope)
+		data = append(data, payload...)
+		cs, err := ParseClientSubnet(data)
+		if err != nil {
+			return
+		}
+		addr := cs.Prefix.Addr()
+		if addr.Is4() && cs.Prefix.Bits() > 32 {
+			t.Fatalf("accepted IPv4 prefix wider than 32 bits: %v", cs.Prefix)
+		}
+		if cs.Prefix != cs.Prefix.Masked() {
+			t.Fatalf("accepted unmasked prefix %v", cs.Prefix)
+		}
+		echo := EchoClientSubnet(cs, uint8(cs.Prefix.Bits()))
+		if echo.Prefix != cs.Prefix {
+			t.Fatalf("echo changed the prefix: %v vs %v", echo.Prefix, cs.Prefix)
+		}
+		repacked, err := echo.Pack()
+		if err != nil {
+			t.Fatalf("accepted ECS %v fails to pack with scope: %v", cs, err)
+		}
+		cs2, err := ParseClientSubnet(repacked)
+		if err != nil {
+			t.Fatalf("re-parse of scoped echo failed: %v", err)
+		}
+		if cs2.Prefix != cs.Prefix || cs2.ScopePrefixLen != uint8(cs.Prefix.Bits()) {
+			t.Fatalf("scoped echo round-trip drifted: %+v vs %+v", cs2, echo)
+		}
+		// The same option must survive a full message round trip.
+		m := queryMessage(7, "example.com", TypeA)
+		if err := m.SetClientSubnet(echo, MaxUDPPayload); err != nil {
+			t.Fatalf("SetClientSubnet rejected accepted ECS: %v", err)
+		}
+		wire, err := m.Pack()
+		if err != nil {
+			t.Fatalf("pack with ECS failed: %v", err)
+		}
+		back, err := Unpack(wire)
+		if err != nil {
+			t.Fatalf("unpack with ECS failed: %v", err)
+		}
+		got, ok := back.ClientSubnet()
+		if !ok || got.Prefix != cs.Prefix || got.ScopePrefixLen != echo.ScopePrefixLen {
+			t.Fatalf("message round trip lost the scoped option: %+v ok=%v", got, ok)
+		}
+	})
+}

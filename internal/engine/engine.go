@@ -26,6 +26,7 @@ package engine
 
 import (
 	"errors"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +68,15 @@ type Config struct {
 	// record from. It is called synchronously on the query path and
 	// must be cheap and concurrency-safe on the live path.
 	OnDecision func(domain int, d core.Decision)
+	// Mapper classifies an address (a resolver's, or the address of an
+	// ECS client subnet) into a connected-domain index; required for
+	// DecideQuery, unused by Decide. It is called concurrently from the
+	// query path and must be pure and lock-free.
+	Mapper func(addr netip.Addr) int
+	// ECS selects the RFC 7871 client-subnet handling DecideQuery
+	// applies (see ECSConfig); the zero value is passthrough with the
+	// RFC-recommended source-prefix granularity.
+	ECS ECSConfig
 }
 
 // Engine is the unified decision lifecycle.
@@ -76,6 +86,8 @@ type Engine struct {
 	ledger      *Ledger
 	est         *lockedEstimator // nil when feedback is disabled
 	onDecision  func(domain int, d core.Decision)
+	mapper      func(addr netip.Addr) int // nil: DecideQuery unavailable
+	ecs         ECSConfig
 	estRejected atomic.Uint64 // hit reports the estimator refused
 
 	// fallback is the degraded-ladder smooth-WRR accumulator; see
@@ -91,11 +103,16 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Clock == nil {
 		return nil, errors.New("engine: Clock is required")
 	}
+	if err := cfg.ECS.validate(); err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		policy:     cfg.Policy,
 		clock:      cfg.Clock,
 		ledger:     NewLedger(cfg.Policy.State().Cluster().N()),
 		onDecision: cfg.OnDecision,
+		mapper:     cfg.Mapper,
+		ecs:        cfg.ECS,
 	}
 	if cfg.Estimator != nil {
 		le := &lockedEstimator{est: cfg.Estimator}

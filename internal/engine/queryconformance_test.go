@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"dnslb/internal/core"
+	"dnslb/internal/simcore"
+)
+
+// QueryContext conformance: the PR-10 extension of the suite. The same
+// recorded stream of QueryContexts — resolver addresses, some
+// misaligned, with ECS client subnets present on part of the queries —
+// must classify and schedule bit-identically on a sim-built and a
+// live-built engine for every policy and both estimator kinds. This
+// pins down the full DecideQuery lifecycle (subnet classification,
+// clamping, scope computation, then the shared Decide core) as
+// environment-independent beyond the two declared seams.
+
+// confQueryAddr returns the conformance resolver address of domain d
+// (10.0.d.1) and confQuerySubnet the client /24 (10.0.d.0/24); the
+// mapper decodes octet 2. Domain indexes stay below confDomains.
+func confQueryAddr(d int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 0, byte(d), 1})
+}
+
+func confQuerySubnet(d int, bits int) netip.Prefix {
+	p, _ := netip.AddrFrom4([4]byte{10, 0, byte(d), 0}).Prefix(bits)
+	return p
+}
+
+func confQueryMapper(addr netip.Addr) int {
+	if !addr.IsValid() {
+		return 0
+	}
+	b := addr.As4()
+	return int(b[2]) % confDomains
+}
+
+// confQueryContext builds the i-th query's context: every third query
+// arrives from a misaligned resolver (two domains over), every second
+// query carries the clients' true subnet as ECS — alternating source
+// prefix /24 and /28, the latter exercising the clamp — so the stream
+// covers aligned/misaligned × ECS/no-ECS and both exact and clamped
+// source-prefix lengths.
+func confQueryContext(i int) QueryContext {
+	domain := i % confDomains
+	resolver := domain
+	if i%3 == 0 {
+		resolver = (domain + 2) % confDomains
+	}
+	qc := QueryContext{Resolver: confQueryAddr(resolver), Transport: TransportUDP}
+	if i%2 == 0 {
+		bits := 24
+		if i%4 == 0 {
+			bits = 28
+		}
+		qc.ClientSubnet = confQuerySubnet(domain, bits)
+	}
+	return qc
+}
+
+// confQueryDecision is one recorded DecideQuery outcome; compared for
+// bit-identity like confDecision, plus the classification fields.
+type confQueryDecision struct {
+	domain  int
+	server  int
+	ttlBits uint64
+	scoped  bool
+	scope   uint8
+	failed  bool
+}
+
+func applyQueryEvent(t *testing.T, eng *Engine, i int, out *[]confQueryDecision) {
+	t.Helper()
+	qd, err := eng.DecideQuery(confQueryContext(i))
+	if err != nil {
+		if qd.Domain < -1 || qd.Domain >= confDomains {
+			t.Fatalf("query %d: domain %d out of range", i, qd.Domain)
+		}
+		*out = append(*out, confQueryDecision{domain: qd.Domain, failed: true})
+		return
+	}
+	*out = append(*out, confQueryDecision{
+		domain:  qd.Domain,
+		server:  qd.Server,
+		ttlBits: math.Float64bits(qd.TTL),
+		scoped:  qd.ClientScoped,
+		scope:   qd.Scope,
+	})
+}
+
+// conformanceQueryEngine is conformanceEngine plus the DecideQuery
+// seams: the conformance mapper and passthrough ECS defaults.
+func conformanceQueryEngine(t *testing.T, policyName, estKind string, rng core.Rand, now func() float64, clock Clock) *Engine {
+	t.Helper()
+	cluster, err := core.NewCluster([]float64{140, 120, 100, 80, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := core.NewState(cluster, confDomains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := state.SetWeights([]float64{0.30, 0.25, 0.18, 0.12, 0.09, 0.06}); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := core.NewPolicy(core.PolicyConfig{
+		Name:        policyName,
+		State:       state,
+		Rand:        rng,
+		Now:         now,
+		ConstantTTL: core.DefaultConstantTTL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := core.NewLoadEstimator(estKind, confDomains, core.DefaultEstimatorAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{Policy: pol, Clock: clock, Estimator: est, Mapper: confQueryMapper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// runQuerySimPath and runQueryLivePath mirror runSimPath/runLivePath
+// with queries routed through DecideQuery; control events reuse
+// applyConfEvent (their kinds never produce decisions).
+func runQuerySimPath(t *testing.T, policyName, estKind string, events []confEvent) ([]confQueryDecision, []float64) {
+	t.Helper()
+	sc := simcore.New(confSeed)
+	eng := conformanceQueryEngine(t, policyName, estKind, sc.Stream("policy"), sc.Now, ClockFunc(sc.Now))
+	var out []confQueryDecision
+	horizon := 0.0
+	qi := 0
+	for _, ev := range events {
+		ev := ev
+		if ev.kind == "query" {
+			i := qi
+			qi++
+			sc.ScheduleAt(ev.time, func() { applyQueryEvent(t, eng, i, &out) })
+		} else {
+			var sink []confDecision
+			sc.ScheduleAt(ev.time, func() { applyConfEvent(t, eng, ev, &sink) })
+		}
+		if ev.time > horizon {
+			horizon = ev.time
+		}
+	}
+	sc.Run(horizon + 1)
+	return out, ledgerExpiries(eng)
+}
+
+func runQueryLivePath(t *testing.T, policyName, estKind string, events []confEvent) ([]confQueryDecision, []float64) {
+	t.Helper()
+	clock := &ManualClock{}
+	eng := conformanceQueryEngine(t, policyName, estKind, simcore.NewStream(confSeed, "policy"), clock.Now, clock)
+	var out []confQueryDecision
+	var sink []confDecision
+	qi := 0
+	for _, ev := range events {
+		clock.Set(ev.time)
+		if ev.kind == "query" {
+			applyQueryEvent(t, eng, qi, &out)
+			qi++
+		} else {
+			applyConfEvent(t, eng, ev, &sink)
+		}
+	}
+	return out, ledgerExpiries(eng)
+}
+
+// TestSimLiveQueryConformance asserts bit-identical DecideQuery
+// behavior across the sim and live assemblies for every policy and
+// both estimator kinds, ECS present and absent.
+func TestSimLiveQueryConformance(t *testing.T) {
+	events := conformanceEvents()
+	for _, estKind := range core.EstimatorKinds() {
+		for _, policyName := range core.PolicyNames() {
+			estKind, policyName := estKind, policyName
+			t.Run(estKind+"/"+policyName, func(t *testing.T) {
+				simD, simLedger := runQuerySimPath(t, policyName, estKind, events)
+				liveD, liveLedger := runQueryLivePath(t, policyName, estKind, events)
+				if len(simD) != len(liveD) {
+					t.Fatalf("decision counts diverge: sim %d, live %d", len(simD), len(liveD))
+				}
+				for i := range simD {
+					if simD[i] != liveD[i] {
+						s, l := simD[i], liveD[i]
+						t.Fatalf("query %d diverges: sim (domain %d → server %d, ttl %v, scoped %v/%d, failed %v), live (domain %d → server %d, ttl %v, scoped %v/%d, failed %v)",
+							i,
+							s.domain, s.server, math.Float64frombits(s.ttlBits), s.scoped, s.scope, s.failed,
+							l.domain, l.server, math.Float64frombits(l.ttlBits), l.scoped, l.scope, l.failed)
+					}
+				}
+				for i := range simLedger {
+					if math.Float64bits(simLedger[i]) != math.Float64bits(liveLedger[i]) {
+						t.Errorf("ledger slot %d diverges: sim %v, live %v", i, simLedger[i], liveLedger[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQueryConformanceStreamShape guards the query stream: it must mix
+// scoped and unscoped decisions, clamp at least one source prefix, and
+// classify ECS queries by the client subnet (not the misaligned
+// resolver) — otherwise the suite could conform on a stream that never
+// exercises the new lifecycle.
+func TestQueryConformanceStreamShape(t *testing.T) {
+	events := conformanceEvents()
+	decisions, _ := runQuerySimPath(t, "PRR2-TTL/K", core.EstimatorReactive, events)
+	var scoped, unscoped, clamped int
+	qi := 0
+	for _, d := range decisions {
+		qc := confQueryContext(qi)
+		qi++
+		if d.failed {
+			continue
+		}
+		if d.scoped {
+			scoped++
+			if d.scope != 24 {
+				t.Errorf("query %d: /%d subnet reported scope %d, want the /24 granularity",
+					qi-1, qc.ClientSubnet.Bits(), d.scope)
+			}
+			if d.scope < uint8(qc.ClientSubnet.Bits()) {
+				clamped++
+			}
+			if want := confQueryMapper(qc.ClientSubnet.Addr()); d.domain != want {
+				t.Errorf("query %d: classified domain %d, subnet says %d", qi-1, d.domain, want)
+			}
+		} else {
+			unscoped++
+			if want := confQueryMapper(qc.Resolver); d.domain != want {
+				t.Errorf("query %d: classified domain %d, resolver says %d", qi-1, d.domain, want)
+			}
+		}
+	}
+	if scoped == 0 || unscoped == 0 {
+		t.Fatalf("stream too weak: %d scoped, %d unscoped", scoped, unscoped)
+	}
+	if clamped == 0 {
+		t.Error("stream never exercised the /28 → /24 source-prefix clamp")
+	}
+}
+
+// TestDecideQueryMatchesDecide pins the compatibility guarantee: with
+// no ECS in effect, DecideQuery(resolver) is Decide(mapper(resolver))
+// bit-for-bit — same decision stream, same ledger.
+func TestDecideQueryMatchesDecide(t *testing.T) {
+	clockA, clockB := &ManualClock{}, &ManualClock{}
+	a := conformanceQueryEngine(t, "DRR2-TTL/S_K", core.EstimatorReactive,
+		simcore.NewStream(confSeed, "policy"), clockA.Now, clockA)
+	b := conformanceQueryEngine(t, "DRR2-TTL/S_K", core.EstimatorReactive,
+		simcore.NewStream(confSeed, "policy"), clockB.Now, clockB)
+	for i := 0; i < 200; i++ {
+		tm := 0.5 * float64(i+1)
+		clockA.Set(tm)
+		clockB.Set(tm)
+		resolver := confQueryAddr(i % confDomains)
+		qd, qerr := a.DecideQuery(QueryContext{Resolver: resolver})
+		d, derr := b.Decide(confQueryMapper(resolver))
+		if (qerr == nil) != (derr == nil) {
+			t.Fatalf("query %d: error mismatch %v vs %v", i, qerr, derr)
+		}
+		if qerr != nil {
+			continue
+		}
+		if qd.Server != d.Server || math.Float64bits(qd.TTL) != math.Float64bits(d.TTL) {
+			t.Fatalf("query %d: DecideQuery (server %d, ttl %v) != Decide (server %d, ttl %v)",
+				i, qd.Server, qd.TTL, d.Server, d.TTL)
+		}
+		if qd.ClientScoped || qd.Scope != 0 {
+			t.Fatalf("query %d: unexpected scoping %v/%d without ECS", i, qd.ClientScoped, qd.Scope)
+		}
+	}
+	la, lb := ledgerExpiries(a), ledgerExpiries(b)
+	for i := range la {
+		if math.Float64bits(la[i]) != math.Float64bits(lb[i]) {
+			t.Errorf("ledger slot %d diverges: %v vs %v", i, la[i], lb[i])
+		}
+	}
+}

@@ -131,6 +131,17 @@ type Config struct {
 	// leads with full anti-entropy snapshots.
 	Partitions []PartitionEvent
 
+	// ECSMisalign enables the resolver/client misalignment extension
+	// (EDNS-Client-Subnet): a fraction of the domains resolve through a
+	// name server located in a DIFFERENT domain, so the address the DNS
+	// sees misidentifies where the clients actually are. With UseECS the
+	// resolvers forward the clients' true subnet in an ECS option and
+	// the engine classifies by it; without, the DNS falls back to the
+	// resolver address and proximity-aware policies aim at the wrong
+	// domain. Nil keeps the paper's aligned-resolver model — that path
+	// is byte-identical to a build without this field.
+	ECSMisalign *ECSMisalignConfig
+
 	// GeoPreference enables the proximity extension: with probability
 	// GeoPreference the DNS answers with the nearest available server
 	// (by the synthetic ring geography) instead of the discipline's
@@ -333,6 +344,14 @@ func (c Config) Validate() error {
 		return errors.New("sim: geo latencies must be non-negative")
 	case c.ReportLossProb < 0 || c.ReportLossProb > 1:
 		return errors.New("sim: ReportLossProb must be within [0,1]")
+	}
+	if c.ECSMisalign != nil {
+		if err := c.ECSMisalign.validate(c.Workload.Domains); err != nil {
+			return err
+		}
+		if c.Replicas > 1 {
+			return errors.New("sim: ECSMisalign is not supported with Replicas > 1")
+		}
 	}
 	if c.Detection != nil {
 		if err := c.Detection.validate(); err != nil {

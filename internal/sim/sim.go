@@ -115,6 +115,18 @@ type Result struct {
 	// kinds).
 	ForecastAbsError float64
 
+	// ECSQueries counts scheduler decisions made through the resolver
+	// population model of the misalignment extension (0 unless
+	// Config.ECSMisalign is set).
+	ECSQueries uint64
+	// ECSCarried counts those queries that forwarded the clients' true
+	// subnet in an ECS option.
+	ECSCarried uint64
+	// ECSMisrouted counts decisions the engine classified to a
+	// different domain than the clients' true one — misaligned
+	// resolvers without ECS. With ECS enabled it must drop to zero.
+	ECSMisrouted uint64
+
 	// DrainedServerHits counts hits served by a draining server — the
 	// hidden load its pre-drain cached mappings kept directing at it
 	// while the drain window was open.
@@ -254,12 +266,22 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	eng, err := engine.New(engine.Config{
+	engCfg := engine.Config{
 		Policy:     policy,
 		Clock:      engine.ClockFunc(sc.Now),
 		Estimator:  estimator,
 		OnDecision: cfg.DecisionTap,
-	})
+	}
+	var ecs *ecsResolvers
+	if cfg.ECSMisalign != nil {
+		// The misalignment extension routes decisions through the
+		// engine's DecideQuery seam, which needs the address→domain
+		// mapper; the default path never calls it, keeping its decision
+		// stream (and the determinism goldens) untouched.
+		engCfg.Mapper = ecsDomainMapper(cfg.Workload.Domains)
+		ecs = newECSResolvers(cfg.ECSMisalign, cfg.Workload.Domains)
+	}
+	eng, err := engine.New(engCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -273,6 +295,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	tier.ecs = ecs
 
 	if len(cfg.Trace) > 0 {
 		if err := scheduleTrace(cfg, sc, sink.deliver, tier.resolve); err != nil {
@@ -333,6 +356,9 @@ func Run(cfg Config) (*Result, error) {
 	res.DetectedCrashes = faults.downDetects
 	tier.collect(res)
 	flash.collect(res)
+	if ecs != nil {
+		ecs.collect(res)
+	}
 	res.EstimatorRejected = eng.EstimatorRejected()
 	if abs, ok := eng.ForecastError(); ok {
 		res.ForecastAbsError = abs

@@ -148,6 +148,13 @@ type cacheTier struct {
 	caches []*nameserver.Cache
 	res    *Result
 	fail   func(error)
+
+	// ecs, when non-nil, routes cache misses through the resolver
+	// population model (DecideQuery with resolver address and optional
+	// client subnet) instead of the direct Decide(domain) call — the
+	// misalignment extension (ecs.go). Nil keeps the default path
+	// byte-identical to a build without the extension.
+	ecs *ecsResolvers
 }
 
 func newCacheTier(cfg Config, sim *simcore.Simulator, eng *engine.Engine, res *Result, fail func(error)) (*cacheTier, error) {
@@ -184,7 +191,15 @@ func (ct *cacheTier) resolveVia(cache *nameserver.Cache, domain int) int {
 	if server, ok := cache.Lookup(now); ok {
 		return server
 	}
-	d, err := ct.eng.Decide(domain)
+	var d core.Decision
+	var err error
+	if ct.ecs != nil {
+		var qd engine.QueryDecision
+		qd, err = ct.ecs.decide(ct.eng, domain)
+		d = qd.Decision
+	} else {
+		d, err = ct.eng.Decide(domain)
+	}
 	if err != nil {
 		if errors.Is(err, core.ErrNoServers) {
 			ct.res.FailedResolves++
